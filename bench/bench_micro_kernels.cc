@@ -1,0 +1,135 @@
+// Micro-benchmarks (google-benchmark) for the numeric and sampling kernels
+// underneath FATS: matmul, conv2d, LSTM step, Philox throughput, and the
+// samplers whose laws the unlearning proofs depend on.
+
+#include <benchmark/benchmark.h>
+
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/model_zoo.h"
+#include "rng/philox.h"
+#include "rng/sampling.h"
+#include "tensor/tensor_ops.h"
+
+namespace fats {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tensor a({n, n});
+  Tensor b({n, n});
+  for (int64_t i = 0; i < a.size(); ++i) a[i] = static_cast<float>(i % 7);
+  for (int64_t i = 0; i < b.size(); ++i) b[i] = static_cast<float>(i % 5);
+  for (auto _ : state) {
+    Tensor c = MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_LinearForwardBackward(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  RngStream rng(uint64_t{1});
+  Linear layer(256, 64, &rng);
+  Tensor x({batch, 256});
+  for (int64_t i = 0; i < x.size(); ++i) x[i] = 0.01f * (i % 13);
+  Tensor grad({batch, 64});
+  grad.Fill(0.1f);
+  for (auto _ : state) {
+    layer.ZeroGrad();
+    Tensor y = layer.Forward(x);
+    Tensor gx = layer.Backward(grad);
+    benchmark::DoNotOptimize(gx.data());
+  }
+}
+BENCHMARK(BM_LinearForwardBackward)->Arg(4)->Arg(32);
+
+void BM_Conv2dForwardBackward(benchmark::State& state) {
+  RngStream rng(uint64_t{2});
+  Conv2d conv(1, 8, 16, 16, 3, 1, &rng);
+  Tensor x({4, 256});
+  for (int64_t i = 0; i < x.size(); ++i) x[i] = 0.01f * (i % 11);
+  Tensor grad({4, conv.OutputFeatures(256)});
+  grad.Fill(0.1f);
+  for (auto _ : state) {
+    conv.ZeroGrad();
+    Tensor y = conv.Forward(x);
+    Tensor gx = conv.Backward(grad);
+    benchmark::DoNotOptimize(gx.data());
+  }
+}
+BENCHMARK(BM_Conv2dForwardBackward);
+
+void BM_LstmForwardBackward(benchmark::State& state) {
+  const int64_t seq = state.range(0);
+  RngStream rng(uint64_t{3});
+  Lstm lstm(8, 32, seq, &rng);
+  Tensor x({4, seq * 8});
+  for (int64_t i = 0; i < x.size(); ++i) x[i] = 0.01f * (i % 9);
+  Tensor grad({4, 32});
+  grad.Fill(0.1f);
+  for (auto _ : state) {
+    lstm.ZeroGrad();
+    Tensor y = lstm.Forward(x);
+    Tensor gx = lstm.Backward(grad);
+    benchmark::DoNotOptimize(gx.data());
+  }
+}
+BENCHMARK(BM_LstmForwardBackward)->Arg(10)->Arg(40);
+
+void BM_PhiloxThroughput(benchmark::State& state) {
+  PhiloxEngine engine(42);
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += engine();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetBytesProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_PhiloxThroughput);
+
+void BM_SampleWithoutReplacement(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  RngStream rng(uint64_t{4});
+  for (auto _ : state) {
+    std::vector<int64_t> s = SampleWithoutReplacement(n, n / 10 + 1, &rng);
+    benchmark::DoNotOptimize(s.data());
+  }
+}
+BENCHMARK(BM_SampleWithoutReplacement)->Arg(100)->Arg(10000);
+
+void BM_SampleClientMultiset(benchmark::State& state) {
+  RngStream rng(uint64_t{5});
+  for (auto _ : state) {
+    std::vector<int64_t> s = SampleWithReplacement(1000, 20, &rng);
+    benchmark::DoNotOptimize(s.data());
+  }
+}
+BENCHMARK(BM_SampleClientMultiset);
+
+void BM_ModelSgdStep(benchmark::State& state) {
+  ModelSpec spec;
+  spec.kind = ModelKind::kSmallCnn;
+  spec.image_channels = 1;
+  spec.image_height = 8;
+  spec.image_width = 8;
+  spec.conv_channels = 6;
+  spec.num_classes = 10;
+  Model model(spec, 1);
+  Tensor x({4, 64});
+  for (int64_t i = 0; i < x.size(); ++i) x[i] = 0.01f * (i % 17);
+  std::vector<int64_t> y = {0, 3, 7, 9};
+  for (auto _ : state) {
+    double loss = model.ComputeLossAndGradients(x, y);
+    model.SgdStep(0.05);
+    benchmark::DoNotOptimize(loss);
+  }
+}
+BENCHMARK(BM_ModelSgdStep);
+
+}  // namespace
+}  // namespace fats
+
+BENCHMARK_MAIN();

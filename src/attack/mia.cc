@@ -1,0 +1,234 @@
+#include "attack/mia.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/rng_stream.h"
+#include "rng/sampling.h"
+#include "util/string_util.h"
+
+namespace fats {
+
+std::string MiaResult::ToString() const {
+  return StrFormat(
+      "MIA accuracy %.2f%% ± %.2f%%, precision %.2f%% ± %.2f%% (%lld trials)",
+      100.0 * accuracy_mean, 100.0 * accuracy_std, 100.0 * precision_mean,
+      100.0 * precision_std, (long long)trials);
+}
+
+namespace internal {
+
+double FitLossThreshold(const std::vector<double>& member_losses,
+                        const std::vector<double>& nonmember_losses) {
+  // Candidate thresholds: all observed losses. Predict member iff
+  // loss <= threshold; pick the candidate with best calibration accuracy.
+  std::vector<double> candidates = member_losses;
+  candidates.insert(candidates.end(), nonmember_losses.begin(),
+                    nonmember_losses.end());
+  std::sort(candidates.begin(), candidates.end());
+  double best_threshold =
+      candidates.empty() ? 0.0 : candidates[candidates.size() / 2];
+  double best_accuracy = -1.0;
+  for (double threshold : candidates) {
+    int64_t correct = 0;
+    for (double loss : member_losses) {
+      if (loss <= threshold) ++correct;
+    }
+    for (double loss : nonmember_losses) {
+      if (loss > threshold) ++correct;
+    }
+    const double accuracy =
+        static_cast<double>(correct) /
+        static_cast<double>(member_losses.size() + nonmember_losses.size());
+    if (accuracy > best_accuracy) {
+      best_accuracy = accuracy;
+      best_threshold = threshold;
+    }
+  }
+  return best_threshold;
+}
+
+std::pair<double, double> FitLogistic(
+    const std::vector<double>& member_losses,
+    const std::vector<double>& nonmember_losses) {
+  // Gradient descent on logistic loss; member = positive class, lower loss
+  // should mean more likely member, so w is typically negative.
+  double w = 0.0;
+  double c = 0.0;
+  const double lr = 0.5;
+  const int iters = 300;
+  const double n = static_cast<double>(member_losses.size() +
+                                       nonmember_losses.size());
+  for (int it = 0; it < iters; ++it) {
+    double gw = 0.0;
+    double gc = 0.0;
+    auto accumulate = [&](double x, double y) {
+      const double p = 1.0 / (1.0 + std::exp(-(w * x + c)));
+      gw += (p - y) * x;
+      gc += (p - y);
+    };
+    for (double x : member_losses) accumulate(x, 1.0);
+    for (double x : nonmember_losses) accumulate(x, 0.0);
+    w -= lr * gw / n;
+    c -= lr * gc / n;
+  }
+  return {w, c};
+}
+
+}  // namespace internal
+
+namespace {
+
+/// Gathers the subset of `losses` at `positions`.
+std::vector<double> Gather(const std::vector<double>& losses,
+                           const std::vector<int64_t>& positions) {
+  std::vector<double> out;
+  out.reserve(positions.size());
+  for (int64_t pos : positions) {
+    out.push_back(losses[static_cast<size_t>(pos)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<MiaResult> RunMembershipInference(Model* model,
+                                         const Batch& member_pool,
+                                         const Batch& nonmember_pool,
+                                         const MiaOptions& options) {
+  if (member_pool.size() < 2 || nonmember_pool.size() < 2) {
+    return Status::InvalidArgument(
+        "MIA needs at least 2 members and 2 non-members");
+  }
+  if (options.trials < 1) {
+    return Status::InvalidArgument("MIA needs at least 1 trial");
+  }
+  // Query the model once per pool.
+  const std::vector<double> member_losses =
+      model->PerExampleLoss(member_pool.inputs, member_pool.labels);
+  const std::vector<double> nonmember_losses =
+      model->PerExampleLoss(nonmember_pool.inputs, nonmember_pool.labels);
+
+  std::vector<double> accuracies;
+  std::vector<double> precisions;
+  accuracies.reserve(static_cast<size_t>(options.trials));
+  precisions.reserve(static_cast<size_t>(options.trials));
+
+  for (int64_t trial = 0; trial < options.trials; ++trial) {
+    StreamId id;
+    id.purpose = RngPurpose::kAttack;
+    id.iteration = static_cast<uint64_t>(trial);
+    RngStream rng(options.seed, id);
+
+    // Split each pool into calibration and evaluation.
+    const int64_t n_members = member_pool.size();
+    const int64_t n_nonmembers = nonmember_pool.size();
+    std::vector<int64_t> member_order =
+        SampleWithoutReplacement(n_members, n_members, &rng);
+    std::vector<int64_t> nonmember_order =
+        SampleWithoutReplacement(n_nonmembers, n_nonmembers, &rng);
+    const int64_t member_cal = std::max<int64_t>(
+        1, static_cast<int64_t>(options.calibration_fraction * n_members));
+    const int64_t nonmember_cal = std::max<int64_t>(
+        1,
+        static_cast<int64_t>(options.calibration_fraction * n_nonmembers));
+
+    std::vector<int64_t> member_cal_idx(member_order.begin(),
+                                        member_order.begin() + member_cal);
+    std::vector<int64_t> member_eval_idx(member_order.begin() + member_cal,
+                                         member_order.end());
+    std::vector<int64_t> nonmember_cal_idx(
+        nonmember_order.begin(), nonmember_order.begin() + nonmember_cal);
+    std::vector<int64_t> nonmember_eval_idx(
+        nonmember_order.begin() + nonmember_cal, nonmember_order.end());
+    if (member_eval_idx.empty()) member_eval_idx = member_cal_idx;
+    if (nonmember_eval_idx.empty()) nonmember_eval_idx = nonmember_cal_idx;
+    // Cap the evaluation split.
+    if (static_cast<int64_t>(member_eval_idx.size()) >
+        options.eval_per_class) {
+      member_eval_idx.resize(static_cast<size_t>(options.eval_per_class));
+    }
+    if (static_cast<int64_t>(nonmember_eval_idx.size()) >
+        options.eval_per_class) {
+      nonmember_eval_idx.resize(static_cast<size_t>(options.eval_per_class));
+    }
+
+    const std::vector<double> cal_member = Gather(member_losses,
+                                                  member_cal_idx);
+    const std::vector<double> cal_nonmember =
+        Gather(nonmember_losses, nonmember_cal_idx);
+    const std::vector<double> eval_member = Gather(member_losses,
+                                                   member_eval_idx);
+    const std::vector<double> eval_nonmember =
+        Gather(nonmember_losses, nonmember_eval_idx);
+
+    // Predict membership on the evaluation split.
+    int64_t true_positive = 0;
+    int64_t false_positive = 0;
+    int64_t correct = 0;
+    if (options.kind == MiaAttackKind::kLossThreshold) {
+      const double threshold =
+          internal::FitLossThreshold(cal_member, cal_nonmember);
+      for (double loss : eval_member) {
+        if (loss <= threshold) {
+          ++correct;
+          ++true_positive;
+        }
+      }
+      for (double loss : eval_nonmember) {
+        if (loss > threshold) {
+          ++correct;
+        } else {
+          ++false_positive;
+        }
+      }
+    } else {
+      const auto [w, c] = internal::FitLogistic(cal_member, cal_nonmember);
+      auto is_member = [w, c](double loss) {
+        return 1.0 / (1.0 + std::exp(-(w * loss + c))) >= 0.5;
+      };
+      for (double loss : eval_member) {
+        if (is_member(loss)) {
+          ++correct;
+          ++true_positive;
+        }
+      }
+      for (double loss : eval_nonmember) {
+        if (is_member(loss)) {
+          ++false_positive;
+        } else {
+          ++correct;
+        }
+      }
+    }
+
+    const double total = static_cast<double>(eval_member.size() +
+                                             eval_nonmember.size());
+    accuracies.push_back(static_cast<double>(correct) / total);
+    const int64_t positives = true_positive + false_positive;
+    // Convention: with no positive predictions, precision is a coin flip.
+    precisions.push_back(positives == 0
+                             ? 0.5
+                             : static_cast<double>(true_positive) /
+                                   static_cast<double>(positives));
+  }
+
+  auto mean_std = [](const std::vector<double>& values) {
+    double mean = 0.0;
+    for (double v : values) mean += v;
+    mean /= static_cast<double>(values.size());
+    double var = 0.0;
+    for (double v : values) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(values.size());
+    return std::pair<double, double>(mean, std::sqrt(var));
+  };
+
+  MiaResult result;
+  result.trials = options.trials;
+  std::tie(result.accuracy_mean, result.accuracy_std) = mean_std(accuracies);
+  std::tie(result.precision_mean, result.precision_std) =
+      mean_std(precisions);
+  return result;
+}
+
+}  // namespace fats

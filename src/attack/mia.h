@@ -1,0 +1,80 @@
+// Membership inference attack (Shokri et al. 2017 family).
+//
+// Used by the Table 1 bench to probe unlearning efficacy: after a model has
+// "unlearned" a set of samples, an attacker who can query per-example losses
+// should not be able to tell those samples apart from never-seen data. For
+// an exactly-unlearned model the attack degenerates to coin flipping
+// (accuracy/precision ≈ 50%); residual influence (as with approximate
+// methods like FR²) shows up as deviation from 50%.
+//
+// Two attack instantiations:
+//   * kLossThreshold — the Yeom-style attack: predict "member" when the
+//     example's loss is below a threshold fitted on a calibration split.
+//   * kShadowLogistic — a one-dimensional logistic model on the loss,
+//     fitted on the calibration split (a minimal shadow-attack stand-in).
+
+#ifndef FATS_ATTACK_MIA_H_
+#define FATS_ATTACK_MIA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/model_zoo.h"
+#include "util/status.h"
+
+namespace fats {
+
+enum class MiaAttackKind {
+  kLossThreshold,
+  kShadowLogistic,
+};
+
+struct MiaOptions {
+  MiaAttackKind kind = MiaAttackKind::kLossThreshold;
+  /// Independent attack repetitions (the paper runs 100).
+  int64_t trials = 100;
+  /// Examples per class (member / non-member) per trial evaluation split.
+  int64_t eval_per_class = 16;
+  /// Fraction of each pool used for threshold calibration.
+  double calibration_fraction = 0.5;
+  uint64_t seed = 1;
+};
+
+struct MiaResult {
+  double accuracy_mean = 0.0;
+  double accuracy_std = 0.0;
+  double precision_mean = 0.0;
+  double precision_std = 0.0;
+  int64_t trials = 0;
+
+  std::string ToString() const;
+};
+
+/// Runs the attack against `model`: `member_pool` are examples whose
+/// membership the attacker tries to establish (e.g. the unlearned samples),
+/// `nonmember_pool` are examples never seen in training.
+Result<MiaResult> RunMembershipInference(Model* model,
+                                         const Batch& member_pool,
+                                         const Batch& nonmember_pool,
+                                         const MiaOptions& options);
+
+namespace internal {
+
+/// Picks the loss threshold maximizing accuracy on the calibration arrays
+/// (members should have lower loss). Exposed for tests.
+double FitLossThreshold(const std::vector<double>& member_losses,
+                        const std::vector<double>& nonmember_losses);
+
+/// Fits a 1-D logistic regression score(loss) = sigmoid(w·loss + c) with
+/// members as the positive class; returns (w, c). Exposed for tests.
+std::pair<double, double> FitLogistic(
+    const std::vector<double>& member_losses,
+    const std::vector<double>& nonmember_losses);
+
+}  // namespace internal
+
+}  // namespace fats
+
+#endif  // FATS_ATTACK_MIA_H_

@@ -1,0 +1,137 @@
+#include "baselines/fr2.h"
+
+#include <cmath>
+
+#include "fl/client.h"
+#include "fl/server.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace fats {
+
+Result<UnlearningOutcome> Fr2Unlearner::UnlearnSamples(
+    const std::vector<SampleRef>& targets) {
+  for (const SampleRef& target : targets) {
+    FATS_RETURN_NOT_OK(data_->RemoveSample(target));
+  }
+  return Recover();
+}
+
+Result<UnlearningOutcome> Fr2Unlearner::UnlearnClients(
+    const std::vector<int64_t>& targets) {
+  for (int64_t target : targets) {
+    FATS_RETURN_NOT_OK(data_->RemoveClient(target));
+  }
+  return Recover();
+}
+
+Result<UnlearningOutcome> Fr2Unlearner::Recover() {
+  Stopwatch timer;
+  trainer_->BumpGeneration();
+  trainer_->set_recomputation_mode(true);
+  for (int64_t r = 0; r < options_.recovery_rounds; ++r) {
+    RecoveryRound(r + 1);
+  }
+  trainer_->set_recomputation_mode(false);
+
+  UnlearningOutcome outcome;
+  outcome.recomputed = true;
+  outcome.restart_iteration = -1;  // continues from the deployed model
+  outcome.recomputed_rounds = options_.recovery_rounds;
+  outcome.recomputed_iterations =
+      options_.recovery_rounds * trainer_->options().local_iters_e;
+  outcome.wall_seconds = timer.ElapsedSeconds();
+  return outcome;
+}
+
+void Fr2Unlearner::RecoveryRound(int64_t round) {
+  Model* model = trainer_->model();
+  const FedAvgOptions& opts = trainer_->options();
+  ClientRuntime client_runtime(data_, model);
+  const int64_t model_params = model->NumParameters();
+
+  StreamId sel_id;
+  sel_id.purpose = RngPurpose::kClientSampling;
+  sel_id.generation = trainer_->generation();
+  sel_id.round = static_cast<uint64_t>(1000000 + round);  // recovery phase
+  RngStream sel_stream(opts.seed, sel_id);
+  const int64_t k = std::min<int64_t>(opts.clients_per_round_k,
+                                      data_->num_active_clients());
+  std::vector<int64_t> selected =
+      ServerRuntime::SampleClientsWithoutReplacement(*data_, k, &sel_stream);
+  trainer_->comm_stats().RecordBroadcast(
+      static_cast<int64_t>(selected.size()), model_params);
+
+  const Tensor global = model->GetParameters();
+  std::vector<Tensor> locals;
+  locals.reserve(selected.size());
+  double loss_sum = 0.0;
+  int64_t loss_count = 0;
+  const double lr = opts.learning_rate * options_.lr_scale;
+  for (int64_t client : selected) {
+    model->SetParameters(global);
+    // Per-client velocity and Fisher-diagonal accumulators (flat vectors).
+    Tensor velocity({model_params});
+    Tensor fisher({model_params});
+    bool fisher_init = false;
+    for (int64_t e = 1; e <= opts.local_iters_e; ++e) {
+      StreamId batch_id;
+      batch_id.purpose = RngPurpose::kMinibatchSampling;
+      batch_id.generation = trainer_->generation();
+      batch_id.round = static_cast<uint64_t>(1000000 + round);
+      batch_id.client = static_cast<uint64_t>(client);
+      batch_id.iteration = static_cast<uint64_t>(e);
+      RngStream batch_stream(opts.seed, batch_id);
+      const int64_t b =
+          std::min<int64_t>(opts.batch_b, data_->num_active_samples(client));
+      if (b == 0) break;
+      std::vector<int64_t> indices =
+          client_runtime.SampleMinibatch(client, b, &batch_stream);
+      Batch batch = data_->MakeBatch(client, indices);
+      loss_sum += model->ComputeLossAndGradients(batch.inputs, batch.labels);
+      ++loss_count;
+      Tensor grad = model->GetGradients();
+      // Fisher diagonal EMA: F ← β·F + (1−β)·g⊙g.
+      float* fisher_data = fisher.data();
+      const float* grad_data = grad.data();
+      const float beta = static_cast<float>(options_.fisher_ema);
+      for (int64_t i = 0; i < model_params; ++i) {
+        const float g2 = grad_data[i] * grad_data[i];
+        fisher_data[i] =
+            fisher_init ? beta * fisher_data[i] + (1.0f - beta) * g2 : g2;
+      }
+      fisher_init = true;
+      // Momentum velocity and preconditioned step:
+      // v ← μ·v + g ; θ ← θ − lr · v / (sqrt(F) + damping).
+      Tensor params = model->GetParameters();
+      float* param_data = params.data();
+      float* velocity_data = velocity.data();
+      const float mu = static_cast<float>(options_.momentum);
+      const float damping = static_cast<float>(options_.damping);
+      const float step = static_cast<float>(lr);
+      for (int64_t i = 0; i < model_params; ++i) {
+        velocity_data[i] = mu * velocity_data[i] + grad_data[i];
+        param_data[i] -=
+            step * velocity_data[i] / (std::sqrt(fisher_data[i]) + damping);
+      }
+      model->SetParameters(params);
+    }
+    locals.push_back(model->GetParameters());
+  }
+  trainer_->comm_stats().RecordUpload(static_cast<int64_t>(locals.size()),
+                                      model_params);
+  trainer_->comm_stats().RecordRound();
+  if (!locals.empty()) {
+    model->SetParameters(ServerRuntime::AverageModels(locals));
+  }
+
+  RoundRecord record;
+  record.round = trainer_->rounds_completed() + round;
+  record.test_accuracy = trainer_->EvaluateTestAccuracy();
+  record.mean_local_loss =
+      loss_count > 0 ? loss_sum / static_cast<double>(loss_count) : 0.0;
+  record.recomputation = true;
+  trainer_->mutable_log()->Append(record);
+}
+
+}  // namespace fats

@@ -1,0 +1,45 @@
+#include "baselines/frs.h"
+
+#include "rng/philox.h"
+#include "util/stopwatch.h"
+
+namespace fats {
+
+Result<UnlearningOutcome> FrsUnlearner::UnlearnSamples(
+    const std::vector<SampleRef>& targets, int64_t retrain_rounds) {
+  for (const SampleRef& target : targets) {
+    FATS_RETURN_NOT_OK(data_->RemoveSample(target));
+  }
+  return Retrain(retrain_rounds);
+}
+
+Result<UnlearningOutcome> FrsUnlearner::UnlearnClients(
+    const std::vector<int64_t>& targets, int64_t retrain_rounds) {
+  for (int64_t target : targets) {
+    FATS_RETURN_NOT_OK(data_->RemoveClient(target));
+  }
+  return Retrain(retrain_rounds);
+}
+
+Result<UnlearningOutcome> FrsUnlearner::Retrain(int64_t retrain_rounds) {
+  Stopwatch timer;
+  // Fresh initialization and fresh randomness: a from-scratch run on the
+  // reduced data.
+  trainer_->BumpGeneration();
+  trainer_->ResetModel(SplitMix64(trainer_->options().seed +
+                                  trainer_->generation()));
+  trainer_->set_recomputation_mode(true);
+  trainer_->RunRounds(retrain_rounds);
+  trainer_->set_recomputation_mode(false);
+
+  UnlearningOutcome outcome;
+  outcome.recomputed = true;
+  outcome.restart_iteration = 1;
+  outcome.recomputed_rounds = retrain_rounds;
+  outcome.recomputed_iterations =
+      retrain_rounds * trainer_->options().local_iters_e;
+  outcome.wall_seconds = timer.ElapsedSeconds();
+  return outcome;
+}
+
+}  // namespace fats

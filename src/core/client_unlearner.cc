@@ -1,0 +1,84 @@
+#include "core/client_unlearner.h"
+
+#include <algorithm>
+
+#include "util/stopwatch.h"
+
+namespace fats {
+
+Result<UnlearningOutcome> ClientUnlearner::Unlearn(int64_t target_client,
+                                                   int64_t request_iter) {
+  return UnlearnBatch({target_client}, request_iter);
+}
+
+Result<UnlearningOutcome> ClientUnlearner::UnlearnBatch(
+    const std::vector<int64_t>& targets, int64_t request_iter) {
+  Stopwatch timer;
+  UnlearningOutcome outcome;
+  // Horizon = executed prefix; see SampleUnlearner for the mid-training
+  // semantics.
+  const int64_t t_max = trainer_->trained_through();
+  const int64_t e = trainer_->config().local_iters_e;
+  if (request_iter < 1 || request_iter > t_max) {
+    return Status::InvalidArgument("request_iter out of range");
+  }
+  const int64_t r_u = (request_iter - 1) / e + 1;
+
+  // Verification: earliest round in which any target participated —
+  // `r_trigger` restricted to rounds <= r_u (the Algorithm 3 trigger),
+  // `r_actual` over the whole recorded history (rounds after r_u model
+  // training that had not happened at request time; they must also be
+  // purged of the departing client, which equals re-running that future
+  // training on the reduced federation).
+  int64_t r_trigger = -1;
+  int64_t r_actual = -1;
+  for (int64_t target : targets) {
+    if (target < 0 || target >= trainer_->data()->num_clients()) {
+      return Status::OutOfRange("target client out of range");
+    }
+    if (!trainer_->data()->client_active(target)) {
+      return Status::FailedPrecondition("target client already removed");
+    }
+    const int64_t round = trainer_->store().EarliestClientRound(target);
+    if (round >= 1) {
+      r_actual = (r_actual == -1) ? round : std::min(r_actual, round);
+      if (round <= r_u) {
+        r_trigger = (r_trigger == -1) ? round : std::min(r_trigger, round);
+      }
+    }
+  }
+
+  for (int64_t target : targets) {
+    FATS_RETURN_NOT_OK(trainer_->data()->RemoveClient(target));
+  }
+
+  if (r_actual == -1) {
+    outcome.wall_seconds = timer.ElapsedSeconds();
+    return outcome;
+  }
+
+  // Re-computation: the client multiset of round r_actual (and later) is
+  // re-drawn over the remaining clients with fresh randomness — the
+  // ν(M−1, K) measure — and training re-runs to T. Unlike the sample-level
+  // case, re-drawing the selections is exactly what the coupling requires
+  // here, because the deletion changed the selection measure itself.
+  const int64_t t_restart = (r_actual - 1) * e + 1;
+  trainer_->store().TruncateFromIteration(t_restart, e);
+  trainer_->BumpGeneration();
+  trainer_->set_recomputation_mode(true);
+  trainer_->Run(t_restart, t_max);
+  trainer_->set_recomputation_mode(false);
+
+  if (r_trigger != -1) {
+    const int64_t t_c = (r_trigger - 1) * e + 1;
+    outcome.recomputed = true;
+    outcome.restart_iteration = t_c;
+    outcome.recomputed_iterations = t_max - t_c + 1;
+    const int64_t r_last = (t_max + e - 1) / e;
+    outcome.recomputed_rounds = r_last - r_trigger + 1;
+  }
+  outcome.wall_seconds = timer.ElapsedSeconds();
+  return outcome;
+}
+
+}  // namespace fats

@@ -1,0 +1,45 @@
+// FATS-CU — client-level exact unlearning for FATS (Algorithm 3).
+//
+// To unlearn target client k_u requested at time step t_u (round r_u):
+//   1. Verification: find the earliest round r_C <= r_u whose recorded
+//      client multiset contains k_u (O(1) via the store's dictionary).
+//   2. The client is removed from the federation regardless.
+//   3. If k_u never participated, the retained state is already exact.
+//   4. Otherwise re-compute from t_C = (r_C − 1)·E + 1: the round's client
+//      multiset is re-drawn over the remaining M−1 clients with fresh
+//      randomness — the ν(M−1, K) measure — and training re-runs to T.
+//
+// By Lemma 1 the probability of step 4 is at most min{ρ_C, 1} per request.
+
+#ifndef FATS_CORE_CLIENT_UNLEARNER_H_
+#define FATS_CORE_CLIENT_UNLEARNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fats_trainer.h"
+#include "core/sample_unlearner.h"
+#include "util/status.h"
+
+namespace fats {
+
+class ClientUnlearner {
+ public:
+  explicit ClientUnlearner(FatsTrainer* trainer) : trainer_(trainer) {}
+
+  /// Processes one client-removal request issued at time step `request_iter`.
+  Result<UnlearningOutcome> Unlearn(int64_t target_client,
+                                    int64_t request_iter);
+
+  /// Simultaneous client removals with a single re-computation from the
+  /// earliest invalidated round.
+  Result<UnlearningOutcome> UnlearnBatch(const std::vector<int64_t>& targets,
+                                         int64_t request_iter);
+
+ private:
+  FatsTrainer* trainer_;
+};
+
+}  // namespace fats
+
+#endif  // FATS_CORE_CLIENT_UNLEARNER_H_

@@ -1,0 +1,79 @@
+#include "core/fats_config.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace fats {
+
+int64_t FatsConfig::DeriveK() const {
+  const double k = rho_c * static_cast<double>(local_iters_e) * clients_m /
+                   static_cast<double>(total_iters_t());
+  return std::max<int64_t>(1, static_cast<int64_t>(std::llround(k)));
+}
+
+int64_t FatsConfig::DeriveB() const {
+  const double b = rho_s * static_cast<double>(samples_per_client_n) /
+                   (rho_c * static_cast<double>(local_iters_e));
+  int64_t rounded = std::max<int64_t>(1, static_cast<int64_t>(std::llround(b)));
+  return std::min(rounded, samples_per_client_n);
+}
+
+double FatsConfig::EffectiveRhoC() const {
+  return static_cast<double>(DeriveK()) * total_iters_t() /
+         (static_cast<double>(local_iters_e) * clients_m);
+}
+
+double FatsConfig::EffectiveRhoS() const {
+  return static_cast<double>(DeriveB()) * DeriveK() * total_iters_t() /
+         (static_cast<double>(clients_m) * samples_per_client_n);
+}
+
+FatsConfig FatsConfig::FromProfile(const DatasetProfile& profile) {
+  FatsConfig config;
+  config.clients_m = profile.clients_m;
+  config.samples_per_client_n = profile.samples_per_client_n;
+  config.rounds_r = profile.rounds_r;
+  config.local_iters_e = profile.local_iters_e;
+  config.learning_rate = profile.learning_rate;
+  // Back-derive the stability targets from the profile's explicit K and b so
+  // DeriveK()/DeriveB() reproduce them exactly.
+  config.rho_c = profile.rho_c();
+  config.rho_s = profile.rho_s();
+  return config;
+}
+
+Status FatsConfig::Validate() const {
+  if (clients_m <= 0 || samples_per_client_n <= 0 || rounds_r <= 0 ||
+      local_iters_e <= 0) {
+    return Status::InvalidArgument("M, N, R, E must all be positive");
+  }
+  if (rho_s <= 0.0 || rho_c <= 0.0) {
+    return Status::InvalidArgument("stability parameters must be positive");
+  }
+  if (learning_rate <= 0.0) {
+    return Status::InvalidArgument("learning rate must be positive");
+  }
+  const int64_t k = DeriveK();
+  const int64_t b = DeriveB();
+  if (k < 1) return Status::InvalidArgument("derived K < 1");
+  if (b < 1 || b > samples_per_client_n) {
+    return Status::InvalidArgument(StrFormat(
+        "derived b=%lld infeasible for N=%lld", (long long)b,
+        (long long)samples_per_client_n));
+  }
+  return Status::OK();
+}
+
+std::string FatsConfig::ToString() const {
+  return StrFormat(
+      "FatsConfig(M=%lld N=%lld R=%lld E=%lld rho_s=%.3f rho_c=%.3f "
+      "-> K=%lld b=%lld, eff_rho_s=%.3f eff_rho_c=%.3f, lr=%.3f)",
+      (long long)clients_m, (long long)samples_per_client_n,
+      (long long)rounds_r, (long long)local_iters_e, rho_s, rho_c,
+      (long long)DeriveK(), (long long)DeriveB(), EffectiveRhoS(),
+      EffectiveRhoC(), learning_rate);
+}
+
+}  // namespace fats

@@ -1,0 +1,63 @@
+// Configuration of the FATS learning algorithm (Algorithm 1).
+//
+// FATS is parameterized by the TV-stability targets (ρ_S, ρ_C); the number
+// of clients sampled per round and the mini-batch size are *derived*:
+//
+//     K = ρ_C · E · M / T        (Algorithm 1, line 2)
+//     b = ρ_S · N / (ρ_C · E)
+//
+// Since K and b must be positive integers, the derived values are rounded;
+// EffectiveRhoS/EffectiveRhoC report the stability levels actually achieved
+// (they are what Lemma 1's guarantee applies to).
+
+#ifndef FATS_CORE_FATS_CONFIG_H_
+#define FATS_CORE_FATS_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/paper_configs.h"
+#include "util/status.h"
+
+namespace fats {
+
+struct FatsConfig {
+  // Federated shape.
+  int64_t clients_m = 0;            // M
+  int64_t samples_per_client_n = 0; // N
+  int64_t rounds_r = 0;             // R
+  int64_t local_iters_e = 1;        // E
+
+  // TV-stability targets in (0, 1].
+  double rho_s = 0.25;
+  double rho_c = 0.5;
+
+  double learning_rate = 0.05;
+  uint64_t seed = 1;
+
+  int64_t total_iters_t() const { return rounds_r * local_iters_e; }
+
+  /// K = ρ_C·E·M/T, rounded to the nearest integer >= 1.
+  int64_t DeriveK() const;
+  /// b = ρ_S·N/(ρ_C·E), rounded to the nearest integer in [1, N].
+  int64_t DeriveB() const;
+
+  /// ρ_C actually achieved by the integer K: K·T/(E·M).
+  double EffectiveRhoC() const;
+  /// ρ_S actually achieved by the integer (K, b): b·K·T/(M·N).
+  double EffectiveRhoS() const;
+
+  /// Builds a config from a dataset profile, adopting its explicit K and b
+  /// (ρ targets are back-derived so Derive{K,B} reproduce them).
+  static FatsConfig FromProfile(const DatasetProfile& profile);
+
+  /// Checks ranges and that the derived K, b are feasible
+  /// (1 <= b <= N, 1 <= K).
+  Status Validate() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace fats
+
+#endif  // FATS_CORE_FATS_CONFIG_H_

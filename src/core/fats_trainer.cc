@@ -1,0 +1,251 @@
+#include "core/fats_trainer.h"
+
+#include <algorithm>
+
+#include "fl/client.h"
+#include "fl/server.h"
+#include "util/logging.h"
+
+namespace fats {
+
+FatsTrainer::FatsTrainer(const ModelSpec& spec, const FatsConfig& config,
+                         FederatedDataset* data)
+    : spec_(spec),
+      config_(config),
+      data_(data),
+      model_(std::make_unique<Model>(spec, config.seed)),
+      test_batch_(data->global_test().AsBatch()),
+      k_(config.DeriveK()),
+      b_(config.DeriveB()) {
+  FATS_CHECK_OK(config_.Validate());
+  FATS_CHECK_EQ(data_->num_clients(), config_.clients_m)
+      << "dataset does not match config M";
+  initial_params_ = model_->GetParameters();
+}
+
+std::vector<int64_t> FatsTrainer::UniqueClients(
+    const std::vector<int64_t>& multiset) {
+  std::vector<int64_t> unique;
+  for (int64_t k : multiset) {
+    if (std::find(unique.begin(), unique.end(), k) == unique.end()) {
+      unique.push_back(k);
+    }
+  }
+  return unique;
+}
+
+void FatsTrainer::Train() { TrainUntil(config_.total_iters_t()); }
+
+void FatsTrainer::TrainUntil(int64_t t_end) {
+  if (trained_through_ == 0) {
+    store_.SaveGlobalModel(0, initial_params_);
+    model_->SetParameters(initial_params_);
+  }
+  FATS_CHECK_GE(t_end, trained_through_) << "cannot train backwards";
+  if (t_end == trained_through_) return;
+  Run(trained_through_ + 1, t_end);
+}
+
+void FatsTrainer::Run(int64_t t0, int64_t t_end) {
+  const int64_t t_max = t_end;
+  const int64_t e = config_.local_iters_e;
+  FATS_CHECK(t0 >= 1 && t0 <= config_.total_iters_t())
+      << "t0 out of range: " << t0;
+  FATS_CHECK(t_end >= t0 && t_end <= config_.total_iters_t())
+      << "t_end out of range: " << t_end;
+  const int64_t model_params = model_->NumParameters();
+  ClientRuntime client_runtime(data_, model_.get());
+
+  std::vector<int64_t> selection;          // P of the current round
+  std::vector<int64_t> participants;       // unique clients in P
+  std::map<int64_t, Tensor> local_params;  // θ_k^(t−1) per participant
+
+  const int64_t r0 = (t0 - 1) / e + 1;
+  const int64_t r0_start = (r0 - 1) * e + 1;
+  if (t0 != r0_start) {
+    // Mid-round entry (Algorithm 1, lines 3–5): reload P^(t0) and the local
+    // models after iteration t0−1.
+    const std::vector<int64_t>* stored = store_.GetClientSelection(r0);
+    FATS_CHECK(stored != nullptr)
+        << "mid-round restart requires the round's client selection";
+    selection = *stored;
+    participants = UniqueClients(selection);
+    for (int64_t client : participants) {
+      const Tensor* theta = store_.GetLocalModel(t0 - 1, client);
+      FATS_CHECK(theta != nullptr)
+          << "missing local model for client " << client << " at iteration "
+          << t0 - 1;
+      local_params[client] = *theta;
+    }
+  }
+
+  double loss_sum = 0.0;
+  int64_t loss_count = 0;
+  for (int64_t t = t0; t <= t_max; ++t) {
+    const int64_t r = (t - 1) / e + 1;
+    if (t == (r - 1) * e + 1) {
+      // STEP 1: round start — sample the client multiset and broadcast the
+      // latest global model.
+      StreamId sel_id;
+      sel_id.purpose = RngPurpose::kClientSampling;
+      sel_id.generation = generation_;
+      sel_id.round = static_cast<uint64_t>(r);
+      RngStream sel_stream(config_.seed, sel_id);
+      selection =
+          ServerRuntime::SampleClientsWithReplacement(*data_, k_, &sel_stream);
+      store_.SaveClientSelection(r, selection);
+
+      const Tensor* global = store_.GetGlobalModel(r - 1);
+      FATS_CHECK(global != nullptr)
+          << "missing global model for round " << r - 1;
+      comm_stats_.RecordBroadcast(k_, model_params);
+      participants = UniqueClients(selection);
+      local_params.clear();
+      for (int64_t client : participants) local_params[client] = *global;
+      loss_sum = 0.0;
+      loss_count = 0;
+    }
+
+    // STEP 2: one local mini-batch SGD iteration per distinct participant.
+    for (int64_t client : participants) {
+      model_->SetParameters(local_params[client]);
+      StreamId batch_id;
+      batch_id.purpose = RngPurpose::kMinibatchSampling;
+      batch_id.generation = generation_;
+      batch_id.round = static_cast<uint64_t>(r);
+      batch_id.client = static_cast<uint64_t>(client);
+      batch_id.iteration = static_cast<uint64_t>(t);
+      RngStream batch_stream(config_.seed, batch_id);
+      const int64_t batch_size =
+          std::min<int64_t>(b_, data_->num_active_samples(client));
+      FATS_CHECK_GT(batch_size, 0)
+          << "client " << client << " has no active samples";
+      std::vector<int64_t> indices =
+          client_runtime.SampleMinibatch(client, batch_size, &batch_stream);
+      store_.SaveMinibatch(t, client, indices);
+      loss_sum += client_runtime.Step(client, indices, config_.learning_rate);
+      ++loss_count;
+      ++local_iterations_executed_;
+      local_params[client] = model_->GetParameters();
+      store_.SaveLocalModel(t, client, local_params[client]);
+    }
+
+    if (t % e == 0) {
+      // STEP 3: aggregate with multiset multiplicity: θ = (1/K) Σ_{k∈P} θ_k.
+      Tensor aggregate(initial_params_.shape());
+      for (int64_t client : selection) {
+        aggregate += local_params[client];
+      }
+      aggregate *= 1.0f / static_cast<float>(selection.size());
+      store_.SaveGlobalModel(r, aggregate);
+      comm_stats_.RecordUpload(k_, model_params);
+      comm_stats_.RecordRound();
+      model_->SetParameters(aggregate);
+
+      RoundRecord record;
+      record.round = r;
+      record.test_accuracy = EvaluateTestAccuracy();
+      record.mean_local_loss =
+          loss_count > 0 ? loss_sum / static_cast<double>(loss_count) : 0.0;
+      record.recomputation = recomputation_mode_;
+      log_.Append(record);
+    }
+  }
+  trained_through_ = std::max(trained_through_, t_max);
+  // Leave the model holding the latest completed round's global parameters.
+  const Tensor* final_global = store_.GetGlobalModel(t_max / e);
+  if (final_global != nullptr) model_->SetParameters(*final_global);
+}
+
+void FatsTrainer::ReplayFrom(int64_t t0, int64_t t_end) {
+  const int64_t t_max = t_end;
+  const int64_t e = config_.local_iters_e;
+  FATS_CHECK(t0 >= 1 && t0 <= config_.total_iters_t())
+      << "t0 out of range: " << t0;
+  FATS_CHECK(t_end >= t0 && t_end <= config_.total_iters_t())
+      << "t_end out of range: " << t_end;
+  const int64_t model_params = model_->NumParameters();
+  ClientRuntime client_runtime(data_, model_.get());
+
+  std::vector<int64_t> selection;
+  std::vector<int64_t> participants;
+  std::map<int64_t, Tensor> local_params;
+
+  const int64_t r0 = (t0 - 1) / e + 1;
+  const int64_t r0_start = (r0 - 1) * e + 1;
+  if (t0 != r0_start) {
+    const std::vector<int64_t>* stored = store_.GetClientSelection(r0);
+    FATS_CHECK(stored != nullptr) << "replay requires stored selection";
+    selection = *stored;
+    participants = UniqueClients(selection);
+    for (int64_t client : participants) {
+      const Tensor* theta = store_.GetLocalModel(t0 - 1, client);
+      FATS_CHECK(theta != nullptr)
+          << "replay missing local model (" << t0 - 1 << ", " << client
+          << ")";
+      local_params[client] = *theta;
+    }
+  }
+
+  double loss_sum = 0.0;
+  int64_t loss_count = 0;
+  for (int64_t t = t0; t <= t_max; ++t) {
+    const int64_t r = (t - 1) / e + 1;
+    if (t == (r - 1) * e + 1) {
+      const std::vector<int64_t>* stored = store_.GetClientSelection(r);
+      FATS_CHECK(stored != nullptr)
+          << "replay missing selection for round " << r;
+      selection = *stored;
+      const Tensor* global = store_.GetGlobalModel(r - 1);
+      FATS_CHECK(global != nullptr)
+          << "replay missing global model for round " << r - 1;
+      comm_stats_.RecordBroadcast(k_, model_params);
+      participants = UniqueClients(selection);
+      local_params.clear();
+      for (int64_t client : participants) local_params[client] = *global;
+      loss_sum = 0.0;
+      loss_count = 0;
+    }
+
+    for (int64_t client : participants) {
+      const std::vector<int64_t>* batch = store_.GetMinibatch(t, client);
+      FATS_CHECK(batch != nullptr)
+          << "replay missing mini-batch (" << t << ", " << client << ")";
+      model_->SetParameters(local_params[client]);
+      loss_sum += client_runtime.Step(client, *batch, config_.learning_rate);
+      ++loss_count;
+      ++local_iterations_executed_;
+      local_params[client] = model_->GetParameters();
+      store_.SaveLocalModel(t, client, local_params[client]);
+    }
+
+    if (t % e == 0) {
+      Tensor aggregate(initial_params_.shape());
+      for (int64_t client : selection) {
+        aggregate += local_params[client];
+      }
+      aggregate *= 1.0f / static_cast<float>(selection.size());
+      store_.SaveGlobalModel(r, aggregate);
+      comm_stats_.RecordUpload(k_, model_params);
+      comm_stats_.RecordRound();
+      model_->SetParameters(aggregate);
+
+      RoundRecord record;
+      record.round = r;
+      record.test_accuracy = EvaluateTestAccuracy();
+      record.mean_local_loss =
+          loss_count > 0 ? loss_sum / static_cast<double>(loss_count) : 0.0;
+      record.recomputation = recomputation_mode_;
+      log_.Append(record);
+    }
+  }
+  trained_through_ = std::max(trained_through_, t_max);
+  const Tensor* final_global = store_.GetGlobalModel(t_max / e);
+  if (final_global != nullptr) model_->SetParameters(*final_global);
+}
+
+double FatsTrainer::EvaluateTestAccuracy() {
+  return model_->EvaluateAccuracy(test_batch_.inputs, test_batch_.labels);
+}
+
+}  // namespace fats

@@ -1,0 +1,142 @@
+// FATS — Federated Averaging with TV-Stability (Algorithm 1).
+//
+// The trainer executes T = R·E iterations grouped into R communication
+// rounds. At each round start the server draws a multiset of K clients
+// *with replacement* (the ν(M,K) law of Lemma 1); each distinct selected
+// client runs E local mini-batch SGD iterations over uniformly-sampled
+// size-b subsets of its active data (the ξ(N,b) law); at round end the
+// server averages the local models with multiset multiplicity.
+//
+// Everything the unlearning algorithms need is recorded in the StateStore:
+// P^(t), B_k^(t), θ_k^(t), θ^(t) (the save(·) calls of Algorithm 1), plus
+// the earliest-use dictionaries for O(1) verification.
+//
+// Run(t0) implements the general entry point FATS(t0, T, E, η, ρ_S, ρ_C):
+// t0 = 1 is fresh training; a mid-round t0 reloads P^(t0) and the local
+// models θ_k^(t0−1) from the store (lines 3–5). Re-computation after a
+// deletion = BumpGeneration() + store truncation + Run(t_S): the generation
+// field makes every stream drawn in the suffix independent of the original
+// run, which realizes the fresh part of the coupling in Theorem 1, while
+// the untouched prefix realizes the reused part.
+
+#ifndef FATS_CORE_FATS_TRAINER_H_
+#define FATS_CORE_FATS_TRAINER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/fats_config.h"
+#include "data/federated_dataset.h"
+#include "fl/comm_stats.h"
+#include "fl/state_store.h"
+#include "fl/train_log.h"
+#include "nn/model_zoo.h"
+
+namespace fats {
+
+class FatsTrainer {
+ public:
+  /// `data` is borrowed and must outlive the trainer. Deletions are applied
+  /// to `data` externally (by the unlearners) between runs.
+  FatsTrainer(const ModelSpec& spec, const FatsConfig& config,
+              FederatedDataset* data);
+
+  /// Fresh training: records the initial model as round 0 and runs
+  /// iterations 1..T. Equivalent to TrainUntil(T).
+  void Train();
+
+  /// Incremental training: continues from wherever training previously
+  /// stopped up to iteration `t_end` (inclusive). The first call records
+  /// the initial model. Used to issue unlearning requests mid-training:
+  ///   trainer.TrainUntil(t_u);      // train to the request time
+  ///   unlearner.Unlearn(..., t_u);  // exact unlearning of the prefix
+  ///   trainer.TrainUntil(T);        // continue on the reduced data
+  void TrainUntil(int64_t t_end);
+
+  /// Runs iterations [t0, t_end] (Algorithm 1); the two-argument form
+  /// supports pausing mid-training (e.g. to serve an unlearning request at
+  /// time t_u and then continue on the reduced data). t0 must be in [1, T]
+  /// and t_end in [t0, T]. If t0 is not a round start, the round's client
+  /// selection and the local models at t0−1 are loaded from the store.
+  /// Client selections and mini-batches for [t0, t_end] are drawn fresh
+  /// (used by client-level re-computation, where the selection measure
+  /// itself changed).
+  void Run(int64_t t0) { Run(t0, config_.total_iters_t()); }
+  void Run(int64_t t0, int64_t t_end);
+
+  /// Deterministically re-executes iterations [t0, t_end] against the
+  /// *stored* sampling history: client selections and mini-batches are
+  /// loaded from the store (which sample-level unlearning has partially
+  /// substituted), and only the model trajectory is recomputed. This
+  /// realizes the SU_r transport of Theorem 1's proof: the selection
+  /// history ν is unaffected by a sample deletion and must be reused, not
+  /// redrawn — redrawing it would bias the selection marginal and break
+  /// exactness.
+  void ReplayFrom(int64_t t0) { ReplayFrom(t0, trained_through_); }
+  void ReplayFrom(int64_t t0, int64_t t_end);
+
+  /// Highest iteration executed so far (0 before training). Unlearning
+  /// requests issued mid-training re-compute only up to this point;
+  /// Run(trained_through()+1, ...) continues training afterwards.
+  int64_t trained_through() const { return trained_through_; }
+
+  double EvaluateTestAccuracy();
+
+  Tensor global_params() { return model_->GetParameters(); }
+
+  StateStore& store() { return store_; }
+  const StateStore& store() const { return store_; }
+  const TrainLog& log() const { return log_; }
+  TrainLog* mutable_log() { return &log_; }
+  CommStats& comm_stats() { return comm_stats_; }
+  const FatsConfig& config() const { return config_; }
+  Model* model() { return model_.get(); }
+  FederatedDataset* data() { return data_; }
+
+  int64_t K() const { return k_; }
+  int64_t b() const { return b_; }
+
+  /// Makes all subsequently drawn streams independent of earlier ones.
+  void BumpGeneration() { ++generation_; }
+  uint64_t generation() const { return generation_; }
+
+  // Checkpoint-restore support (see io/checkpoint.h). These overwrite the
+  // trainer's progress markers; use only when restoring a saved state whose
+  // store contents match.
+  void set_generation(uint64_t generation) { generation_ = generation; }
+  void set_trained_through(int64_t t) { trained_through_ = t; }
+  /// Rounds executed while this flag is set are marked in the log.
+  void set_recomputation_mode(bool on) { recomputation_mode_ = on; }
+
+  /// Total local SGD iterations executed across all runs (compute cost).
+  int64_t local_iterations_executed() const {
+    return local_iterations_executed_;
+  }
+
+ private:
+  /// Unique clients of the multiset, preserving first-occurrence order.
+  static std::vector<int64_t> UniqueClients(
+      const std::vector<int64_t>& multiset);
+
+  ModelSpec spec_;
+  FatsConfig config_;
+  FederatedDataset* data_;
+  std::unique_ptr<Model> model_;
+  Tensor initial_params_;
+  Batch test_batch_;
+  int64_t k_;
+  int64_t b_;
+  uint64_t generation_ = 0;
+  bool recomputation_mode_ = false;
+  int64_t local_iterations_executed_ = 0;
+  int64_t trained_through_ = 0;
+  StateStore store_;
+  TrainLog log_;
+  CommStats comm_stats_;
+};
+
+}  // namespace fats
+
+#endif  // FATS_CORE_FATS_TRAINER_H_

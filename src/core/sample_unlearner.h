@@ -1,0 +1,63 @@
+// FATS-SU — sample-level exact unlearning for FATS (Algorithm 2).
+//
+// To unlearn target sample X_u of client k_u requested at time step t_u:
+//   1. Verification (O(1) via the store's earliest-use dictionary, §5.3.1):
+//      find the earliest iteration t_S <= t_u whose recorded mini-batch at
+//      k_u contains X_u.
+//   2. The sample is deleted from the dataset (the data holder erases it
+//      regardless of participation).
+//   3. If no such t_S exists, the retained state is already exactly
+//      distributed as a fresh run on the reduced data (the reused part of
+//      the Theorem 1 coupling) — nothing else to do.
+//   4. Otherwise re-computation: discard state from t_S on, bump the
+//      randomness generation and re-run FATS(t_S, T, ...). The suffix is
+//      drawn fresh from the updated measure μ(M,K,N−1,b) — the re-sampled
+//      part of the coupling.
+//
+// By Lemma 1 the probability of step 4 is at most min{ρ_S, 1} per request.
+
+#ifndef FATS_CORE_SAMPLE_UNLEARNER_H_
+#define FATS_CORE_SAMPLE_UNLEARNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fats_trainer.h"
+#include "data/federated_dataset.h"
+#include "util/status.h"
+
+namespace fats {
+
+/// What one unlearning request (or one batch of simultaneous requests) cost.
+struct UnlearningOutcome {
+  bool recomputed = false;
+  /// First invalidated iteration t_S (or t_C), -1 when no re-computation.
+  int64_t restart_iteration = -1;
+  /// Unlearning time in time steps: T − restart + 1 (0 when not recomputed).
+  int64_t recomputed_iterations = 0;
+  /// Communication rounds re-executed.
+  int64_t recomputed_rounds = 0;
+  double wall_seconds = 0.0;
+};
+
+class SampleUnlearner {
+ public:
+  explicit SampleUnlearner(FatsTrainer* trainer) : trainer_(trainer) {}
+
+  /// Processes one deletion request issued at time step `request_iter`
+  /// (pass config.total_iters_t() for "after training finished").
+  Result<UnlearningOutcome> Unlearn(const SampleRef& target,
+                                    int64_t request_iter);
+
+  /// A batch of simultaneous requests: all samples are deleted, then a
+  /// single re-computation runs from the earliest invalidated iteration.
+  Result<UnlearningOutcome> UnlearnBatch(const std::vector<SampleRef>& targets,
+                                         int64_t request_iter);
+
+ private:
+  FatsTrainer* trainer_;
+};
+
+}  // namespace fats
+
+#endif  // FATS_CORE_SAMPLE_UNLEARNER_H_

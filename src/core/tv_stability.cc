@@ -1,0 +1,107 @@
+#include "core/tv_stability.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fats {
+
+double SampleLevelStabilityBound(const FatsConfig& config) {
+  return std::min(1.0, config.EffectiveRhoS());
+}
+
+double ClientLevelStabilityBound(const FatsConfig& config) {
+  return std::min(1.0, config.EffectiveRhoC());
+}
+
+double RecomputationProbabilityBound(double rho, int64_t w) {
+  return std::min(1.0, std::min(1.0, rho) * static_cast<double>(w));
+}
+
+bool LearningRateConditionHolds(double eta, const ConvergenceConstants& c,
+                                int64_t local_iters_e) {
+  const double e = static_cast<double>(local_iters_e);
+  const double lhs = -eta / 2.0 +
+                     eta * eta * eta * c.smoothness_l * c.smoothness_l *
+                         c.heterogeneity_lambda * e * (e - 1.0) +
+                     eta * eta * c.heterogeneity_lambda * c.smoothness_l / 2.0;
+  return lhs < 0.0;
+}
+
+double MaxStableLearningRate(const ConvergenceConstants& c,
+                             int64_t local_iters_e) {
+  // The condition holds for all sufficiently small η > 0 (the -η/2 term
+  // dominates); find the largest η in (0, 10] satisfying it by bisection on
+  // the first sign change.
+  double lo = 0.0;
+  double hi = 10.0;
+  if (LearningRateConditionHolds(hi, c, local_iters_e)) return hi;
+  // Ensure lo is feasible.
+  double probe = 1e-9;
+  if (!LearningRateConditionHolds(probe, c, local_iters_e)) return 0.0;
+  lo = probe;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (LearningRateConditionHolds(mid, c, local_iters_e)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double Gamma(const ConvergenceConstants& c, double rho_s, int64_t clients_m,
+             int64_t samples_per_client_n) {
+  FATS_CHECK_GT(rho_s, 0.0);
+  return c.gradient_variance_g2 /
+         (c.smoothness_l * c.initial_gap * rho_s *
+          static_cast<double>(clients_m) *
+          static_cast<double>(samples_per_client_n));
+}
+
+double TheoreticalLearningRate(const ConvergenceConstants& c, double rho_s,
+                               int64_t clients_m,
+                               int64_t samples_per_client_n,
+                               int64_t total_iters_t) {
+  const double gamma = Gamma(c, rho_s, clients_m, samples_per_client_n);
+  return 1.0 / (c.smoothness_l * std::sqrt(gamma) *
+                static_cast<double>(total_iters_t));
+}
+
+double ConvergenceBound(const ConvergenceConstants& c,
+                        const FatsConfig& config) {
+  const double rho_s = config.EffectiveRhoS();
+  const double rho_c = config.EffectiveRhoC();
+  const double mn = static_cast<double>(config.clients_m) *
+                    static_cast<double>(config.samples_per_client_n);
+  const double t = static_cast<double>(config.total_iters_t());
+  const double e = static_cast<double>(config.local_iters_e);
+  const double first =
+      3.0 * std::sqrt(c.smoothness_l * c.gradient_variance_g2 *
+                      c.initial_gap) /
+      std::sqrt(rho_s * mn);
+  const double second = c.smoothness_l * c.initial_gap * (e / t) *
+                        (rho_c * static_cast<double>(config.clients_m) * e / t +
+                         1.0);
+  return first + second;
+}
+
+double StabilityCost(const ConvergenceConstants& c, double rho_s,
+                     int64_t clients_m, int64_t samples_per_client_n) {
+  const double mn = static_cast<double>(clients_m) *
+                    static_cast<double>(samples_per_client_n);
+  return 3.0 * std::sqrt(c.smoothness_l * c.gradient_variance_g2 *
+                         c.initial_gap) /
+         std::sqrt(rho_s * mn);
+}
+
+double ExpectedUnlearningTimeSteps(double rho, int64_t w,
+                                   int64_t training_time_steps) {
+  const double recompute_cost = std::min(1.0, rho) * static_cast<double>(w) *
+                                static_cast<double>(training_time_steps);
+  return std::max(recompute_cost, static_cast<double>(w));
+}
+
+}  // namespace fats

@@ -1,0 +1,75 @@
+// Total-variation stability bounds and convergence-theory helpers.
+//
+// Implements the quantitative side of the paper's analysis:
+//   * Lemma 1 stability bounds: FATS is min{ρ_S,1}-sample-level and
+//     min{ρ_C,1}-client-level TV-stable.
+//   * Condition (7) on the learning rate for Lemma 2.
+//   * Γ, the theoretical learning rate, and the convergence bound of
+//     Theorem 2 / Corollary 1.
+//   * Theorem 3 expected unlearning-time bounds.
+
+#ifndef FATS_CORE_TV_STABILITY_H_
+#define FATS_CORE_TV_STABILITY_H_
+
+#include <cstdint>
+
+#include "core/fats_config.h"
+
+namespace fats {
+
+/// Lemma 1: the sample-level TV-stability FATS achieves, min{ρ_S, 1}
+/// with ρ_S = T·K·b/(M·N) for the config's effective integers.
+double SampleLevelStabilityBound(const FatsConfig& config);
+
+/// Lemma 1: the client-level TV-stability, min{ρ_C, 1} with
+/// ρ_C = T·K/(E·M).
+double ClientLevelStabilityBound(const FatsConfig& config);
+
+/// Theorem 1: upper bound on the re-computation probability for `w`
+/// unlearning requests at the given stability level ρ (= w·min{ρ,1}, capped
+/// at 1).
+double RecomputationProbabilityBound(double rho, int64_t w);
+
+/// Smoothness/heterogeneity constants used by the convergence results.
+struct ConvergenceConstants {
+  double smoothness_l = 1.0;         // L (Assumption 1)
+  double gradient_variance_g2 = 1.0; // G^2 (Assumption 2)
+  double heterogeneity_lambda = 1.0; // λ (Assumption 3), >= 1
+  double initial_gap = 1.0;          // F(θ^(0)) − F*
+};
+
+/// Condition (7): −η/2 + η³L²λE(E−1) + η²λL/2 < 0.
+bool LearningRateConditionHolds(double eta, const ConvergenceConstants& c,
+                                int64_t local_iters_e);
+
+/// Largest η satisfying condition (7) (binary search; 0 if none found).
+double MaxStableLearningRate(const ConvergenceConstants& c,
+                             int64_t local_iters_e);
+
+/// Γ := G² / (L·(F(θ⁰)−F*)·ρ_S·M·N) (Theorem 2).
+double Gamma(const ConvergenceConstants& c, double rho_s, int64_t clients_m,
+             int64_t samples_per_client_n);
+
+/// The theoretical learning rate η = 1/(L·sqrt(Γ)·T) of Theorem 2.
+double TheoreticalLearningRate(const ConvergenceConstants& c, double rho_s,
+                               int64_t clients_m, int64_t samples_per_client_n,
+                               int64_t total_iters_t);
+
+/// Right-hand side of (10): the average-squared-gradient-norm bound,
+///   3·sqrt(L·G²·(F⁰−F*)) / sqrt(ρ_S·M·N)
+///   + L·(F⁰−F*)·(E/T)·(ρ_C·M·E/T + 1).
+double ConvergenceBound(const ConvergenceConstants& c, const FatsConfig& config);
+
+/// The non-vanishing stability cost term O(1/sqrt(ρ_S·M·N)) alone.
+double StabilityCost(const ConvergenceConstants& c, double rho_s,
+                     int64_t clients_m, int64_t samples_per_client_n);
+
+/// Theorem 3: expected unlearning running time (in training-time units) for
+/// `w` requests at stability ρ: max{min{ρ,1}·w, w / training_time_steps}
+/// scaled by `training_time_steps` — i.e. max{min{ρ,1}·w·T, w}.
+double ExpectedUnlearningTimeSteps(double rho, int64_t w,
+                                   int64_t training_time_steps);
+
+}  // namespace fats
+
+#endif  // FATS_CORE_TV_STABILITY_H_

@@ -1,0 +1,96 @@
+#include "core/unlearning_executor.h"
+
+#include "rng/sampling.h"
+#include "util/logging.h"
+
+namespace fats {
+
+Result<UnlearningSummary> UnlearningExecutor::ExecuteStream(
+    const std::vector<UnlearningRequest>& requests) {
+  UnlearningSummary summary;
+  for (const UnlearningRequest& request : requests) {
+    if (request.kind == UnlearningRequest::Kind::kSample) {
+      FATS_ASSIGN_OR_RETURN(
+          UnlearningOutcome outcome,
+          sample_unlearner_.Unlearn(request.sample, request.request_iter));
+      summary.Add(outcome);
+    } else {
+      FATS_ASSIGN_OR_RETURN(
+          UnlearningOutcome outcome,
+          client_unlearner_.Unlearn(request.client, request.request_iter));
+      summary.Add(outcome);
+    }
+  }
+  return summary;
+}
+
+Result<UnlearningSummary> UnlearningExecutor::ExecuteSampleBatch(
+    const std::vector<SampleRef>& targets, int64_t request_iter) {
+  UnlearningSummary summary;
+  FATS_ASSIGN_OR_RETURN(UnlearningOutcome outcome,
+                        sample_unlearner_.UnlearnBatch(targets, request_iter));
+  summary.Add(outcome);
+  summary.requests = static_cast<int64_t>(targets.size());
+  return summary;
+}
+
+Result<UnlearningSummary> UnlearningExecutor::ExecuteClientBatch(
+    const std::vector<int64_t>& targets, int64_t request_iter) {
+  UnlearningSummary summary;
+  FATS_ASSIGN_OR_RETURN(UnlearningOutcome outcome,
+                        client_unlearner_.UnlearnBatch(targets, request_iter));
+  summary.Add(outcome);
+  summary.requests = static_cast<int64_t>(targets.size());
+  return summary;
+}
+
+std::vector<SampleRef> PickRandomActiveSamples(const FederatedDataset& data,
+                                               int64_t w, RngStream* rng) {
+  // Enumerate active (client, sample) pairs implicitly: draw a client
+  // weighted by its active sample count, then a uniform active sample; keep
+  // distinct picks.
+  std::vector<SampleRef> picks;
+  FATS_CHECK_GT(data.num_active_clients(), 0);
+  const std::vector<int64_t>& clients = data.active_clients();
+  std::vector<double> weights;
+  weights.reserve(clients.size());
+  for (int64_t k : clients) {
+    weights.push_back(static_cast<double>(data.num_active_samples(k)));
+  }
+  int64_t guard = 0;
+  while (static_cast<int64_t>(picks.size()) < w) {
+    FATS_CHECK_LT(++guard, 100000) << "not enough active samples to pick";
+    const int64_t ci = SampleCategorical(weights, rng);
+    const int64_t client = clients[static_cast<size_t>(ci)];
+    const std::vector<int64_t>& active = data.active_sample_indices(client);
+    if (active.empty()) continue;
+    SampleRef ref;
+    ref.client = client;
+    ref.index = active[static_cast<size_t>(rng->UniformInt(active.size()))];
+    bool duplicate = false;
+    for (const SampleRef& existing : picks) {
+      if (existing == ref) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) picks.push_back(ref);
+  }
+  return picks;
+}
+
+std::vector<int64_t> PickRandomActiveClients(const FederatedDataset& data,
+                                             int64_t w, RngStream* rng) {
+  const std::vector<int64_t>& clients = data.active_clients();
+  FATS_CHECK_LE(w, static_cast<int64_t>(clients.size()));
+  std::vector<int64_t> positions =
+      SampleWithoutReplacement(static_cast<int64_t>(clients.size()), w, rng);
+  std::vector<int64_t> picks;
+  picks.reserve(positions.size());
+  for (int64_t pos : positions) {
+    picks.push_back(clients[static_cast<size_t>(pos)]);
+  }
+  return picks;
+}
+
+}  // namespace fats

@@ -1,0 +1,66 @@
+#include "data/dataset.h"
+
+#include "util/string_util.h"
+
+namespace fats {
+
+InMemoryDataset::InMemoryDataset(Tensor features, std::vector<int64_t> labels,
+                                 int64_t num_classes)
+    : features_(std::move(features)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes) {
+  FATS_CHECK_EQ(features_.rank(), 2);
+  FATS_CHECK_EQ(features_.dim(0), static_cast<int64_t>(labels_.size()));
+  for (int64_t y : labels_) {
+    FATS_CHECK(y >= 0 && y < num_classes_) << "label out of range: " << y;
+  }
+}
+
+Batch InMemoryDataset::GatherBatch(const std::vector<int64_t>& indices) const {
+  const int64_t d = feature_dim();
+  Batch batch;
+  batch.inputs = Tensor({static_cast<int64_t>(indices.size()), d});
+  batch.labels.reserve(indices.size());
+  float* dst = batch.inputs.data();
+  const float* src = features_.data();
+  for (size_t row = 0; row < indices.size(); ++row) {
+    const int64_t i = indices[row];
+    FATS_CHECK(i >= 0 && i < size()) << "batch index out of range: " << i;
+    const float* from = src + i * d;
+    float* to = dst + static_cast<int64_t>(row) * d;
+    for (int64_t j = 0; j < d; ++j) to[j] = from[j];
+    batch.labels.push_back(labels_[static_cast<size_t>(i)]);
+  }
+  return batch;
+}
+
+Batch InMemoryDataset::AsBatch() const {
+  Batch batch;
+  batch.inputs = features_;
+  batch.labels = labels_;
+  return batch;
+}
+
+void InMemoryDataset::Append(const InMemoryDataset& other) {
+  if (size() == 0) {
+    *this = other;
+    return;
+  }
+  FATS_CHECK_EQ(feature_dim(), other.feature_dim());
+  FATS_CHECK_EQ(num_classes_, other.num_classes_);
+  std::vector<float> merged = features_.storage();
+  const std::vector<float>& extra = other.features_.storage();
+  merged.insert(merged.end(), extra.begin(), extra.end());
+  features_ = Tensor({size() + other.size(), feature_dim()},
+                     std::move(merged));
+  labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
+}
+
+std::string InMemoryDataset::ToString() const {
+  return StrFormat("InMemoryDataset(n=%lld, d=%lld, classes=%lld)",
+                   static_cast<long long>(size()),
+                   static_cast<long long>(feature_dim()),
+                   static_cast<long long>(num_classes_));
+}
+
+}  // namespace fats

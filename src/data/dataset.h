@@ -1,0 +1,66 @@
+// In-memory dataset representation.
+//
+// Examples are stored column-batched: a (n x d) feature tensor plus a label
+// vector. Mini-batches are gathered by index, which is the operation the
+// FATS sampling layer performs (it samples *indices*; the identity of an
+// index is what the unlearning algorithms track).
+
+#ifndef FATS_DATA_DATASET_H_
+#define FATS_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fats {
+
+/// A materialized mini-batch ready for Model::ComputeLossAndGradients.
+struct Batch {
+  Tensor inputs;                // (batch x features)
+  std::vector<int64_t> labels;  // length batch
+
+  int64_t size() const { return static_cast<int64_t>(labels.size()); }
+};
+
+/// A fixed-size labeled dataset held in memory.
+class InMemoryDataset {
+ public:
+  InMemoryDataset() = default;
+
+  /// `features` is (n x d); `labels` has length n with values in
+  /// [0, num_classes).
+  InMemoryDataset(Tensor features, std::vector<int64_t> labels,
+                  int64_t num_classes);
+
+  int64_t size() const { return static_cast<int64_t>(labels_.size()); }
+  int64_t feature_dim() const {
+    return features_.rank() == 2 ? features_.dim(1) : 0;
+  }
+  int64_t num_classes() const { return num_classes_; }
+
+  const Tensor& features() const { return features_; }
+  const std::vector<int64_t>& labels() const { return labels_; }
+  int64_t label(int64_t i) const { return labels_[static_cast<size_t>(i)]; }
+
+  /// Gathers rows `indices` into a batch. Indices must be in [0, size()).
+  Batch GatherBatch(const std::vector<int64_t>& indices) const;
+
+  /// The whole dataset as one batch.
+  Batch AsBatch() const;
+
+  /// Appends all rows of `other` (same feature dim and class count).
+  void Append(const InMemoryDataset& other);
+
+  std::string ToString() const;
+
+ private:
+  Tensor features_;
+  std::vector<int64_t> labels_;
+  int64_t num_classes_ = 0;
+};
+
+}  // namespace fats
+
+#endif  // FATS_DATA_DATASET_H_

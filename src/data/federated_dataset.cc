@@ -1,0 +1,106 @@
+#include "data/federated_dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace fats {
+
+FederatedDataset::FederatedDataset(std::vector<InMemoryDataset> client_train,
+                                   InMemoryDataset global_test)
+    : global_test_(std::move(global_test)) {
+  clients_.reserve(client_train.size());
+  for (size_t k = 0; k < client_train.size(); ++k) {
+    ClientShard shard;
+    shard.data = std::move(client_train[k]);
+    shard.active = true;
+    shard.active_indices.resize(static_cast<size_t>(shard.data.size()));
+    std::iota(shard.active_indices.begin(), shard.active_indices.end(), 0);
+    shard.sample_active.assign(static_cast<size_t>(shard.data.size()), true);
+    clients_.push_back(std::move(shard));
+    active_clients_.push_back(static_cast<int64_t>(k));
+  }
+  num_active_clients_ = static_cast<int64_t>(clients_.size());
+}
+
+bool FederatedDataset::sample_active(int64_t k, int64_t index) const {
+  const ClientShard& shard = clients_[static_cast<size_t>(k)];
+  if (index < 0 || index >= shard.data.size()) return false;
+  return shard.sample_active[static_cast<size_t>(index)];
+}
+
+Status FederatedDataset::RemoveSample(const SampleRef& ref) {
+  if (ref.client < 0 || ref.client >= num_clients()) {
+    return Status::OutOfRange(
+        StrFormat("client %lld out of range", (long long)ref.client));
+  }
+  ClientShard& shard = clients_[static_cast<size_t>(ref.client)];
+  if (!shard.active) {
+    return Status::FailedPrecondition(
+        StrFormat("client %lld already removed", (long long)ref.client));
+  }
+  if (ref.index < 0 || ref.index >= shard.data.size()) {
+    return Status::OutOfRange(
+        StrFormat("sample %lld out of range at client %lld",
+                  (long long)ref.index, (long long)ref.client));
+  }
+  if (!shard.sample_active[static_cast<size_t>(ref.index)]) {
+    return Status::FailedPrecondition(
+        StrFormat("sample (%lld, %lld) already deleted",
+                  (long long)ref.client, (long long)ref.index));
+  }
+  shard.sample_active[static_cast<size_t>(ref.index)] = false;
+  auto it = std::lower_bound(shard.active_indices.begin(),
+                             shard.active_indices.end(), ref.index);
+  FATS_CHECK(it != shard.active_indices.end() && *it == ref.index);
+  shard.active_indices.erase(it);
+  return Status::OK();
+}
+
+Status FederatedDataset::RemoveClient(int64_t k) {
+  if (k < 0 || k >= num_clients()) {
+    return Status::OutOfRange(
+        StrFormat("client %lld out of range", (long long)k));
+  }
+  ClientShard& shard = clients_[static_cast<size_t>(k)];
+  if (!shard.active) {
+    return Status::FailedPrecondition(
+        StrFormat("client %lld already removed", (long long)k));
+  }
+  shard.active = false;
+  auto it = std::lower_bound(active_clients_.begin(), active_clients_.end(),
+                             k);
+  FATS_CHECK(it != active_clients_.end() && *it == k);
+  active_clients_.erase(it);
+  --num_active_clients_;
+  return Status::OK();
+}
+
+Batch FederatedDataset::MakeBatch(
+    int64_t k, const std::vector<int64_t>& sample_indices) const {
+  FATS_CHECK(k >= 0 && k < num_clients());
+  const ClientShard& shard = clients_[static_cast<size_t>(k)];
+  FATS_CHECK(shard.active) << "batch requested from removed client " << k;
+  for (int64_t i : sample_indices) {
+    FATS_CHECK(sample_active(k, i))
+        << "batch references deleted sample (" << k << ", " << i << ")";
+  }
+  return shard.data.GatherBatch(sample_indices);
+}
+
+int64_t FederatedDataset::total_active_samples() const {
+  int64_t total = 0;
+  for (int64_t k : active_clients_) total += num_active_samples(k);
+  return total;
+}
+
+std::string FederatedDataset::ToString() const {
+  return StrFormat(
+      "FederatedDataset(M=%lld active=%lld, samples=%lld, classes=%lld)",
+      (long long)num_clients(), (long long)num_active_clients_,
+      (long long)total_active_samples(), (long long)num_classes());
+}
+
+}  // namespace fats

@@ -1,0 +1,110 @@
+// The federated data view: M clients, each with a local dataset, plus a
+// global test set — with logical deletion of samples and clients.
+//
+// Deletion is the substrate of unlearning: FATS-SU removes one sample from
+// one client; FATS-CU removes a whole client. Deletions are *logical* (an
+// active-index view), so (a) no data is copied, and (b) sample identities
+// stay stable, which is what the unlearning algorithms' participation
+// records refer to. After a deletion, mini-batch sampling ranges over the
+// reduced active set — exactly the ξ(N−1, b) / ν(M−1, K) measures in the
+// paper's analysis.
+
+#ifndef FATS_DATA_FEDERATED_DATASET_H_
+#define FATS_DATA_FEDERATED_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace fats {
+
+/// Identifies one sample: (client, stable local index).
+struct SampleRef {
+  int64_t client = 0;
+  int64_t index = 0;
+
+  bool operator==(const SampleRef& other) const {
+    return client == other.client && index == other.index;
+  }
+};
+
+class FederatedDataset {
+ public:
+  FederatedDataset() = default;
+
+  /// `client_train[k]` is client k's local dataset; `global_test` is the
+  /// evaluation set used for test accuracy.
+  FederatedDataset(std::vector<InMemoryDataset> client_train,
+                   InMemoryDataset global_test);
+
+  /// Total number of clients, including deactivated ones (indices stable).
+  int64_t num_clients() const {
+    return static_cast<int64_t>(clients_.size());
+  }
+  /// Clients not yet removed.
+  int64_t num_active_clients() const { return num_active_clients_; }
+  bool client_active(int64_t k) const {
+    return clients_[static_cast<size_t>(k)].active;
+  }
+  /// Ascending list of active client ids.
+  const std::vector<int64_t>& active_clients() const {
+    return active_clients_;
+  }
+
+  /// Original local dataset size of client k (deletions do not change it).
+  int64_t samples_of(int64_t k) const {
+    return clients_[static_cast<size_t>(k)].data.size();
+  }
+  /// Number of not-deleted samples at client k.
+  int64_t num_active_samples(int64_t k) const {
+    return static_cast<int64_t>(
+        clients_[static_cast<size_t>(k)].active_indices.size());
+  }
+  bool sample_active(int64_t k, int64_t index) const;
+  /// Ascending list of active local sample indices at client k.
+  const std::vector<int64_t>& active_sample_indices(int64_t k) const {
+    return clients_[static_cast<size_t>(k)].active_indices;
+  }
+
+  /// Logically deletes one sample. Fails if already deleted or out of range.
+  Status RemoveSample(const SampleRef& ref);
+  /// Logically deletes a whole client. Fails if already removed.
+  Status RemoveClient(int64_t k);
+
+  /// Gathers a batch at client k from *stable local indices* (all of which
+  /// must be active).
+  Batch MakeBatch(int64_t k, const std::vector<int64_t>& sample_indices) const;
+
+  const InMemoryDataset& client_data(int64_t k) const {
+    return clients_[static_cast<size_t>(k)].data;
+  }
+  const InMemoryDataset& global_test() const { return global_test_; }
+
+  int64_t num_classes() const { return global_test_.num_classes(); }
+  int64_t feature_dim() const { return global_test_.feature_dim(); }
+
+  /// Total active samples across active clients.
+  int64_t total_active_samples() const;
+
+  std::string ToString() const;
+
+ private:
+  struct ClientShard {
+    InMemoryDataset data;
+    bool active = true;
+    std::vector<int64_t> active_indices;  // ascending
+    std::vector<bool> sample_active;
+  };
+
+  std::vector<ClientShard> clients_;
+  std::vector<int64_t> active_clients_;
+  int64_t num_active_clients_ = 0;
+  InMemoryDataset global_test_;
+};
+
+}  // namespace fats
+
+#endif  // FATS_DATA_FEDERATED_DATASET_H_

@@ -1,0 +1,94 @@
+// Dataset / hyperparameter profiles.
+//
+// `PaperTable2Profiles()` encodes Table 2 of the paper verbatim (full-scale
+// numbers, for documentation and for printing the table). `ScaledProfile()`
+// returns the runnable scaled-down equivalents used by the bench harness:
+// same structure (simulated-LDA vs natural vs text), same stability ratios
+// ρ_S / ρ_C as the paper's settings, sized for a single CPU core.
+
+#ifndef FATS_DATA_PAPER_CONFIGS_H_
+#define FATS_DATA_PAPER_CONFIGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/federated_dataset.h"
+#include "data/synthetic_image.h"
+#include "data/synthetic_text.h"
+#include "nn/model_zoo.h"
+#include "util/status.h"
+
+namespace fats {
+
+enum class TaskKind {
+  kImageSimulated,  // central corpus + LDA partition (MNIST-like)
+  kImageNatural,    // per-client style warp (FEMNIST-like)
+  kText,            // per-client Markov chains (Shakespeare-like)
+};
+
+/// One row of Table 2, plus the generator and model wiring this repo needs.
+struct DatasetProfile {
+  std::string name;        // profile key, e.g. "mnist"
+  std::string paper_name;  // display name used by the paper
+  TaskKind task = TaskKind::kImageSimulated;
+
+  // Federated shape (Table 2 columns).
+  int64_t clients_m = 0;           // M
+  int64_t samples_per_client_n = 0;  // N
+  int64_t clients_per_round_k = 0;   // K
+  int64_t rounds_r = 0;              // R
+  int64_t local_iters_e = 0;         // E
+  int64_t batch_b = 0;               // b
+  double learning_rate = 0.01;
+  double dirichlet_beta = 0.5;  // LDA β (simulated image tasks)
+  int64_t test_size = 512;
+  /// Simulated image tasks only. false (default): each client draws exactly
+  /// N samples with Dirichlet-skewed class proportions (equal shards, the
+  /// shape the FATS b-derivation assumes). true: generate one central
+  /// corpus of M·N samples and split it by label-Dirichlet partition
+  /// (Hsu et al.), the paper's literal pipeline — shard sizes then vary
+  /// and FATS clamps per-client batches to the active count.
+  bool central_lda_partition = false;
+
+  SyntheticImageConfig image;
+  SyntheticTextConfig text;
+  ModelSpec model;
+
+  int64_t total_iters_t() const { return rounds_r * local_iters_e; }
+  /// ρ_C = K·T / (E·M) (§6.2.2).
+  double rho_c() const;
+  /// ρ_S = b·K·T / (M·N) (§6.2.2).
+  double rho_s() const;
+
+  std::string ToString() const;
+};
+
+/// The six rows of Table 2 at full scale (not sized to run here; printed by
+/// the benches for reference).
+std::vector<DatasetProfile> PaperTable2Profiles();
+
+/// Names of the runnable scaled profiles, in Table 2 order:
+/// mnist, fashion, cifar10, cifar100, femnist, shakespeare.
+std::vector<std::string> ScaledProfileNames();
+
+/// Returns the runnable scaled profile for `name` (see ScaledProfileNames).
+Result<DatasetProfile> ScaledProfile(const std::string& name);
+
+/// Materializes the federated dataset for a profile. Deterministic in
+/// (profile, seed).
+FederatedDataset BuildFederatedData(const DatasetProfile& profile,
+                                    uint64_t seed);
+
+/// Draws `n` fresh examples from client `client`'s local distribution for
+/// the (profile, seed) workload, disjoint from the training draw (distinct
+/// sample stream). Used as the non-member pool of the membership-inference
+/// evaluation: it matches the member pool's distribution exactly, so the
+/// attack can only succeed through genuine memorization.
+InMemoryDataset GenerateClientHoldout(const DatasetProfile& profile,
+                                      uint64_t seed, int64_t client,
+                                      int64_t n);
+
+}  // namespace fats
+
+#endif  // FATS_DATA_PAPER_CONFIGS_H_

@@ -1,0 +1,118 @@
+#include "data/partition.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "rng/sampling.h"
+#include "util/logging.h"
+
+namespace fats {
+
+std::vector<std::vector<double>> DrawLdaClassProportions(int64_t num_clients,
+                                                         int64_t num_classes,
+                                                         double beta,
+                                                         uint64_t seed) {
+  FATS_CHECK_GT(num_clients, 0);
+  FATS_CHECK_GT(num_classes, 0);
+  FATS_CHECK_GT(beta, 0.0);
+  std::vector<std::vector<double>> out;
+  out.reserve(static_cast<size_t>(num_clients));
+  std::vector<double> alpha(static_cast<size_t>(num_classes), beta);
+  for (int64_t k = 0; k < num_clients; ++k) {
+    StreamId id;
+    id.purpose = RngPurpose::kPartition;
+    id.client = static_cast<uint64_t>(k);
+    RngStream rng(seed, id);
+    out.push_back(SampleDirichlet(alpha, &rng));
+  }
+  return out;
+}
+
+std::vector<std::vector<int64_t>> PartitionIid(int64_t n, int64_t num_clients,
+                                               uint64_t seed) {
+  FATS_CHECK_GT(num_clients, 0);
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  StreamId id;
+  id.purpose = RngPurpose::kPartition;
+  RngStream rng(seed, id);
+  Shuffle(&order, &rng);
+  std::vector<std::vector<int64_t>> parts(static_cast<size_t>(num_clients));
+  for (int64_t i = 0; i < n; ++i) {
+    parts[static_cast<size_t>(i % num_clients)].push_back(
+        order[static_cast<size_t>(i)]);
+  }
+  return parts;
+}
+
+std::vector<std::vector<int64_t>> PartitionDirichlet(
+    const std::vector<int64_t>& labels, int64_t num_classes,
+    int64_t num_clients, double beta, uint64_t seed) {
+  FATS_CHECK_GT(num_clients, 0);
+  FATS_CHECK_GT(beta, 0.0);
+  // Bucket indices per class.
+  std::vector<std::vector<int64_t>> by_class(
+      static_cast<size_t>(num_classes));
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const int64_t y = labels[i];
+    FATS_CHECK(y >= 0 && y < num_classes);
+    by_class[static_cast<size_t>(y)].push_back(static_cast<int64_t>(i));
+  }
+  std::vector<std::vector<int64_t>> parts(static_cast<size_t>(num_clients));
+  std::vector<double> alpha(static_cast<size_t>(num_clients), beta);
+  for (int64_t c = 0; c < num_classes; ++c) {
+    StreamId id;
+    id.purpose = RngPurpose::kPartition;
+    id.iteration = static_cast<uint64_t>(c) + 1;
+    RngStream rng(seed, id);
+    std::vector<int64_t>& bucket = by_class[static_cast<size_t>(c)];
+    Shuffle(&bucket, &rng);
+    std::vector<double> shares = SampleDirichlet(alpha, &rng);
+    // Convert shares to cumulative cut points over the bucket.
+    const int64_t m = static_cast<int64_t>(bucket.size());
+    double cumulative = 0.0;
+    int64_t start = 0;
+    for (int64_t k = 0; k < num_clients; ++k) {
+      cumulative += shares[static_cast<size_t>(k)];
+      int64_t end = (k + 1 == num_clients)
+                        ? m
+                        : static_cast<int64_t>(std::llround(cumulative * m));
+      end = std::min<int64_t>(std::max(end, start), m);
+      for (int64_t i = start; i < end; ++i) {
+        parts[static_cast<size_t>(k)].push_back(
+            bucket[static_cast<size_t>(i)]);
+      }
+      start = end;
+    }
+  }
+  return parts;
+}
+
+double PartitionHeterogeneity(const std::vector<std::vector<int64_t>>& parts,
+                              const std::vector<int64_t>& labels,
+                              int64_t num_classes) {
+  if (parts.empty() || labels.empty()) return 0.0;
+  std::vector<double> global_hist(static_cast<size_t>(num_classes), 0.0);
+  for (int64_t y : labels) global_hist[static_cast<size_t>(y)] += 1.0;
+  for (double& v : global_hist) v /= static_cast<double>(labels.size());
+  double total_tv = 0.0;
+  int64_t counted = 0;
+  for (const std::vector<int64_t>& part : parts) {
+    if (part.empty()) continue;
+    std::vector<double> hist(static_cast<size_t>(num_classes), 0.0);
+    for (int64_t i : part) {
+      hist[static_cast<size_t>(labels[static_cast<size_t>(i)])] += 1.0;
+    }
+    double tv = 0.0;
+    for (int64_t c = 0; c < num_classes; ++c) {
+      tv += std::fabs(hist[static_cast<size_t>(c)] /
+                          static_cast<double>(part.size()) -
+                      global_hist[static_cast<size_t>(c)]);
+    }
+    total_tv += 0.5 * tv;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total_tv / static_cast<double>(counted);
+}
+
+}  // namespace fats

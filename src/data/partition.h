@@ -1,0 +1,47 @@
+// Federated partitioning strategies.
+//
+// Two uses:
+//   * LDA class-proportion draws (Hsu et al., the paper's simulated
+//     federated setting): each client's label distribution is a Dirichlet(β)
+//     draw; smaller β = more heterogeneity.
+//   * Index partitioners that split a centrally generated dataset across M
+//     clients (IID or label-Dirichlet), used by tests and ablations.
+
+#ifndef FATS_DATA_PARTITION_H_
+#define FATS_DATA_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "rng/rng_stream.h"
+
+namespace fats {
+
+/// Draws per-client class proportions p_k ~ Dir(beta * 1) for M clients.
+/// Returns an (M x num_classes) row-stochastic matrix.
+std::vector<std::vector<double>> DrawLdaClassProportions(int64_t num_clients,
+                                                         int64_t num_classes,
+                                                         double beta,
+                                                         uint64_t seed);
+
+/// Deals indices {0..n-1} to `num_clients` round-robin after a uniform
+/// shuffle (IID partition). Client sizes differ by at most one.
+std::vector<std::vector<int64_t>> PartitionIid(int64_t n, int64_t num_clients,
+                                               uint64_t seed);
+
+/// Label-based Dirichlet partition (LDA): for each class, splits its
+/// examples across clients proportionally to a Dir(beta) draw.
+std::vector<std::vector<int64_t>> PartitionDirichlet(
+    const std::vector<int64_t>& labels, int64_t num_classes,
+    int64_t num_clients, double beta, uint64_t seed);
+
+/// Heterogeneity summary: mean total-variation distance between each
+/// client's empirical label histogram and the global histogram. 0 = IID.
+double PartitionHeterogeneity(const std::vector<std::vector<int64_t>>& parts,
+                              const std::vector<int64_t>& labels,
+                              int64_t num_classes);
+
+}  // namespace fats
+
+#endif  // FATS_DATA_PARTITION_H_

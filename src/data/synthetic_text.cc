@@ -1,0 +1,105 @@
+#include "data/synthetic_text.h"
+
+#include "rng/sampling.h"
+#include "util/logging.h"
+
+namespace fats {
+
+SyntheticTextGenerator::SyntheticTextGenerator(
+    const SyntheticTextConfig& config)
+    : config_(config) {
+  FATS_CHECK_GT(config_.vocab_size, 1);
+  FATS_CHECK_GT(config_.seq_len, 0);
+  FATS_CHECK(config_.heterogeneity >= 0.0 && config_.heterogeneity <= 1.0);
+  base_chain_ = MakeChain(/*chain_id=*/StreamId::kNoClient);
+}
+
+std::vector<double> SyntheticTextGenerator::MakeChain(uint64_t chain_id) const {
+  const int64_t v = config_.vocab_size;
+  StreamId id;
+  id.purpose = RngPurpose::kDataGeneration;
+  id.client = chain_id;
+  id.iteration = 2;  // chain sub-stream (distinct from sample streams)
+  RngStream rng(config_.seed, id);
+  std::vector<double> chain(static_cast<size_t>(v * v));
+  std::vector<double> alpha(static_cast<size_t>(v),
+                            config_.transition_concentration);
+  for (int64_t row = 0; row < v; ++row) {
+    std::vector<double> p = SampleDirichlet(alpha, &rng);
+    for (int64_t col = 0; col < v; ++col) {
+      chain[static_cast<size_t>(row * v + col)] = p[static_cast<size_t>(col)];
+    }
+  }
+  return chain;
+}
+
+std::vector<double> SyntheticTextGenerator::TransitionRow(
+    int64_t client, int64_t current) const {
+  const int64_t v = config_.vocab_size;
+  FATS_CHECK(current >= 0 && current < v);
+  std::vector<double> row(static_cast<size_t>(v));
+  if (client < 0 || config_.heterogeneity == 0.0) {
+    for (int64_t c = 0; c < v; ++c) {
+      row[static_cast<size_t>(c)] = base_chain_[static_cast<size_t>(
+          current * v + c)];
+    }
+    return row;
+  }
+  std::vector<double> own = MakeChain(static_cast<uint64_t>(client));
+  const double h = config_.heterogeneity;
+  for (int64_t c = 0; c < v; ++c) {
+    row[static_cast<size_t>(c)] =
+        (1.0 - h) * base_chain_[static_cast<size_t>(current * v + c)] +
+        h * own[static_cast<size_t>(current * v + c)];
+  }
+  return row;
+}
+
+InMemoryDataset SyntheticTextGenerator::Generate(
+    int64_t n, int64_t client, uint64_t sample_stream_seed) const {
+  FATS_CHECK_GE(n, 0);
+  if (n == 0) return InMemoryDataset();
+  const int64_t v = config_.vocab_size;
+  const int64_t seq = config_.seq_len;
+
+  // Materialize the client's effective chain once.
+  std::vector<double> chain(static_cast<size_t>(v * v));
+  if (client < 0 || config_.heterogeneity == 0.0) {
+    chain = base_chain_;
+  } else {
+    std::vector<double> own = MakeChain(static_cast<uint64_t>(client));
+    const double h = config_.heterogeneity;
+    for (size_t i = 0; i < chain.size(); ++i) {
+      chain[i] = (1.0 - h) * base_chain_[i] + h * own[i];
+    }
+  }
+
+  StreamId id;
+  id.purpose = RngPurpose::kDataGeneration;
+  id.generation = sample_stream_seed;
+  id.client =
+      client >= 0 ? static_cast<uint64_t>(client) : StreamId::kNoClient;
+  id.iteration = 3;  // sample sub-stream
+  RngStream rng(config_.seed, id);
+
+  Tensor features({n, seq});
+  std::vector<int64_t> labels;
+  labels.reserve(static_cast<size_t>(n));
+  std::vector<double> row(static_cast<size_t>(v));
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t current = static_cast<int64_t>(rng.UniformInt(v));
+    float* dst = features.data() + i * seq;
+    for (int64_t t = 0; t < seq; ++t) {
+      dst[t] = static_cast<float>(current);
+      for (int64_t c = 0; c < v; ++c) {
+        row[static_cast<size_t>(c)] =
+            chain[static_cast<size_t>(current * v + c)];
+      }
+      current = SampleCategorical(row, &rng);
+    }
+    labels.push_back(current);  // next char after the window
+  }
+  return InMemoryDataset(std::move(features), std::move(labels), v);
+}
+
+}  // namespace fats

@@ -1,0 +1,55 @@
+// Synthetic character-sequence data: per-client Markov chains.
+//
+// Substitutes for LEAF Shakespeare (see DESIGN.md §2). Each client k has a
+// character transition matrix P_k = (1 - h) * P_base + h * P_k_own, where h
+// is the heterogeneity knob (each client = one "speaker" with its own
+// style). An example is a window of `seq_len` character ids with the next
+// character as the label — the same next-character prediction task the paper
+// trains its LSTM on.
+
+#ifndef FATS_DATA_SYNTHETIC_TEXT_H_
+#define FATS_DATA_SYNTHETIC_TEXT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "rng/rng_stream.h"
+
+namespace fats {
+
+struct SyntheticTextConfig {
+  int64_t vocab_size = 32;
+  int64_t seq_len = 10;
+  /// Concentration of the per-row transition Dirichlet; smaller = more
+  /// deterministic chains = more learnable signal.
+  double transition_concentration = 0.3;
+  /// Client heterogeneity in [0, 1]: weight of the client-specific chain.
+  double heterogeneity = 0.5;
+  uint64_t seed = 1;
+};
+
+class SyntheticTextGenerator {
+ public:
+  explicit SyntheticTextGenerator(const SyntheticTextConfig& config);
+
+  /// Generates `n` (sequence, next-char) examples for client `client`
+  /// (client < 0 uses the base chain only, e.g. for a global test set).
+  InMemoryDataset Generate(int64_t n, int64_t client,
+                           uint64_t sample_stream_seed) const;
+
+  const SyntheticTextConfig& config() const { return config_; }
+
+  /// The effective transition row for (client, current char); for tests.
+  std::vector<double> TransitionRow(int64_t client, int64_t current) const;
+
+ private:
+  std::vector<double> MakeChain(uint64_t chain_id) const;
+
+  SyntheticTextConfig config_;
+  std::vector<double> base_chain_;  // (vocab x vocab), row-stochastic
+};
+
+}  // namespace fats
+
+#endif  // FATS_DATA_SYNTHETIC_TEXT_H_

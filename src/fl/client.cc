@@ -1,0 +1,35 @@
+#include "fl/client.h"
+
+#include <algorithm>
+
+#include "rng/sampling.h"
+#include "util/logging.h"
+
+namespace fats {
+
+std::vector<int64_t> ClientRuntime::SampleMinibatch(int64_t k, int64_t b,
+                                                    RngStream* stream) const {
+  const std::vector<int64_t>& active = data_->active_sample_indices(k);
+  const int64_t n = static_cast<int64_t>(active.size());
+  FATS_CHECK_LE(b, n) << "mini-batch larger than client " << k
+                      << "'s active data";
+  std::vector<int64_t> positions = SampleWithoutReplacement(n, b, stream);
+  std::vector<int64_t> indices;
+  indices.reserve(positions.size());
+  for (int64_t pos : positions) {
+    indices.push_back(active[static_cast<size_t>(pos)]);
+  }
+  std::sort(indices.begin(), indices.end());
+  return indices;
+}
+
+double ClientRuntime::Step(int64_t k, const std::vector<int64_t>& indices,
+                           double lr) {
+  Batch batch = data_->MakeBatch(k, indices);
+  const double loss = model_->ComputeLossAndGradients(batch.inputs,
+                                                      batch.labels);
+  model_->SgdStep(lr);
+  return loss;
+}
+
+}  // namespace fats

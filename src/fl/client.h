@@ -1,0 +1,44 @@
+// Client-side runtime: mini-batch sampling and one local SGD step.
+//
+// The mini-batch law is the ξ(N, b) of Claim 1: a uniformly random size-b
+// subset of the client's *active* samples. Sampling draws positions over the
+// active set and maps them to stable sample indices, so after a deletion the
+// law is exactly ξ(N−1, b) with sample identities unchanged.
+
+#ifndef FATS_FL_CLIENT_H_
+#define FATS_FL_CLIENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/federated_dataset.h"
+#include "nn/model_zoo.h"
+#include "rng/rng_stream.h"
+
+namespace fats {
+
+class ClientRuntime {
+ public:
+  /// `data` and `model` are borrowed; the model is the shared compute
+  /// machine whose parameters callers set before invoking Step.
+  ClientRuntime(const FederatedDataset* data, Model* model)
+      : data_(data), model_(model) {}
+
+  /// Draws a uniformly random size-`b` subset of client `k`'s active
+  /// samples. Returns *stable* sample indices (sorted). Requires
+  /// b <= active samples.
+  std::vector<int64_t> SampleMinibatch(int64_t k, int64_t b,
+                                       RngStream* stream) const;
+
+  /// Runs one SGD step on the given stable sample indices with the model's
+  /// current parameters. Returns the mini-batch loss.
+  double Step(int64_t k, const std::vector<int64_t>& indices, double lr);
+
+ private:
+  const FederatedDataset* data_;
+  Model* model_;
+};
+
+}  // namespace fats
+
+#endif  // FATS_FL_CLIENT_H_

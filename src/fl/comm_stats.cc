@@ -1,0 +1,14 @@
+#include "fl/comm_stats.h"
+
+#include "util/string_util.h"
+
+namespace fats {
+
+std::string CommStats::ToString() const {
+  return StrFormat(
+      "CommStats(rounds=%lld, down=%lld B, up=%lld B, msgs=%lld)",
+      (long long)rounds_, (long long)downlink_bytes_, (long long)uplink_bytes_,
+      (long long)messages_);
+}
+
+}  // namespace fats

@@ -1,0 +1,79 @@
+// Byte-level communication accounting.
+//
+// Communication efficiency is one of the paper's two headline criteria; the
+// benches report exact bytes moved, computed from the model parameter count
+// (one float32 vector down to each selected client per round, one back up).
+
+#ifndef FATS_FL_COMM_STATS_H_
+#define FATS_FL_COMM_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fats {
+
+class CommStats {
+ public:
+  CommStats() = default;
+
+  /// Rebuilds an accumulator from raw counters (checkpoint restore).
+  static CommStats FromCounters(int64_t rounds, int64_t uplink_bytes,
+                                int64_t downlink_bytes, int64_t messages) {
+    CommStats stats;
+    stats.rounds_ = rounds;
+    stats.uplink_bytes_ = uplink_bytes;
+    stats.downlink_bytes_ = downlink_bytes;
+    stats.messages_ = messages;
+    return stats;
+  }
+
+  /// Server -> clients model broadcast: `num_clients` copies of
+  /// `model_params` float32 scalars.
+  void RecordBroadcast(int64_t num_clients, int64_t model_params) {
+    downlink_bytes_ += num_clients * model_params * kBytesPerParam;
+    messages_ += num_clients;
+  }
+
+  /// Clients -> server model upload.
+  void RecordUpload(int64_t num_clients, int64_t model_params) {
+    uplink_bytes_ += num_clients * model_params * kBytesPerParam;
+    messages_ += num_clients;
+  }
+
+  void RecordRound() { ++rounds_; }
+
+  void Reset() {
+    rounds_ = 0;
+    uplink_bytes_ = 0;
+    downlink_bytes_ = 0;
+    messages_ = 0;
+  }
+
+  /// Adds another accumulator's counters into this one.
+  void Merge(const CommStats& other) {
+    rounds_ += other.rounds_;
+    uplink_bytes_ += other.uplink_bytes_;
+    downlink_bytes_ += other.downlink_bytes_;
+    messages_ += other.messages_;
+  }
+
+  int64_t rounds() const { return rounds_; }
+  int64_t uplink_bytes() const { return uplink_bytes_; }
+  int64_t downlink_bytes() const { return downlink_bytes_; }
+  int64_t total_bytes() const { return uplink_bytes_ + downlink_bytes_; }
+  int64_t messages() const { return messages_; }
+
+  std::string ToString() const;
+
+ private:
+  static constexpr int64_t kBytesPerParam = 4;  // float32
+
+  int64_t rounds_ = 0;
+  int64_t uplink_bytes_ = 0;
+  int64_t downlink_bytes_ = 0;
+  int64_t messages_ = 0;
+};
+
+}  // namespace fats
+
+#endif  // FATS_FL_COMM_STATS_H_

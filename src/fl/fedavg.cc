@@ -1,0 +1,92 @@
+#include "fl/fedavg.h"
+
+#include "fl/client.h"
+#include "fl/server.h"
+#include "util/logging.h"
+
+namespace fats {
+
+FedAvgTrainer::FedAvgTrainer(const ModelSpec& spec,
+                             const FedAvgOptions& options,
+                             const FederatedDataset* data)
+    : spec_(spec),
+      options_(options),
+      data_(data),
+      model_(std::make_unique<Model>(spec, options.seed)),
+      test_batch_(data->global_test().AsBatch()) {}
+
+void FedAvgTrainer::RunRounds(int64_t num_rounds) {
+  ClientRuntime client_runtime(data_, model_.get());
+  const int64_t model_params = model_->NumParameters();
+  for (int64_t r = 0; r < num_rounds; ++r) {
+    const int64_t round = ++rounds_completed_;
+    // Select clients for this round.
+    StreamId sel_id;
+    sel_id.purpose = RngPurpose::kClientSampling;
+    sel_id.generation = generation_;
+    sel_id.round = static_cast<uint64_t>(round);
+    RngStream sel_stream(options_.seed, sel_id);
+    const int64_t k = std::min<int64_t>(options_.clients_per_round_k,
+                                        data_->num_active_clients());
+    std::vector<int64_t> selected =
+        options_.sample_clients_with_replacement
+            ? ServerRuntime::SampleClientsWithReplacement(*data_, k,
+                                                          &sel_stream)
+            : ServerRuntime::SampleClientsWithoutReplacement(*data_, k,
+                                                             &sel_stream);
+    comm_stats_.RecordBroadcast(static_cast<int64_t>(selected.size()),
+                                model_params);
+
+    const Tensor global = model_->GetParameters();
+    std::vector<Tensor> locals;
+    locals.reserve(selected.size());
+    double loss_sum = 0.0;
+    int64_t loss_count = 0;
+    for (int64_t client : selected) {
+      model_->SetParameters(global);
+      for (int64_t e = 1; e <= options_.local_iters_e; ++e) {
+        StreamId batch_id;
+        batch_id.purpose = RngPurpose::kMinibatchSampling;
+        batch_id.generation = generation_;
+        batch_id.round = static_cast<uint64_t>(round);
+        batch_id.client = static_cast<uint64_t>(client);
+        batch_id.iteration = static_cast<uint64_t>(e);
+        RngStream batch_stream(options_.seed, batch_id);
+        const int64_t b = std::min<int64_t>(options_.batch_b,
+                                            data_->num_active_samples(client));
+        if (b == 0) break;
+        std::vector<int64_t> indices =
+            client_runtime.SampleMinibatch(client, b, &batch_stream);
+        loss_sum += client_runtime.Step(client, indices,
+                                        options_.learning_rate);
+        ++loss_count;
+      }
+      locals.push_back(model_->GetParameters());
+    }
+    comm_stats_.RecordUpload(static_cast<int64_t>(locals.size()),
+                             model_params);
+    comm_stats_.RecordRound();
+    if (!locals.empty()) {
+      model_->SetParameters(ServerRuntime::AverageModels(locals));
+    }
+
+    RoundRecord record;
+    record.round = round;
+    record.test_accuracy = EvaluateTestAccuracy();
+    record.mean_local_loss =
+        loss_count > 0 ? loss_sum / static_cast<double>(loss_count) : 0.0;
+    record.recomputation = recomputation_mode_;
+    log_.Append(record);
+  }
+}
+
+void FedAvgTrainer::ResetModel(uint64_t init_seed) {
+  model_ = std::make_unique<Model>(spec_, init_seed);
+  rounds_completed_ = 0;
+}
+
+double FedAvgTrainer::EvaluateTestAccuracy() {
+  return model_->EvaluateAccuracy(test_batch_.inputs, test_batch_.labels);
+}
+
+}  // namespace fats

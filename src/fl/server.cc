@@ -1,0 +1,44 @@
+#include "fl/server.h"
+
+#include "rng/sampling.h"
+#include "util/logging.h"
+
+namespace fats {
+
+std::vector<int64_t> ServerRuntime::SampleClientsWithReplacement(
+    const FederatedDataset& data, int64_t k, RngStream* stream) {
+  const std::vector<int64_t>& active = data.active_clients();
+  const int64_t m = static_cast<int64_t>(active.size());
+  FATS_CHECK_GT(m, 0) << "no active clients";
+  std::vector<int64_t> positions = SampleWithReplacement(m, k, stream);
+  std::vector<int64_t> clients;
+  clients.reserve(positions.size());
+  for (int64_t pos : positions) {
+    clients.push_back(active[static_cast<size_t>(pos)]);
+  }
+  return clients;
+}
+
+std::vector<int64_t> ServerRuntime::SampleClientsWithoutReplacement(
+    const FederatedDataset& data, int64_t k, RngStream* stream) {
+  const std::vector<int64_t>& active = data.active_clients();
+  const int64_t m = static_cast<int64_t>(active.size());
+  FATS_CHECK_LE(k, m) << "cannot select more clients than are active";
+  std::vector<int64_t> positions = SampleWithoutReplacement(m, k, stream);
+  std::vector<int64_t> clients;
+  clients.reserve(positions.size());
+  for (int64_t pos : positions) {
+    clients.push_back(active[static_cast<size_t>(pos)]);
+  }
+  return clients;
+}
+
+Tensor ServerRuntime::AverageModels(const std::vector<Tensor>& models) {
+  FATS_CHECK(!models.empty());
+  Tensor avg = models[0];
+  for (size_t i = 1; i < models.size(); ++i) avg += models[i];
+  avg *= 1.0f / static_cast<float>(models.size());
+  return avg;
+}
+
+}  // namespace fats

@@ -1,0 +1,34 @@
+// Server-side runtime: client sampling and model aggregation.
+
+#ifndef FATS_FL_SERVER_H_
+#define FATS_FL_SERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/federated_dataset.h"
+#include "rng/rng_stream.h"
+#include "tensor/tensor.h"
+
+namespace fats {
+
+class ServerRuntime {
+ public:
+  /// FATS' client law ν(M, K): a multiset of K draws with replacement from
+  /// the *active* clients (Algorithm 1, step 8). The same client may appear
+  /// multiple times.
+  static std::vector<int64_t> SampleClientsWithReplacement(
+      const FederatedDataset& data, int64_t k, RngStream* stream);
+
+  /// Classic FedAvg client sampling: K distinct active clients.
+  static std::vector<int64_t> SampleClientsWithoutReplacement(
+      const FederatedDataset& data, int64_t k, RngStream* stream);
+
+  /// θ ← (1/|models|) Σ models (Algorithm 1, step 18). Multiset semantics:
+  /// a client selected twice contributes two entries.
+  static Tensor AverageModels(const std::vector<Tensor>& models);
+};
+
+}  // namespace fats
+
+#endif  // FATS_FL_SERVER_H_

@@ -1,0 +1,230 @@
+#include "fl/state_store.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fats {
+
+void StateStore::SaveClientSelection(int64_t round,
+                                     std::vector<int64_t> multiset) {
+  for (int64_t k : multiset) {
+    auto it = earliest_client_round_.find(k);
+    if (it == earliest_client_round_.end() || round < it->second) {
+      earliest_client_round_[k] = round;
+    }
+  }
+  selections_[round] = std::move(multiset);
+}
+
+const std::vector<int64_t>* StateStore::GetClientSelection(
+    int64_t round) const {
+  auto it = selections_.find(round);
+  return it == selections_.end() ? nullptr : &it->second;
+}
+
+void StateStore::SaveGlobalModel(int64_t round, Tensor params) {
+  global_models_[round] = std::move(params);
+}
+
+const Tensor* StateStore::GetGlobalModel(int64_t round) const {
+  auto it = global_models_.find(round);
+  return it == global_models_.end() ? nullptr : &it->second;
+}
+
+void StateStore::IndexMinibatch(int64_t iter, int64_t client,
+                                const std::vector<int64_t>& indices) {
+  for (int64_t i : indices) {
+    SampleKey key{client, i};
+    auto it = earliest_sample_use_.find(key);
+    if (it == earliest_sample_use_.end() || iter < it->second) {
+      earliest_sample_use_[key] = iter;
+    }
+  }
+}
+
+void StateStore::SaveMinibatch(int64_t iter, int64_t client,
+                               std::vector<int64_t> indices) {
+  IndexMinibatch(iter, client, indices);
+  minibatches_[{iter, client}] = std::move(indices);
+}
+
+const std::vector<int64_t>* StateStore::GetMinibatch(int64_t iter,
+                                                     int64_t client) const {
+  auto it = minibatches_.find({iter, client});
+  return it == minibatches_.end() ? nullptr : &it->second;
+}
+
+void StateStore::SaveLocalModel(int64_t iter, int64_t client, Tensor params) {
+  local_models_[{iter, client}] = std::move(params);
+}
+
+const Tensor* StateStore::GetLocalModel(int64_t iter, int64_t client) const {
+  auto it = local_models_.find({iter, client});
+  return it == local_models_.end() ? nullptr : &it->second;
+}
+
+int64_t StateStore::EarliestSampleUse(const SampleRef& ref) const {
+  auto it = earliest_sample_use_.find({ref.client, ref.index});
+  return it == earliest_sample_use_.end() ? -1 : it->second;
+}
+
+int64_t StateStore::EarliestClientRound(int64_t client) const {
+  auto it = earliest_client_round_.find(client);
+  return it == earliest_client_round_.end() ? -1 : it->second;
+}
+
+void StateStore::TruncateFromIteration(int64_t from_iter,
+                                       int64_t local_iters_e) {
+  FATS_CHECK_GE(from_iter, 1);
+  FATS_CHECK_GE(local_iters_e, 1);
+  // Round r covers iterations (r-1)E+1 .. rE; its selection happens at
+  // (r-1)E+1 and its global model is saved at rE.
+  for (auto it = minibatches_.begin(); it != minibatches_.end();) {
+    it = (it->first.first >= from_iter) ? minibatches_.erase(it)
+                                        : std::next(it);
+  }
+  for (auto it = local_models_.begin(); it != local_models_.end();) {
+    it = (it->first.first >= from_iter) ? local_models_.erase(it)
+                                        : std::next(it);
+  }
+  for (auto it = selections_.begin(); it != selections_.end();) {
+    const int64_t round_start = (it->first - 1) * local_iters_e + 1;
+    it = (round_start >= from_iter) ? selections_.erase(it) : std::next(it);
+  }
+  for (auto it = global_models_.begin(); it != global_models_.end();) {
+    const int64_t round_end = it->first * local_iters_e;  // round 0 -> 0
+    it = (it->first != 0 && round_end >= from_iter) ? global_models_.erase(it)
+                                                    : std::next(it);
+  }
+  RebuildEarliestIndices();
+}
+
+void StateStore::RebuildEarliestIndices() {
+  earliest_sample_use_.clear();
+  earliest_client_round_.clear();
+  for (const auto& [key, indices] : minibatches_) {
+    IndexMinibatch(key.first, key.second, indices);
+  }
+  for (const auto& [round, multiset] : selections_) {
+    for (int64_t k : multiset) {
+      auto it = earliest_client_round_.find(k);
+      if (it == earliest_client_round_.end() || round < it->second) {
+        earliest_client_round_[k] = round;
+      }
+    }
+  }
+}
+
+std::vector<int64_t> StateStore::SelectionRounds() const {
+  std::vector<int64_t> rounds;
+  rounds.reserve(selections_.size());
+  for (const auto& [round, selection] : selections_) {
+    (void)selection;
+    rounds.push_back(round);
+  }
+  std::sort(rounds.begin(), rounds.end());
+  return rounds;
+}
+
+std::vector<int64_t> StateStore::GlobalModelRounds() const {
+  std::vector<int64_t> rounds;
+  rounds.reserve(global_models_.size());
+  for (const auto& [round, params] : global_models_) {
+    (void)params;
+    rounds.push_back(round);
+  }
+  std::sort(rounds.begin(), rounds.end());
+  return rounds;
+}
+
+std::vector<std::pair<int64_t, int64_t>> StateStore::MinibatchKeys() const {
+  std::vector<std::pair<int64_t, int64_t>> keys;
+  keys.reserve(minibatches_.size());
+  for (const auto& [key, batch] : minibatches_) {
+    (void)batch;
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<std::pair<int64_t, int64_t>> StateStore::LocalModelKeys() const {
+  std::vector<std::pair<int64_t, int64_t>> keys;
+  keys.reserve(local_models_.size());
+  for (const auto& [key, params] : local_models_) {
+    (void)params;
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void StateStore::Clear() {
+  selections_.clear();
+  global_models_.clear();
+  minibatches_.clear();
+  local_models_.clear();
+  earliest_sample_use_.clear();
+  earliest_client_round_.clear();
+}
+
+int64_t StateStore::ApproxBytes() const {
+  int64_t bytes = 0;
+  for (const auto& [round, multiset] : selections_) {
+    (void)round;
+    bytes += 8 + static_cast<int64_t>(multiset.size()) * 8;
+  }
+  for (const auto& [round, params] : global_models_) {
+    (void)round;
+    bytes += 8 + params.size() * 4;
+  }
+  for (const auto& [key, indices] : minibatches_) {
+    (void)key;
+    bytes += 16 + static_cast<int64_t>(indices.size()) * 8;
+  }
+  for (const auto& [key, params] : local_models_) {
+    (void)key;
+    bytes += 16 + params.size() * 4;
+  }
+  bytes += static_cast<int64_t>(earliest_sample_use_.size()) * 24;
+  bytes += static_cast<int64_t>(earliest_client_round_.size()) * 16;
+  return bytes;
+}
+
+CompactParticipationIndex::CompactParticipationIndex(
+    int64_t num_clients, const std::vector<int64_t>& samples_per_client)
+    : client_used_(static_cast<size_t>(num_clients), false) {
+  FATS_CHECK_EQ(static_cast<int64_t>(samples_per_client.size()), num_clients);
+  sample_used_.reserve(static_cast<size_t>(num_clients));
+  for (int64_t n : samples_per_client) {
+    sample_used_.emplace_back(static_cast<size_t>(n), false);
+  }
+}
+
+void CompactParticipationIndex::RecordClientParticipation(int64_t client) {
+  client_used_[static_cast<size_t>(client)] = true;
+}
+
+void CompactParticipationIndex::RecordSampleUse(int64_t client,
+                                                int64_t sample_index) {
+  sample_used_[static_cast<size_t>(client)][static_cast<size_t>(sample_index)] =
+      true;
+}
+
+void CompactParticipationIndex::Clear() {
+  std::fill(client_used_.begin(), client_used_.end(), false);
+  for (std::vector<bool>& v : sample_used_) {
+    std::fill(v.begin(), v.end(), false);
+  }
+}
+
+int64_t CompactParticipationIndex::ApproxBytes() const {
+  int64_t bits = static_cast<int64_t>(client_used_.size());
+  for (const std::vector<bool>& v : sample_used_) {
+    bits += static_cast<int64_t>(v.size());
+  }
+  return (bits + 7) / 8;
+}
+
+}  // namespace fats

@@ -1,0 +1,165 @@
+// Algorithmic-state storage for FATS (the save(·)/load(·) of Algorithm 1).
+//
+// Two variants, matching §5.3.2 of the paper:
+//
+//   * StateStore — the full store: client selections P^(t) and global models
+//     θ^(t) per round on the server; mini-batches B_k^(t) and local models
+//     θ_k^(t) per (iteration, client). Enables re-computation from an
+//     arbitrary iteration t_S, including mid-round restarts. Space
+//     O(T·max{b,d}) per device / O(R·max{K,d}) at the server.
+//
+//   * CompactParticipationIndex — the space-optimized scheme: one
+//     participation bit per (client, sample) and per client, O(N+d) and
+//     O(M+d) words. Unlearning then retrains from scratch on a hit; same
+//     asymptotic unlearning time (Theorem 3).
+//
+// Both maintain the earliest-use dictionaries that give O(1) verification
+// per unlearning request (§5.3.1).
+
+#ifndef FATS_FL_STATE_STORE_H_
+#define FATS_FL_STATE_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "data/federated_dataset.h"
+#include "tensor/tensor.h"
+
+namespace fats {
+
+class StateStore {
+ public:
+  StateStore() = default;
+
+  // ----- server-side records -----
+
+  /// Saves the client multiset P drawn at the start of `round` (1-based).
+  void SaveClientSelection(int64_t round, std::vector<int64_t> multiset);
+  /// nullptr if round has no record.
+  const std::vector<int64_t>* GetClientSelection(int64_t round) const;
+
+  /// Saves the aggregated global model at the end of `round`
+  /// (round 0 = the initial model).
+  void SaveGlobalModel(int64_t round, Tensor params);
+  const Tensor* GetGlobalModel(int64_t round) const;
+
+  // ----- client-side records -----
+
+  /// Saves the mini-batch (stable sample indices) used by `client` at
+  /// iteration `iter` (1-based).
+  void SaveMinibatch(int64_t iter, int64_t client,
+                     std::vector<int64_t> indices);
+  const std::vector<int64_t>* GetMinibatch(int64_t iter, int64_t client) const;
+
+  /// Saves client `client`'s local model after iteration `iter`.
+  void SaveLocalModel(int64_t iter, int64_t client, Tensor params);
+  const Tensor* GetLocalModel(int64_t iter, int64_t client) const;
+
+  // ----- O(1) verification dictionaries (§5.3.1) -----
+
+  /// Earliest iteration whose recorded mini-batch contains the sample;
+  /// -1 if the sample was never used.
+  int64_t EarliestSampleUse(const SampleRef& ref) const;
+  /// Earliest round in which the client appears in P; -1 if never.
+  int64_t EarliestClientRound(int64_t client) const;
+
+  // ----- re-computation support -----
+
+  /// Discards all records from iteration `from_iter` onward: mini-batches
+  /// and local models with iter >= from_iter, client selections of rounds
+  /// starting at or after from_iter, and global models of rounds ending at
+  /// or after from_iter. The earliest-use dictionaries are rebuilt.
+  /// `local_iters_e` is E (round length in iterations).
+  void TruncateFromIteration(int64_t from_iter, int64_t local_iters_e);
+
+  /// Recomputes the earliest-use dictionaries from the current records.
+  /// Called after sample-level unlearning substitutes mini-batches in place.
+  void RebuildIndices() { RebuildEarliestIndices(); }
+
+  // ----- enumeration (checkpointing and diagnostics) -----
+
+  /// Sorted rounds with a recorded client selection.
+  std::vector<int64_t> SelectionRounds() const;
+  /// Sorted rounds with a recorded global model (includes round 0).
+  std::vector<int64_t> GlobalModelRounds() const;
+  /// Sorted (iteration, client) keys of recorded mini-batches.
+  std::vector<std::pair<int64_t, int64_t>> MinibatchKeys() const;
+  /// Sorted (iteration, client) keys of recorded local models.
+  std::vector<std::pair<int64_t, int64_t>> LocalModelKeys() const;
+
+  /// Drops every record and index.
+  void Clear();
+
+  /// Approximate resident bytes of all records (overheads ablation).
+  int64_t ApproxBytes() const;
+
+  int64_t num_minibatch_records() const {
+    return static_cast<int64_t>(minibatches_.size());
+  }
+  int64_t num_local_model_records() const {
+    return static_cast<int64_t>(local_models_.size());
+  }
+  int64_t num_rounds_recorded() const {
+    return static_cast<int64_t>(selections_.size());
+  }
+
+ private:
+  struct IterClientHash {
+    size_t operator()(const std::pair<int64_t, int64_t>& key) const {
+      uint64_t h = static_cast<uint64_t>(key.first) * 0x9E3779B97F4A7C15ull;
+      h ^= static_cast<uint64_t>(key.second) + 0x7F4A7C15ull + (h << 6);
+      return static_cast<size_t>(h);
+    }
+  };
+  struct SampleKeyHash {
+    size_t operator()(const std::pair<int64_t, int64_t>& key) const {
+      return IterClientHash()(key);
+    }
+  };
+  using IterClient = std::pair<int64_t, int64_t>;
+  using SampleKey = std::pair<int64_t, int64_t>;
+
+  void IndexMinibatch(int64_t iter, int64_t client,
+                      const std::vector<int64_t>& indices);
+  void RebuildEarliestIndices();
+
+  std::unordered_map<int64_t, std::vector<int64_t>> selections_;
+  std::unordered_map<int64_t, Tensor> global_models_;
+  std::unordered_map<IterClient, std::vector<int64_t>, IterClientHash>
+      minibatches_;
+  std::unordered_map<IterClient, Tensor, IterClientHash> local_models_;
+  std::unordered_map<SampleKey, int64_t, SampleKeyHash> earliest_sample_use_;
+  std::unordered_map<int64_t, int64_t> earliest_client_round_;
+};
+
+/// The §5.3.2 space-optimized participation index: O(N) bits per client and
+/// O(M) bits at the server. Supports the same O(1) verification; on a hit
+/// the unlearner retrains from scratch instead of mid-stream.
+class CompactParticipationIndex {
+ public:
+  CompactParticipationIndex(int64_t num_clients,
+                            const std::vector<int64_t>& samples_per_client);
+
+  void RecordClientParticipation(int64_t client);
+  void RecordSampleUse(int64_t client, int64_t sample_index);
+
+  bool ClientParticipated(int64_t client) const {
+    return client_used_[static_cast<size_t>(client)];
+  }
+  bool SampleUsed(int64_t client, int64_t sample_index) const {
+    return sample_used_[static_cast<size_t>(client)]
+                       [static_cast<size_t>(sample_index)];
+  }
+
+  void Clear();
+  int64_t ApproxBytes() const;
+
+ private:
+  std::vector<bool> client_used_;
+  std::vector<std::vector<bool>> sample_used_;
+};
+
+}  // namespace fats
+
+#endif  // FATS_FL_STATE_STORE_H_

@@ -1,0 +1,35 @@
+#include "fl/train_log.h"
+
+#include "util/string_util.h"
+
+namespace fats {
+
+int64_t TrainLog::TrailingRecomputationRounds() const {
+  int64_t count = 0;
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (!it->recomputation) break;
+    ++count;
+  }
+  return count;
+}
+
+int64_t TrainLog::RoundsToReach(double target, size_t from_index) const {
+  for (size_t i = from_index; i < records_.size(); ++i) {
+    if (records_[i].test_accuracy >= target) {
+      return static_cast<int64_t>(i - from_index) + 1;
+    }
+  }
+  return -1;
+}
+
+std::string TrainLog::ToCsv() const {
+  std::string out = "round,test_accuracy,mean_local_loss,recomputation\n";
+  for (const RoundRecord& r : records_) {
+    out += StrFormat("%lld,%.6f,%.6f,%d\n", (long long)r.round,
+                     r.test_accuracy, r.mean_local_loss,
+                     r.recomputation ? 1 : 0);
+  }
+  return out;
+}
+
+}  // namespace fats

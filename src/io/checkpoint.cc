@@ -1,0 +1,243 @@
+#include "io/checkpoint.h"
+
+#include <cmath>
+
+namespace fats {
+
+namespace {
+
+constexpr char kMagic[] = "FATSCKPT";
+constexpr uint32_t kVersion = 1;
+
+void WriteConfig(const FatsConfig& config, BinaryWriter* writer) {
+  writer->WriteI64(config.clients_m);
+  writer->WriteI64(config.samples_per_client_n);
+  writer->WriteI64(config.rounds_r);
+  writer->WriteI64(config.local_iters_e);
+  writer->WriteDouble(config.rho_s);
+  writer->WriteDouble(config.rho_c);
+  writer->WriteDouble(config.learning_rate);
+  writer->WriteU64(config.seed);
+}
+
+Result<FatsConfig> ReadConfig(BinaryReader* reader) {
+  FatsConfig config;
+  FATS_ASSIGN_OR_RETURN(config.clients_m, reader->ReadI64());
+  FATS_ASSIGN_OR_RETURN(config.samples_per_client_n, reader->ReadI64());
+  FATS_ASSIGN_OR_RETURN(config.rounds_r, reader->ReadI64());
+  FATS_ASSIGN_OR_RETURN(config.local_iters_e, reader->ReadI64());
+  FATS_ASSIGN_OR_RETURN(config.rho_s, reader->ReadDouble());
+  FATS_ASSIGN_OR_RETURN(config.rho_c, reader->ReadDouble());
+  FATS_ASSIGN_OR_RETURN(config.learning_rate, reader->ReadDouble());
+  FATS_ASSIGN_OR_RETURN(config.seed, reader->ReadU64());
+  return config;
+}
+
+bool ConfigsMatch(const FatsConfig& a, const FatsConfig& b) {
+  return a.clients_m == b.clients_m &&
+         a.samples_per_client_n == b.samples_per_client_n &&
+         a.rounds_r == b.rounds_r && a.local_iters_e == b.local_iters_e &&
+         std::fabs(a.rho_s - b.rho_s) < 1e-12 &&
+         std::fabs(a.rho_c - b.rho_c) < 1e-12 &&
+         std::fabs(a.learning_rate - b.learning_rate) < 1e-12 &&
+         a.seed == b.seed;
+}
+
+}  // namespace
+
+void WriteTensor(const Tensor& tensor, BinaryWriter* writer) {
+  writer->WriteI64Vector(tensor.shape());
+  writer->WriteFloatVector(tensor.storage());
+}
+
+Result<Tensor> ReadTensor(BinaryReader* reader) {
+  FATS_ASSIGN_OR_RETURN(std::vector<int64_t> shape, reader->ReadI64Vector());
+  FATS_ASSIGN_OR_RETURN(std::vector<float> data, reader->ReadFloatVector());
+  if (shape.empty() && data.empty()) return Tensor();
+  int64_t volume = 1;
+  for (int64_t d : shape) {
+    if (d <= 0) return Status::IoError("corrupt tensor shape");
+    volume *= d;
+  }
+  if (volume != static_cast<int64_t>(data.size())) {
+    return Status::IoError("tensor shape/data size mismatch");
+  }
+  return Tensor(std::move(shape), std::move(data));
+}
+
+Status SaveTrainerCheckpoint(FatsTrainer* trainer, const std::string& path) {
+  BinaryWriter writer(path);
+  FATS_RETURN_NOT_OK(writer.status());
+  writer.WriteString(kMagic);
+  writer.WriteU32(kVersion);
+  WriteConfig(trainer->config(), &writer);
+
+  // Progress markers and the deployed model.
+  writer.WriteU64(trainer->generation());
+  writer.WriteI64(trainer->trained_through());
+  writer.WriteI64(trainer->local_iterations_executed());
+  WriteTensor(trainer->global_params(), &writer);
+
+  // State store.
+  const StateStore& store = trainer->store();
+  const std::vector<int64_t> selection_rounds = store.SelectionRounds();
+  writer.WriteU64(selection_rounds.size());
+  for (int64_t round : selection_rounds) {
+    writer.WriteI64(round);
+    writer.WriteI64Vector(*store.GetClientSelection(round));
+  }
+  const std::vector<int64_t> model_rounds = store.GlobalModelRounds();
+  writer.WriteU64(model_rounds.size());
+  for (int64_t round : model_rounds) {
+    writer.WriteI64(round);
+    WriteTensor(*store.GetGlobalModel(round), &writer);
+  }
+  const auto minibatch_keys = store.MinibatchKeys();
+  writer.WriteU64(minibatch_keys.size());
+  for (const auto& [iter, client] : minibatch_keys) {
+    writer.WriteI64(iter);
+    writer.WriteI64(client);
+    writer.WriteI64Vector(*store.GetMinibatch(iter, client));
+  }
+  const auto local_keys = store.LocalModelKeys();
+  writer.WriteU64(local_keys.size());
+  for (const auto& [iter, client] : local_keys) {
+    writer.WriteI64(iter);
+    writer.WriteI64(client);
+    WriteTensor(*store.GetLocalModel(iter, client), &writer);
+  }
+
+  // Round log and communication counters.
+  const auto& records = trainer->log().records();
+  writer.WriteU64(records.size());
+  for (const RoundRecord& record : records) {
+    writer.WriteI64(record.round);
+    writer.WriteDouble(record.test_accuracy);
+    writer.WriteDouble(record.mean_local_loss);
+    writer.WriteU32(record.recomputation ? 1 : 0);
+  }
+  writer.WriteI64(trainer->comm_stats().rounds());
+  writer.WriteI64(trainer->comm_stats().uplink_bytes());
+  writer.WriteI64(trainer->comm_stats().downlink_bytes());
+  writer.WriteI64(trainer->comm_stats().messages());
+  return writer.Finish();
+}
+
+Status LoadTrainerCheckpoint(const std::string& path, FatsTrainer* trainer) {
+  BinaryReader reader(path);
+  FATS_RETURN_NOT_OK(reader.status());
+  FATS_ASSIGN_OR_RETURN(std::string magic, reader.ReadString());
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not a FATS checkpoint: " + path);
+  }
+  FATS_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  FATS_ASSIGN_OR_RETURN(FatsConfig stored_config, ReadConfig(&reader));
+  if (!ConfigsMatch(stored_config, trainer->config())) {
+    return Status::InvalidArgument(
+        "checkpoint config does not match the trainer's: " +
+        stored_config.ToString());
+  }
+
+  // Parse everything into staging storage first; the trainer is mutated
+  // only after the whole file has validated, so a corrupt checkpoint never
+  // leaves a half-restored state behind.
+  FATS_ASSIGN_OR_RETURN(uint64_t generation, reader.ReadU64());
+  FATS_ASSIGN_OR_RETURN(int64_t trained_through, reader.ReadI64());
+  FATS_ASSIGN_OR_RETURN(int64_t local_iters, reader.ReadI64());
+  (void)local_iters;  // informational; the counter restarts on restore
+  FATS_ASSIGN_OR_RETURN(Tensor params, ReadTensor(&reader));
+  if (params.size() != trainer->model()->NumParameters()) {
+    return Status::InvalidArgument("checkpoint model size mismatch");
+  }
+
+  std::vector<std::pair<int64_t, std::vector<int64_t>>> selections;
+  FATS_ASSIGN_OR_RETURN(uint64_t num_selections, reader.ReadU64());
+  for (uint64_t i = 0; i < num_selections; ++i) {
+    FATS_ASSIGN_OR_RETURN(int64_t round, reader.ReadI64());
+    FATS_ASSIGN_OR_RETURN(std::vector<int64_t> selection,
+                          reader.ReadI64Vector());
+    selections.emplace_back(round, std::move(selection));
+  }
+  std::vector<std::pair<int64_t, Tensor>> global_models;
+  FATS_ASSIGN_OR_RETURN(uint64_t num_models, reader.ReadU64());
+  for (uint64_t i = 0; i < num_models; ++i) {
+    FATS_ASSIGN_OR_RETURN(int64_t round, reader.ReadI64());
+    FATS_ASSIGN_OR_RETURN(Tensor model, ReadTensor(&reader));
+    global_models.emplace_back(round, std::move(model));
+  }
+  struct BatchRecord {
+    int64_t iter;
+    int64_t client;
+    std::vector<int64_t> batch;
+  };
+  std::vector<BatchRecord> minibatches;
+  FATS_ASSIGN_OR_RETURN(uint64_t num_batches, reader.ReadU64());
+  for (uint64_t i = 0; i < num_batches; ++i) {
+    BatchRecord record;
+    FATS_ASSIGN_OR_RETURN(record.iter, reader.ReadI64());
+    FATS_ASSIGN_OR_RETURN(record.client, reader.ReadI64());
+    FATS_ASSIGN_OR_RETURN(record.batch, reader.ReadI64Vector());
+    minibatches.push_back(std::move(record));
+  }
+  struct LocalRecord {
+    int64_t iter;
+    int64_t client;
+    Tensor model;
+  };
+  std::vector<LocalRecord> local_models;
+  FATS_ASSIGN_OR_RETURN(uint64_t num_locals, reader.ReadU64());
+  for (uint64_t i = 0; i < num_locals; ++i) {
+    LocalRecord record;
+    FATS_ASSIGN_OR_RETURN(record.iter, reader.ReadI64());
+    FATS_ASSIGN_OR_RETURN(record.client, reader.ReadI64());
+    FATS_ASSIGN_OR_RETURN(record.model, ReadTensor(&reader));
+    local_models.push_back(std::move(record));
+  }
+  std::vector<RoundRecord> records;
+  FATS_ASSIGN_OR_RETURN(uint64_t num_records, reader.ReadU64());
+  for (uint64_t i = 0; i < num_records; ++i) {
+    RoundRecord record;
+    FATS_ASSIGN_OR_RETURN(record.round, reader.ReadI64());
+    FATS_ASSIGN_OR_RETURN(record.test_accuracy, reader.ReadDouble());
+    FATS_ASSIGN_OR_RETURN(record.mean_local_loss, reader.ReadDouble());
+    FATS_ASSIGN_OR_RETURN(uint32_t recompute, reader.ReadU32());
+    record.recomputation = recompute != 0;
+    records.push_back(record);
+  }
+  FATS_ASSIGN_OR_RETURN(int64_t comm_rounds, reader.ReadI64());
+  FATS_ASSIGN_OR_RETURN(int64_t up, reader.ReadI64());
+  FATS_ASSIGN_OR_RETURN(int64_t down, reader.ReadI64());
+  FATS_ASSIGN_OR_RETURN(int64_t messages, reader.ReadI64());
+
+  // ---- commit ----
+  StateStore& store = trainer->store();
+  store.Clear();
+  for (auto& [round, selection] : selections) {
+    store.SaveClientSelection(round, std::move(selection));
+  }
+  for (auto& [round, model] : global_models) {
+    store.SaveGlobalModel(round, std::move(model));
+  }
+  for (BatchRecord& record : minibatches) {
+    store.SaveMinibatch(record.iter, record.client, std::move(record.batch));
+  }
+  for (LocalRecord& record : local_models) {
+    store.SaveLocalModel(record.iter, record.client,
+                         std::move(record.model));
+  }
+  TrainLog* log = trainer->mutable_log();
+  log->Clear();
+  for (const RoundRecord& record : records) log->Append(record);
+  trainer->comm_stats().Reset();
+  trainer->comm_stats().Merge(
+      CommStats::FromCounters(comm_rounds, up, down, messages));
+  trainer->set_generation(generation);
+  trainer->set_trained_through(trained_through);
+  trainer->model()->SetParameters(params);
+  return Status::OK();
+}
+
+}  // namespace fats

@@ -1,0 +1,43 @@
+// Trainer checkpointing: persist and restore the full FATS algorithmic
+// state (model, state store, randomness generation, progress, logs).
+//
+// The checkpoint captures everything FATS-SU / FATS-CU need, so a server
+// can stop, restart from disk, and still serve exact unlearning requests
+// against the recorded history. Datasets are NOT part of the checkpoint
+// (they live with the clients); the restoring process must reconstruct the
+// same FederatedDataset (same profile + seed + prior deletions) and build
+// the trainer with the same spec/config before calling Load.
+//
+// Format: "FATSCKPT" magic, u32 version, config echo (validated on load),
+// then model parameters, store records, counters, and the round log.
+
+#ifndef FATS_IO_CHECKPOINT_H_
+#define FATS_IO_CHECKPOINT_H_
+
+#include <string>
+
+#include "core/fats_trainer.h"
+#include "util/binary_io.h"
+#include "util/status.h"
+
+namespace fats {
+
+/// Serializes a bare tensor (shape + data) through `writer`.
+void WriteTensor(const Tensor& tensor, BinaryWriter* writer);
+/// Reads a tensor written by WriteTensor.
+Result<Tensor> ReadTensor(BinaryReader* reader);
+
+/// Writes `trainer`'s full state to `path` (atomically to the final name
+/// only insofar as the filesystem's rename is; callers wanting crash
+/// safety should write to a temp name and rename).
+Status SaveTrainerCheckpoint(FatsTrainer* trainer, const std::string& path);
+
+/// Restores state saved by SaveTrainerCheckpoint into `trainer`, which must
+/// have been constructed with the same ModelSpec and FatsConfig over an
+/// equivalent dataset. Fails with InvalidArgument if the stored config does
+/// not match the trainer's.
+Status LoadTrainerCheckpoint(const std::string& path, FatsTrainer* trainer);
+
+}  // namespace fats
+
+#endif  // FATS_IO_CHECKPOINT_H_

@@ -1,0 +1,24 @@
+// Model evaluation helpers.
+
+#ifndef FATS_METRICS_EVALUATION_H_
+#define FATS_METRICS_EVALUATION_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "nn/model_zoo.h"
+
+namespace fats {
+
+/// Test accuracy over `batch`, evaluated in chunks of `chunk_size` rows to
+/// bound activation memory on large evaluation sets.
+double EvaluateAccuracyChunked(Model* model, const Batch& batch,
+                               int64_t chunk_size = 128);
+
+/// Mean loss over `batch`, chunked.
+double EvaluateLossChunked(Model* model, const Batch& batch,
+                           int64_t chunk_size = 128);
+
+}  // namespace fats
+
+#endif  // FATS_METRICS_EVALUATION_H_

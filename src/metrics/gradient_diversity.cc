@@ -1,0 +1,27 @@
+#include "metrics/gradient_diversity.h"
+
+namespace fats {
+
+double GradientDiversity(Model* model, const FederatedDataset& data) {
+  const std::vector<int64_t>& clients = data.active_clients();
+  FATS_CHECK(!clients.empty()) << "no active clients";
+  const Tensor params = model->GetParameters();
+  Tensor mean_grad({model->NumParameters()});
+  double sum_sq_norms = 0.0;
+  for (int64_t k : clients) {
+    Batch batch = data.MakeBatch(k, data.active_sample_indices(k));
+    model->SetParameters(params);  // gradients must not perturb θ
+    model->ComputeLossAndGradients(batch.inputs, batch.labels);
+    Tensor grad = model->GetGradients();
+    sum_sq_norms += grad.SquaredNorm();
+    mean_grad += grad;
+  }
+  const double m = static_cast<double>(clients.size());
+  mean_grad *= static_cast<float>(1.0 / m);
+  const double mean_sq = mean_grad.SquaredNorm();
+  model->SetParameters(params);
+  if (mean_sq < 1e-24) return 1.0;
+  return (sum_sq_norms / m) / mean_sq;
+}
+
+}  // namespace fats

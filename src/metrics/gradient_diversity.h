@@ -1,0 +1,49 @@
+// Gradient diversity (Definition 5) — the heterogeneity measure behind
+// Assumption 3 and the learning-rate condition (7).
+//
+//   Λ(θ) = (1/M)·Σ_k ||∇F_k(θ)||² / ||(1/M)·Σ_k ∇F_k(θ)||²  ≥ 1,
+//
+// with Λ = 1 iff all client gradients agree. The measured λ = sup_t Λ(θ^(t))
+// plugs directly into MaxStableLearningRate / TheoreticalLearningRate, so a
+// deployment can pick η that provably satisfies condition (7) for its own
+// data heterogeneity.
+
+#ifndef FATS_METRICS_GRADIENT_DIVERSITY_H_
+#define FATS_METRICS_GRADIENT_DIVERSITY_H_
+
+#include <cstdint>
+
+#include "data/federated_dataset.h"
+#include "nn/model_zoo.h"
+#include "tensor/tensor.h"
+
+namespace fats {
+
+/// Λ(θ) over the active clients' *full* local gradients at the model's
+/// current parameters. Returns 1.0 when the mean gradient is (numerically)
+/// zero — the stationary-point convention, where diversity is undefined.
+double GradientDiversity(Model* model, const FederatedDataset& data);
+
+/// λ̂ = max over `probes` model states along a training trajectory:
+/// evaluates Λ at `probes` evenly spaced stored global models of rounds
+/// [0, last]. `get_model` maps a round to its parameters (nullptr = skip).
+/// This is how Assumption 3's bound is estimated in practice.
+template <typename GetModelFn>
+double MaxGradientDiversity(Model* model, const FederatedDataset& data,
+                            int64_t last_round, int64_t probes,
+                            GetModelFn get_model) {
+  double lambda = 1.0;
+  const int64_t step = std::max<int64_t>(1, last_round / std::max<int64_t>(
+                                                            probes, 1));
+  for (int64_t r = 0; r <= last_round; r += step) {
+    const Tensor* params = get_model(r);
+    if (params == nullptr) continue;
+    model->SetParameters(*params);
+    lambda = std::max(lambda, GradientDiversity(model, data));
+  }
+  return lambda;
+}
+
+}  // namespace fats
+
+#endif  // FATS_METRICS_GRADIENT_DIVERSITY_H_

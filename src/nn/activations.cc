@@ -1,0 +1,68 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace fats {
+
+Tensor ReLU::Forward(const Tensor& input) {
+  cached_input_ = input;
+  Tensor out = input;
+  float* data = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) {
+    if (data[i] < 0.0f) data[i] = 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLU::Backward(const Tensor& grad_output) {
+  FATS_CHECK(grad_output.shape() == cached_input_.shape());
+  Tensor grad = grad_output;
+  float* gp = grad.data();
+  const float* xp = cached_input_.data();
+  for (int64_t i = 0; i < grad.size(); ++i) {
+    if (xp[i] <= 0.0f) gp[i] = 0.0f;
+  }
+  return grad;
+}
+
+Tensor Tanh::Forward(const Tensor& input) {
+  Tensor out = input;
+  float* data = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) data[i] = std::tanh(data[i]);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::Backward(const Tensor& grad_output) {
+  FATS_CHECK(grad_output.shape() == cached_output_.shape());
+  Tensor grad = grad_output;
+  float* gp = grad.data();
+  const float* yp = cached_output_.data();
+  for (int64_t i = 0; i < grad.size(); ++i) {
+    gp[i] *= 1.0f - yp[i] * yp[i];
+  }
+  return grad;
+}
+
+Tensor Sigmoid::Forward(const Tensor& input) {
+  Tensor out = input;
+  float* data = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) {
+    data[i] = 1.0f / (1.0f + std::exp(-data[i]));
+  }
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::Backward(const Tensor& grad_output) {
+  FATS_CHECK(grad_output.shape() == cached_output_.shape());
+  Tensor grad = grad_output;
+  float* gp = grad.data();
+  const float* yp = cached_output_.data();
+  for (int64_t i = 0; i < grad.size(); ++i) {
+    gp[i] *= yp[i] * (1.0f - yp[i]);
+  }
+  return grad;
+}
+
+}  // namespace fats

@@ -1,0 +1,53 @@
+// Elementwise activation layers: ReLU, Tanh, Sigmoid.
+
+#ifndef FATS_NN_ACTIVATIONS_H_
+#define FATS_NN_ACTIVATIONS_H_
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace fats {
+
+class ReLU : public Module {
+ public:
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string ToString() const override { return "ReLU"; }
+  int64_t OutputFeatures(int64_t input_features) const override {
+    return input_features;
+  }
+
+ private:
+  Tensor cached_input_;
+};
+
+class Tanh : public Module {
+ public:
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string ToString() const override { return "Tanh"; }
+  int64_t OutputFeatures(int64_t input_features) const override {
+    return input_features;
+  }
+
+ private:
+  Tensor cached_output_;
+};
+
+class Sigmoid : public Module {
+ public:
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string ToString() const override { return "Sigmoid"; }
+  int64_t OutputFeatures(int64_t input_features) const override {
+    return input_features;
+  }
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace fats
+
+#endif  // FATS_NN_ACTIVATIONS_H_

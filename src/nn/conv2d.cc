@@ -1,0 +1,126 @@
+#include "nn/conv2d.h"
+
+#include "nn/init.h"
+#include "util/string_util.h"
+
+namespace fats {
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t height,
+               int64_t width, int64_t kernel_size, int64_t padding,
+               RngStream* rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      height_(height),
+      width_(width),
+      kernel_size_(kernel_size),
+      padding_(padding),
+      out_height_(height + 2 * padding - kernel_size + 1),
+      out_width_(width + 2 * padding - kernel_size + 1),
+      weight_("conv_weight",
+              Tensor({out_channels, in_channels * kernel_size * kernel_size})),
+      bias_("conv_bias", Tensor({out_channels})) {
+  FATS_CHECK_GT(out_height_, 0) << "kernel larger than padded input";
+  FATS_CHECK_GT(out_width_, 0);
+  InitHeNormal(&weight_.value, in_channels * kernel_size * kernel_size, rng);
+}
+
+Tensor Conv2d::Forward(const Tensor& input) {
+  FATS_CHECK_EQ(input.rank(), 2);
+  FATS_CHECK_EQ(input.dim(1), in_channels_ * height_ * width_) << ToString();
+  cached_input_ = input;
+  const int64_t batch = input.dim(0);
+  Tensor out({batch, out_channels_ * out_height_ * out_width_});
+  const float* wp = weight_.value.data();
+  const float* bp = bias_.value.data();
+  const int64_t ksq = kernel_size_ * kernel_size_;
+  for (int64_t n = 0; n < batch; ++n) {
+    const float* x = input.data() + n * in_channels_ * height_ * width_;
+    float* y = out.data() + n * out_channels_ * out_height_ * out_width_;
+    for (int64_t oc = 0; oc < out_channels_; ++oc) {
+      const float* wk = wp + oc * in_channels_ * ksq;
+      for (int64_t oh = 0; oh < out_height_; ++oh) {
+        for (int64_t ow = 0; ow < out_width_; ++ow) {
+          float acc = bp[oc];
+          for (int64_t ic = 0; ic < in_channels_; ++ic) {
+            const float* xc = x + ic * height_ * width_;
+            const float* wc = wk + ic * ksq;
+            for (int64_t kh = 0; kh < kernel_size_; ++kh) {
+              const int64_t ih = oh + kh - padding_;
+              if (ih < 0 || ih >= height_) continue;
+              for (int64_t kw = 0; kw < kernel_size_; ++kw) {
+                const int64_t iw = ow + kw - padding_;
+                if (iw < 0 || iw >= width_) continue;
+                acc += wc[kh * kernel_size_ + kw] * xc[ih * width_ + iw];
+              }
+            }
+          }
+          y[(oc * out_height_ + oh) * out_width_ + ow] = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_output) {
+  const int64_t batch = cached_input_.dim(0);
+  FATS_CHECK_EQ(grad_output.dim(0), batch);
+  FATS_CHECK_EQ(grad_output.dim(1), out_channels_ * out_height_ * out_width_);
+  Tensor grad_input(cached_input_.shape());
+  float* wgrad = weight_.grad.data();
+  float* bgrad = bias_.grad.data();
+  const float* wp = weight_.value.data();
+  const int64_t ksq = kernel_size_ * kernel_size_;
+  for (int64_t n = 0; n < batch; ++n) {
+    const float* x =
+        cached_input_.data() + n * in_channels_ * height_ * width_;
+    const float* gy =
+        grad_output.data() + n * out_channels_ * out_height_ * out_width_;
+    float* gx = grad_input.data() + n * in_channels_ * height_ * width_;
+    for (int64_t oc = 0; oc < out_channels_; ++oc) {
+      const float* wk = wp + oc * in_channels_ * ksq;
+      float* wgk = wgrad + oc * in_channels_ * ksq;
+      for (int64_t oh = 0; oh < out_height_; ++oh) {
+        for (int64_t ow = 0; ow < out_width_; ++ow) {
+          const float g = gy[(oc * out_height_ + oh) * out_width_ + ow];
+          if (g == 0.0f) continue;
+          bgrad[oc] += g;
+          for (int64_t ic = 0; ic < in_channels_; ++ic) {
+            const float* xc = x + ic * height_ * width_;
+            float* gxc = gx + ic * height_ * width_;
+            const float* wc = wk + ic * ksq;
+            float* wgc = wgk + ic * ksq;
+            for (int64_t kh = 0; kh < kernel_size_; ++kh) {
+              const int64_t ih = oh + kh - padding_;
+              if (ih < 0 || ih >= height_) continue;
+              for (int64_t kw = 0; kw < kernel_size_; ++kw) {
+                const int64_t iw = ow + kw - padding_;
+                if (iw < 0 || iw >= width_) continue;
+                wgc[kh * kernel_size_ + kw] += g * xc[ih * width_ + iw];
+                gxc[ih * width_ + iw] += g * wc[kh * kernel_size_ + kw];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::string Conv2d::ToString() const {
+  return StrFormat("Conv2d(%lldx%lldx%lld -> %lld ch, k=%lld, p=%lld)",
+                   static_cast<long long>(in_channels_),
+                   static_cast<long long>(height_),
+                   static_cast<long long>(width_),
+                   static_cast<long long>(out_channels_),
+                   static_cast<long long>(kernel_size_),
+                   static_cast<long long>(padding_));
+}
+
+int64_t Conv2d::OutputFeatures(int64_t input_features) const {
+  FATS_CHECK_EQ(input_features, in_channels_ * height_ * width_);
+  return out_channels_ * out_height_ * out_width_;
+}
+
+}  // namespace fats

@@ -1,0 +1,47 @@
+// 2-D convolution over flat (batch x C*H*W) activations.
+
+#ifndef FATS_NN_CONV2D_H_
+#define FATS_NN_CONV2D_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "rng/rng_stream.h"
+
+namespace fats {
+
+/// Direct (non-im2col) convolution with stride 1 and symmetric zero padding.
+/// The input tensor is (batch, in_channels * height * width) in CHW order.
+class Conv2d : public Module {
+ public:
+  Conv2d(int64_t in_channels, int64_t out_channels, int64_t height,
+         int64_t width, int64_t kernel_size, int64_t padding, RngStream* rng);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Parameters() override { return {&weight_, &bias_}; }
+  std::string ToString() const override;
+  int64_t OutputFeatures(int64_t input_features) const override;
+
+  int64_t out_height() const { return out_height_; }
+  int64_t out_width() const { return out_width_; }
+  int64_t out_channels() const { return out_channels_; }
+
+ private:
+  int64_t in_channels_;
+  int64_t out_channels_;
+  int64_t height_;
+  int64_t width_;
+  int64_t kernel_size_;
+  int64_t padding_;
+  int64_t out_height_;
+  int64_t out_width_;
+  Parameter weight_;  // (out_ch, in_ch * k * k)
+  Parameter bias_;    // (out_ch)
+  Tensor cached_input_;
+};
+
+}  // namespace fats
+
+#endif  // FATS_NN_CONV2D_H_

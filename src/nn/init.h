@@ -1,0 +1,23 @@
+// Deterministic parameter initialization.
+
+#ifndef FATS_NN_INIT_H_
+#define FATS_NN_INIT_H_
+
+#include "rng/rng_stream.h"
+#include "tensor/tensor.h"
+
+namespace fats {
+
+/// Fills `t` with N(0, stddev^2) draws from `rng`.
+void InitGaussian(Tensor* t, double stddev, RngStream* rng);
+
+/// Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+void InitXavierUniform(Tensor* t, int64_t fan_in, int64_t fan_out,
+                       RngStream* rng);
+
+/// He normal: N(0, 2 / fan_in). Preferred before ReLU.
+void InitHeNormal(Tensor* t, int64_t fan_in, RngStream* rng);
+
+}  // namespace fats
+
+#endif  // FATS_NN_INIT_H_

@@ -1,0 +1,46 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+#include "tensor/tensor_ops.h"
+#include "util/string_util.h"
+
+namespace fats {
+
+Linear::Linear(int64_t in_features, int64_t out_features, RngStream* rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_("weight", Tensor({out_features, in_features})),
+      bias_("bias", Tensor({out_features})) {
+  InitXavierUniform(&weight_.value, in_features, out_features, rng);
+}
+
+Tensor Linear::Forward(const Tensor& input) {
+  FATS_CHECK_EQ(input.rank(), 2);
+  FATS_CHECK_EQ(input.dim(1), in_features_) << ToString();
+  cached_input_ = input;
+  Tensor out = MatMulTransposeB(input, weight_.value);  // (batch x out)
+  AddRowwise(&out, bias_.value);
+  return out;
+}
+
+Tensor Linear::Backward(const Tensor& grad_output) {
+  FATS_CHECK_EQ(grad_output.rank(), 2);
+  FATS_CHECK_EQ(grad_output.dim(1), out_features_);
+  // dW += gO^T @ X ; db += column sums of gO ; dX = gO @ W.
+  weight_.grad += MatMulTransposeA(grad_output, cached_input_);
+  bias_.grad += SumRows(grad_output);
+  return MatMul(grad_output, weight_.value);
+}
+
+std::string Linear::ToString() const {
+  return StrFormat("Linear(%lld->%lld)",
+                   static_cast<long long>(in_features_),
+                   static_cast<long long>(out_features_));
+}
+
+int64_t Linear::OutputFeatures(int64_t input_features) const {
+  FATS_CHECK_EQ(input_features, in_features_);
+  return out_features_;
+}
+
+}  // namespace fats

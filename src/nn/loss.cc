@@ -1,0 +1,69 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace fats {
+
+double SoftmaxCrossEntropy::Compute(const Tensor& logits,
+                                    const std::vector<int64_t>& labels,
+                                    Tensor* grad_logits) const {
+  FATS_CHECK_EQ(logits.rank(), 2);
+  const int64_t batch = logits.dim(0);
+  const int64_t classes = logits.dim(1);
+  FATS_CHECK_EQ(batch, static_cast<int64_t>(labels.size()));
+  Tensor probs = SoftmaxRows(logits);
+  double total = 0.0;
+  for (int64_t n = 0; n < batch; ++n) {
+    const int64_t y = labels[static_cast<size_t>(n)];
+    FATS_CHECK(y >= 0 && y < classes) << "label out of range: " << y;
+    const double p = std::max<double>(probs.at(n, y), 1e-12);
+    total -= std::log(p);
+  }
+  if (grad_logits != nullptr) {
+    *grad_logits = probs;
+    const float inv_batch = 1.0f / static_cast<float>(batch);
+    for (int64_t n = 0; n < batch; ++n) {
+      grad_logits->at(n, labels[static_cast<size_t>(n)]) -= 1.0f;
+    }
+    *grad_logits *= inv_batch;
+  }
+  return total / static_cast<double>(batch);
+}
+
+std::vector<double> SoftmaxCrossEntropy::PerExampleLoss(
+    const Tensor& logits, const std::vector<int64_t>& labels) const {
+  FATS_CHECK_EQ(logits.rank(), 2);
+  const int64_t batch = logits.dim(0);
+  FATS_CHECK_EQ(batch, static_cast<int64_t>(labels.size()));
+  Tensor probs = SoftmaxRows(logits);
+  std::vector<double> out(static_cast<size_t>(batch));
+  for (int64_t n = 0; n < batch; ++n) {
+    const double p =
+        std::max<double>(probs.at(n, labels[static_cast<size_t>(n)]), 1e-12);
+    out[static_cast<size_t>(n)] = -std::log(p);
+  }
+  return out;
+}
+
+double Accuracy(const Tensor& logits, const std::vector<int64_t>& labels) {
+  FATS_CHECK_EQ(logits.rank(), 2);
+  const int64_t batch = logits.dim(0);
+  FATS_CHECK_EQ(batch, static_cast<int64_t>(labels.size()));
+  if (batch == 0) return 0.0;
+  const int64_t classes = logits.dim(1);
+  int64_t correct = 0;
+  for (int64_t n = 0; n < batch; ++n) {
+    const float* row = logits.data() + n * classes;
+    int64_t best = 0;
+    for (int64_t j = 1; j < classes; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    if (best == labels[static_cast<size_t>(n)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(batch);
+}
+
+}  // namespace fats

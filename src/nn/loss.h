@@ -1,0 +1,32 @@
+// Softmax cross-entropy loss for classification heads.
+
+#ifndef FATS_NN_LOSS_H_
+#define FATS_NN_LOSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fats {
+
+/// Mean softmax cross-entropy over a batch.
+class SoftmaxCrossEntropy {
+ public:
+  /// Computes the mean loss of `logits` (batch x classes) against integer
+  /// `labels` and, if `grad_logits` is non-null, writes
+  /// d(mean loss)/d(logits) = (softmax - onehot) / batch into it.
+  double Compute(const Tensor& logits, const std::vector<int64_t>& labels,
+                 Tensor* grad_logits) const;
+
+  /// Per-example losses (used by the membership-inference attack).
+  std::vector<double> PerExampleLoss(const Tensor& logits,
+                                     const std::vector<int64_t>& labels) const;
+};
+
+/// Fraction of rows whose argmax equals the label.
+double Accuracy(const Tensor& logits, const std::vector<int64_t>& labels);
+
+}  // namespace fats
+
+#endif  // FATS_NN_LOSS_H_

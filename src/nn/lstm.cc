@@ -1,0 +1,188 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+#include "tensor/tensor_ops.h"
+#include "util/string_util.h"
+
+namespace fats {
+
+namespace {
+
+inline float SigmoidScalar(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+/// Copies step `t` columns out of the packed (batch, seq*dim) tensor.
+Tensor SliceStep(const Tensor& packed, int64_t t, int64_t dim) {
+  const int64_t batch = packed.dim(0);
+  const int64_t seq_width = packed.dim(1);
+  Tensor out({batch, dim});
+  for (int64_t n = 0; n < batch; ++n) {
+    const float* src = packed.data() + n * seq_width + t * dim;
+    float* dst = out.data() + n * dim;
+    for (int64_t d = 0; d < dim; ++d) dst[d] = src[d];
+  }
+  return out;
+}
+
+}  // namespace
+
+Lstm::Lstm(int64_t input_dim, int64_t hidden_dim, int64_t seq_len,
+           RngStream* rng, bool return_sequence)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      seq_len_(seq_len),
+      return_sequence_(return_sequence),
+      w_input_("lstm_w_input", Tensor({4 * hidden_dim, input_dim})),
+      w_hidden_("lstm_w_hidden", Tensor({4 * hidden_dim, hidden_dim})),
+      bias_("lstm_bias", Tensor({4 * hidden_dim})) {
+  InitXavierUniform(&w_input_.value, input_dim, hidden_dim, rng);
+  InitXavierUniform(&w_hidden_.value, hidden_dim, hidden_dim, rng);
+  // Forget-gate bias starts at 1 (standard trick for gradient flow).
+  for (int64_t j = hidden_dim_; j < 2 * hidden_dim_; ++j) {
+    bias_.value[j] = 1.0f;
+  }
+}
+
+Tensor Lstm::Forward(const Tensor& input) {
+  FATS_CHECK_EQ(input.rank(), 2);
+  FATS_CHECK_EQ(input.dim(1), seq_len_ * input_dim_) << ToString();
+  const int64_t batch = input.dim(0);
+  cached_batch_ = batch;
+  steps_.clear();
+  steps_.reserve(static_cast<size_t>(seq_len_));
+
+  Tensor h({batch, hidden_dim_});
+  Tensor c({batch, hidden_dim_});
+  Tensor sequence_out;
+  if (return_sequence_) {
+    sequence_out = Tensor({batch, seq_len_ * hidden_dim_});
+  }
+  for (int64_t t = 0; t < seq_len_; ++t) {
+    StepCache step;
+    step.x = SliceStep(input, t, input_dim_);
+    step.h_prev = h;
+    step.c_prev = c;
+    // Pre-activations z = x W^T + h U^T + b, packed (batch, 4H).
+    Tensor z = MatMulTransposeB(step.x, w_input_.value);
+    z += MatMulTransposeB(step.h_prev, w_hidden_.value);
+    AddRowwise(&z, bias_.value);
+
+    step.i = Tensor({batch, hidden_dim_});
+    step.f = Tensor({batch, hidden_dim_});
+    step.g = Tensor({batch, hidden_dim_});
+    step.o = Tensor({batch, hidden_dim_});
+    step.c = Tensor({batch, hidden_dim_});
+    step.tanh_c = Tensor({batch, hidden_dim_});
+    Tensor h_new({batch, hidden_dim_});
+    for (int64_t n = 0; n < batch; ++n) {
+      const float* zr = z.data() + n * 4 * hidden_dim_;
+      for (int64_t j = 0; j < hidden_dim_; ++j) {
+        const float iv = SigmoidScalar(zr[j]);
+        const float fv = SigmoidScalar(zr[hidden_dim_ + j]);
+        const float gv = std::tanh(zr[2 * hidden_dim_ + j]);
+        const float ov = SigmoidScalar(zr[3 * hidden_dim_ + j]);
+        const float cv = fv * step.c_prev.at(n, j) + iv * gv;
+        const float tc = std::tanh(cv);
+        step.i.at(n, j) = iv;
+        step.f.at(n, j) = fv;
+        step.g.at(n, j) = gv;
+        step.o.at(n, j) = ov;
+        step.c.at(n, j) = cv;
+        step.tanh_c.at(n, j) = tc;
+        h_new.at(n, j) = ov * tc;
+      }
+    }
+    h = h_new;
+    c = step.c;
+    steps_.push_back(std::move(step));
+    if (return_sequence_) {
+      for (int64_t n = 0; n < batch; ++n) {
+        float* dst = sequence_out.data() + n * seq_len_ * hidden_dim_ +
+                     t * hidden_dim_;
+        const float* src_row = h.data() + n * hidden_dim_;
+        for (int64_t j = 0; j < hidden_dim_; ++j) dst[j] = src_row[j];
+      }
+    }
+  }
+  return return_sequence_ ? sequence_out : h;
+}
+
+Tensor Lstm::Backward(const Tensor& grad_output) {
+  FATS_CHECK_EQ(grad_output.dim(0), cached_batch_);
+  FATS_CHECK_EQ(grad_output.dim(1),
+                return_sequence_ ? seq_len_ * hidden_dim_ : hidden_dim_);
+  const int64_t batch = cached_batch_;
+  Tensor grad_input({batch, seq_len_ * input_dim_});
+  // dL/dh_t: in final-state mode the loss touches only h_T; in sequence
+  // mode every step receives its own slice of grad_output in addition to
+  // the gradient carried back from the future.
+  Tensor dh({batch, hidden_dim_});
+  if (!return_sequence_) dh = grad_output;
+  Tensor dc({batch, hidden_dim_});       // dL/dc_t (from the future)
+
+  for (int64_t t = seq_len_ - 1; t >= 0; --t) {
+    if (return_sequence_) {
+      for (int64_t n = 0; n < batch; ++n) {
+        const float* src_row = grad_output.data() +
+                               n * seq_len_ * hidden_dim_ + t * hidden_dim_;
+        float* dst = dh.data() + n * hidden_dim_;
+        for (int64_t j = 0; j < hidden_dim_; ++j) dst[j] += src_row[j];
+      }
+    }
+    const StepCache& step = steps_[static_cast<size_t>(t)];
+    // Gate pre-activation gradients, packed (batch, 4H).
+    Tensor dz({batch, 4 * hidden_dim_});
+    Tensor dc_prev({batch, hidden_dim_});
+    for (int64_t n = 0; n < batch; ++n) {
+      float* dzr = dz.data() + n * 4 * hidden_dim_;
+      for (int64_t j = 0; j < hidden_dim_; ++j) {
+        const float iv = step.i.at(n, j);
+        const float fv = step.f.at(n, j);
+        const float gv = step.g.at(n, j);
+        const float ov = step.o.at(n, j);
+        const float tc = step.tanh_c.at(n, j);
+        const float dhv = dh.at(n, j);
+        // dL/dc_t = dL/dh_t * o * (1 - tanh(c)^2) + carried dc.
+        const float dcv = dhv * ov * (1.0f - tc * tc) + dc.at(n, j);
+        dzr[j] = dcv * gv * iv * (1.0f - iv);                    // d input gate
+        dzr[hidden_dim_ + j] =
+            dcv * step.c_prev.at(n, j) * fv * (1.0f - fv);       // d forget
+        dzr[2 * hidden_dim_ + j] = dcv * iv * (1.0f - gv * gv);  // d cell cand
+        dzr[3 * hidden_dim_ + j] = dhv * tc * ov * (1.0f - ov);  // d output
+        dc_prev.at(n, j) = dcv * fv;
+      }
+    }
+    // Parameter gradients.
+    w_input_.grad += MatMulTransposeA(dz, step.x);
+    w_hidden_.grad += MatMulTransposeA(dz, step.h_prev);
+    bias_.grad += SumRows(dz);
+    // Input gradient for this step.
+    Tensor dx = MatMul(dz, w_input_.value);  // (batch, input_dim)
+    for (int64_t n = 0; n < batch; ++n) {
+      float* dst = grad_input.data() + n * seq_len_ * input_dim_ +
+                   t * input_dim_;
+      const float* src = dx.data() + n * input_dim_;
+      for (int64_t d = 0; d < input_dim_; ++d) dst[d] = src[d];
+    }
+    // Hidden gradient for the previous step.
+    dh = MatMul(dz, w_hidden_.value);
+    dc = dc_prev;
+  }
+  return grad_input;
+}
+
+std::string Lstm::ToString() const {
+  return StrFormat("Lstm(in=%lld, hidden=%lld, seq=%lld%s)",
+                   static_cast<long long>(input_dim_),
+                   static_cast<long long>(hidden_dim_),
+                   static_cast<long long>(seq_len_),
+                   return_sequence_ ? ", seq-out" : "");
+}
+
+int64_t Lstm::OutputFeatures(int64_t input_features) const {
+  FATS_CHECK_EQ(input_features, seq_len_ * input_dim_);
+  return return_sequence_ ? seq_len_ * hidden_dim_ : hidden_dim_;
+}
+
+}  // namespace fats

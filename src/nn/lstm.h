@@ -1,0 +1,58 @@
+// Single-layer LSTM with full backpropagation through time.
+
+#ifndef FATS_NN_LSTM_H_
+#define FATS_NN_LSTM_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "rng/rng_stream.h"
+
+namespace fats {
+
+/// Input: (batch, seq_len * input_dim), i.e. the per-step features
+/// concatenated in sequence order (the layout Embedding produces).
+/// Output: (batch, hidden_dim) — the final hidden state h_T — or, with
+/// `return_sequence`, (batch, seq_len * hidden_dim) — every step's hidden
+/// state, the layout a stacked second LSTM layer consumes. Gate order in
+/// the packed weight matrices is [input, forget, cell, output].
+class Lstm : public Module {
+ public:
+  Lstm(int64_t input_dim, int64_t hidden_dim, int64_t seq_len, RngStream* rng,
+       bool return_sequence = false);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Parameters() override {
+    return {&w_input_, &w_hidden_, &bias_};
+  }
+  std::string ToString() const override;
+  int64_t OutputFeatures(int64_t input_features) const override;
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  struct StepCache {
+    Tensor x;       // (batch, input_dim)
+    Tensor h_prev;  // (batch, hidden)
+    Tensor c_prev;  // (batch, hidden)
+    Tensor i, f, g, o;
+    Tensor c;       // new cell state
+    Tensor tanh_c;  // tanh(c)
+  };
+
+  int64_t input_dim_;
+  int64_t hidden_dim_;
+  int64_t seq_len_;
+  bool return_sequence_;
+  Parameter w_input_;   // (4H x input_dim)
+  Parameter w_hidden_;  // (4H x H)
+  Parameter bias_;      // (4H)
+  std::vector<StepCache> steps_;
+  int64_t cached_batch_ = 0;
+};
+
+}  // namespace fats
+
+#endif  // FATS_NN_LSTM_H_

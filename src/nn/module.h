@@ -1,0 +1,67 @@
+// Layer interface for the hand-written neural-network substrate.
+//
+// All activations flow as 2-D tensors (batch x features). Layers that have a
+// spatial or sequential interpretation (Conv2d, LSTM) carry their geometry as
+// configuration and interpret the flat feature axis accordingly; this keeps
+// the FL engine's model state a single flat float vector, which is what
+// FedAvg-style averaging and the FATS state store operate on.
+//
+// The forward/backward contract:
+//   * Forward(x) caches whatever the layer needs and returns the output.
+//   * Backward(grad_out) must follow the matching Forward, accumulates
+//     parameter gradients (+=) and returns the gradient w.r.t. the input.
+
+#ifndef FATS_NN_MODULE_H_
+#define FATS_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fats {
+
+/// A trainable tensor with its gradient accumulator.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  explicit Parameter(std::string param_name, Tensor initial)
+      : name(std::move(param_name)),
+        value(std::move(initial)),
+        grad(value.shape()) {}
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Runs the layer on a (batch x in_features) tensor.
+  virtual Tensor Forward(const Tensor& input) = 0;
+
+  /// Back-propagates (batch x out_features) output gradients; accumulates
+  /// into parameter .grad fields and returns input gradients.
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  /// The layer's trainable parameters (possibly empty). Pointers remain
+  /// valid for the lifetime of the module.
+  virtual std::vector<Parameter*> Parameters() { return {}; }
+
+  /// Human-readable layer descriptor, e.g. "Linear(64->10)".
+  virtual std::string ToString() const = 0;
+
+  /// Number of output features for a given input feature count, used for
+  /// shape validation when assembling models.
+  virtual int64_t OutputFeatures(int64_t input_features) const = 0;
+
+  /// Clears all parameter gradients.
+  void ZeroGrad() {
+    for (Parameter* p : Parameters()) p->grad.SetZero();
+  }
+};
+
+}  // namespace fats
+
+#endif  // FATS_NN_MODULE_H_

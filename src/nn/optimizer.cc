@@ -1,0 +1,37 @@
+#include "nn/optimizer.h"
+
+#include "util/logging.h"
+
+namespace fats {
+
+void SgdOptimizer::Step(Module* module) {
+  std::vector<Parameter*> params = module->Parameters();
+  if (momentum_ == 0.0) {
+    const float lr = static_cast<float>(learning_rate_);
+    for (Parameter* p : params) {
+      float* value = p->value.data();
+      const float* grad = p->grad.data();
+      for (int64_t i = 0; i < p->value.size(); ++i) value[i] -= lr * grad[i];
+    }
+    return;
+  }
+  if (velocity_.size() != params.size()) {
+    velocity_.clear();
+    for (Parameter* p : params) velocity_.emplace_back(p->value.shape());
+  }
+  const float lr = static_cast<float>(learning_rate_);
+  const float mu = static_cast<float>(momentum_);
+  for (size_t k = 0; k < params.size(); ++k) {
+    Parameter* p = params[k];
+    FATS_CHECK(velocity_[k].shape() == p->value.shape());
+    float* v = velocity_[k].data();
+    float* value = p->value.data();
+    const float* grad = p->grad.data();
+    for (int64_t i = 0; i < p->value.size(); ++i) {
+      v[i] = mu * v[i] + grad[i];
+      value[i] -= lr * v[i];
+    }
+  }
+}
+
+}  // namespace fats

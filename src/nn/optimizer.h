@@ -1,0 +1,39 @@
+// Gradient-descent optimizers.
+
+#ifndef FATS_NN_OPTIMIZER_H_
+#define FATS_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace fats {
+
+/// Plain SGD with optional classical momentum:
+///   v <- momentum * v + grad ; value <- value - lr * v.
+/// With momentum == 0 this is exactly the θ ← θ − η·g step of Algorithm 1.
+class SgdOptimizer {
+ public:
+  explicit SgdOptimizer(double learning_rate, double momentum = 0.0)
+      : learning_rate_(learning_rate), momentum_(momentum) {}
+
+  /// Applies one update using the module's current gradients.
+  void Step(Module* module);
+
+  /// Drops momentum state (used when the model parameters are replaced
+  /// wholesale, e.g. at a round boundary).
+  void ResetState() { velocity_.clear(); }
+
+  double learning_rate() const { return learning_rate_; }
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+
+ private:
+  double learning_rate_;
+  double momentum_;
+  std::vector<Tensor> velocity_;  // parallel to module->Parameters()
+};
+
+}  // namespace fats
+
+#endif  // FATS_NN_OPTIMIZER_H_

@@ -1,0 +1,58 @@
+#include "nn/parameter_vector.h"
+
+namespace fats {
+
+int64_t ParameterCount(Module* module) {
+  int64_t total = 0;
+  for (Parameter* p : module->Parameters()) total += p->value.size();
+  return total;
+}
+
+Tensor FlattenParameters(Module* module) {
+  Tensor flat({ParameterCount(module)});
+  int64_t offset = 0;
+  for (Parameter* p : module->Parameters()) {
+    const float* src = p->value.data();
+    float* dst = flat.data() + offset;
+    for (int64_t i = 0; i < p->value.size(); ++i) dst[i] = src[i];
+    offset += p->value.size();
+  }
+  return flat;
+}
+
+void UnflattenParameters(const Tensor& flat, Module* module) {
+  FATS_CHECK_EQ(flat.size(), ParameterCount(module))
+      << "flat parameter size mismatch";
+  int64_t offset = 0;
+  for (Parameter* p : module->Parameters()) {
+    const float* src = flat.data() + offset;
+    float* dst = p->value.data();
+    for (int64_t i = 0; i < p->value.size(); ++i) dst[i] = src[i];
+    offset += p->value.size();
+  }
+}
+
+Tensor FlattenGradients(Module* module) {
+  Tensor flat({ParameterCount(module)});
+  int64_t offset = 0;
+  for (Parameter* p : module->Parameters()) {
+    const float* src = p->grad.data();
+    float* dst = flat.data() + offset;
+    for (int64_t i = 0; i < p->grad.size(); ++i) dst[i] = src[i];
+    offset += p->grad.size();
+  }
+  return flat;
+}
+
+void ApplySgdStep(Module* module, double lr) {
+  const float step = static_cast<float>(lr);
+  for (Parameter* p : module->Parameters()) {
+    float* value = p->value.data();
+    const float* grad = p->grad.data();
+    for (int64_t i = 0; i < p->value.size(); ++i) {
+      value[i] -= step * grad[i];
+    }
+  }
+}
+
+}  // namespace fats

@@ -1,0 +1,34 @@
+// Flat parameter-vector view of a module.
+//
+// The FL engine treats model state as a single flat float vector: clients
+// receive a flat θ, run local SGD, and return a flat θ. These helpers
+// convert between that representation and a module's per-layer parameters.
+
+#ifndef FATS_NN_PARAMETER_VECTOR_H_
+#define FATS_NN_PARAMETER_VECTOR_H_
+
+#include <cstdint>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace fats {
+
+/// Total number of scalar parameters in `module`.
+int64_t ParameterCount(Module* module);
+
+/// Concatenates all parameter values into one 1-D tensor (layer order).
+Tensor FlattenParameters(Module* module);
+
+/// Writes `flat` (1-D, length ParameterCount) back into the module.
+void UnflattenParameters(const Tensor& flat, Module* module);
+
+/// Concatenates all parameter gradients into one 1-D tensor.
+Tensor FlattenGradients(Module* module);
+
+/// In-place SGD step: value -= lr * grad for every parameter.
+void ApplySgdStep(Module* module, double lr);
+
+}  // namespace fats
+
+#endif  // FATS_NN_PARAMETER_VECTOR_H_

@@ -1,0 +1,84 @@
+#include "nn/pooling.h"
+
+#include "util/string_util.h"
+
+namespace fats {
+
+MaxPool2d::MaxPool2d(int64_t channels, int64_t height, int64_t width,
+                     int64_t window)
+    : channels_(channels),
+      height_(height),
+      width_(width),
+      window_(window),
+      out_height_(height / window),
+      out_width_(width / window) {
+  FATS_CHECK_EQ(height % window, 0) << "pool window must divide height";
+  FATS_CHECK_EQ(width % window, 0) << "pool window must divide width";
+}
+
+Tensor MaxPool2d::Forward(const Tensor& input) {
+  FATS_CHECK_EQ(input.rank(), 2);
+  FATS_CHECK_EQ(input.dim(1), channels_ * height_ * width_) << ToString();
+  const int64_t batch = input.dim(0);
+  input_shape_ = input.shape();
+  Tensor out({batch, channels_ * out_height_ * out_width_});
+  argmax_.assign(static_cast<size_t>(out.size()), 0);
+  for (int64_t n = 0; n < batch; ++n) {
+    const float* x = input.data() + n * channels_ * height_ * width_;
+    float* y = out.data() + n * channels_ * out_height_ * out_width_;
+    int64_t* am = argmax_.data() + n * channels_ * out_height_ * out_width_;
+    for (int64_t c = 0; c < channels_; ++c) {
+      const float* xc = x + c * height_ * width_;
+      for (int64_t oh = 0; oh < out_height_; ++oh) {
+        for (int64_t ow = 0; ow < out_width_; ++ow) {
+          float best = xc[(oh * window_) * width_ + ow * window_];
+          int64_t best_idx = (oh * window_) * width_ + ow * window_;
+          for (int64_t dh = 0; dh < window_; ++dh) {
+            for (int64_t dw = 0; dw < window_; ++dw) {
+              const int64_t idx =
+                  (oh * window_ + dh) * width_ + (ow * window_ + dw);
+              if (xc[idx] > best) {
+                best = xc[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          const int64_t out_idx = (c * out_height_ + oh) * out_width_ + ow;
+          y[out_idx] = best;
+          // Store the batch-global flat input index for backward.
+          am[out_idx] =
+              n * channels_ * height_ * width_ + c * height_ * width_ +
+              best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::Backward(const Tensor& grad_output) {
+  Tensor grad_input(input_shape_);
+  FATS_CHECK_EQ(grad_output.size(),
+                static_cast<int64_t>(argmax_.size()));
+  float* gx = grad_input.data();
+  const float* gy = grad_output.data();
+  for (int64_t i = 0; i < grad_output.size(); ++i) {
+    gx[argmax_[static_cast<size_t>(i)]] += gy[i];
+  }
+  return grad_input;
+}
+
+std::string MaxPool2d::ToString() const {
+  return StrFormat("MaxPool2d(%lldx%lldx%lld, window=%lld)",
+                   static_cast<long long>(channels_),
+                   static_cast<long long>(height_),
+                   static_cast<long long>(width_),
+                   static_cast<long long>(window_));
+}
+
+int64_t MaxPool2d::OutputFeatures(int64_t input_features) const {
+  FATS_CHECK_EQ(input_features, channels_ * height_ * width_);
+  return channels_ * out_height_ * out_width_;
+}
+
+}  // namespace fats

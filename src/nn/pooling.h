@@ -1,0 +1,40 @@
+// 2x2 max pooling over flat (batch x C*H*W) activations.
+
+#ifndef FATS_NN_POOLING_H_
+#define FATS_NN_POOLING_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace fats {
+
+/// Non-overlapping max pooling with a square window. Input height/width must
+/// be divisible by the window size.
+class MaxPool2d : public Module {
+ public:
+  MaxPool2d(int64_t channels, int64_t height, int64_t width, int64_t window);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string ToString() const override;
+  int64_t OutputFeatures(int64_t input_features) const override;
+
+  int64_t out_height() const { return out_height_; }
+  int64_t out_width() const { return out_width_; }
+
+ private:
+  int64_t channels_;
+  int64_t height_;
+  int64_t width_;
+  int64_t window_;
+  int64_t out_height_;
+  int64_t out_width_;
+  std::vector<int64_t> argmax_;  // flat input index per output element
+  std::vector<int64_t> input_shape_;
+};
+
+}  // namespace fats
+
+#endif  // FATS_NN_POOLING_H_

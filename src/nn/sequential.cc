@@ -1,0 +1,2 @@
+// Sequential is header-only; this TU keeps the build file uniform.
+#include "nn/sequential.h"

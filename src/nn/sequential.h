@@ -1,0 +1,71 @@
+// Sequential container of layers.
+
+#ifndef FATS_NN_SEQUENTIAL_H_
+#define FATS_NN_SEQUENTIAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace fats {
+
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer. Returns *this for chaining.
+  Sequential& Add(std::unique_ptr<Module> layer) {
+    layers_.push_back(std::move(layer));
+    return *this;
+  }
+
+  Tensor Forward(const Tensor& input) override {
+    Tensor x = input;
+    for (auto& layer : layers_) x = layer->Forward(x);
+    return x;
+  }
+
+  Tensor Backward(const Tensor& grad_output) override {
+    Tensor g = grad_output;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+      g = (*it)->Backward(g);
+    }
+    return g;
+  }
+
+  std::vector<Parameter*> Parameters() override {
+    std::vector<Parameter*> out;
+    for (auto& layer : layers_) {
+      for (Parameter* p : layer->Parameters()) out.push_back(p);
+    }
+    return out;
+  }
+
+  std::string ToString() const override {
+    std::string out = "Sequential(";
+    for (size_t i = 0; i < layers_.size(); ++i) {
+      if (i > 0) out += " -> ";
+      out += layers_[i]->ToString();
+    }
+    out += ")";
+    return out;
+  }
+
+  int64_t OutputFeatures(int64_t input_features) const override {
+    int64_t f = input_features;
+    for (const auto& layer : layers_) f = layer->OutputFeatures(f);
+    return f;
+  }
+
+  size_t num_layers() const { return layers_.size(); }
+  Module* layer(size_t i) { return layers_[i].get(); }
+
+ private:
+  std::vector<std::unique_ptr<Module>> layers_;
+};
+
+}  // namespace fats
+
+#endif  // FATS_NN_SEQUENTIAL_H_

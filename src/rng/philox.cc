@@ -1,0 +1,45 @@
+#include "rng/philox.h"
+
+namespace fats {
+
+namespace {
+
+constexpr uint32_t kPhiloxM0 = 0xD2511F53u;
+constexpr uint32_t kPhiloxM1 = 0xCD9E8D57u;
+constexpr uint32_t kPhiloxW0 = 0x9E3779B9u;  // golden ratio
+constexpr uint32_t kPhiloxW1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+inline uint32_t MulHiLo(uint32_t a, uint32_t b, uint32_t* hi) {
+  uint64_t product = static_cast<uint64_t>(a) * b;
+  *hi = static_cast<uint32_t>(product >> 32);
+  return static_cast<uint32_t>(product);
+}
+
+inline PhiloxCounter SingleRound(const PhiloxCounter& ctr,
+                                 const PhiloxKey& key) {
+  uint32_t hi0;
+  uint32_t lo0 = MulHiLo(kPhiloxM0, ctr[0], &hi0);
+  uint32_t hi1;
+  uint32_t lo1 = MulHiLo(kPhiloxM1, ctr[2], &hi1);
+  return {hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
+}
+
+}  // namespace
+
+PhiloxBlock Philox4x32(PhiloxCounter counter, PhiloxKey key) {
+  for (int round = 0; round < 10; ++round) {
+    counter = SingleRound(counter, key);
+    key[0] += kPhiloxW0;
+    key[1] += kPhiloxW1;
+  }
+  return counter;
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace fats

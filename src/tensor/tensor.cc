@@ -1,0 +1,146 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace fats {
+
+int64_t Tensor::Volume(const std::vector<int64_t>& shape) {
+  int64_t volume = 1;
+  for (int64_t d : shape) {
+    FATS_CHECK_GT(d, 0) << "tensor dims must be positive";
+    volume *= d;
+  }
+  return volume;
+}
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(Volume(shape_)), 0.0f) {}
+
+Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  FATS_CHECK_EQ(Volume(shape_), static_cast<int64_t>(data_.size()))
+      << "shape/data mismatch";
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(std::vector<float> values) {
+  int64_t n = static_cast<int64_t>(values.size());
+  return Tensor({n}, std::move(values));
+}
+
+Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
+  FATS_CHECK_EQ(Volume(new_shape), size()) << "reshape volume mismatch";
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  FATS_CHECK(shape_ == other.shape_) << "shape mismatch in +=";
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  FATS_CHECK(shape_ == other.shape_) << "shape mismatch in -=";
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) {
+  for (float& v : data_) v *= scalar;
+  return *this;
+}
+
+void Tensor::Axpy(float scalar, const Tensor& other) {
+  FATS_CHECK(shape_ == other.shape_) << "shape mismatch in Axpy";
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scalar * other.data_[i];
+  }
+}
+
+double Tensor::Sum() const {
+  double total = 0.0;
+  for (float v : data_) total += v;
+  return total;
+}
+
+double Tensor::SquaredNorm() const {
+  double total = 0.0;
+  for (float v : data_) total += static_cast<double>(v) * v;
+  return total;
+}
+
+int64_t Tensor::ArgMax() const {
+  FATS_CHECK_GT(size(), 0);
+  return static_cast<int64_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+bool Tensor::BitwiseEquals(const Tensor& other) const {
+  return shape_ == other.shape_ && data_ == other.data_;
+}
+
+bool Tensor::AllClose(const Tensor& other, float tolerance) const {
+  if (shape_ != other.shape_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tolerance) return false;
+  }
+  return true;
+}
+
+std::string Tensor::ShapeString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(shape_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::string Tensor::ToString() const {
+  std::ostringstream os;
+  os << "Tensor" << ShapeString() << " {";
+  constexpr int64_t kMaxShown = 16;
+  int64_t shown = std::min<int64_t>(size(), kMaxShown);
+  for (int64_t i = 0; i < shown; ++i) {
+    if (i > 0) os << ", ";
+    os << data_[static_cast<size_t>(i)];
+  }
+  if (size() > kMaxShown) os << ", ... (" << size() << " elements)";
+  os << "}";
+  return os.str();
+}
+
+Tensor operator+(Tensor lhs, const Tensor& rhs) {
+  lhs += rhs;
+  return lhs;
+}
+
+Tensor operator-(Tensor lhs, const Tensor& rhs) {
+  lhs -= rhs;
+  return lhs;
+}
+
+Tensor operator*(Tensor lhs, float scalar) {
+  lhs *= scalar;
+  return lhs;
+}
+
+}  // namespace fats

@@ -1,0 +1,121 @@
+// Dense row-major float32 tensor.
+//
+// This is the numeric substrate for the nn module. It is deliberately small:
+// contiguous storage, shape metadata, elementwise arithmetic, 2-D matmul and
+// the handful of reductions the layers need. No views, no broadcasting beyond
+// row-wise bias addition; layers that need more express it explicitly.
+
+#ifndef FATS_TENSOR_TENSOR_H_
+#define FATS_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace fats {
+
+class Tensor {
+ public:
+  /// An empty tensor (rank 0, no elements).
+  Tensor() = default;
+
+  /// A zero-initialized tensor with the given shape. All dims must be > 0.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  /// A tensor with the given shape wrapping a copy of `values`
+  /// (values.size() must equal the shape volume).
+  Tensor(std::vector<int64_t> shape, std::vector<float> values);
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  static Tensor Zeros(std::vector<int64_t> shape) {
+    return Tensor(std::move(shape));
+  }
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  /// 1-D tensor from an initializer list.
+  static Tensor FromVector(std::vector<float> values);
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t dim(int i) const {
+    FATS_DCHECK(i >= 0 && i < static_cast<int>(shape_.size()));
+    return shape_[i];
+  }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  float& operator[](int64_t i) {
+    FATS_DCHECK(i >= 0 && i < size());
+    return data_[static_cast<size_t>(i)];
+  }
+  float operator[](int64_t i) const {
+    FATS_DCHECK(i >= 0 && i < size());
+    return data_[static_cast<size_t>(i)];
+  }
+
+  /// 2-D element accessors (requires rank() == 2).
+  float& at(int64_t row, int64_t col) {
+    FATS_DCHECK(rank() == 2);
+    return data_[static_cast<size_t>(row * shape_[1] + col)];
+  }
+  float at(int64_t row, int64_t col) const {
+    FATS_DCHECK(rank() == 2);
+    return data_[static_cast<size_t>(row * shape_[1] + col)];
+  }
+
+  /// Reinterprets the tensor with a new shape of equal volume.
+  Tensor Reshape(std::vector<int64_t> new_shape) const;
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+  /// Sets every element to zero.
+  void SetZero() { Fill(0.0f); }
+
+  // In-place arithmetic. Shapes must match exactly for tensor operands.
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float scalar);
+  /// this += scalar * other  (axpy).
+  void Axpy(float scalar, const Tensor& other);
+
+  /// Sum of all elements.
+  double Sum() const;
+  /// Squared L2 norm (in double precision).
+  double SquaredNorm() const;
+  /// Index of the maximum element (first on ties). Requires size() > 0.
+  int64_t ArgMax() const;
+
+  /// True if shapes are equal and all elements are exactly equal.
+  bool BitwiseEquals(const Tensor& other) const;
+  /// True if shapes are equal and elements differ by at most `tolerance`.
+  bool AllClose(const Tensor& other, float tolerance) const;
+
+  std::string ShapeString() const;
+  /// Debug rendering; large tensors are elided.
+  std::string ToString() const;
+
+  static int64_t Volume(const std::vector<int64_t>& shape);
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+Tensor operator+(Tensor lhs, const Tensor& rhs);
+Tensor operator-(Tensor lhs, const Tensor& rhs);
+Tensor operator*(Tensor lhs, float scalar);
+
+}  // namespace fats
+
+#endif  // FATS_TENSOR_TENSOR_H_

@@ -1,0 +1,139 @@
+#include "tensor/tensor_ops.h"
+
+#include <cmath>
+
+namespace fats {
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  FATS_CHECK_EQ(a.rank(), 2);
+  FATS_CHECK_EQ(b.rank(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  FATS_CHECK_EQ(k, b.dim(0)) << "matmul inner dims";
+  Tensor c({m, n});
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* cp = c.data();
+  // i-k-j loop order for cache-friendly access to B and C rows.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = ap[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = bp + kk * n;
+      float* crow = cp + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
+  FATS_CHECK_EQ(a.rank(), 2);
+  FATS_CHECK_EQ(b.rank(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  FATS_CHECK_EQ(k, b.dim(1)) << "matmul^T inner dims";
+  Tensor c({m, n});
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* cp = c.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = ap + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = bp + j * k;
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      cp[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransposeA(const Tensor& a, const Tensor& b) {
+  FATS_CHECK_EQ(a.rank(), 2);
+  FATS_CHECK_EQ(b.rank(), 2);
+  const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  FATS_CHECK_EQ(k, b.dim(0)) << "matmul A^T inner dims";
+  Tensor c({m, n});
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* cp = c.data();
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = ap + kk * m;
+    const float* brow = bp + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = cp + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+void AddRowwise(Tensor* m, const Tensor& bias) {
+  FATS_CHECK_EQ(m->rank(), 2);
+  FATS_CHECK_EQ(bias.rank(), 1);
+  const int64_t rows = m->dim(0), n = m->dim(1);
+  FATS_CHECK_EQ(n, bias.dim(0));
+  float* mp = m->data();
+  const float* bp = bias.data();
+  for (int64_t i = 0; i < rows; ++i) {
+    float* row = mp + i * n;
+    for (int64_t j = 0; j < n; ++j) row[j] += bp[j];
+  }
+}
+
+Tensor SumRows(const Tensor& m) {
+  FATS_CHECK_EQ(m.rank(), 2);
+  const int64_t rows = m.dim(0), n = m.dim(1);
+  Tensor out({n});
+  const float* mp = m.data();
+  float* op = out.data();
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* row = mp + i * n;
+    for (int64_t j = 0; j < n; ++j) op[j] += row[j];
+  }
+  return out;
+}
+
+Tensor Hadamard(const Tensor& a, const Tensor& b) {
+  FATS_CHECK(a.shape() == b.shape()) << "hadamard shape mismatch";
+  Tensor out = a;
+  float* op = out.data();
+  const float* bp = b.data();
+  for (int64_t i = 0; i < out.size(); ++i) op[i] *= bp[i];
+  return out;
+}
+
+Tensor Transpose(const Tensor& m) {
+  FATS_CHECK_EQ(m.rank(), 2);
+  const int64_t rows = m.dim(0), cols = m.dim(1);
+  Tensor out({cols, rows});
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      out.at(j, i) = m.at(i, j);
+    }
+  }
+  return out;
+}
+
+Tensor SoftmaxRows(const Tensor& logits) {
+  FATS_CHECK_EQ(logits.rank(), 2);
+  const int64_t rows = logits.dim(0), n = logits.dim(1);
+  Tensor out = logits;
+  float* op = out.data();
+  for (int64_t i = 0; i < rows; ++i) {
+    float* row = op + i * n;
+    float max_v = row[0];
+    for (int64_t j = 1; j < n; ++j) max_v = std::max(max_v, row[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      row[j] = std::exp(row[j] - max_v);
+      sum += row[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t j = 0; j < n; ++j) row[j] *= inv;
+  }
+  return out;
+}
+
+}  // namespace fats

@@ -1,0 +1,36 @@
+// Free-function tensor kernels used by the nn layers.
+
+#ifndef FATS_TENSOR_TENSOR_OPS_H_
+#define FATS_TENSOR_TENSOR_OPS_H_
+
+#include "tensor/tensor.h"
+
+namespace fats {
+
+/// C = A (m x k) * B (k x n). Shapes are checked.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// C = A (m x k) * B^T where B is (n x k).
+Tensor MatMulTransposeB(const Tensor& a, const Tensor& b);
+
+/// C = A^T (k x m -> m x k view) * B (k x n): i.e. C = A.T @ B for A (k x m).
+Tensor MatMulTransposeA(const Tensor& a, const Tensor& b);
+
+/// Adds `bias` (length n) to every row of `m` (rows x n), in place.
+void AddRowwise(Tensor* m, const Tensor& bias);
+
+/// Sums the rows of `m` (rows x n) into a length-n vector.
+Tensor SumRows(const Tensor& m);
+
+/// Elementwise product.
+Tensor Hadamard(const Tensor& a, const Tensor& b);
+
+/// Transposes a 2-D tensor.
+Tensor Transpose(const Tensor& m);
+
+/// Row-wise softmax of a (rows x n) tensor (numerically stabilized).
+Tensor SoftmaxRows(const Tensor& logits);
+
+}  // namespace fats
+
+#endif  // FATS_TENSOR_TENSOR_OPS_H_

@@ -1,0 +1,158 @@
+#include "util/binary_io.h"
+
+#include <cstring>
+
+namespace fats {
+
+namespace {
+
+// The format is little-endian; on big-endian hosts values would need
+// swapping. All supported targets are little-endian, which we verify once.
+bool HostIsLittleEndian() {
+  const uint32_t probe = 1;
+  uint8_t first;
+  std::memcpy(&first, &probe, 1);
+  return first == 1;
+}
+
+}  // namespace
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : file_(path, std::ios::binary | std::ios::trunc) {
+  if (!HostIsLittleEndian()) {
+    status_ = Status::Unimplemented("big-endian hosts are not supported");
+    return;
+  }
+  if (!file_.is_open()) {
+    status_ = Status::IoError("cannot open for writing: " + path);
+  }
+}
+
+void BinaryWriter::WriteBytes(const void* data, size_t size) {
+  if (!status_.ok()) return;
+  file_.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+  if (!file_.good()) status_ = Status::IoError("write failed");
+}
+
+void BinaryWriter::WriteU32(uint32_t value) { WriteBytes(&value, 4); }
+void BinaryWriter::WriteU64(uint64_t value) { WriteBytes(&value, 8); }
+void BinaryWriter::WriteI64(int64_t value) { WriteBytes(&value, 8); }
+void BinaryWriter::WriteDouble(double value) { WriteBytes(&value, 8); }
+void BinaryWriter::WriteFloat(float value) { WriteBytes(&value, 4); }
+
+void BinaryWriter::WriteString(const std::string& value) {
+  WriteU64(value.size());
+  WriteBytes(value.data(), value.size());
+}
+
+void BinaryWriter::WriteI64Vector(const std::vector<int64_t>& values) {
+  WriteU64(values.size());
+  WriteBytes(values.data(), values.size() * sizeof(int64_t));
+}
+
+void BinaryWriter::WriteFloatVector(const std::vector<float>& values) {
+  WriteU64(values.size());
+  WriteBytes(values.data(), values.size() * sizeof(float));
+}
+
+Status BinaryWriter::Finish() {
+  if (status_.ok()) {
+    file_.flush();
+    if (!file_.good()) status_ = Status::IoError("flush failed");
+  }
+  return status_;
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : file_(path, std::ios::binary) {
+  if (!HostIsLittleEndian()) {
+    status_ = Status::Unimplemented("big-endian hosts are not supported");
+    return;
+  }
+  if (!file_.is_open()) {
+    status_ = Status::IoError("cannot open for reading: " + path);
+    return;
+  }
+  file_.seekg(0, std::ios::end);
+  size_ = static_cast<int64_t>(file_.tellg());
+  file_.seekg(0, std::ios::beg);
+}
+
+Status BinaryReader::ReadBytes(void* data, size_t size) {
+  FATS_RETURN_NOT_OK(status_);
+  if (position_ + static_cast<int64_t>(size) > size_) {
+    status_ = Status::IoError("unexpected end of file");
+    return status_;
+  }
+  file_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  if (!file_.good()) {
+    status_ = Status::IoError("read failed");
+    return status_;
+  }
+  position_ += static_cast<int64_t>(size);
+  return Status::OK();
+}
+
+Result<uint32_t> BinaryReader::ReadU32() {
+  uint32_t value = 0;
+  FATS_RETURN_NOT_OK(ReadBytes(&value, 4));
+  return value;
+}
+
+Result<uint64_t> BinaryReader::ReadU64() {
+  uint64_t value = 0;
+  FATS_RETURN_NOT_OK(ReadBytes(&value, 8));
+  return value;
+}
+
+Result<int64_t> BinaryReader::ReadI64() {
+  int64_t value = 0;
+  FATS_RETURN_NOT_OK(ReadBytes(&value, 8));
+  return value;
+}
+
+Result<double> BinaryReader::ReadDouble() {
+  double value = 0;
+  FATS_RETURN_NOT_OK(ReadBytes(&value, 8));
+  return value;
+}
+
+Result<float> BinaryReader::ReadFloat() {
+  float value = 0;
+  FATS_RETURN_NOT_OK(ReadBytes(&value, 4));
+  return value;
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  FATS_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
+  if (size > static_cast<uint64_t>(remaining())) {
+    return Status::IoError("string length exceeds file size");
+  }
+  std::string value(size, '\0');
+  FATS_RETURN_NOT_OK(ReadBytes(value.data(), size));
+  return value;
+}
+
+Result<std::vector<int64_t>> BinaryReader::ReadI64Vector() {
+  FATS_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
+  // Divide instead of multiplying: a corrupted length must not overflow.
+  if (size > static_cast<uint64_t>(remaining()) / sizeof(int64_t)) {
+    return Status::IoError("vector length exceeds file size");
+  }
+  std::vector<int64_t> values(size);
+  FATS_RETURN_NOT_OK(ReadBytes(values.data(), size * sizeof(int64_t)));
+  return values;
+}
+
+Result<std::vector<float>> BinaryReader::ReadFloatVector() {
+  FATS_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
+  if (size > static_cast<uint64_t>(remaining()) / sizeof(float)) {
+    return Status::IoError("vector length exceeds file size");
+  }
+  std::vector<float> values(size);
+  FATS_RETURN_NOT_OK(ReadBytes(values.data(), size * sizeof(float)));
+  return values;
+}
+
+}  // namespace fats

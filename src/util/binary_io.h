@@ -1,0 +1,83 @@
+// Buffered little-endian binary file IO for checkpoints.
+//
+// All multi-byte values are written little-endian regardless of host order
+// (the library targets x86-64/ARM64 where this is a no-op, but the format
+// is pinned for portability). Readers validate lengths against the
+// remaining file size so corrupt or truncated files fail with a Status
+// instead of an allocation blow-up.
+
+#ifndef FATS_UTIL_BINARY_IO_H_
+#define FATS_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fats {
+
+class BinaryWriter {
+ public:
+  /// Opens `path` for writing (truncates). Check status() before use.
+  explicit BinaryWriter(const std::string& path);
+
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  void WriteU32(uint32_t value);
+  void WriteU64(uint64_t value);
+  void WriteI64(int64_t value);
+  void WriteDouble(double value);
+  void WriteFloat(float value);
+  /// Length-prefixed (u64) byte string.
+  void WriteString(const std::string& value);
+  /// Length-prefixed arrays.
+  void WriteI64Vector(const std::vector<int64_t>& values);
+  void WriteFloatVector(const std::vector<float>& values);
+
+  /// Flushes and reports the first error encountered, if any.
+  Status Finish();
+  const Status& status() const { return status_; }
+
+ private:
+  void WriteBytes(const void* data, size_t size);
+
+  std::ofstream file_;
+  Status status_;
+};
+
+class BinaryReader {
+ public:
+  /// Opens `path` for reading. Check status() before use.
+  explicit BinaryReader(const std::string& path);
+
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<double> ReadDouble();
+  Result<float> ReadFloat();
+  Result<std::string> ReadString();
+  Result<std::vector<int64_t>> ReadI64Vector();
+  Result<std::vector<float>> ReadFloatVector();
+
+  const Status& status() const { return status_; }
+  /// Bytes left in the file.
+  int64_t remaining() const { return size_ - position_; }
+
+ private:
+  Status ReadBytes(void* data, size_t size);
+
+  std::ifstream file_;
+  int64_t size_ = 0;
+  int64_t position_ = 0;
+  Status status_;
+};
+
+}  // namespace fats
+
+#endif  // FATS_UTIL_BINARY_IO_H_

@@ -1,0 +1,54 @@
+#include "util/csv_writer.h"
+
+#include "util/logging.h"
+
+namespace fats {
+
+CsvWriter::CsvWriter(std::ostream* out, std::string line_prefix)
+    : out_(out), line_prefix_(std::move(line_prefix)) {
+  FATS_CHECK(out_ != nullptr);
+}
+
+CsvWriter::CsvWriter(const std::string& path) : file_(path) {
+  if (!file_.is_open()) {
+    status_ = Status::IoError("cannot open CSV file: " + path);
+    return;
+  }
+  out_ = &file_;
+}
+
+void CsvWriter::WriteHeader(const std::vector<std::string>& columns) {
+  if (header_written_ || !status_.ok()) return;
+  header_written_ = true;
+  WriteRow(columns);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!status_.ok()) return;
+  *out_ << line_prefix_;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out_ << ",";
+    *out_ << CsvEscape(fields[i]);
+  }
+  *out_ << "\n";
+}
+
+std::string CsvEscape(const std::string& value) {
+  bool needs_quotes = false;
+  for (char c : value) {
+    if (c == ',' || c == '"' || c == '\n') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return value;
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace fats

@@ -1,0 +1,52 @@
+// CSV emission for benchmark harnesses.
+//
+// Every bench in bench/ prints both a human-readable table and
+// machine-readable CSV rows. CsvWriter targets either a file or an ostream
+// (typically std::cout with a "# CSV," line prefix so rows survive being
+// interleaved with other output).
+
+#ifndef FATS_UTIL_CSV_WRITER_H_
+#define FATS_UTIL_CSV_WRITER_H_
+
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fats {
+
+class CsvWriter {
+ public:
+  /// Writes rows to `out` (not owned), each prefixed with `line_prefix`.
+  CsvWriter(std::ostream* out, std::string line_prefix);
+
+  /// Opens `path` for writing. Check `status()` before use.
+  explicit CsvWriter(const std::string& path);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  const Status& status() const { return status_; }
+
+  /// Writes the header row once; subsequent calls are no-ops.
+  void WriteHeader(const std::vector<std::string>& columns);
+
+  /// Writes one data row. Fields containing commas or quotes are quoted.
+  void WriteRow(const std::vector<std::string>& fields);
+
+ private:
+  std::ofstream file_;
+  std::ostream* out_ = nullptr;
+  std::string line_prefix_;
+  bool header_written_ = false;
+  Status status_;
+};
+
+/// Renders `value` for a CSV field, quoting when needed.
+std::string CsvEscape(const std::string& value);
+
+}  // namespace fats
+
+#endif  // FATS_UTIL_CSV_WRITER_H_

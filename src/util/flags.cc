@@ -1,0 +1,144 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace fats {
+
+std::string* FlagParser::AddString(const std::string& name,
+                                   std::string default_value,
+                                   std::string help) {
+  string_storage_.push_back(
+      std::make_unique<std::string>(std::move(default_value)));
+  Flag flag;
+  flag.type = Type::kString;
+  flag.help = std::move(help);
+  flag.string_value = string_storage_.back().get();
+  flag.default_repr = *flag.string_value;
+  flags_[name] = flag;
+  return flag.string_value;
+}
+
+int64_t* FlagParser::AddInt(const std::string& name, int64_t default_value,
+                            std::string help) {
+  int_storage_.push_back(std::make_unique<int64_t>(default_value));
+  Flag flag;
+  flag.type = Type::kInt;
+  flag.help = std::move(help);
+  flag.int_value = int_storage_.back().get();
+  flag.default_repr = std::to_string(default_value);
+  flags_[name] = flag;
+  return flag.int_value;
+}
+
+double* FlagParser::AddDouble(const std::string& name, double default_value,
+                              std::string help) {
+  double_storage_.push_back(std::make_unique<double>(default_value));
+  Flag flag;
+  flag.type = Type::kDouble;
+  flag.help = std::move(help);
+  flag.double_value = double_storage_.back().get();
+  flag.default_repr = std::to_string(default_value);
+  flags_[name] = flag;
+  return flag.double_value;
+}
+
+bool* FlagParser::AddBool(const std::string& name, bool default_value,
+                          std::string help) {
+  bool_storage_.push_back(std::make_unique<bool>(default_value));
+  Flag flag;
+  flag.type = Type::kBool;
+  flag.help = std::move(help);
+  flag.bool_value = bool_storage_.back().get();
+  flag.default_repr = default_value ? "true" : "false";
+  flags_[name] = flag;
+  return flag.bool_value;
+}
+
+Status FlagParser::SetFlag(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag: --" + name);
+  }
+  Flag& flag = it->second;
+  switch (flag.type) {
+    case Type::kString:
+      *flag.string_value = value;
+      return Status::OK();
+    case Type::kInt: {
+      char* end = nullptr;
+      int64_t v = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects an integer, got: " + value);
+      }
+      *flag.int_value = v;
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects a number, got: " + value);
+      }
+      *flag.double_value = v;
+      return Status::OK();
+    }
+    case Type::kBool: {
+      if (value == "true" || value == "1" || value.empty()) {
+        *flag.bool_value = true;
+      } else if (value == "false" || value == "0") {
+        *flag.bool_value = false;
+      } else {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects true/false, got: " + value);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fprintf(stdout, "%s", Usage().c_str());
+      return Status::NotFound("help requested");
+    }
+    if (!StartsWith(arg, "--")) {
+      return Status::InvalidArgument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = flags_.find(name);
+      bool is_bool = it != flags_.end() && it->second.type == Type::kBool;
+      if (!is_bool && i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+        value = argv[++i];
+      }
+    }
+    FATS_RETURN_NOT_OK(SetFlag(name, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Usage() const {
+  std::string out = "Flags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out += StrFormat("  --%-24s %s (default: %s)\n", name.c_str(),
+                     flag.help.c_str(), flag.default_repr.c_str());
+  }
+  return out;
+}
+
+}  // namespace fats

@@ -1,0 +1,65 @@
+// A tiny command-line flag parser for bench and example binaries.
+//
+// Supported syntax: --name=value, --name value, and bare --name for booleans.
+// Unknown flags are reported as errors so typos do not silently change an
+// experiment's parameters.
+
+#ifndef FATS_UTIL_FLAGS_H_
+#define FATS_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fats {
+
+class FlagParser {
+ public:
+  FlagParser() = default;
+
+  /// Registers a flag with a default value and a help string. Returns a
+  /// pointer whose pointee is updated by Parse().
+  std::string* AddString(const std::string& name, std::string default_value,
+                         std::string help);
+  int64_t* AddInt(const std::string& name, int64_t default_value,
+                  std::string help);
+  double* AddDouble(const std::string& name, double default_value,
+                    std::string help);
+  bool* AddBool(const std::string& name, bool default_value, std::string help);
+
+  /// Parses argv. On `--help` prints usage and returns a NotFound status the
+  /// caller should treat as "exit 0".
+  Status Parse(int argc, char** argv);
+
+  /// One line per flag: name, default, help.
+  std::string Usage() const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string* string_value = nullptr;
+    int64_t* int_value = nullptr;
+    double* double_value = nullptr;
+    bool* bool_value = nullptr;
+    std::string default_repr;
+  };
+
+  Status SetFlag(const std::string& name, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+  // Owned storage for the registered flag values.
+  std::vector<std::unique_ptr<std::string>> string_storage_;
+  std::vector<std::unique_ptr<int64_t>> int_storage_;
+  std::vector<std::unique_ptr<double>> double_storage_;
+  std::vector<std::unique_ptr<bool>> bool_storage_;
+};
+
+}  // namespace fats
+
+#endif  // FATS_UTIL_FLAGS_H_

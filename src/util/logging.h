@@ -1,0 +1,84 @@
+// Minimal logging and CHECK macros.
+//
+// CHECK macros abort the process on violated invariants (programming errors);
+// recoverable, data-dependent failures use util/status.h instead.
+
+#ifndef FATS_UTIL_LOGGING_H_
+#define FATS_UTIL_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace fats {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+namespace internal {
+
+/// Accumulates a log line and emits it (to stderr) on destruction.
+/// A kFatal message aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Messages below this level are suppressed. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// True if a message at `level` would currently be emitted.
+bool LogLevelEnabled(LogLevel level);
+
+#define FATS_LOG(level)                                               \
+  if (::fats::LogLevelEnabled(::fats::LogLevel::k##level))            \
+  ::fats::internal::LogMessage(::fats::LogLevel::k##level, __FILE__,  \
+                               __LINE__)                              \
+      .stream()
+
+#define FATS_CHECK(condition)                                             \
+  if (!(condition))                                                       \
+  ::fats::internal::LogMessage(::fats::LogLevel::kFatal, __FILE__,        \
+                               __LINE__)                                  \
+          .stream()                                                       \
+      << "Check failed: " #condition " "
+
+#define FATS_CHECK_OP(a, b, op) \
+  FATS_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define FATS_CHECK_EQ(a, b) FATS_CHECK_OP(a, b, ==)
+#define FATS_CHECK_NE(a, b) FATS_CHECK_OP(a, b, !=)
+#define FATS_CHECK_LT(a, b) FATS_CHECK_OP(a, b, <)
+#define FATS_CHECK_LE(a, b) FATS_CHECK_OP(a, b, <=)
+#define FATS_CHECK_GT(a, b) FATS_CHECK_OP(a, b, >)
+#define FATS_CHECK_GE(a, b) FATS_CHECK_OP(a, b, >=)
+
+#define FATS_CHECK_OK(expr)                            \
+  do {                                                 \
+    ::fats::Status _st = (expr);                       \
+    FATS_CHECK(_st.ok()) << _st.ToString();            \
+  } while (false)
+
+#define FATS_DCHECK(condition) FATS_CHECK(condition)
+
+}  // namespace fats
+
+#endif  // FATS_UTIL_LOGGING_H_

@@ -1,0 +1,3 @@
+// Stopwatch is header-only; this TU exists so the build file can list the
+// module uniformly.
+#include "util/stopwatch.h"

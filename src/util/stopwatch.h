@@ -1,0 +1,36 @@
+// Wall-clock stopwatch for coarse timing in benches and examples.
+
+#ifndef FATS_UTIL_STOPWATCH_H_
+#define FATS_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace fats {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMillis() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fats
+
+#endif  // FATS_UTIL_STOPWATCH_H_

@@ -1,0 +1,34 @@
+// Small string helpers shared across the library.
+
+#ifndef FATS_UTIL_STRING_UTIL_H_
+#define FATS_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fats {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders `value` with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+}  // namespace fats
+
+#endif  // FATS_UTIL_STRING_UTIL_H_

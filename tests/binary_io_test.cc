@@ -1,0 +1,110 @@
+#include "util/binary_io.h"
+
+#include <gtest/gtest.h>
+
+namespace fats {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(BinaryIoTest, RoundTripsAllTypes) {
+  const std::string path = TempPath("binary_io_roundtrip.bin");
+  {
+    BinaryWriter writer(path);
+    ASSERT_TRUE(writer.status().ok());
+    writer.WriteU32(0xDEADBEEFu);
+    writer.WriteU64(0x0123456789ABCDEFull);
+    writer.WriteI64(-42);
+    writer.WriteDouble(3.14159);
+    writer.WriteFloat(2.5f);
+    writer.WriteString("hello checkpoint");
+    writer.WriteI64Vector({1, -2, 3});
+    writer.WriteFloatVector({0.5f, -0.25f});
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  BinaryReader reader(path);
+  ASSERT_TRUE(reader.status().ok());
+  EXPECT_EQ(reader.ReadU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.ReadU64().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(reader.ReadI64().value(), -42);
+  EXPECT_DOUBLE_EQ(reader.ReadDouble().value(), 3.14159);
+  EXPECT_FLOAT_EQ(reader.ReadFloat().value(), 2.5f);
+  EXPECT_EQ(reader.ReadString().value(), "hello checkpoint");
+  EXPECT_EQ(reader.ReadI64Vector().value(), (std::vector<int64_t>{1, -2, 3}));
+  EXPECT_EQ(reader.ReadFloatVector().value(),
+            (std::vector<float>{0.5f, -0.25f}));
+  EXPECT_EQ(reader.remaining(), 0);
+}
+
+TEST(BinaryIoTest, EmptyContainersRoundTrip) {
+  const std::string path = TempPath("binary_io_empty.bin");
+  {
+    BinaryWriter writer(path);
+    writer.WriteString("");
+    writer.WriteI64Vector({});
+    writer.WriteFloatVector({});
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  BinaryReader reader(path);
+  EXPECT_EQ(reader.ReadString().value(), "");
+  EXPECT_TRUE(reader.ReadI64Vector().value().empty());
+  EXPECT_TRUE(reader.ReadFloatVector().value().empty());
+}
+
+TEST(BinaryIoTest, MissingFileFailsCleanly) {
+  BinaryReader reader("/nonexistent_dir_zzz/missing.bin");
+  EXPECT_FALSE(reader.status().ok());
+  EXPECT_FALSE(reader.ReadU32().ok());
+}
+
+TEST(BinaryIoTest, UnwritablePathFailsCleanly) {
+  BinaryWriter writer("/nonexistent_dir_zzz/out.bin");
+  EXPECT_FALSE(writer.status().ok());
+  writer.WriteU32(1);  // must not crash
+  EXPECT_FALSE(writer.Finish().ok());
+}
+
+TEST(BinaryIoTest, TruncatedFileFailsWithoutOverread) {
+  const std::string path = TempPath("binary_io_truncated.bin");
+  {
+    BinaryWriter writer(path);
+    writer.WriteU32(7);
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  BinaryReader reader(path);
+  EXPECT_TRUE(reader.ReadU32().ok());
+  EXPECT_FALSE(reader.ReadU64().ok());  // only 4 bytes existed
+}
+
+TEST(BinaryIoTest, CorruptLengthPrefixRejected) {
+  const std::string path = TempPath("binary_io_badlen.bin");
+  {
+    BinaryWriter writer(path);
+    // A vector length far larger than the file.
+    writer.WriteU64(1ull << 40);
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  BinaryReader reader(path);
+  Result<std::vector<int64_t>> v = reader.ReadI64Vector();
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kIoError);
+}
+
+TEST(BinaryIoTest, RemainingTracksPosition) {
+  const std::string path = TempPath("binary_io_remaining.bin");
+  {
+    BinaryWriter writer(path);
+    writer.WriteU64(1);
+    writer.WriteU64(2);
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  BinaryReader reader(path);
+  EXPECT_EQ(reader.remaining(), 16);
+  ASSERT_TRUE(reader.ReadU64().ok());
+  EXPECT_EQ(reader.remaining(), 8);
+}
+
+}  // namespace
+}  // namespace fats

@@ -1,0 +1,150 @@
+// Statistical verification of Claim 1 (Appendix B.3): the mini-batch law
+// after deletion equals ξ(N−1, b).
+//
+// Two facts are checked on a small instance where all C(N−1, b) batches can
+// be enumerated:
+//   1. The library's post-deletion sampler (positions over the active set)
+//      is uniform over the subsets avoiding the deleted sample, each with
+//      probability 1/C(N−1, b).
+//   2. It matches the conditional law ξ(N, b | X_u ∉ B) obtained by
+//      rejection from the pre-deletion sampler — the equality proved in
+//      Claim 1, Case 2.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "fl/client.h"
+#include "test_workloads.h"
+
+namespace fats {
+namespace {
+
+// 99.9% chi-square critical value via the Wilson-Hilferty approximation.
+double ChiSquareCritical999(int dof) {
+  const double z = 3.0902;  // Phi^{-1}(0.999)
+  const double d = static_cast<double>(dof);
+  const double term = 1.0 - 2.0 / (9.0 * d) + z * std::sqrt(2.0 / (9.0 * d));
+  return d * term * term * term;
+}
+
+std::string EncodeBatch(const std::vector<int64_t>& batch) {
+  std::string out;
+  for (int64_t i : batch) {
+    out += std::to_string(i);
+    out += ',';
+  }
+  return out;
+}
+
+int64_t Binomial(int64_t n, int64_t k) {
+  int64_t result = 1;
+  for (int64_t i = 0; i < k; ++i) {
+    result = result * (n - i) / (i + 1);
+  }
+  return result;
+}
+
+class Claim1Test : public testing::TestWithParam<std::pair<int64_t, int64_t>> {
+};
+
+TEST_P(Claim1Test, PostDeletionSamplerIsUniformOverReducedSubsets) {
+  const auto [n, b] = GetParam();
+  FederatedDataset data = TinyImageData(1, n);
+  const SampleRef deleted{0, 1};  // delete sample index 1
+  ASSERT_TRUE(data.RemoveSample(deleted).ok());
+  Model model(TinyModelSpec(), 1);
+  ClientRuntime runtime(&data, &model);
+
+  const int64_t num_subsets = Binomial(n - 1, b);
+  const int trials = 4000 * static_cast<int>(num_subsets);
+  RngStream rng(uint64_t{17});
+  std::map<std::string, int> counts;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<int64_t> batch = runtime.SampleMinibatch(0, b, &rng);
+    EXPECT_EQ(std::count(batch.begin(), batch.end(), deleted.index), 0);
+    counts[EncodeBatch(batch)]++;
+  }
+  ASSERT_EQ(static_cast<int64_t>(counts.size()), num_subsets)
+      << "not all subsets of the reduced data observed";
+  const double expected = static_cast<double>(trials) / num_subsets;
+  double chi2 = 0.0;
+  for (const auto& [batch, count] : counts) {
+    chi2 += (count - expected) * (count - expected) / expected;
+  }
+  EXPECT_LT(chi2, ChiSquareCritical999(static_cast<int>(num_subsets) - 1));
+}
+
+TEST_P(Claim1Test, ConditionalLawEqualsReducedLaw) {
+  const auto [n, b] = GetParam();
+  // Arm 1: rejection from ξ(N, b) conditioned on X_u ∉ B.
+  FederatedDataset full = TinyImageData(1, n);
+  Model model(TinyModelSpec(), 1);
+  ClientRuntime full_runtime(&full, &model);
+  // Arm 2: the reduced sampler ξ(N−1, b).
+  FederatedDataset reduced = TinyImageData(1, n);
+  ASSERT_TRUE(reduced.RemoveSample({0, 1}).ok());
+  ClientRuntime reduced_runtime(&reduced, &model);
+
+  const int64_t num_subsets = Binomial(n - 1, b);
+  const int target = 3000 * static_cast<int>(num_subsets);
+  RngStream rng_full(uint64_t{18});
+  RngStream rng_reduced(uint64_t{19});
+  std::map<std::string, std::pair<int, int>> counts;
+  int accepted = 0;
+  while (accepted < target) {
+    std::vector<int64_t> batch = full_runtime.SampleMinibatch(0, b, &rng_full);
+    if (std::count(batch.begin(), batch.end(), 1) > 0) continue;  // reject
+    counts[EncodeBatch(batch)].first++;
+    ++accepted;
+  }
+  for (int trial = 0; trial < target; ++trial) {
+    counts[EncodeBatch(reduced_runtime.SampleMinibatch(0, b, &rng_reduced))]
+        .second++;
+  }
+  // Two-sample chi-square (equal sample sizes).
+  double chi2 = 0.0;
+  int dof = -1;
+  for (const auto& [batch, pair] : counts) {
+    const double total = pair.first + pair.second;
+    const double expected = total / 2.0;
+    chi2 += (pair.first - expected) * (pair.first - expected) / expected;
+    chi2 += (pair.second - expected) * (pair.second - expected) / expected;
+    ++dof;
+  }
+  ASSERT_GT(dof, 0);
+  EXPECT_LT(chi2, ChiSquareCritical999(dof));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallInstances, Claim1Test,
+    testing::Values(std::make_pair<int64_t, int64_t>(5, 2),
+                    std::make_pair<int64_t, int64_t>(4, 1),
+                    std::make_pair<int64_t, int64_t>(6, 3)),
+    [](const testing::TestParamInfo<std::pair<int64_t, int64_t>>& info) {
+      return "N" + std::to_string(info.param.first) + "b" +
+             std::to_string(info.param.second);
+    });
+
+TEST(Claim1FormulaTest, InclusionProbabilityMatchesBOverN) {
+  // ξ(N,b)({X_u ∈ B}) = b/N, the quantity used in the Claim 1 proof.
+  const int64_t n = 8;
+  const int64_t b = 3;
+  FederatedDataset data = TinyImageData(1, n);
+  Model model(TinyModelSpec(), 1);
+  ClientRuntime runtime(&data, &model);
+  RngStream rng(uint64_t{20});
+  const int trials = 40000;
+  int contains = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<int64_t> batch = runtime.SampleMinibatch(0, b, &rng);
+    if (std::count(batch.begin(), batch.end(), 2) > 0) ++contains;
+  }
+  EXPECT_NEAR(contains / static_cast<double>(trials),
+              static_cast<double>(b) / n, 0.01);
+}
+
+}  // namespace
+}  // namespace fats

@@ -1,0 +1,133 @@
+// End-to-end tests for tools/fats_cli, driven as a subprocess.
+//
+// The binary path is injected by CMake via FATS_CLI_PATH.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace fats {
+namespace {
+
+#ifndef FATS_CLI_PATH
+#define FATS_CLI_PATH "build/tools/fats_cli"
+#endif
+
+std::string Checkpoint() { return testing::TempDir() + "/cli_test.ckpt"; }
+
+/// Runs the CLI with `args`, returns the exit code and captures stdout+err.
+int RunCli(const std::string& args, std::string* output) {
+  const std::string out_path = testing::TempDir() + "/cli_test_out.txt";
+  const std::string command =
+      std::string(FATS_CLI_PATH) + " " + args + " > " + out_path + " 2>&1";
+  const int raw = std::system(command.c_str());
+  std::ifstream in(out_path);
+  output->assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  return WEXITSTATUS(raw);
+}
+
+std::string CommonFlags() {
+  return "--profile=mnist --rounds=6 --checkpoint=" + Checkpoint();
+}
+
+class CliTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    std::remove(Checkpoint().c_str());
+    std::remove((Checkpoint() + ".deletions").c_str());
+  }
+};
+
+TEST_F(CliTest, NoArgumentsPrintsUsage) {
+  std::string output;
+  EXPECT_EQ(RunCli("", &output), 2);
+  EXPECT_NE(output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  std::string output;
+  EXPECT_EQ(RunCli("frobnicate", &output), 2);
+  EXPECT_NE(output.find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownFlagFails) {
+  std::string output;
+  EXPECT_EQ(RunCli("train --bogus=1", &output), 2);
+  EXPECT_NE(output.find("unknown flag"), std::string::npos);
+}
+
+TEST_F(CliTest, FullLifecycle) {
+  std::string output;
+  // Train halfway and checkpoint.
+  ASSERT_EQ(RunCli("train " + CommonFlags() + " --until_iter=15", &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("iteration 15 / 30"), std::string::npos) << output;
+  EXPECT_NE(output.find("checkpoint written"), std::string::npos);
+
+  // Unlearn a sample against the checkpoint.
+  ASSERT_EQ(RunCli("unlearn-sample " + CommonFlags() +
+                       " --client=3 --index=7",
+                   &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("unlearned sample"), std::string::npos);
+
+  // Unlearn a client.
+  ASSERT_EQ(RunCli("unlearn-client " + CommonFlags() + " --client=9",
+                   &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("unlearned client"), std::string::npos);
+
+  // Resume to completion.
+  ASSERT_EQ(RunCli("resume " + CommonFlags(), &output), 0) << output;
+  EXPECT_NE(output.find("iteration 30 / 30"), std::string::npos) << output;
+
+  // Inspect.
+  ASSERT_EQ(RunCli("info " + CommonFlags(), &output), 0) << output;
+  EXPECT_NE(output.find("lambda^"), std::string::npos);
+  EXPECT_NE(output.find("active=59"), std::string::npos)
+      << "deletion journal must keep the data view consistent: " << output;
+}
+
+TEST_F(CliTest, UnlearnWithoutCheckpointFails) {
+  std::string output;
+  EXPECT_EQ(RunCli("unlearn-sample " + CommonFlags() +
+                       " --client=0 --index=0",
+                   &output),
+            1);
+  EXPECT_NE(output.find("error:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnlearnRequiresTargetFlags) {
+  std::string output;
+  ASSERT_EQ(RunCli("train " + CommonFlags() + " --until_iter=10", &output),
+            0);
+  EXPECT_EQ(RunCli("unlearn-sample " + CommonFlags(), &output), 1);
+  EXPECT_NE(output.find("--client is required"), std::string::npos);
+  EXPECT_EQ(RunCli("unlearn-sample " + CommonFlags() + " --client=1",
+                   &output),
+            1);
+  EXPECT_NE(output.find("--index is required"), std::string::npos);
+}
+
+TEST_F(CliTest, DoubleDeletionRejected) {
+  std::string output;
+  ASSERT_EQ(RunCli("train " + CommonFlags(), &output), 0);
+  ASSERT_EQ(RunCli("unlearn-client " + CommonFlags() + " --client=2",
+                   &output),
+            0);
+  EXPECT_EQ(RunCli("unlearn-client " + CommonFlags() + " --client=2",
+                   &output),
+            1)
+      << output;
+  EXPECT_NE(output.find("already removed"), std::string::npos) << output;
+}
+
+}  // namespace
+}  // namespace fats

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "fl/client.h"
+#include "fl/server.h"
+
+namespace fats {
+namespace {
+
+FederatedDataset MakeFederated(int64_t clients, int64_t n) {
+  std::vector<InMemoryDataset> shards;
+  for (int64_t k = 0; k < clients; ++k) {
+    Tensor features({n, 2});
+    std::vector<int64_t> labels;
+    for (int64_t i = 0; i < n; ++i) {
+      features.at(i, 0) = static_cast<float>(k);
+      features.at(i, 1) = static_cast<float>(i);
+      labels.push_back(i % 2);
+    }
+    shards.emplace_back(std::move(features), std::move(labels), 2);
+  }
+  Tensor test_features({4, 2});
+  return FederatedDataset(std::move(shards),
+                          InMemoryDataset(std::move(test_features),
+                                          {0, 1, 0, 1}, 2));
+}
+
+ModelSpec SmallSpec() {
+  ModelSpec spec;
+  spec.kind = ModelKind::kLogReg;
+  spec.input_dim = 2;
+  spec.num_classes = 2;
+  return spec;
+}
+
+TEST(ClientRuntimeTest, MinibatchIsSortedDistinctActive) {
+  FederatedDataset data = MakeFederated(2, 10);
+  Model model(SmallSpec(), 1);
+  ClientRuntime runtime(&data, &model);
+  RngStream rng(uint64_t{3});
+  std::vector<int64_t> batch = runtime.SampleMinibatch(0, 4, &rng);
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(batch.begin(), batch.end()));
+  std::set<int64_t> distinct(batch.begin(), batch.end());
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(ClientRuntimeTest, MinibatchSkipsDeletedSamples) {
+  FederatedDataset data = MakeFederated(2, 5);
+  ASSERT_TRUE(data.RemoveSample({0, 2}).ok());
+  Model model(SmallSpec(), 1);
+  ClientRuntime runtime(&data, &model);
+  RngStream rng(uint64_t{4});
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<int64_t> batch = runtime.SampleMinibatch(0, 3, &rng);
+    EXPECT_EQ(std::count(batch.begin(), batch.end(), 2), 0)
+        << "deleted sample drawn";
+  }
+}
+
+TEST(ClientRuntimeTest, MinibatchMarginalIsUniformOverActive) {
+  FederatedDataset data = MakeFederated(1, 5);
+  ASSERT_TRUE(data.RemoveSample({0, 0}).ok());
+  Model model(SmallSpec(), 1);
+  ClientRuntime runtime(&data, &model);
+  RngStream rng(uint64_t{5});
+  // Active = {1,2,3,4}; P(i in batch of size 2) = 1/2 each.
+  std::map<int64_t, int> counts;
+  const int trials = 8000;
+  for (int trial = 0; trial < trials; ++trial) {
+    for (int64_t i : runtime.SampleMinibatch(0, 2, &rng)) counts[i]++;
+  }
+  for (int64_t i = 1; i <= 4; ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(trials), 0.5, 0.03);
+  }
+}
+
+TEST(ClientRuntimeTest, StepReducesLossOnRepeatedBatch) {
+  FederatedDataset data = MakeFederated(1, 6);
+  Model model(SmallSpec(), 1);
+  ClientRuntime runtime(&data, &model);
+  std::vector<int64_t> batch = {0, 1, 2, 3};
+  double first = runtime.Step(0, batch, 0.2);
+  double last = first;
+  for (int i = 0; i < 30; ++i) last = runtime.Step(0, batch, 0.2);
+  EXPECT_LT(last, first);
+}
+
+TEST(ServerRuntimeTest, WithReplacementSamplesActiveOnly) {
+  FederatedDataset data = MakeFederated(5, 3);
+  ASSERT_TRUE(data.RemoveClient(2).ok());
+  RngStream rng(uint64_t{6});
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<int64_t> sel =
+        ServerRuntime::SampleClientsWithReplacement(data, 4, &rng);
+    ASSERT_EQ(sel.size(), 4u);
+    for (int64_t k : sel) {
+      EXPECT_NE(k, 2);
+      EXPECT_GE(k, 0);
+      EXPECT_LT(k, 5);
+    }
+  }
+}
+
+TEST(ServerRuntimeTest, WithReplacementAllowsDuplicates) {
+  FederatedDataset data = MakeFederated(2, 3);
+  RngStream rng(uint64_t{7});
+  bool found_duplicate = false;
+  for (int trial = 0; trial < 20 && !found_duplicate; ++trial) {
+    std::vector<int64_t> sel =
+        ServerRuntime::SampleClientsWithReplacement(data, 4, &rng);
+    std::set<int64_t> distinct(sel.begin(), sel.end());
+    found_duplicate = distinct.size() < sel.size();
+  }
+  EXPECT_TRUE(found_duplicate);
+}
+
+TEST(ServerRuntimeTest, WithoutReplacementIsDistinct) {
+  FederatedDataset data = MakeFederated(6, 3);
+  RngStream rng(uint64_t{8});
+  std::vector<int64_t> sel =
+      ServerRuntime::SampleClientsWithoutReplacement(data, 4, &rng);
+  std::set<int64_t> distinct(sel.begin(), sel.end());
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(ServerRuntimeTest, ClientMarginalIsUniform) {
+  FederatedDataset data = MakeFederated(4, 3);
+  RngStream rng(uint64_t{9});
+  std::map<int64_t, int> counts;
+  const int trials = 6000;
+  for (int trial = 0; trial < trials; ++trial) {
+    for (int64_t k :
+         ServerRuntime::SampleClientsWithReplacement(data, 2, &rng)) {
+      counts[k]++;
+    }
+  }
+  for (int64_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR(counts[k] / static_cast<double>(2 * trials), 0.25, 0.02);
+  }
+}
+
+TEST(ServerRuntimeTest, AverageModelsIsElementwiseMean) {
+  std::vector<Tensor> models;
+  models.push_back(Tensor({2}, {1, 10}));
+  models.push_back(Tensor({2}, {3, 20}));
+  models.push_back(Tensor({2}, {5, 30}));
+  Tensor avg = ServerRuntime::AverageModels(models);
+  EXPECT_FLOAT_EQ(avg[0], 3.0f);
+  EXPECT_FLOAT_EQ(avg[1], 20.0f);
+}
+
+TEST(ServerRuntimeTest, AverageWithMultiplicityWeighsDuplicates) {
+  std::vector<Tensor> models;
+  models.push_back(Tensor({1}, {1}));
+  models.push_back(Tensor({1}, {1}));
+  models.push_back(Tensor({1}, {4}));
+  Tensor avg = ServerRuntime::AverageModels(models);
+  EXPECT_FLOAT_EQ(avg[0], 2.0f);
+}
+
+}  // namespace
+}  // namespace fats

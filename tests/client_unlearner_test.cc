@@ -1,0 +1,176 @@
+#include "core/client_unlearner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_workloads.h"
+
+namespace fats {
+namespace {
+
+struct Trained {
+  FederatedDataset data;
+  FatsConfig config;
+  std::unique_ptr<FatsTrainer> trainer;
+};
+
+Trained TrainTiny(int64_t clients = 10, int64_t n = 10, int64_t rounds = 4,
+                  int64_t e = 3, double rho_c = 0.5, uint64_t seed = 7) {
+  Trained t;
+  t.data = TinyImageData(clients, n);
+  t.config = TinyFatsConfig(clients, n, rounds, e, 0.5, rho_c, seed);
+  t.trainer =
+      std::make_unique<FatsTrainer>(TinyModelSpec(), t.config, &t.data);
+  t.trainer->Train();
+  return t;
+}
+
+int64_t FindParticipant(const FatsTrainer& trainer,
+                        const FederatedDataset& data) {
+  for (int64_t k = 0; k < data.num_clients(); ++k) {
+    if (trainer.store().EarliestClientRound(k) >= 1) return k;
+  }
+  ADD_FAILURE() << "no participating client found";
+  return 0;
+}
+
+int64_t FindNonParticipant(const FatsTrainer& trainer,
+                           const FederatedDataset& data) {
+  for (int64_t k = 0; k < data.num_clients(); ++k) {
+    if (trainer.store().EarliestClientRound(k) == -1) return k;
+  }
+  return -1;
+}
+
+TEST(ClientUnlearnerTest, NonParticipantNeedsNoRecomputation) {
+  Trained t = TrainTiny(/*clients=*/16);
+  const int64_t target = FindNonParticipant(*t.trainer, t.data);
+  ASSERT_GE(target, 0) << "all clients participated; enlarge M";
+  const Tensor before = t.trainer->global_params();
+  ClientUnlearner unlearner(t.trainer.get());
+  Result<UnlearningOutcome> outcome =
+      unlearner.Unlearn(target, t.config.total_iters_t());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->recomputed);
+  EXPECT_TRUE(t.trainer->global_params().BitwiseEquals(before));
+  EXPECT_FALSE(t.data.client_active(target));
+}
+
+TEST(ClientUnlearnerTest, ParticipantTriggersRecomputationFromFirstRound) {
+  Trained t = TrainTiny();
+  const int64_t target = FindParticipant(*t.trainer, t.data);
+  const int64_t first_round = t.trainer->store().EarliestClientRound(target);
+  ClientUnlearner unlearner(t.trainer.get());
+  Result<UnlearningOutcome> outcome =
+      unlearner.Unlearn(target, t.config.total_iters_t());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->recomputed);
+  EXPECT_EQ(outcome->restart_iteration,
+            (first_round - 1) * t.config.local_iters_e + 1);
+  EXPECT_EQ(outcome->recomputed_rounds,
+            t.config.rounds_r - first_round + 1);
+  EXPECT_FALSE(t.data.client_active(target));
+}
+
+TEST(ClientUnlearnerTest, RecomputedSelectionsExcludeRemovedClient) {
+  Trained t = TrainTiny();
+  const int64_t target = FindParticipant(*t.trainer, t.data);
+  ClientUnlearner unlearner(t.trainer.get());
+  ASSERT_TRUE(unlearner.Unlearn(target, t.config.total_iters_t()).ok());
+  // The refreshed state must never select the removed client.
+  EXPECT_EQ(t.trainer->store().EarliestClientRound(target), -1);
+  for (int64_t r = 1; r <= t.config.rounds_r; ++r) {
+    const std::vector<int64_t>* selection =
+        t.trainer->store().GetClientSelection(r);
+    ASSERT_NE(selection, nullptr);
+    for (int64_t k : *selection) EXPECT_NE(k, target);
+  }
+}
+
+TEST(ClientUnlearnerTest, RequestBeforeFirstParticipationSkips) {
+  Trained t = TrainTiny();
+  // Find a client whose first participation is strictly after round 1.
+  int64_t target = -1;
+  int64_t first_round = -1;
+  for (int64_t k = 0; k < t.data.num_clients(); ++k) {
+    const int64_t round = t.trainer->store().EarliestClientRound(k);
+    if (round > 1) {
+      target = k;
+      first_round = round;
+      break;
+    }
+  }
+  ASSERT_GE(target, 0) << "every participant joined in round 1";
+  const int64_t t_u = (first_round - 1) * t.config.local_iters_e;  // before
+  ClientUnlearner unlearner(t.trainer.get());
+  Result<UnlearningOutcome> outcome = unlearner.Unlearn(target, t_u);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->recomputed);
+}
+
+TEST(ClientUnlearnerTest, DoubleRemoveFails) {
+  Trained t = TrainTiny();
+  const int64_t target = FindParticipant(*t.trainer, t.data);
+  ClientUnlearner unlearner(t.trainer.get());
+  ASSERT_TRUE(unlearner.Unlearn(target, t.config.total_iters_t()).ok());
+  EXPECT_EQ(
+      unlearner.Unlearn(target, t.config.total_iters_t()).status().code(),
+      StatusCode::kFailedPrecondition);
+}
+
+TEST(ClientUnlearnerTest, OutOfRangeTargetFails) {
+  Trained t = TrainTiny();
+  ClientUnlearner unlearner(t.trainer.get());
+  EXPECT_EQ(unlearner.Unlearn(999, 1).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(unlearner.Unlearn(-1, 1).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ClientUnlearnerTest, BatchRemovesAllAndRestartsOnce) {
+  Trained t = TrainTiny(12, 10, 5, 3);
+  std::vector<int64_t> targets;
+  int64_t earliest = t.config.rounds_r + 1;
+  for (int64_t k = 0; k < t.data.num_clients() && targets.size() < 2; ++k) {
+    const int64_t round = t.trainer->store().EarliestClientRound(k);
+    if (round >= 1) {
+      targets.push_back(k);
+      earliest = std::min(earliest, round);
+    }
+  }
+  ASSERT_EQ(targets.size(), 2u);
+  ClientUnlearner unlearner(t.trainer.get());
+  Result<UnlearningOutcome> outcome =
+      unlearner.UnlearnBatch(targets, t.config.total_iters_t());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->recomputed);
+  EXPECT_EQ(outcome->restart_iteration,
+            (earliest - 1) * t.config.local_iters_e + 1);
+  for (int64_t target : targets) {
+    EXPECT_FALSE(t.data.client_active(target));
+  }
+}
+
+TEST(ClientUnlearnerTest, UnlearnedModelKeepsUtility) {
+  Trained t = TrainTiny(10, 12, 10, 3);
+  const double acc_before = t.trainer->EvaluateTestAccuracy();
+  ClientUnlearner unlearner(t.trainer.get());
+  const int64_t target = FindParticipant(*t.trainer, t.data);
+  ASSERT_TRUE(unlearner.Unlearn(target, t.config.total_iters_t()).ok());
+  EXPECT_GT(t.trainer->EvaluateTestAccuracy(), acc_before - 0.2);
+}
+
+TEST(ClientUnlearnerTest, SequentialRemovalsKeepWorking) {
+  Trained t = TrainTiny(12, 10, 4, 3);
+  ClientUnlearner unlearner(t.trainer.get());
+  for (int removed = 0; removed < 3; ++removed) {
+    const int64_t target = FindParticipant(*t.trainer, t.data);
+    ASSERT_TRUE(t.data.client_active(target));
+    ASSERT_TRUE(unlearner.Unlearn(target, t.config.total_iters_t()).ok());
+  }
+  EXPECT_EQ(t.data.num_active_clients(), 9);
+}
+
+}  // namespace
+}  // namespace fats

@@ -1,0 +1,76 @@
+#include "fl/comm_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace fats {
+namespace {
+
+TEST(CommStatsTest, StartsEmpty) {
+  CommStats stats;
+  EXPECT_EQ(stats.rounds(), 0);
+  EXPECT_EQ(stats.total_bytes(), 0);
+  EXPECT_EQ(stats.messages(), 0);
+}
+
+TEST(CommStatsTest, BroadcastCountsDownlinkBytes) {
+  CommStats stats;
+  stats.RecordBroadcast(/*num_clients=*/5, /*model_params=*/100);
+  EXPECT_EQ(stats.downlink_bytes(), 5 * 100 * 4);
+  EXPECT_EQ(stats.uplink_bytes(), 0);
+  EXPECT_EQ(stats.messages(), 5);
+}
+
+TEST(CommStatsTest, UploadCountsUplinkBytes) {
+  CommStats stats;
+  stats.RecordUpload(3, 50);
+  EXPECT_EQ(stats.uplink_bytes(), 3 * 50 * 4);
+  EXPECT_EQ(stats.total_bytes(), 3 * 50 * 4);
+}
+
+TEST(CommStatsTest, RoundCounter) {
+  CommStats stats;
+  stats.RecordRound();
+  stats.RecordRound();
+  EXPECT_EQ(stats.rounds(), 2);
+}
+
+TEST(CommStatsTest, FullRoundCost) {
+  // One FATS round: K broadcasts down + K uploads up.
+  CommStats stats;
+  const int64_t k = 4;
+  const int64_t d = 1000;
+  stats.RecordBroadcast(k, d);
+  stats.RecordUpload(k, d);
+  stats.RecordRound();
+  EXPECT_EQ(stats.total_bytes(), 2 * k * d * 4);
+}
+
+TEST(CommStatsTest, MergeAccumulates) {
+  CommStats a;
+  a.RecordBroadcast(1, 10);
+  a.RecordRound();
+  CommStats b;
+  b.RecordUpload(2, 10);
+  b.RecordRound();
+  a.Merge(b);
+  EXPECT_EQ(a.rounds(), 2);
+  EXPECT_EQ(a.downlink_bytes(), 40);
+  EXPECT_EQ(a.uplink_bytes(), 80);
+}
+
+TEST(CommStatsTest, ResetClears) {
+  CommStats stats;
+  stats.RecordBroadcast(1, 1);
+  stats.Reset();
+  EXPECT_EQ(stats.total_bytes(), 0);
+  EXPECT_EQ(stats.messages(), 0);
+}
+
+TEST(CommStatsTest, ToStringMentionsCounters) {
+  CommStats stats;
+  stats.RecordRound();
+  EXPECT_NE(stats.ToString().find("rounds=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fats

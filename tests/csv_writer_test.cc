@@ -1,0 +1,62 @@
+#include "util/csv_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fats {
+namespace {
+
+TEST(CsvEscapeTest, PlainValuesUnchanged) {
+  EXPECT_EQ(CsvEscape("abc"), "abc");
+  EXPECT_EQ(CsvEscape("1.5"), "1.5");
+}
+
+TEST(CsvEscapeTest, QuotesFieldsWithCommas) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscapeTest, DoublesEmbeddedQuotes) {
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvWriterTest, WritesHeaderOnce) {
+  std::ostringstream out;
+  CsvWriter writer(&out, "");
+  writer.WriteHeader({"a", "b"});
+  writer.WriteHeader({"c", "d"});  // ignored
+  writer.WriteRow({"1", "2"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(CsvWriterTest, AppliesLinePrefix) {
+  std::ostringstream out;
+  CsvWriter writer(&out, "# CSV,");
+  writer.WriteRow({"x", "y"});
+  EXPECT_EQ(out.str(), "# CSV,x,y\n");
+}
+
+TEST(CsvWriterTest, FileTargetReportsOpenFailure) {
+  CsvWriter writer("/nonexistent_dir_zzz/file.csv");
+  EXPECT_FALSE(writer.status().ok());
+  writer.WriteRow({"ignored"});  // must not crash
+}
+
+TEST(CsvWriterTest, FileTargetWrites) {
+  std::string path = testing::TempDir() + "/csv_writer_test.csv";
+  {
+    CsvWriter writer(path);
+    ASSERT_TRUE(writer.status().ok());
+    writer.WriteHeader({"k", "v"});
+    writer.WriteRow({"a", "1"});
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "k,v");
+  EXPECT_EQ(line2, "a,1");
+}
+
+}  // namespace
+}  // namespace fats

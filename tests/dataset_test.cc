@@ -1,0 +1,83 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace fats {
+namespace {
+
+InMemoryDataset MakeDataset() {
+  Tensor features({4, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  return InMemoryDataset(std::move(features), {0, 1, 0, 1}, 2);
+}
+
+TEST(InMemoryDatasetTest, BasicAccessors) {
+  InMemoryDataset ds = MakeDataset();
+  EXPECT_EQ(ds.size(), 4);
+  EXPECT_EQ(ds.feature_dim(), 2);
+  EXPECT_EQ(ds.num_classes(), 2);
+  EXPECT_EQ(ds.label(2), 0);
+}
+
+TEST(InMemoryDatasetTest, DefaultIsEmpty) {
+  InMemoryDataset ds;
+  EXPECT_EQ(ds.size(), 0);
+  EXPECT_EQ(ds.feature_dim(), 0);
+}
+
+TEST(InMemoryDatasetTest, GatherBatchSelectsRows) {
+  InMemoryDataset ds = MakeDataset();
+  Batch batch = ds.GatherBatch({3, 0});
+  ASSERT_EQ(batch.size(), 2);
+  EXPECT_FLOAT_EQ(batch.inputs.at(0, 0), 6);
+  EXPECT_FLOAT_EQ(batch.inputs.at(0, 1), 7);
+  EXPECT_FLOAT_EQ(batch.inputs.at(1, 0), 0);
+  EXPECT_EQ(batch.labels[0], 1);
+  EXPECT_EQ(batch.labels[1], 0);
+}
+
+TEST(InMemoryDatasetTest, GatherBatchAllowsRepeats) {
+  InMemoryDataset ds = MakeDataset();
+  Batch batch = ds.GatherBatch({1, 1});
+  EXPECT_EQ(batch.size(), 2);
+  EXPECT_FLOAT_EQ(batch.inputs.at(0, 0), batch.inputs.at(1, 0));
+}
+
+TEST(InMemoryDatasetTest, AsBatchContainsEverything) {
+  InMemoryDataset ds = MakeDataset();
+  Batch batch = ds.AsBatch();
+  EXPECT_EQ(batch.size(), 4);
+  EXPECT_EQ(batch.labels.size(), 4u);
+}
+
+TEST(InMemoryDatasetTest, AppendConcatenates) {
+  InMemoryDataset a = MakeDataset();
+  InMemoryDataset b = MakeDataset();
+  a.Append(b);
+  EXPECT_EQ(a.size(), 8);
+  EXPECT_FLOAT_EQ(a.features().at(4, 0), 0);
+  EXPECT_EQ(a.label(5), 1);
+}
+
+TEST(InMemoryDatasetTest, AppendToEmptyAdopts) {
+  InMemoryDataset empty;
+  empty.Append(MakeDataset());
+  EXPECT_EQ(empty.size(), 4);
+}
+
+TEST(InMemoryDatasetDeathTest, LabelOutOfRangeAborts) {
+  Tensor features({1, 1});
+  EXPECT_DEATH(InMemoryDataset(std::move(features), {5}, 2),
+               "label out of range");
+}
+
+TEST(InMemoryDatasetDeathTest, GatherOutOfRangeAborts) {
+  InMemoryDataset ds = MakeDataset();
+  EXPECT_DEATH(ds.GatherBatch({9}), "out of range");
+}
+
+TEST(InMemoryDatasetTest, ToStringMentionsSize) {
+  EXPECT_NE(MakeDataset().ToString().find("n=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fats

@@ -1,0 +1,214 @@
+// Tests for the deeper model-zoo architectures: 2-block CNN and 2-layer
+// LSTM (the paper's Shakespeare model), plus gradient checks for the
+// sequence-output LSTM mode they rely on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/lstm.h"
+#include "nn/model_zoo.h"
+#include "rng/rng_stream.h"
+
+namespace fats {
+namespace {
+
+constexpr float kEps = 1e-2f;
+
+Tensor RandomTensor(std::vector<int64_t> shape, RngStream* rng,
+                    double scale = 0.5) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(scale * rng->NextGaussian());
+  }
+  return t;
+}
+
+double Score(Module* layer, const Tensor& x, const Tensor& coeffs) {
+  Tensor y = layer->Forward(x);
+  double s = 0.0;
+  for (int64_t i = 0; i < y.size(); ++i) {
+    s += static_cast<double>(y[i]) * coeffs[i];
+  }
+  return s;
+}
+
+TEST(SequenceLstmTest, OutputShapeAndPrefixConsistency) {
+  RngStream rng(uint64_t{1});
+  Lstm seq_lstm(3, 4, 5, &rng, /*return_sequence=*/true);
+  RngStream rng2(uint64_t{1});
+  Lstm final_lstm(3, 4, 5, &rng2, /*return_sequence=*/false);
+  // Identical initialization by construction order.
+  Tensor x({2, 15});
+  for (int64_t i = 0; i < x.size(); ++i) x[i] = 0.1f * (i % 7);
+  Tensor sequence = seq_lstm.Forward(x);
+  Tensor final_h = final_lstm.Forward(x);
+  ASSERT_EQ(sequence.dim(1), 5 * 4);
+  ASSERT_EQ(final_h.dim(1), 4);
+  // The last step of the sequence output equals the final hidden state.
+  for (int64_t n = 0; n < 2; ++n) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_FLOAT_EQ(sequence.at(n, 4 * 4 + j), final_h.at(n, j));
+    }
+  }
+}
+
+TEST(SequenceLstmTest, GradCheckSequenceMode) {
+  RngStream rng(uint64_t{2});
+  Lstm lstm(2, 3, 4, &rng, /*return_sequence=*/true);
+  Tensor x = RandomTensor({2, 8}, &rng);
+  Tensor probe = lstm.Forward(x);
+  Tensor coeffs = RandomTensor(probe.shape(), &rng, 1.0);
+
+  lstm.ZeroGrad();
+  Score(&lstm, x, coeffs);
+  Tensor input_grad = lstm.Backward(coeffs);
+
+  for (Parameter* param : lstm.Parameters()) {
+    for (int64_t i = 0; i < param->value.size(); i += 5) {
+      const float saved = param->value[i];
+      param->value[i] = saved + kEps;
+      const double plus = Score(&lstm, x, coeffs);
+      param->value[i] = saved - kEps;
+      const double minus = Score(&lstm, x, coeffs);
+      param->value[i] = saved;
+      const double numeric = (plus - minus) / (2.0 * kEps);
+      const double analytic = param->grad[i];
+      const double scale =
+          std::max({1.0, std::fabs(analytic), std::fabs(numeric)});
+      EXPECT_NEAR(analytic, numeric, std::max(2e-3, 5e-2 * scale))
+          << param->name << "[" << i << "]";
+    }
+  }
+  for (int64_t i = 0; i < x.size(); i += 3) {
+    const float saved = x[i];
+    x[i] = saved + kEps;
+    const double plus = Score(&lstm, x, coeffs);
+    x[i] = saved - kEps;
+    const double minus = Score(&lstm, x, coeffs);
+    x[i] = saved;
+    const double numeric = (plus - minus) / (2.0 * kEps);
+    const double analytic = input_grad[i];
+    const double scale =
+        std::max({1.0, std::fabs(analytic), std::fabs(numeric)});
+    EXPECT_NEAR(analytic, numeric, std::max(2e-3, 5e-2 * scale))
+        << "input[" << i << "]";
+  }
+}
+
+ModelSpec TwoLayerLstmSpec() {
+  ModelSpec spec;
+  spec.kind = ModelKind::kCharLstm;
+  spec.vocab_size = 10;
+  spec.embed_dim = 4;
+  spec.lstm_hidden = 6;
+  spec.seq_len = 5;
+  spec.num_classes = 10;
+  spec.lstm_layers = 2;
+  return spec;
+}
+
+ModelSpec TwoBlockCnnSpec() {
+  ModelSpec spec;
+  spec.kind = ModelKind::kSmallCnn;
+  spec.image_channels = 1;
+  spec.image_height = 8;
+  spec.image_width = 8;
+  spec.conv_channels = 4;
+  spec.kernel_size = 3;
+  spec.num_classes = 4;
+  spec.conv_blocks = 2;
+  return spec;
+}
+
+TEST(DeepModelsTest, TwoLayerLstmForwardShape) {
+  Model model(TwoLayerLstmSpec(), 7);
+  RngStream rng(uint64_t{3});
+  Tensor x({3, 5});
+  for (int64_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.UniformInt(10));
+  }
+  Tensor logits = model.Predict(x);
+  EXPECT_EQ(logits.dim(0), 3);
+  EXPECT_EQ(logits.dim(1), 10);
+}
+
+TEST(DeepModelsTest, TwoLayerLstmHasMoreParametersThanOne) {
+  ModelSpec one = TwoLayerLstmSpec();
+  one.lstm_layers = 1;
+  Model deep(TwoLayerLstmSpec(), 7);
+  Model shallow(one, 7);
+  EXPECT_GT(deep.NumParameters(), shallow.NumParameters());
+}
+
+TEST(DeepModelsTest, TwoLayerLstmTrains) {
+  Model model(TwoLayerLstmSpec(), 7);
+  RngStream rng(uint64_t{4});
+  Tensor x({12, 5});
+  std::vector<int64_t> y;
+  for (int64_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.UniformInt(10));
+  }
+  for (int64_t i = 0; i < 12; ++i) {
+    // Learnable rule: label = last input token.
+    y.push_back(static_cast<int64_t>(std::lround(x.at(i, 4))));
+  }
+  const double initial = model.ComputeLoss(x, y);
+  for (int step = 0; step < 150; ++step) {
+    model.ComputeLossAndGradients(x, y);
+    model.SgdStep(0.5);
+  }
+  EXPECT_LT(model.ComputeLoss(x, y), initial);
+}
+
+TEST(DeepModelsTest, TwoBlockCnnForwardShapeAndTrains) {
+  Model model(TwoBlockCnnSpec(), 7);
+  RngStream rng(uint64_t{5});
+  Tensor x({6, 64});
+  std::vector<int64_t> y;
+  for (int64_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.NextGaussian());
+  }
+  for (int64_t i = 0; i < 6; ++i) {
+    y.push_back(static_cast<int64_t>(rng.UniformInt(4)));
+  }
+  Tensor logits = model.Predict(x);
+  EXPECT_EQ(logits.dim(1), 4);
+  const double initial = model.ComputeLoss(x, y);
+  for (int step = 0; step < 80; ++step) {
+    model.ComputeLossAndGradients(x, y);
+    model.SgdStep(0.1);
+  }
+  EXPECT_LT(model.ComputeLoss(x, y), initial);
+}
+
+TEST(DeepModelsTest, TwoBlockCnnHasMoreParameters) {
+  ModelSpec one = TwoBlockCnnSpec();
+  one.conv_blocks = 1;
+  Model deep(TwoBlockCnnSpec(), 7);
+  Model shallow(one, 7);
+  EXPECT_GT(deep.NumParameters(), shallow.NumParameters());
+}
+
+TEST(DeepModelsTest, ParameterRoundTripOnDeepModels) {
+  for (const ModelSpec& spec : {TwoLayerLstmSpec(), TwoBlockCnnSpec()}) {
+    Model model(spec, 9);
+    Tensor params = model.GetParameters();
+    Tensor shifted = params;
+    for (int64_t i = 0; i < shifted.size(); ++i) shifted[i] += 0.5f;
+    model.SetParameters(shifted);
+    EXPECT_TRUE(model.GetParameters().BitwiseEquals(shifted));
+  }
+}
+
+TEST(DeepModelsDeathTest, InvalidDepthAborts) {
+  ModelSpec spec = TwoLayerLstmSpec();
+  spec.lstm_layers = 3;
+  EXPECT_DEATH(Model model(spec, 1), "lstm_layers");
+  ModelSpec cnn = TwoBlockCnnSpec();
+  cnn.conv_blocks = 5;
+  EXPECT_DEATH(Model model2(cnn, 1), "conv_blocks");
+}
+
+}  // namespace
+}  // namespace fats

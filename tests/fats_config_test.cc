@@ -1,0 +1,104 @@
+#include "core/fats_config.h"
+
+#include <gtest/gtest.h>
+
+namespace fats {
+namespace {
+
+FatsConfig BaseConfig() {
+  FatsConfig config;
+  config.clients_m = 60;
+  config.samples_per_client_n = 40;
+  config.rounds_r = 15;
+  config.local_iters_e = 5;
+  config.rho_s = 0.25;
+  config.rho_c = 0.5;
+  config.learning_rate = 0.05;
+  return config;
+}
+
+TEST(FatsConfigTest, DerivesPaperFormulas) {
+  FatsConfig config = BaseConfig();
+  // K = ρ_C·E·M/T = 0.5·5·60/75 = 2 ; b = ρ_S·N/(ρ_C·E) = 0.25·40/2.5 = 4.
+  EXPECT_EQ(config.total_iters_t(), 75);
+  EXPECT_EQ(config.DeriveK(), 2);
+  EXPECT_EQ(config.DeriveB(), 4);
+}
+
+TEST(FatsConfigTest, EffectiveRhosInvertTheDerivation) {
+  FatsConfig config = BaseConfig();
+  EXPECT_NEAR(config.EffectiveRhoC(), 0.5, 1e-12);
+  EXPECT_NEAR(config.EffectiveRhoS(), 0.25, 1e-12);
+}
+
+TEST(FatsConfigTest, RoundingClampsToFeasibleValues) {
+  FatsConfig config = BaseConfig();
+  config.rho_c = 1e-6;  // K would round to 0 -> clamped to 1
+  EXPECT_EQ(config.DeriveK(), 1);
+  config = BaseConfig();
+  config.rho_s = 100.0;  // b would exceed N -> clamped to N
+  EXPECT_EQ(config.DeriveB(), config.samples_per_client_n);
+}
+
+TEST(FatsConfigTest, LargerRhoCMeansMoreClientsSmallerBatches) {
+  FatsConfig low = BaseConfig();
+  FatsConfig high = BaseConfig();
+  high.rho_c = 1.0;
+  EXPECT_GT(high.DeriveK(), low.DeriveK());
+  EXPECT_LE(high.DeriveB(), low.DeriveB());
+}
+
+TEST(FatsConfigTest, LargerRhoSMeansLargerBatches) {
+  FatsConfig low = BaseConfig();
+  FatsConfig high = BaseConfig();
+  high.rho_s = 0.5;
+  EXPECT_GT(high.DeriveB(), low.DeriveB());
+  EXPECT_EQ(high.DeriveK(), low.DeriveK());  // K independent of rho_s
+}
+
+TEST(FatsConfigTest, ValidateAcceptsBase) {
+  EXPECT_TRUE(BaseConfig().Validate().ok());
+}
+
+TEST(FatsConfigTest, ValidateRejectsNonPositiveShape) {
+  FatsConfig config = BaseConfig();
+  config.clients_m = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = BaseConfig();
+  config.rounds_r = -1;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(FatsConfigTest, ValidateRejectsNonPositiveRho) {
+  FatsConfig config = BaseConfig();
+  config.rho_s = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = BaseConfig();
+  config.rho_c = -0.5;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(FatsConfigTest, ValidateRejectsNonPositiveLearningRate) {
+  FatsConfig config = BaseConfig();
+  config.learning_rate = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(FatsConfigTest, FromProfileReproducesExplicitKAndB) {
+  for (const std::string& name : ScaledProfileNames()) {
+    DatasetProfile profile = ScaledProfile(name).value();
+    FatsConfig config = FatsConfig::FromProfile(profile);
+    EXPECT_EQ(config.DeriveK(), profile.clients_per_round_k) << name;
+    EXPECT_EQ(config.DeriveB(), profile.batch_b) << name;
+    EXPECT_TRUE(config.Validate().ok()) << name;
+  }
+}
+
+TEST(FatsConfigTest, ToStringMentionsDerivedValues) {
+  std::string s = BaseConfig().ToString();
+  EXPECT_NE(s.find("K=2"), std::string::npos);
+  EXPECT_NE(s.find("b=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fats

@@ -1,0 +1,115 @@
+// Tests for FatsTrainer::ReplayFrom — the deterministic re-execution of the
+// stored sampling history that sample-level unlearning builds on.
+
+#include <gtest/gtest.h>
+
+#include "core/fats_trainer.h"
+#include "test_workloads.h"
+
+namespace fats {
+namespace {
+
+struct Trained {
+  FederatedDataset data;
+  FatsConfig config;
+  std::unique_ptr<FatsTrainer> trainer;
+};
+
+Trained TrainTiny(int64_t rounds = 4, int64_t e = 3) {
+  Trained t;
+  t.data = TinyImageData(6, 10);
+  t.config = TinyFatsConfig(6, 10, rounds, e);
+  t.trainer =
+      std::make_unique<FatsTrainer>(TinyModelSpec(), t.config, &t.data);
+  t.trainer->Train();
+  return t;
+}
+
+TEST(ReplayTest, UntouchedHistoryReplaysBitIdentically) {
+  Trained t = TrainTiny();
+  const Tensor final_params = t.trainer->global_params();
+  std::vector<Tensor> globals;
+  for (int64_t r = 0; r <= t.config.rounds_r; ++r) {
+    globals.push_back(*t.trainer->store().GetGlobalModel(r));
+  }
+  for (int64_t t0 : {1, 2, 4, 7, 10}) {
+    t.trainer->ReplayFrom(t0);
+    EXPECT_TRUE(t.trainer->global_params().BitwiseEquals(final_params))
+        << "replay from " << t0 << " diverged";
+    for (int64_t r = 0; r <= t.config.rounds_r; ++r) {
+      EXPECT_TRUE(t.trainer->store().GetGlobalModel(r)->BitwiseEquals(
+          globals[static_cast<size_t>(r)]))
+          << "round " << r << " after replay from " << t0;
+    }
+  }
+}
+
+TEST(ReplayTest, SubstitutedBatchChangesOnlyAffectedTrajectory) {
+  Trained t = TrainTiny();
+  const Tensor final_params = t.trainer->global_params();
+  // Pick a recorded batch in round 3 and swap it for different indices.
+  const std::vector<int64_t>* selection =
+      t.trainer->store().GetClientSelection(3);
+  ASSERT_NE(selection, nullptr);
+  const int64_t client = (*selection)[0];
+  const int64_t t_sub = 2 * t.config.local_iters_e + 1;  // round 3 start
+  const std::vector<int64_t>* old_batch =
+      t.trainer->store().GetMinibatch(t_sub, client);
+  ASSERT_NE(old_batch, nullptr);
+  // Build a different batch of the same size.
+  std::vector<int64_t> new_batch;
+  for (int64_t i = 0; new_batch.size() < old_batch->size(); ++i) {
+    if (std::find(old_batch->begin(), old_batch->end(), i) ==
+        old_batch->end()) {
+      new_batch.push_back(i);
+    }
+  }
+  const Tensor round2 = *t.trainer->store().GetGlobalModel(2);
+  t.trainer->store().SaveMinibatch(t_sub, client, new_batch);
+  t.trainer->ReplayFrom(t_sub);
+  // Rounds before the substitution untouched; final model changed.
+  EXPECT_TRUE(t.trainer->store().GetGlobalModel(2)->BitwiseEquals(round2));
+  EXPECT_FALSE(t.trainer->global_params().BitwiseEquals(final_params));
+}
+
+TEST(ReplayTest, AppendsLogRecordsForReplayedRounds) {
+  Trained t = TrainTiny();
+  const size_t before = t.trainer->log().records().size();
+  t.trainer->set_recomputation_mode(true);
+  t.trainer->ReplayFrom(4);  // round 2 start -> replays rounds 2..4
+  t.trainer->set_recomputation_mode(false);
+  EXPECT_EQ(t.trainer->log().records().size(), before + 3);
+  EXPECT_TRUE(t.trainer->log().records().back().recomputation);
+}
+
+TEST(ReplayTest, AccountsCommunicationForReplayedRounds) {
+  Trained t = TrainTiny();
+  const int64_t bytes_before = t.trainer->comm_stats().total_bytes();
+  t.trainer->ReplayFrom(7);  // round 3 start -> rounds 3..4 re-run
+  const int64_t d = t.trainer->model()->NumParameters();
+  EXPECT_EQ(t.trainer->comm_stats().total_bytes() - bytes_before,
+            2 * 2 * t.trainer->K() * d * 4);
+}
+
+TEST(ReplayTest, CountsLocalIterationWork) {
+  Trained t = TrainTiny();
+  const int64_t work_before = t.trainer->local_iterations_executed();
+  t.trainer->ReplayFrom(1);
+  EXPECT_GT(t.trainer->local_iterations_executed(), work_before);
+}
+
+TEST(ReplayDeathTest, MissingRecordsAbort) {
+  Trained t = TrainTiny();
+  t.trainer->store().TruncateFromIteration(7, t.config.local_iters_e);
+  EXPECT_DEATH(t.trainer->ReplayFrom(7), "replay missing");
+}
+
+TEST(ReplayDeathTest, OutOfRangeT0Aborts) {
+  Trained t = TrainTiny();
+  EXPECT_DEATH(t.trainer->ReplayFrom(0), "t0 out of range");
+  EXPECT_DEATH(t.trainer->ReplayFrom(t.config.total_iters_t() + 1),
+               "t0 out of range");
+}
+
+}  // namespace
+}  // namespace fats

@@ -1,0 +1,175 @@
+#include "core/fats_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "test_workloads.h"
+
+namespace fats {
+namespace {
+
+TEST(FatsTrainerTest, TrainImprovesAccuracy) {
+  FederatedDataset data = TinyImageData(8, 12);
+  FatsConfig config = TinyFatsConfig(8, 12, /*rounds=*/10, /*e=*/3);
+  FatsTrainer trainer(TinyModelSpec(), config, &data);
+  const double before = trainer.EvaluateTestAccuracy();
+  trainer.Train();
+  EXPECT_GT(trainer.EvaluateTestAccuracy(), before);
+  EXPECT_GT(trainer.EvaluateTestAccuracy(), 0.8);
+}
+
+TEST(FatsTrainerTest, LogHasOneRecordPerRound) {
+  FederatedDataset data = TinyImageData(6, 10);
+  FatsConfig config = TinyFatsConfig(6, 10, 5, 2);
+  FatsTrainer trainer(TinyModelSpec(), config, &data);
+  trainer.Train();
+  ASSERT_EQ(trainer.log().records().size(), 5u);
+  for (int64_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(trainer.log().records()[static_cast<size_t>(r)].round, r + 1);
+  }
+}
+
+TEST(FatsTrainerTest, DeterministicReplay) {
+  FederatedDataset data_a = TinyImageData(6, 10);
+  FederatedDataset data_b = TinyImageData(6, 10);
+  FatsConfig config = TinyFatsConfig(6, 10);
+  FatsTrainer a(TinyModelSpec(), config, &data_a);
+  FatsTrainer b(TinyModelSpec(), config, &data_b);
+  a.Train();
+  b.Train();
+  EXPECT_TRUE(a.global_params().BitwiseEquals(b.global_params()));
+  // Entire state matches: selections and minibatches per round.
+  for (int64_t r = 1; r <= config.rounds_r; ++r) {
+    ASSERT_NE(a.store().GetClientSelection(r), nullptr);
+    EXPECT_EQ(*a.store().GetClientSelection(r),
+              *b.store().GetClientSelection(r));
+  }
+}
+
+TEST(FatsTrainerTest, StoreRecordsAllAlgorithmicState) {
+  FederatedDataset data = TinyImageData(6, 10);
+  FatsConfig config = TinyFatsConfig(6, 10, 4, 3);
+  FatsTrainer trainer(TinyModelSpec(), config, &data);
+  trainer.Train();
+  const StateStore& store = trainer.store();
+  // Initial and per-round global models.
+  EXPECT_NE(store.GetGlobalModel(0), nullptr);
+  for (int64_t r = 1; r <= 4; ++r) {
+    EXPECT_NE(store.GetGlobalModel(r), nullptr) << "round " << r;
+    const std::vector<int64_t>* selection = store.GetClientSelection(r);
+    ASSERT_NE(selection, nullptr);
+    EXPECT_EQ(static_cast<int64_t>(selection->size()), trainer.K());
+    // Every selected client has minibatch + local model records at every
+    // iteration of the round.
+    for (int64_t client : *selection) {
+      for (int64_t i = (r - 1) * 3 + 1; i <= r * 3; ++i) {
+        EXPECT_NE(store.GetMinibatch(i, client), nullptr);
+        EXPECT_NE(store.GetLocalModel(i, client), nullptr);
+      }
+    }
+  }
+}
+
+TEST(FatsTrainerTest, KAndBMatchConfigDerivation) {
+  FederatedDataset data = TinyImageData(8, 12);
+  FatsConfig config = TinyFatsConfig(8, 12, 4, 3, 0.5, 0.75);
+  FatsTrainer trainer(TinyModelSpec(), config, &data);
+  EXPECT_EQ(trainer.K(), config.DeriveK());
+  EXPECT_EQ(trainer.b(), config.DeriveB());
+}
+
+TEST(FatsTrainerTest, MinibatchSizeIsB) {
+  FederatedDataset data = TinyImageData(6, 10);
+  FatsConfig config = TinyFatsConfig(6, 10, 3, 2);
+  FatsTrainer trainer(TinyModelSpec(), config, &data);
+  trainer.Train();
+  const std::vector<int64_t>* selection =
+      trainer.store().GetClientSelection(1);
+  ASSERT_NE(selection, nullptr);
+  const std::vector<int64_t>* batch =
+      trainer.store().GetMinibatch(1, (*selection)[0]);
+  ASSERT_NE(batch, nullptr);
+  EXPECT_EQ(static_cast<int64_t>(batch->size()), trainer.b());
+}
+
+TEST(FatsTrainerTest, CommunicationAccountsKPerRound) {
+  FederatedDataset data = TinyImageData(6, 10);
+  FatsConfig config = TinyFatsConfig(6, 10, 4, 3);
+  FatsTrainer trainer(TinyModelSpec(), config, &data);
+  trainer.Train();
+  const int64_t d = trainer.model()->NumParameters();
+  EXPECT_EQ(trainer.comm_stats().rounds(), 4);
+  EXPECT_EQ(trainer.comm_stats().total_bytes(),
+            2 * 4 * trainer.K() * d * 4);
+}
+
+TEST(FatsTrainerTest, MidRoundRestartReproducesSuffixBitExactly) {
+  // Re-running from any iteration with unchanged generation and store must
+  // reproduce the original trajectory exactly (the replay property that
+  // makes the unlearning coupling work).
+  FederatedDataset data_a = TinyImageData(6, 10);
+  FatsConfig config = TinyFatsConfig(6, 10, 4, 3);
+  FatsTrainer a(TinyModelSpec(), config, &data_a);
+  a.Train();
+  const Tensor final_a = a.global_params();
+
+  // Second trainer: train fully, then truncate nothing and re-run from a
+  // mid-round iteration t0=5 (round 2, second local iteration).
+  FederatedDataset data_b = TinyImageData(6, 10);
+  FatsTrainer b(TinyModelSpec(), config, &data_b);
+  b.Train();
+  b.Run(5);
+  EXPECT_TRUE(b.global_params().BitwiseEquals(final_a));
+}
+
+TEST(FatsTrainerTest, RoundStartRestartReproducesSuffix) {
+  FederatedDataset data_a = TinyImageData(6, 10);
+  FatsConfig config = TinyFatsConfig(6, 10, 4, 3);
+  FatsTrainer a(TinyModelSpec(), config, &data_a);
+  a.Train();
+  const Tensor final_a = a.global_params();
+  a.Run(7);  // round 3 start
+  EXPECT_TRUE(a.global_params().BitwiseEquals(final_a));
+}
+
+TEST(FatsTrainerTest, GenerationBumpChangesSuffixOnly) {
+  FederatedDataset data = TinyImageData(6, 10);
+  FatsConfig config = TinyFatsConfig(6, 10, 4, 3);
+  FatsTrainer trainer(TinyModelSpec(), config, &data);
+  trainer.Train();
+  const Tensor round2 = *trainer.store().GetGlobalModel(2);
+  const Tensor final_model = trainer.global_params();
+  trainer.store().TruncateFromIteration(7, 3);  // drop rounds 3..4
+  trainer.BumpGeneration();
+  trainer.Run(7);
+  // Prefix unchanged, suffix re-randomized.
+  EXPECT_TRUE(trainer.store().GetGlobalModel(2)->BitwiseEquals(round2));
+  EXPECT_FALSE(trainer.global_params().BitwiseEquals(final_model));
+}
+
+TEST(FatsTrainerTest, LocalIterationCounterTracksWork) {
+  FederatedDataset data = TinyImageData(6, 10);
+  FatsConfig config = TinyFatsConfig(6, 10, 4, 3);
+  FatsTrainer trainer(TinyModelSpec(), config, &data);
+  trainer.Train();
+  // At most K distinct clients per iteration, T iterations.
+  EXPECT_LE(trainer.local_iterations_executed(),
+            trainer.K() * config.total_iters_t());
+  EXPECT_GE(trainer.local_iterations_executed(), config.total_iters_t());
+}
+
+TEST(FatsTrainerDeathTest, MismatchedDatasetAborts) {
+  FederatedDataset data = TinyImageData(4, 10);
+  FatsConfig config = TinyFatsConfig(6, 10);  // M=6 but data has 4
+  EXPECT_DEATH(FatsTrainer(TinyModelSpec(), config, &data),
+               "does not match config");
+}
+
+TEST(FatsTrainerDeathTest, RunWithoutInitialModelAborts) {
+  FederatedDataset data = TinyImageData(6, 10);
+  FatsConfig config = TinyFatsConfig(6, 10);
+  FatsTrainer trainer(TinyModelSpec(), config, &data);
+  EXPECT_DEATH(trainer.Run(1), "missing global model");
+}
+
+}  // namespace
+}  // namespace fats

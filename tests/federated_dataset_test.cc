@@ -1,0 +1,124 @@
+#include "data/federated_dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace fats {
+namespace {
+
+InMemoryDataset MakeShard(int64_t n, float offset) {
+  Tensor features({n, 1});
+  std::vector<int64_t> labels;
+  for (int64_t i = 0; i < n; ++i) {
+    features[i] = offset + static_cast<float>(i);
+    labels.push_back(i % 2);
+  }
+  return InMemoryDataset(std::move(features), std::move(labels), 2);
+}
+
+FederatedDataset MakeFederated(int64_t clients = 3, int64_t n = 4) {
+  std::vector<InMemoryDataset> shards;
+  for (int64_t k = 0; k < clients; ++k) {
+    shards.push_back(MakeShard(n, static_cast<float>(100 * k)));
+  }
+  return FederatedDataset(std::move(shards), MakeShard(6, 1000.0f));
+}
+
+TEST(FederatedDatasetTest, InitialStateAllActive) {
+  FederatedDataset fd = MakeFederated();
+  EXPECT_EQ(fd.num_clients(), 3);
+  EXPECT_EQ(fd.num_active_clients(), 3);
+  EXPECT_EQ(fd.total_active_samples(), 12);
+  EXPECT_EQ(fd.num_classes(), 2);
+  EXPECT_EQ(fd.feature_dim(), 1);
+  for (int64_t k = 0; k < 3; ++k) {
+    EXPECT_TRUE(fd.client_active(k));
+    EXPECT_EQ(fd.num_active_samples(k), 4);
+    EXPECT_EQ(fd.samples_of(k), 4);
+  }
+  EXPECT_EQ(fd.active_clients(), (std::vector<int64_t>{0, 1, 2}));
+}
+
+TEST(FederatedDatasetTest, RemoveSampleUpdatesActiveView) {
+  FederatedDataset fd = MakeFederated();
+  ASSERT_TRUE(fd.RemoveSample({1, 2}).ok());
+  EXPECT_EQ(fd.num_active_samples(1), 3);
+  EXPECT_FALSE(fd.sample_active(1, 2));
+  EXPECT_TRUE(fd.sample_active(1, 1));
+  EXPECT_EQ(fd.active_sample_indices(1), (std::vector<int64_t>{0, 1, 3}));
+  // Other clients unaffected.
+  EXPECT_EQ(fd.num_active_samples(0), 4);
+}
+
+TEST(FederatedDatasetTest, DoubleRemoveSampleFails) {
+  FederatedDataset fd = MakeFederated();
+  ASSERT_TRUE(fd.RemoveSample({0, 0}).ok());
+  Status s = fd.RemoveSample({0, 0});
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FederatedDatasetTest, RemoveSampleOutOfRangeFails) {
+  FederatedDataset fd = MakeFederated();
+  EXPECT_EQ(fd.RemoveSample({0, 99}).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(fd.RemoveSample({9, 0}).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(fd.RemoveSample({-1, 0}).code(), StatusCode::kOutOfRange);
+}
+
+TEST(FederatedDatasetTest, RemoveClient) {
+  FederatedDataset fd = MakeFederated();
+  ASSERT_TRUE(fd.RemoveClient(1).ok());
+  EXPECT_EQ(fd.num_active_clients(), 2);
+  EXPECT_FALSE(fd.client_active(1));
+  EXPECT_EQ(fd.active_clients(), (std::vector<int64_t>{0, 2}));
+  EXPECT_EQ(fd.total_active_samples(), 8);
+}
+
+TEST(FederatedDatasetTest, DoubleRemoveClientFails) {
+  FederatedDataset fd = MakeFederated();
+  ASSERT_TRUE(fd.RemoveClient(2).ok());
+  EXPECT_EQ(fd.RemoveClient(2).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FederatedDatasetTest, RemoveSampleFromRemovedClientFails) {
+  FederatedDataset fd = MakeFederated();
+  ASSERT_TRUE(fd.RemoveClient(0).ok());
+  EXPECT_EQ(fd.RemoveSample({0, 1}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FederatedDatasetTest, MakeBatchGathersByStableIndex) {
+  FederatedDataset fd = MakeFederated();
+  ASSERT_TRUE(fd.RemoveSample({1, 0}).ok());
+  Batch batch = fd.MakeBatch(1, {1, 3});
+  ASSERT_EQ(batch.size(), 2);
+  EXPECT_FLOAT_EQ(batch.inputs.at(0, 0), 101.0f);
+  EXPECT_FLOAT_EQ(batch.inputs.at(1, 0), 103.0f);
+}
+
+TEST(FederatedDatasetDeathTest, BatchWithDeletedSampleAborts) {
+  FederatedDataset fd = MakeFederated();
+  ASSERT_TRUE(fd.RemoveSample({1, 0}).ok());
+  EXPECT_DEATH(fd.MakeBatch(1, {0}), "deleted sample");
+}
+
+TEST(FederatedDatasetDeathTest, BatchFromRemovedClientAborts) {
+  FederatedDataset fd = MakeFederated();
+  ASSERT_TRUE(fd.RemoveClient(1).ok());
+  EXPECT_DEATH(fd.MakeBatch(1, {0}), "removed client");
+}
+
+TEST(FederatedDatasetTest, SampleRefEquality) {
+  SampleRef a{1, 2};
+  SampleRef b{1, 2};
+  SampleRef c{1, 3};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(FederatedDatasetTest, ToStringReflectsState) {
+  FederatedDataset fd = MakeFederated();
+  ASSERT_TRUE(fd.RemoveClient(0).ok());
+  std::string s = fd.ToString();
+  EXPECT_NE(s.find("active=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fats

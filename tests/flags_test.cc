@@ -1,0 +1,114 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace fats {
+namespace {
+
+std::vector<char*> MakeArgv(std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("prog"));
+  for (std::string& arg : args) argv.push_back(arg.data());
+  return argv;
+}
+
+TEST(FlagsTest, DefaultsApplyWithoutArgs) {
+  FlagParser parser;
+  int64_t* n = parser.AddInt("n", 5, "count");
+  double* lr = parser.AddDouble("lr", 0.1, "rate");
+  std::string* name = parser.AddString("name", "x", "label");
+  bool* flag = parser.AddBool("verbose", false, "verbosity");
+  std::vector<std::string> args;
+  std::vector<char*> argv = MakeArgv(args);
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(*n, 5);
+  EXPECT_DOUBLE_EQ(*lr, 0.1);
+  EXPECT_EQ(*name, "x");
+  EXPECT_FALSE(*flag);
+}
+
+TEST(FlagsTest, ParsesEqualsSyntax) {
+  FlagParser parser;
+  int64_t* n = parser.AddInt("n", 0, "count");
+  double* lr = parser.AddDouble("lr", 0.0, "rate");
+  std::vector<std::string> args = {"--n=42", "--lr=0.5"};
+  std::vector<char*> argv = MakeArgv(args);
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(*n, 42);
+  EXPECT_DOUBLE_EQ(*lr, 0.5);
+}
+
+TEST(FlagsTest, ParsesSpaceSyntax) {
+  FlagParser parser;
+  std::string* name = parser.AddString("name", "", "label");
+  std::vector<std::string> args = {"--name", "hello"};
+  std::vector<char*> argv = MakeArgv(args);
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(*name, "hello");
+}
+
+TEST(FlagsTest, BareBoolFlagSetsTrue) {
+  FlagParser parser;
+  bool* v = parser.AddBool("verbose", false, "verbosity");
+  std::vector<std::string> args = {"--verbose"};
+  std::vector<char*> argv = MakeArgv(args);
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_TRUE(*v);
+}
+
+TEST(FlagsTest, BoolExplicitFalse) {
+  FlagParser parser;
+  bool* v = parser.AddBool("verbose", true, "verbosity");
+  std::vector<std::string> args = {"--verbose=false"};
+  std::vector<char*> argv = MakeArgv(args);
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_FALSE(*v);
+}
+
+TEST(FlagsTest, UnknownFlagIsError) {
+  FlagParser parser;
+  parser.AddInt("n", 0, "count");
+  std::vector<std::string> args = {"--bogus=1"};
+  std::vector<char*> argv = MakeArgv(args);
+  Status s = parser.Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, BadIntegerIsError) {
+  FlagParser parser;
+  parser.AddInt("n", 0, "count");
+  std::vector<std::string> args = {"--n=abc"};
+  std::vector<char*> argv = MakeArgv(args);
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagsTest, NegativeNumbersParse) {
+  FlagParser parser;
+  int64_t* n = parser.AddInt("n", 0, "count");
+  double* x = parser.AddDouble("x", 0.0, "value");
+  std::vector<std::string> args = {"--n=-7", "--x=-2.5"};
+  std::vector<char*> argv = MakeArgv(args);
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(*n, -7);
+  EXPECT_DOUBLE_EQ(*x, -2.5);
+}
+
+TEST(FlagsTest, UsageMentionsAllFlags) {
+  FlagParser parser;
+  parser.AddInt("alpha", 1, "the alpha");
+  parser.AddString("beta", "b", "the beta");
+  std::string usage = parser.Usage();
+  EXPECT_NE(usage.find("alpha"), std::string::npos);
+  EXPECT_NE(usage.find("beta"), std::string::npos);
+  EXPECT_NE(usage.find("the alpha"), std::string::npos);
+}
+
+TEST(FlagsTest, PositionalArgumentIsError) {
+  FlagParser parser;
+  std::vector<std::string> args = {"positional"};
+  std::vector<char*> argv = MakeArgv(args);
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+}  // namespace
+}  // namespace fats

@@ -1,0 +1,165 @@
+#include "attack/mia.h"
+
+#include <gtest/gtest.h>
+
+#include "rng/rng_stream.h"
+#include "test_workloads.h"
+
+namespace fats {
+namespace {
+
+TEST(MiaInternalTest, ThresholdSeparatesDisjointLosses) {
+  // Members at low loss, non-members at high loss: a perfect threshold
+  // exists and must classify the calibration data perfectly.
+  std::vector<double> member = {0.1, 0.2, 0.15};
+  std::vector<double> nonmember = {1.0, 1.2, 0.9};
+  const double threshold = internal::FitLossThreshold(member, nonmember);
+  for (double v : member) EXPECT_LE(v, threshold);
+  for (double v : nonmember) EXPECT_GT(v, threshold);
+}
+
+TEST(MiaInternalTest, LogisticLearnsNegativeSlopeOnSeparableData) {
+  std::vector<double> member = {0.1, 0.2, 0.15, 0.12};
+  std::vector<double> nonmember = {2.0, 2.2, 1.9, 2.1};
+  auto [w, c] = internal::FitLogistic(member, nonmember);
+  EXPECT_LT(w, 0.0);  // lower loss -> more likely member
+  // Scores are on the right sides of 0.5.
+  auto score = [w, c](double x) { return 1.0 / (1.0 + std::exp(-(w * x + c))); };
+  EXPECT_GT(score(0.15), 0.5);
+  EXPECT_LT(score(2.0), 0.5);
+}
+
+Batch MakeBatch(const std::vector<float>& xs,
+                const std::vector<int64_t>& ys) {
+  Batch batch;
+  batch.inputs = Tensor({static_cast<int64_t>(ys.size()), 2});
+  for (size_t i = 0; i < ys.size(); ++i) {
+    batch.inputs.at(static_cast<int64_t>(i), 0) = xs[i];
+    batch.inputs.at(static_cast<int64_t>(i), 1) = 1.0f;
+  }
+  batch.labels = ys;
+  return batch;
+}
+
+TEST(MiaTest, RejectsDegenerateInputs) {
+  Model model(TinyModelSpec(2, 2), 1);
+  Batch tiny = MakeBatch({1.0f}, {0});
+  Batch okay = MakeBatch({1.0f, 2.0f}, {0, 1});
+  MiaOptions options;
+  EXPECT_FALSE(RunMembershipInference(&model, tiny, okay, options).ok());
+  EXPECT_FALSE(RunMembershipInference(&model, okay, tiny, options).ok());
+  options.trials = 0;
+  EXPECT_FALSE(RunMembershipInference(&model, okay, okay, options).ok());
+}
+
+class MiaAttackKindTest : public testing::TestWithParam<MiaAttackKind> {};
+
+TEST_P(MiaAttackKindTest, OverfitModelIsVulnerable) {
+  // Train a model to memorize a small member set; the attack should beat
+  // random guessing clearly.
+  ModelSpec spec = TinyModelSpec(2, 4);
+  spec.kind = ModelKind::kMlp;
+  spec.hidden_dims = {16};
+  Model model(spec, 3);
+  RngStream rng(uint64_t{5});
+  const int64_t n = 24;
+  Tensor member_x({n, 4});
+  std::vector<int64_t> member_y;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      member_x.at(i, j) = static_cast<float>(rng.NextGaussian());
+    }
+    member_y.push_back(static_cast<int64_t>(rng.UniformInt(2)));
+  }
+  // Non-members from the same marginal (random labels).
+  Tensor nonmember_x({n, 4});
+  std::vector<int64_t> nonmember_y;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      nonmember_x.at(i, j) = static_cast<float>(rng.NextGaussian());
+    }
+    nonmember_y.push_back(static_cast<int64_t>(rng.UniformInt(2)));
+  }
+  for (int step = 0; step < 600; ++step) {
+    model.ComputeLossAndGradients(member_x, member_y);
+    model.SgdStep(0.3);
+  }
+  Batch members;
+  members.inputs = member_x;
+  members.labels = member_y;
+  Batch nonmembers;
+  nonmembers.inputs = nonmember_x;
+  nonmembers.labels = nonmember_y;
+  MiaOptions options;
+  options.kind = GetParam();
+  options.trials = 40;
+  options.seed = 9;
+  MiaResult result =
+      RunMembershipInference(&model, members, nonmembers, options).value();
+  EXPECT_GT(result.accuracy_mean, 0.8)
+      << "attack should detect memorization";
+  EXPECT_GT(result.precision_mean, 0.7);
+  EXPECT_EQ(result.trials, 40);
+}
+
+TEST_P(MiaAttackKindTest, FreshModelIsNotVulnerable) {
+  // A model that never saw either pool: attack ≈ coin flip.
+  ModelSpec spec = TinyModelSpec(2, 4);
+  Model model(spec, 3);
+  RngStream rng(uint64_t{6});
+  auto random_batch = [&rng](int64_t n) {
+    Batch batch;
+    batch.inputs = Tensor({n, 4});
+    for (int64_t i = 0; i < n * 4; ++i) {
+      batch.inputs[i] = static_cast<float>(rng.NextGaussian());
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      batch.labels.push_back(static_cast<int64_t>(rng.UniformInt(2)));
+    }
+    return batch;
+  };
+  Batch members = random_batch(32);
+  Batch nonmembers = random_batch(32);
+  MiaOptions options;
+  options.kind = GetParam();
+  options.trials = 60;
+  options.seed = 10;
+  MiaResult result =
+      RunMembershipInference(&model, members, nonmembers, options).value();
+  EXPECT_NEAR(result.accuracy_mean, 0.5, 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothAttacks, MiaAttackKindTest,
+    testing::Values(MiaAttackKind::kLossThreshold,
+                    MiaAttackKind::kShadowLogistic),
+    [](const testing::TestParamInfo<MiaAttackKind>& info) {
+      return info.param == MiaAttackKind::kLossThreshold ? "LossThreshold"
+                                                         : "ShadowLogistic";
+    });
+
+TEST(MiaTest, ResultToStringFormats) {
+  MiaResult result;
+  result.accuracy_mean = 0.5;
+  result.precision_mean = 0.51;
+  result.trials = 100;
+  EXPECT_NE(result.ToString().find("100 trials"), std::string::npos);
+}
+
+TEST(MiaTest, DeterministicInSeed) {
+  Model model(TinyModelSpec(2, 2), 1);
+  Batch members = MakeBatch({0.1f, 0.2f, 0.3f, 0.4f}, {0, 1, 0, 1});
+  Batch nonmembers = MakeBatch({1.1f, 1.2f, 1.3f, 1.4f}, {1, 0, 1, 0});
+  MiaOptions options;
+  options.trials = 10;
+  options.seed = 42;
+  MiaResult a =
+      RunMembershipInference(&model, members, nonmembers, options).value();
+  MiaResult b =
+      RunMembershipInference(&model, members, nonmembers, options).value();
+  EXPECT_DOUBLE_EQ(a.accuracy_mean, b.accuracy_mean);
+  EXPECT_DOUBLE_EQ(a.precision_mean, b.precision_mean);
+}
+
+}  // namespace
+}  // namespace fats

@@ -1,0 +1,183 @@
+// Numerical gradient checks for every layer's backward pass.
+//
+// For a layer f and fixed coefficients C, define the scalar
+// s(params, x) = Σ_ij C_ij · f(x)_ij. The analytic gradient from
+// Backward(C) must match central finite differences of s.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/lstm.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "rng/rng_stream.h"
+
+namespace fats {
+namespace {
+
+constexpr float kEps = 1e-2f;
+constexpr double kRelTol = 5e-2;
+constexpr double kAbsTol = 2e-3;
+
+void ExpectClose(double analytic, double numeric, const std::string& what) {
+  const double scale =
+      std::max({1.0, std::fabs(analytic), std::fabs(numeric)});
+  EXPECT_NEAR(analytic, numeric, std::max(kAbsTol, kRelTol * scale))
+      << what << ": analytic=" << analytic << " numeric=" << numeric;
+}
+
+double Score(Module* layer, const Tensor& x, const Tensor& coeffs) {
+  Tensor y = layer->Forward(x);
+  double s = 0.0;
+  for (int64_t i = 0; i < y.size(); ++i) {
+    s += static_cast<double>(y[i]) * coeffs[i];
+  }
+  return s;
+}
+
+Tensor RandomTensor(std::vector<int64_t> shape, RngStream* rng,
+                    double scale = 1.0) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(scale * rng->NextGaussian());
+  }
+  return t;
+}
+
+/// Checks parameter and input gradients of `layer` on input `x`.
+/// `check_input_grad` is disabled for layers whose inputs are ids.
+void GradCheck(Module* layer, Tensor x, bool check_input_grad = true) {
+  RngStream rng(uint64_t{777});
+  Tensor probe = layer->Forward(x);
+  Tensor coeffs = RandomTensor(probe.shape(), &rng);
+
+  layer->ZeroGrad();
+  Score(layer, x, coeffs);  // forward to populate caches
+  Tensor input_grad = layer->Backward(coeffs);
+
+  // Parameter gradients.
+  for (Parameter* param : layer->Parameters()) {
+    for (int64_t i = 0; i < param->value.size(); i += 7) {  // sample entries
+      const float saved = param->value[i];
+      param->value[i] = saved + kEps;
+      const double plus = Score(layer, x, coeffs);
+      param->value[i] = saved - kEps;
+      const double minus = Score(layer, x, coeffs);
+      param->value[i] = saved;
+      const double numeric = (plus - minus) / (2.0 * kEps);
+      ExpectClose(param->grad[i], numeric,
+                  param->name + "[" + std::to_string(i) + "]");
+    }
+  }
+
+  // Input gradients.
+  if (check_input_grad) {
+    for (int64_t i = 0; i < x.size(); i += 5) {
+      const float saved = x[i];
+      x[i] = saved + kEps;
+      const double plus = Score(layer, x, coeffs);
+      x[i] = saved - kEps;
+      const double minus = Score(layer, x, coeffs);
+      x[i] = saved;
+      const double numeric = (plus - minus) / (2.0 * kEps);
+      ExpectClose(input_grad[i], numeric, "input[" + std::to_string(i) + "]");
+    }
+  }
+}
+
+TEST(GradCheckTest, Linear) {
+  RngStream rng(uint64_t{1});
+  Linear layer(4, 3, &rng);
+  GradCheck(&layer, RandomTensor({2, 4}, &rng));
+}
+
+TEST(GradCheckTest, ReLU) {
+  RngStream rng(uint64_t{2});
+  ReLU layer;
+  // Keep inputs away from the kink at 0.
+  Tensor x = RandomTensor({3, 5}, &rng);
+  for (int64_t i = 0; i < x.size(); ++i) {
+    if (std::fabs(x[i]) < 0.1f) x[i] = 0.5f;
+  }
+  GradCheck(&layer, x);
+}
+
+TEST(GradCheckTest, TanhLayer) {
+  RngStream rng(uint64_t{3});
+  Tanh layer;
+  GradCheck(&layer, RandomTensor({2, 6}, &rng, 0.5));
+}
+
+TEST(GradCheckTest, SigmoidLayer) {
+  RngStream rng(uint64_t{4});
+  Sigmoid layer;
+  GradCheck(&layer, RandomTensor({2, 6}, &rng, 0.5));
+}
+
+TEST(GradCheckTest, Conv2dSamePadding) {
+  RngStream rng(uint64_t{5});
+  Conv2d layer(2, 3, 5, 5, 3, 1, &rng);
+  GradCheck(&layer, RandomTensor({2, 50}, &rng, 0.5));
+}
+
+TEST(GradCheckTest, Conv2dValid) {
+  RngStream rng(uint64_t{6});
+  Conv2d layer(1, 2, 6, 6, 3, 0, &rng);
+  GradCheck(&layer, RandomTensor({1, 36}, &rng, 0.5));
+}
+
+TEST(GradCheckTest, MaxPool) {
+  RngStream rng(uint64_t{7});
+  MaxPool2d layer(2, 4, 4, 2);
+  // Spread values so the argmax is stable under the probe epsilon.
+  Tensor x({1, 32});
+  for (int64_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(i % 9) + 0.2f * static_cast<float>(
+        rng.NextGaussian());
+  }
+  GradCheck(&layer, x);
+}
+
+TEST(GradCheckTest, Lstm) {
+  RngStream rng(uint64_t{8});
+  Lstm layer(3, 4, 3, &rng);
+  GradCheck(&layer, RandomTensor({2, 9}, &rng, 0.5));
+}
+
+TEST(GradCheckTest, SequentialMlp) {
+  RngStream rng(uint64_t{9});
+  auto seq = std::make_unique<Sequential>();
+  seq->Add(std::make_unique<Linear>(5, 4, &rng));
+  seq->Add(std::make_unique<Tanh>());
+  seq->Add(std::make_unique<Linear>(4, 3, &rng));
+  GradCheck(seq.get(), RandomTensor({2, 5}, &rng, 0.5));
+}
+
+TEST(GradCheckTest, SoftmaxCrossEntropyGradient) {
+  RngStream rng(uint64_t{10});
+  SoftmaxCrossEntropy loss;
+  Tensor logits = RandomTensor({3, 4}, &rng);
+  std::vector<int64_t> labels = {0, 2, 3};
+  Tensor grad;
+  loss.Compute(logits, labels, &grad);
+  for (int64_t i = 0; i < logits.size(); ++i) {
+    const float saved = logits[i];
+    logits[i] = saved + kEps;
+    const double plus = loss.Compute(logits, labels, nullptr);
+    logits[i] = saved - kEps;
+    const double minus = loss.Compute(logits, labels, nullptr);
+    logits[i] = saved;
+    ExpectClose(grad[i], (plus - minus) / (2.0 * kEps),
+                "logit[" + std::to_string(i) + "]");
+  }
+}
+
+}  // namespace
+}  // namespace fats

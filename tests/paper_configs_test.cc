@@ -1,0 +1,100 @@
+#include "data/paper_configs.h"
+
+#include <gtest/gtest.h>
+
+namespace fats {
+namespace {
+
+TEST(PaperTable2Test, HasSixRowsMatchingThePaper) {
+  auto profiles = PaperTable2Profiles();
+  ASSERT_EQ(profiles.size(), 6u);
+  // Spot-check MNIST and Shakespeare rows against Table 2.
+  const DatasetProfile& mnist = profiles[0];
+  EXPECT_EQ(mnist.name, "mnist");
+  EXPECT_EQ(mnist.clients_m, 300);
+  EXPECT_EQ(mnist.samples_per_client_n, 200);
+  EXPECT_EQ(mnist.clients_per_round_k, 5);
+  EXPECT_EQ(mnist.rounds_r, 30);
+  EXPECT_EQ(mnist.local_iters_e, 10);
+  EXPECT_EQ(mnist.batch_b, 10);
+  // ρ_C = K·T/(E·M) = 5·300/(10·300) = 0.5 ; ρ_S = b·K·T/(M·N) = 0.25.
+  EXPECT_NEAR(mnist.rho_c(), 0.5, 1e-12);
+  EXPECT_NEAR(mnist.rho_s(), 0.25, 1e-12);
+
+  const DatasetProfile& shakes = profiles[5];
+  EXPECT_EQ(shakes.name, "shakespeare");
+  EXPECT_EQ(shakes.clients_m, 660);
+  EXPECT_EQ(shakes.clients_per_round_k, 20);
+  EXPECT_EQ(shakes.local_iters_e, 100);
+}
+
+TEST(ScaledProfilesTest, AllNamesResolve) {
+  for (const std::string& name : ScaledProfileNames()) {
+    Result<DatasetProfile> profile = ScaledProfile(name);
+    ASSERT_TRUE(profile.ok()) << name;
+    EXPECT_EQ(profile->name, name);
+  }
+}
+
+TEST(ScaledProfilesTest, UnknownNameIsNotFound) {
+  EXPECT_EQ(ScaledProfile("imagenet").status().code(), StatusCode::kNotFound);
+}
+
+class ScaledProfileTest : public testing::TestWithParam<std::string> {};
+
+TEST_P(ScaledProfileTest, StabilityParamsAreFeasible) {
+  DatasetProfile p = ScaledProfile(GetParam()).value();
+  EXPECT_GT(p.rho_s(), 0.0);
+  EXPECT_LE(p.rho_s(), 1.0) << p.ToString();
+  EXPECT_GT(p.rho_c(), 0.0);
+  EXPECT_LE(p.rho_c(), 1.0) << p.ToString();
+  EXPECT_LE(p.batch_b, p.samples_per_client_n);
+  EXPECT_LE(p.clients_per_round_k, p.clients_m);
+}
+
+TEST_P(ScaledProfileTest, BuildsConsistentFederatedData) {
+  DatasetProfile p = ScaledProfile(GetParam()).value();
+  FederatedDataset data = BuildFederatedData(p, 1);
+  EXPECT_EQ(data.num_clients(), p.clients_m);
+  for (int64_t k = 0; k < p.clients_m; ++k) {
+    EXPECT_EQ(data.num_active_samples(k), p.samples_per_client_n);
+  }
+  EXPECT_GT(data.global_test().size(), 0);
+  EXPECT_EQ(data.num_classes(), p.model.num_classes);
+  EXPECT_EQ(data.feature_dim(), p.model.InputFeatures());
+}
+
+TEST_P(ScaledProfileTest, BuildIsDeterministicInSeed) {
+  DatasetProfile p = ScaledProfile(GetParam()).value();
+  FederatedDataset a = BuildFederatedData(p, 5);
+  FederatedDataset b = BuildFederatedData(p, 5);
+  EXPECT_TRUE(a.client_data(0).features().BitwiseEquals(
+      b.client_data(0).features()));
+  FederatedDataset c = BuildFederatedData(p, 6);
+  EXPECT_FALSE(a.client_data(0).features().BitwiseEquals(
+      c.client_data(0).features()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, ScaledProfileTest,
+                         testing::ValuesIn(ScaledProfileNames()),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(ScaledProfilesTest, ProfileToStringIncludesRhos) {
+  DatasetProfile p = ScaledProfile("mnist").value();
+  std::string s = p.ToString();
+  EXPECT_NE(s.find("rho_s"), std::string::npos);
+  EXPECT_NE(s.find("rho_c"), std::string::npos);
+}
+
+TEST(ScaledProfilesTest, NaturalPartitionClientsDiffer) {
+  DatasetProfile p = ScaledProfile("femnist").value();
+  FederatedDataset data = BuildFederatedData(p, 1);
+  // Client style warps should make feature distributions differ.
+  EXPECT_FALSE(data.client_data(0).features().BitwiseEquals(
+      data.client_data(1).features()));
+}
+
+}  // namespace
+}  // namespace fats

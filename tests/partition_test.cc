@@ -1,0 +1,121 @@
+#include "data/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace fats {
+namespace {
+
+TEST(DrawLdaTest, RowsAreStochastic) {
+  auto props = DrawLdaClassProportions(10, 5, 0.5, 1);
+  ASSERT_EQ(props.size(), 10u);
+  for (const auto& row : props) {
+    ASSERT_EQ(row.size(), 5u);
+    double sum = 0.0;
+    for (double p : row) {
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(DrawLdaTest, DeterministicInSeed) {
+  auto a = DrawLdaClassProportions(5, 3, 0.5, 7);
+  auto b = DrawLdaClassProportions(5, 3, 0.5, 7);
+  EXPECT_EQ(a, b);
+  auto c = DrawLdaClassProportions(5, 3, 0.5, 8);
+  EXPECT_NE(a, c);
+}
+
+TEST(DrawLdaTest, SmallBetaIsMoreConcentrated) {
+  auto skewed = DrawLdaClassProportions(50, 10, 0.05, 1);
+  auto uniform = DrawLdaClassProportions(50, 10, 100.0, 1);
+  double skewed_max = 0.0;
+  double uniform_max = 0.0;
+  for (const auto& row : skewed) {
+    skewed_max += *std::max_element(row.begin(), row.end());
+  }
+  for (const auto& row : uniform) {
+    uniform_max += *std::max_element(row.begin(), row.end());
+  }
+  EXPECT_GT(skewed_max / 50.0, 0.7);
+  EXPECT_LT(uniform_max / 50.0, 0.25);
+}
+
+TEST(PartitionIidTest, CoversAllIndicesExactlyOnce) {
+  auto parts = PartitionIid(100, 7, 3);
+  std::set<int64_t> seen;
+  for (const auto& part : parts) {
+    for (int64_t i : part) {
+      EXPECT_TRUE(seen.insert(i).second) << "index assigned twice: " << i;
+    }
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(PartitionIidTest, BalancedSizes) {
+  auto parts = PartitionIid(100, 7, 3);
+  int64_t min_size = 1000, max_size = 0;
+  for (const auto& part : parts) {
+    min_size = std::min<int64_t>(min_size, part.size());
+    max_size = std::max<int64_t>(max_size, part.size());
+  }
+  EXPECT_LE(max_size - min_size, 1);
+}
+
+TEST(PartitionIidTest, IidPartitionHasLowHeterogeneity) {
+  std::vector<int64_t> labels(1000);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int64_t>(i % 4);
+  }
+  auto parts = PartitionIid(1000, 10, 3);
+  EXPECT_LT(PartitionHeterogeneity(parts, labels, 4), 0.12);
+}
+
+TEST(PartitionDirichletTest, CoversAllIndicesExactlyOnce) {
+  std::vector<int64_t> labels(200);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int64_t>(i % 5);
+  }
+  auto parts = PartitionDirichlet(labels, 5, 8, 0.5, 11);
+  std::set<int64_t> seen;
+  for (const auto& part : parts) {
+    for (int64_t i : part) {
+      EXPECT_TRUE(seen.insert(i).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 200u);
+}
+
+TEST(PartitionDirichletTest, SmallerBetaMoreHeterogeneous) {
+  std::vector<int64_t> labels(2000);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int64_t>(i % 4);
+  }
+  auto skewed = PartitionDirichlet(labels, 4, 20, 0.1, 5);
+  auto mild = PartitionDirichlet(labels, 4, 20, 10.0, 5);
+  EXPECT_GT(PartitionHeterogeneity(skewed, labels, 4),
+            PartitionHeterogeneity(mild, labels, 4));
+}
+
+TEST(PartitionHeterogeneityTest, ZeroForIdenticalHistograms) {
+  std::vector<int64_t> labels = {0, 1, 0, 1};
+  std::vector<std::vector<int64_t>> parts = {{0, 1}, {2, 3}};
+  EXPECT_NEAR(PartitionHeterogeneity(parts, labels, 2), 0.0, 1e-12);
+}
+
+TEST(PartitionHeterogeneityTest, OneForDisjointClasses) {
+  std::vector<int64_t> labels = {0, 0, 1, 1};
+  std::vector<std::vector<int64_t>> parts = {{0, 1}, {2, 3}};
+  EXPECT_NEAR(PartitionHeterogeneity(parts, labels, 2), 0.5, 1e-12);
+}
+
+TEST(PartitionHeterogeneityTest, EmptyInputsAreZero) {
+  EXPECT_EQ(PartitionHeterogeneity({}, {}, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace fats

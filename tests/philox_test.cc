@@ -1,0 +1,112 @@
+#include "rng/philox.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fats {
+namespace {
+
+// Known-answer test from the Random123 reference implementation
+// (philox4x32-10 counter=ffffffff... key=ffffffff...).
+TEST(PhiloxTest, ReferenceVectorAllOnes) {
+  PhiloxCounter ctr = {0xffffffffu, 0xffffffffu, 0xffffffffu, 0xffffffffu};
+  PhiloxKey key = {0xffffffffu, 0xffffffffu};
+  PhiloxBlock out = Philox4x32(ctr, key);
+  EXPECT_EQ(out[0], 0x408f276du);
+  EXPECT_EQ(out[1], 0x41c83b0eu);
+  EXPECT_EQ(out[2], 0xa20bc7c6u);
+  EXPECT_EQ(out[3], 0x6d5451fdu);
+}
+
+TEST(PhiloxTest, ReferenceVectorZeros) {
+  PhiloxCounter ctr = {0, 0, 0, 0};
+  PhiloxKey key = {0, 0};
+  PhiloxBlock out = Philox4x32(ctr, key);
+  EXPECT_EQ(out[0], 0x6627e8d5u);
+  EXPECT_EQ(out[1], 0xe169c58du);
+  EXPECT_EQ(out[2], 0xbc57ac4cu);
+  EXPECT_EQ(out[3], 0x9b00dbd8u);
+}
+
+TEST(PhiloxTest, DeterministicForSameInputs) {
+  PhiloxCounter ctr = {1, 2, 3, 4};
+  PhiloxKey key = {5, 6};
+  EXPECT_EQ(Philox4x32(ctr, key), Philox4x32(ctr, key));
+}
+
+TEST(PhiloxTest, CounterChangesOutput) {
+  PhiloxKey key = {5, 6};
+  EXPECT_NE(Philox4x32({1, 0, 0, 0}, key), Philox4x32({2, 0, 0, 0}, key));
+}
+
+TEST(PhiloxTest, KeyChangesOutput) {
+  PhiloxCounter ctr = {1, 2, 3, 4};
+  EXPECT_NE(Philox4x32(ctr, {1, 0}), Philox4x32(ctr, {2, 0}));
+}
+
+TEST(PhiloxEngineTest, ReplayIsBitIdentical) {
+  PhiloxEngine a(12345);
+  PhiloxEngine b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(PhiloxEngineTest, DifferentKeysDiffer) {
+  PhiloxEngine a(1);
+  PhiloxEngine b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(PhiloxEngineTest, SeekToBlockAddressesStream) {
+  PhiloxEngine a(99);
+  // Consume 8 values = 2 blocks.
+  std::vector<uint32_t> first_run;
+  for (int i = 0; i < 12; ++i) first_run.push_back(a());
+  PhiloxEngine b(99);
+  b.SeekToBlock(2);
+  // Block 2 corresponds to outputs 8..11.
+  for (int i = 8; i < 12; ++i) {
+    EXPECT_EQ(first_run[static_cast<size_t>(i)], b());
+  }
+}
+
+TEST(PhiloxEngineTest, NextUInt64CombinesTwoOutputs) {
+  PhiloxEngine a(7);
+  PhiloxEngine b(7);
+  uint64_t lo = b();
+  uint64_t hi = b();
+  EXPECT_EQ(a.NextUInt64(), (hi << 32) | lo);
+}
+
+TEST(PhiloxEngineTest, OutputLooksUniformAcrossBuckets) {
+  PhiloxEngine engine(2024);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 16000;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kDraws; ++i) {
+    counts[engine() % kBuckets]++;
+  }
+  // Chi-square with 15 dof; 99.9% critical value ~ 37.7.
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(SplitMix64Test, KnownValuesAndBijectivityOnSample) {
+  // SplitMix64 must be deterministic and collision-free on a sample.
+  std::set<uint64_t> outputs;
+  for (uint64_t x = 0; x < 2000; ++x) outputs.insert(SplitMix64(x));
+  EXPECT_EQ(outputs.size(), 2000u);
+  EXPECT_EQ(SplitMix64(0), SplitMix64(0));
+  EXPECT_NE(SplitMix64(1), SplitMix64(2));
+}
+
+}  // namespace
+}  // namespace fats

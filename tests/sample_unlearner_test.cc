@@ -1,0 +1,191 @@
+#include "core/sample_unlearner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_workloads.h"
+
+namespace fats {
+namespace {
+
+struct Trained {
+  FederatedDataset data;
+  FatsConfig config;
+  std::unique_ptr<FatsTrainer> trainer;
+};
+
+Trained TrainTiny(int64_t clients = 6, int64_t n = 10, int64_t rounds = 4,
+                  int64_t e = 3, uint64_t seed = 7) {
+  Trained t;
+  t.data = TinyImageData(clients, n);
+  t.config = TinyFatsConfig(clients, n, rounds, e, 0.5, 0.5, seed);
+  t.trainer =
+      std::make_unique<FatsTrainer>(TinyModelSpec(), t.config, &t.data);
+  t.trainer->Train();
+  return t;
+}
+
+/// A sample that participated in training (earliest use >= 1).
+SampleRef FindUsedSample(const FatsTrainer& trainer,
+                         const FederatedDataset& data) {
+  for (int64_t k = 0; k < data.num_clients(); ++k) {
+    for (int64_t i = 0; i < data.samples_of(k); ++i) {
+      if (trainer.store().EarliestSampleUse({k, i}) >= 1) return {k, i};
+    }
+  }
+  ADD_FAILURE() << "no used sample found";
+  return {0, 0};
+}
+
+/// A sample that never participated, or (-1,-1) if all were used.
+SampleRef FindUnusedSample(const FatsTrainer& trainer,
+                           const FederatedDataset& data) {
+  for (int64_t k = 0; k < data.num_clients(); ++k) {
+    for (int64_t i = 0; i < data.samples_of(k); ++i) {
+      if (trainer.store().EarliestSampleUse({k, i}) == -1) return {k, i};
+    }
+  }
+  return {-1, -1};
+}
+
+TEST(SampleUnlearnerTest, UnusedSampleNeedsNoRecomputation) {
+  Trained t = TrainTiny();
+  SampleRef unused = FindUnusedSample(*t.trainer, t.data);
+  ASSERT_GE(unused.client, 0) << "workload too small: every sample used";
+  const Tensor before = t.trainer->global_params();
+  SampleUnlearner unlearner(t.trainer.get());
+  Result<UnlearningOutcome> outcome =
+      unlearner.Unlearn(unused, t.config.total_iters_t());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->recomputed);
+  EXPECT_EQ(outcome->recomputed_iterations, 0);
+  // Model untouched; sample deleted.
+  EXPECT_TRUE(t.trainer->global_params().BitwiseEquals(before));
+  EXPECT_FALSE(t.data.sample_active(unused.client, unused.index));
+}
+
+TEST(SampleUnlearnerTest, UsedSampleTriggersRecomputationFromFirstUse) {
+  Trained t = TrainTiny();
+  SampleRef used = FindUsedSample(*t.trainer, t.data);
+  const int64_t first_use = t.trainer->store().EarliestSampleUse(used);
+  SampleUnlearner unlearner(t.trainer.get());
+  Result<UnlearningOutcome> outcome =
+      unlearner.Unlearn(used, t.config.total_iters_t());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->recomputed);
+  EXPECT_EQ(outcome->restart_iteration, first_use);
+  EXPECT_EQ(outcome->recomputed_iterations,
+            t.config.total_iters_t() - first_use + 1);
+  EXPECT_FALSE(t.data.sample_active(used.client, used.index));
+}
+
+TEST(SampleUnlearnerTest, RecomputedStateNeverReferencesDeletedSample) {
+  Trained t = TrainTiny();
+  SampleRef used = FindUsedSample(*t.trainer, t.data);
+  SampleUnlearner unlearner(t.trainer.get());
+  ASSERT_TRUE(unlearner.Unlearn(used, t.config.total_iters_t()).ok());
+  // After unlearning, no recorded mini-batch may contain the sample.
+  EXPECT_EQ(t.trainer->store().EarliestSampleUse(used), -1);
+}
+
+TEST(SampleUnlearnerTest, RequestBeforeFirstUseSkipsRecomputation) {
+  Trained t = TrainTiny();
+  // Find a sample whose first use is strictly after iteration 1.
+  SampleRef used{-1, -1};
+  int64_t first_use = -1;
+  for (int64_t k = 0; k < t.data.num_clients() && used.client < 0; ++k) {
+    for (int64_t i = 0; i < t.data.samples_of(k); ++i) {
+      const int64_t use = t.trainer->store().EarliestSampleUse({k, i});
+      if (use > 1) {
+        used = {k, i};
+        first_use = use;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(used.client, 0) << "every used sample was used at iteration 1";
+  SampleUnlearner unlearner(t.trainer.get());
+  // Request issued before the sample was ever used: no discrepancy within
+  // [1, t_u], so no re-computation.
+  Result<UnlearningOutcome> outcome = unlearner.Unlearn(used, first_use - 1);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->recomputed);
+}
+
+TEST(SampleUnlearnerTest, DoubleUnlearnFails) {
+  Trained t = TrainTiny();
+  SampleRef used = FindUsedSample(*t.trainer, t.data);
+  SampleUnlearner unlearner(t.trainer.get());
+  ASSERT_TRUE(unlearner.Unlearn(used, t.config.total_iters_t()).ok());
+  Result<UnlearningOutcome> again =
+      unlearner.Unlearn(used, t.config.total_iters_t());
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SampleUnlearnerTest, InvalidRequestIterFails) {
+  Trained t = TrainTiny();
+  SampleUnlearner unlearner(t.trainer.get());
+  EXPECT_FALSE(unlearner.Unlearn({0, 0}, 0).ok());
+  EXPECT_FALSE(
+      unlearner.Unlearn({0, 0}, t.config.total_iters_t() + 1).ok());
+}
+
+TEST(SampleUnlearnerTest, BatchRestartsFromEarliestUse) {
+  Trained t = TrainTiny(8, 12, 5, 3);
+  // Collect two used samples with different first-use times if possible.
+  std::vector<SampleRef> targets;
+  int64_t min_use = t.config.total_iters_t() + 1;
+  for (int64_t k = 0; k < t.data.num_clients() && targets.size() < 3; ++k) {
+    for (int64_t i = 0; i < t.data.samples_of(k) && targets.size() < 3;
+         ++i) {
+      const int64_t use = t.trainer->store().EarliestSampleUse({k, i});
+      if (use >= 1) {
+        targets.push_back({k, i});
+        min_use = std::min(min_use, use);
+      }
+    }
+  }
+  ASSERT_GE(targets.size(), 2u);
+  SampleUnlearner unlearner(t.trainer.get());
+  Result<UnlearningOutcome> outcome =
+      unlearner.UnlearnBatch(targets, t.config.total_iters_t());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->recomputed);
+  EXPECT_EQ(outcome->restart_iteration, min_use);
+  for (const SampleRef& target : targets) {
+    EXPECT_FALSE(t.data.sample_active(target.client, target.index));
+  }
+}
+
+TEST(SampleUnlearnerTest, UnlearnedModelKeepsUtility) {
+  // Remark 4: with O(MN) samples remaining the unlearned model's accuracy
+  // stays in the same regime.
+  Trained t = TrainTiny(8, 12, 10, 3);
+  const double acc_before = t.trainer->EvaluateTestAccuracy();
+  SampleUnlearner unlearner(t.trainer.get());
+  SampleRef used = FindUsedSample(*t.trainer, t.data);
+  ASSERT_TRUE(unlearner.Unlearn(used, t.config.total_iters_t()).ok());
+  const double acc_after = t.trainer->EvaluateTestAccuracy();
+  EXPECT_GT(acc_after, acc_before - 0.2);
+}
+
+TEST(SampleUnlearnerTest, RecomputationAppendsFlaggedLogRecords) {
+  Trained t = TrainTiny();
+  const size_t log_before = t.trainer->log().records().size();
+  SampleUnlearner unlearner(t.trainer.get());
+  SampleRef used = FindUsedSample(*t.trainer, t.data);
+  Result<UnlearningOutcome> outcome =
+      unlearner.Unlearn(used, t.config.total_iters_t());
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->recomputed);
+  const auto& records = t.trainer->log().records();
+  EXPECT_GT(records.size(), log_before);
+  for (size_t i = log_before; i < records.size(); ++i) {
+    EXPECT_TRUE(records[i].recomputation);
+  }
+}
+
+}  // namespace
+}  // namespace fats

@@ -1,0 +1,116 @@
+#include "tensor/tensor_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fats {
+namespace {
+
+TEST(MatMulTest, KnownProduct) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  ASSERT_EQ(c.dim(0), 2);
+  ASSERT_EQ(c.dim(1), 2);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154);
+}
+
+TEST(MatMulTest, IdentityIsNoop) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor eye({2, 2}, {1, 0, 0, 1});
+  EXPECT_TRUE(MatMul(a, eye).BitwiseEquals(a));
+}
+
+TEST(MatMulTransposeBTest, MatchesExplicitTranspose) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({4, 3}, {1, 0, 2, -1, 3, 1, 0, 1, 0, 2, -2, 1});
+  Tensor direct = MatMulTransposeB(a, b);
+  Tensor via_transpose = MatMul(a, Transpose(b));
+  EXPECT_TRUE(direct.AllClose(via_transpose, 1e-6f));
+}
+
+TEST(MatMulTransposeATest, MatchesExplicitTranspose) {
+  Tensor a({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 4}, {1, 0, 2, -1, 3, 1, 0, 1, 0, 2, -2, 1});
+  Tensor direct = MatMulTransposeA(a, b);
+  Tensor via_transpose = MatMul(Transpose(a), b);
+  EXPECT_TRUE(direct.AllClose(via_transpose, 1e-6f));
+}
+
+TEST(AddRowwiseTest, AddsBiasToEveryRow) {
+  Tensor m({2, 3}, {0, 0, 0, 1, 1, 1});
+  Tensor bias({3}, {10, 20, 30});
+  AddRowwise(&m, bias);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 10);
+  EXPECT_FLOAT_EQ(m.at(1, 2), 31);
+}
+
+TEST(SumRowsTest, ColumnSums) {
+  Tensor m({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s = SumRows(m);
+  ASSERT_EQ(s.rank(), 1);
+  EXPECT_FLOAT_EQ(s[0], 5);
+  EXPECT_FLOAT_EQ(s[1], 7);
+  EXPECT_FLOAT_EQ(s[2], 9);
+}
+
+TEST(HadamardTest, ElementwiseProduct) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  Tensor c = Hadamard(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 5);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 32);
+}
+
+TEST(TransposeTest, SwapsDims) {
+  Tensor m({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose(m);
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.dim(1), 2);
+  EXPECT_FLOAT_EQ(t.at(0, 1), 4);
+  EXPECT_FLOAT_EQ(t.at(2, 0), 3);
+}
+
+TEST(SoftmaxRowsTest, RowsSumToOne) {
+  Tensor logits({2, 3}, {1, 2, 3, -1, 0, 1});
+  Tensor p = SoftmaxRows(logits);
+  for (int64_t i = 0; i < 2; ++i) {
+    double sum = 0.0;
+    for (int64_t j = 0; j < 3; ++j) sum += p.at(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxRowsTest, MonotoneInLogits) {
+  Tensor logits({1, 3}, {1, 2, 3});
+  Tensor p = SoftmaxRows(logits);
+  EXPECT_LT(p.at(0, 0), p.at(0, 1));
+  EXPECT_LT(p.at(0, 1), p.at(0, 2));
+}
+
+TEST(SoftmaxRowsTest, NumericallyStableForLargeLogits) {
+  Tensor logits({1, 2}, {1000.0f, 1000.0f});
+  Tensor p = SoftmaxRows(logits);
+  EXPECT_NEAR(p.at(0, 0), 0.5, 1e-6);
+  EXPECT_FALSE(std::isnan(p.at(0, 1)));
+}
+
+TEST(SoftmaxRowsTest, KnownValues) {
+  Tensor logits({1, 2}, {0.0f, std::log(3.0f)});
+  Tensor p = SoftmaxRows(logits);
+  EXPECT_NEAR(p.at(0, 0), 0.25, 1e-6);
+  EXPECT_NEAR(p.at(0, 1), 0.75, 1e-6);
+}
+
+TEST(MatMulDeathTest, InnerDimMismatchAborts) {
+  Tensor a({2, 3});
+  Tensor b({2, 2});
+  EXPECT_DEATH(MatMul(a, b), "inner dims");
+}
+
+}  // namespace
+}  // namespace fats

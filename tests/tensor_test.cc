@@ -1,0 +1,133 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace fats {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_EQ(t.rank(), 0);
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, ConstructFromValues) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, FullFillsValue) {
+  Tensor t = Tensor::Full({3}, 2.5f);
+  for (int64_t i = 0; i < 3; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(TensorTest, FromVectorIsRank1) {
+  Tensor t = Tensor::FromVector({1, 2, 3});
+  EXPECT_EQ(t.rank(), 1);
+  EXPECT_EQ(t.size(), 3);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshape({3, 2});
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_EQ(r.at(0, 1), 2.0f);
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+}
+
+TEST(TensorTest, ElementwiseArithmetic) {
+  Tensor a({2}, {1, 2});
+  Tensor b({2}, {10, 20});
+  a += b;
+  EXPECT_EQ(a[0], 11.0f);
+  a -= b;
+  EXPECT_EQ(a[1], 2.0f);
+  a *= 3.0f;
+  EXPECT_EQ(a[0], 3.0f);
+}
+
+TEST(TensorTest, AxpyAccumulates) {
+  Tensor a({3}, {1, 1, 1});
+  Tensor b({3}, {1, 2, 3});
+  a.Axpy(2.0f, b);
+  EXPECT_EQ(a[0], 3.0f);
+  EXPECT_EQ(a[1], 5.0f);
+  EXPECT_EQ(a[2], 7.0f);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor t({4}, {1, -2, 3, -4});
+  EXPECT_DOUBLE_EQ(t.Sum(), -2.0);
+  EXPECT_DOUBLE_EQ(t.SquaredNorm(), 1 + 4 + 9 + 16);
+  EXPECT_EQ(t.ArgMax(), 2);
+}
+
+TEST(TensorTest, ArgMaxFirstOnTies) {
+  Tensor t({3}, {5, 5, 1});
+  EXPECT_EQ(t.ArgMax(), 0);
+}
+
+TEST(TensorTest, BitwiseEquals) {
+  Tensor a({2}, {1, 2});
+  Tensor b({2}, {1, 2});
+  Tensor c({2}, {1, 2.001f});
+  EXPECT_TRUE(a.BitwiseEquals(b));
+  EXPECT_FALSE(a.BitwiseEquals(c));
+  EXPECT_FALSE(a.BitwiseEquals(Tensor({1, 2}, {1, 2})));  // shape differs
+}
+
+TEST(TensorTest, AllClose) {
+  Tensor a({2}, {1, 2});
+  Tensor b({2}, {1.0005f, 2});
+  EXPECT_TRUE(a.AllClose(b, 1e-3f));
+  EXPECT_FALSE(a.AllClose(b, 1e-5f));
+}
+
+TEST(TensorTest, BinaryOperators) {
+  Tensor a({2}, {1, 2});
+  Tensor b({2}, {3, 4});
+  Tensor sum = a + b;
+  EXPECT_EQ(sum[0], 4.0f);
+  Tensor diff = b - a;
+  EXPECT_EQ(diff[1], 2.0f);
+  Tensor scaled = a * 2.0f;
+  EXPECT_EQ(scaled[1], 4.0f);
+}
+
+TEST(TensorTest, ShapeStringAndToString) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.ShapeString(), "[2, 3]");
+  EXPECT_NE(t.ToString().find("Tensor[2, 3]"), std::string::npos);
+}
+
+TEST(TensorTest, ToStringElidesLargeTensors) {
+  Tensor t({100});
+  EXPECT_NE(t.ToString().find("..."), std::string::npos);
+}
+
+TEST(TensorDeathTest, ShapeMismatchAborts) {
+  Tensor a({2});
+  Tensor b({3});
+  EXPECT_DEATH(a += b, "shape mismatch");
+}
+
+TEST(TensorDeathTest, ReshapeVolumeMismatchAborts) {
+  Tensor t({4});
+  EXPECT_DEATH(t.Reshape({3}), "volume");
+}
+
+}  // namespace
+}  // namespace fats

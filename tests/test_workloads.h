@@ -1,0 +1,65 @@
+// Shared tiny workloads for trainer / unlearner tests.
+
+#ifndef FATS_TESTS_TEST_WORKLOADS_H_
+#define FATS_TESTS_TEST_WORKLOADS_H_
+
+#include <cstdint>
+
+#include "core/fats_config.h"
+#include "data/federated_dataset.h"
+#include "data/paper_configs.h"
+#include "data/synthetic_image.h"
+#include "nn/model_zoo.h"
+
+namespace fats {
+
+/// A tiny separable image workload: `clients` clients with `n` samples each
+/// of a `classes`-way Gaussian-cluster task in `dim` dimensions.
+inline FederatedDataset TinyImageData(int64_t clients, int64_t n,
+                                      int64_t classes = 2, int64_t dim = 4,
+                                      uint64_t seed = 17) {
+  SyntheticImageConfig config;
+  config.num_classes = classes;
+  config.feature_dim = dim;
+  config.prototype_scale = 2.0;
+  config.noise_stddev = 0.4;
+  config.seed = seed;
+  SyntheticImageGenerator gen(config);
+  std::vector<InMemoryDataset> shards;
+  for (int64_t k = 0; k < clients; ++k) {
+    shards.push_back(
+        gen.Generate(n, {}, -1, static_cast<uint64_t>(k) + 100));
+  }
+  InMemoryDataset test = gen.Generate(60, {}, -1, 999);
+  return FederatedDataset(std::move(shards), std::move(test));
+}
+
+inline ModelSpec TinyModelSpec(int64_t classes = 2, int64_t dim = 4) {
+  ModelSpec spec;
+  spec.kind = ModelKind::kLogReg;
+  spec.input_dim = dim;
+  spec.num_classes = classes;
+  return spec;
+}
+
+/// FatsConfig sized for the TinyImageData workload. rho values are chosen
+/// so K and b derive to small integers.
+inline FatsConfig TinyFatsConfig(int64_t clients, int64_t n,
+                                 int64_t rounds = 4, int64_t e = 3,
+                                 double rho_s = 0.5, double rho_c = 0.5,
+                                 uint64_t seed = 7) {
+  FatsConfig config;
+  config.clients_m = clients;
+  config.samples_per_client_n = n;
+  config.rounds_r = rounds;
+  config.local_iters_e = e;
+  config.rho_s = rho_s;
+  config.rho_c = rho_c;
+  config.learning_rate = 0.1;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace fats
+
+#endif  // FATS_TESTS_TEST_WORKLOADS_H_

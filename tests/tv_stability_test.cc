@@ -1,0 +1,139 @@
+#include "core/tv_stability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fats {
+namespace {
+
+FatsConfig BaseConfig() {
+  FatsConfig config;
+  config.clients_m = 60;
+  config.samples_per_client_n = 40;
+  config.rounds_r = 15;
+  config.local_iters_e = 5;
+  config.rho_s = 0.25;
+  config.rho_c = 0.5;
+  config.learning_rate = 0.05;
+  return config;
+}
+
+TEST(StabilityBoundTest, MatchesEffectiveRhosCappedAtOne) {
+  FatsConfig config = BaseConfig();
+  EXPECT_NEAR(SampleLevelStabilityBound(config), 0.25, 1e-12);
+  EXPECT_NEAR(ClientLevelStabilityBound(config), 0.5, 1e-12);
+  config.rho_s = 50.0;
+  EXPECT_DOUBLE_EQ(SampleLevelStabilityBound(config), 1.0);
+}
+
+TEST(StabilityBoundTest, RecomputationProbabilityLinearInRequests) {
+  EXPECT_NEAR(RecomputationProbabilityBound(0.1, 3), 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(RecomputationProbabilityBound(0.5, 10), 1.0);  // capped
+  EXPECT_DOUBLE_EQ(RecomputationProbabilityBound(2.0, 1), 1.0);
+}
+
+TEST(LearningRateConditionTest, HoldsForSmallEtaFailsForLarge) {
+  ConvergenceConstants c;
+  c.smoothness_l = 1.0;
+  c.heterogeneity_lambda = 2.0;
+  EXPECT_TRUE(LearningRateConditionHolds(1e-4, c, 10));
+  EXPECT_FALSE(LearningRateConditionHolds(10.0, c, 10));
+  EXPECT_FALSE(LearningRateConditionHolds(0.0, c, 10));  // strict inequality
+}
+
+TEST(LearningRateConditionTest, LargerEShrinksFeasibleEta) {
+  ConvergenceConstants c;
+  c.heterogeneity_lambda = 2.0;
+  const double eta_small_e = MaxStableLearningRate(c, 2);
+  const double eta_large_e = MaxStableLearningRate(c, 50);
+  EXPECT_GT(eta_small_e, eta_large_e);
+  EXPECT_GT(eta_large_e, 0.0);
+}
+
+TEST(LearningRateConditionTest, MaxRateSatisfiesConditionBelowNotAbove) {
+  ConvergenceConstants c;
+  c.heterogeneity_lambda = 3.0;
+  const double eta = MaxStableLearningRate(c, 5);
+  EXPECT_TRUE(LearningRateConditionHolds(0.99 * eta, c, 5));
+  EXPECT_FALSE(LearningRateConditionHolds(1.01 * eta, c, 5));
+}
+
+TEST(GammaTest, MatchesDefinition) {
+  ConvergenceConstants c;
+  c.smoothness_l = 2.0;
+  c.gradient_variance_g2 = 8.0;
+  c.initial_gap = 1.0;
+  // Γ = G² / (L·gap·ρ_S·M·N) = 8 / (2·1·0.25·10·20) = 0.08.
+  EXPECT_NEAR(Gamma(c, 0.25, 10, 20), 0.08, 1e-12);
+}
+
+TEST(GammaTest, TheoreticalLearningRateMatchesFormula) {
+  ConvergenceConstants c;
+  const double gamma = Gamma(c, 0.5, 10, 10);
+  const double eta = TheoreticalLearningRate(c, 0.5, 10, 10, 100);
+  EXPECT_NEAR(eta, 1.0 / (c.smoothness_l * std::sqrt(gamma) * 100.0), 1e-12);
+}
+
+TEST(ConvergenceBoundTest, DecreasesWithMorePerClientDataAtFixedRho) {
+  // N only appears in the 1/sqrt(ρ_S·M·N) stability term, so growing N
+  // shrinks the bound. (Growing M instead also grows the ρ_C·M·E/T term,
+  // so the bound is not monotone in M at fixed T — see Remark 2(III).)
+  ConvergenceConstants c;
+  FatsConfig small = BaseConfig();
+  FatsConfig large = BaseConfig();
+  large.samples_per_client_n *= 4;
+  EXPECT_LT(ConvergenceBound(c, large), ConvergenceBound(c, small));
+}
+
+TEST(ConvergenceBoundTest, StabilityCostScalesAsInverseSqrtRhoSMN) {
+  ConvergenceConstants c;
+  const double cost_1 = StabilityCost(c, 0.25, 100, 100);
+  const double cost_4x_data = StabilityCost(c, 0.25, 400, 100);
+  EXPECT_NEAR(cost_1 / cost_4x_data, 2.0, 1e-9);
+  const double cost_4x_rho = StabilityCost(c, 1.0, 100, 100);
+  EXPECT_NEAR(cost_1 / cost_4x_rho, 2.0, 1e-9);
+}
+
+TEST(ConvergenceBoundTest, BoundExceedsStabilityCost) {
+  ConvergenceConstants c;
+  FatsConfig config = BaseConfig();
+  EXPECT_GE(ConvergenceBound(c, config),
+            StabilityCost(c, config.EffectiveRhoS(), config.clients_m,
+                          config.samples_per_client_n));
+}
+
+TEST(ConvergenceBoundTest, RhoCDoesNotAffectStabilityCost) {
+  // Remark 2(II): ρ_C cancels in K·b, so only ρ_S matters for the
+  // non-vanishing term.
+  ConvergenceConstants c;
+  EXPECT_DOUBLE_EQ(StabilityCost(c, 0.3, 50, 50),
+                   StabilityCost(c, 0.3, 50, 50));
+  FatsConfig a = BaseConfig();
+  FatsConfig b = BaseConfig();
+  b.rho_c = 1.0;
+  // Same rho_s: first term equal; only the E/T term differs.
+  const double cost_a = StabilityCost(c, a.EffectiveRhoS(), a.clients_m,
+                                      a.samples_per_client_n);
+  const double cost_b = StabilityCost(c, b.EffectiveRhoS(), b.clients_m,
+                                      b.samples_per_client_n);
+  EXPECT_NEAR(cost_a, cost_b, 0.25 * cost_a);
+}
+
+TEST(UnlearningTimeTest, Theorem3Formula) {
+  // max{min(ρ,1)·w·T, w}.
+  EXPECT_DOUBLE_EQ(ExpectedUnlearningTimeSteps(0.1, 2, 100), 20.0);
+  EXPECT_DOUBLE_EQ(ExpectedUnlearningTimeSteps(2.0, 2, 100), 200.0);
+  // Verification-dominated regime: tiny rho, many requests.
+  EXPECT_DOUBLE_EQ(ExpectedUnlearningTimeSteps(1e-6, 50, 100), 50.0);
+}
+
+TEST(UnlearningTimeTest, MonotoneInRhoAndRequests) {
+  EXPECT_LE(ExpectedUnlearningTimeSteps(0.1, 1, 100),
+            ExpectedUnlearningTimeSteps(0.2, 1, 100));
+  EXPECT_LE(ExpectedUnlearningTimeSteps(0.1, 1, 100),
+            ExpectedUnlearningTimeSteps(0.1, 3, 100));
+}
+
+}  // namespace
+}  // namespace fats

@@ -1,0 +1,148 @@
+#include "core/unlearning_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_workloads.h"
+
+namespace fats {
+namespace {
+
+struct Trained {
+  FederatedDataset data;
+  FatsConfig config;
+  std::unique_ptr<FatsTrainer> trainer;
+};
+
+Trained TrainTiny(int64_t clients = 10, int64_t n = 10, int64_t rounds = 4,
+                  int64_t e = 3) {
+  Trained t;
+  t.data = TinyImageData(clients, n);
+  t.config = TinyFatsConfig(clients, n, rounds, e);
+  t.trainer =
+      std::make_unique<FatsTrainer>(TinyModelSpec(), t.config, &t.data);
+  t.trainer->Train();
+  return t;
+}
+
+TEST(PickersTest, SamplePickerReturnsDistinctActiveRefs) {
+  FederatedDataset data = TinyImageData(5, 8);
+  ASSERT_TRUE(data.RemoveSample({0, 3}).ok());
+  ASSERT_TRUE(data.RemoveClient(4).ok());
+  RngStream rng(uint64_t{3});
+  std::vector<SampleRef> picks = PickRandomActiveSamples(data, 10, &rng);
+  ASSERT_EQ(picks.size(), 10u);
+  std::set<std::pair<int64_t, int64_t>> seen;
+  for (const SampleRef& ref : picks) {
+    EXPECT_TRUE(data.sample_active(ref.client, ref.index));
+    EXPECT_NE(ref.client, 4);
+    EXPECT_TRUE(seen.insert({ref.client, ref.index}).second);
+  }
+}
+
+TEST(PickersTest, ClientPickerReturnsDistinctActive) {
+  FederatedDataset data = TinyImageData(6, 4);
+  ASSERT_TRUE(data.RemoveClient(2).ok());
+  RngStream rng(uint64_t{4});
+  std::vector<int64_t> picks = PickRandomActiveClients(data, 4, &rng);
+  ASSERT_EQ(picks.size(), 4u);
+  std::set<int64_t> seen;
+  for (int64_t k : picks) {
+    EXPECT_NE(k, 2);
+    EXPECT_TRUE(seen.insert(k).second);
+  }
+}
+
+TEST(ExecutorTest, SampleBatchCountsAllRequests) {
+  Trained t = TrainTiny();
+  UnlearningExecutor executor(t.trainer.get());
+  RngStream rng(uint64_t{5});
+  std::vector<SampleRef> targets =
+      PickRandomActiveSamples(t.data, 4, &rng);
+  Result<UnlearningSummary> summary =
+      executor.ExecuteSampleBatch(targets, t.config.total_iters_t());
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->requests, 4);
+  for (const SampleRef& target : targets) {
+    EXPECT_FALSE(t.data.sample_active(target.client, target.index));
+  }
+}
+
+TEST(ExecutorTest, ClientBatchRemovesAll) {
+  Trained t = TrainTiny(12);
+  UnlearningExecutor executor(t.trainer.get());
+  RngStream rng(uint64_t{6});
+  std::vector<int64_t> targets = PickRandomActiveClients(t.data, 3, &rng);
+  Result<UnlearningSummary> summary =
+      executor.ExecuteClientBatch(targets, t.config.total_iters_t());
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->requests, 3);
+  EXPECT_EQ(t.data.num_active_clients(), 9);
+}
+
+TEST(ExecutorTest, StreamProcessesMixedRequests) {
+  Trained t = TrainTiny(12, 12, 5, 3);
+  UnlearningExecutor executor(t.trainer.get());
+  RngStream rng(uint64_t{7});
+  std::vector<SampleRef> samples = PickRandomActiveSamples(t.data, 2, &rng);
+  std::vector<int64_t> clients = PickRandomActiveClients(t.data, 1, &rng);
+  // Ensure the client target doesn't own a sample target (that sample
+  // would be gone after the client removal).
+  while (clients[0] == samples[0].client || clients[0] == samples[1].client) {
+    clients = PickRandomActiveClients(t.data, 1, &rng);
+  }
+  std::vector<UnlearningRequest> requests;
+  UnlearningRequest r1;
+  r1.kind = UnlearningRequest::Kind::kSample;
+  r1.sample = samples[0];
+  r1.request_iter = t.config.total_iters_t();
+  UnlearningRequest r2;
+  r2.kind = UnlearningRequest::Kind::kClient;
+  r2.client = clients[0];
+  r2.request_iter = t.config.total_iters_t();
+  UnlearningRequest r3;
+  r3.kind = UnlearningRequest::Kind::kSample;
+  r3.sample = samples[1];
+  r3.request_iter = t.config.total_iters_t();
+  requests.push_back(r1);
+  requests.push_back(r2);
+  requests.push_back(r3);
+
+  Result<UnlearningSummary> summary = executor.ExecuteStream(requests);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->requests, 3);
+  EXPECT_FALSE(t.data.sample_active(samples[0].client, samples[0].index));
+  EXPECT_FALSE(t.data.client_active(clients[0]));
+  EXPECT_LE(summary->recomputations, 3);
+  EXPECT_GE(summary->recomputations, 0);
+}
+
+TEST(ExecutorTest, SummaryAggregation) {
+  UnlearningSummary summary;
+  UnlearningOutcome a;
+  a.recomputed = true;
+  a.recomputed_iterations = 10;
+  a.recomputed_rounds = 2;
+  UnlearningOutcome b;  // no recomputation
+  summary.Add(a);
+  summary.Add(b);
+  EXPECT_EQ(summary.requests, 2);
+  EXPECT_EQ(summary.recomputations, 1);
+  EXPECT_EQ(summary.total_recomputed_iterations, 10);
+  EXPECT_EQ(summary.total_recomputed_rounds, 2);
+  EXPECT_DOUBLE_EQ(summary.MeanRecomputedIterations(), 5.0);
+}
+
+TEST(ExecutorTest, StreamFailurePropagates) {
+  Trained t = TrainTiny();
+  UnlearningExecutor executor(t.trainer.get());
+  UnlearningRequest bad;
+  bad.kind = UnlearningRequest::Kind::kClient;
+  bad.client = 10000;
+  bad.request_iter = 1;
+  EXPECT_FALSE(executor.ExecuteStream({bad}).ok());
+}
+
+}  // namespace
+}  // namespace fats

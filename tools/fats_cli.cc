@@ -1,0 +1,285 @@
+// fats_cli — drive FATS training and exact unlearning from the shell.
+//
+//   fats_cli train          --profile=mnist --checkpoint=/tmp/m.ckpt
+//                           [--rho_s=0.25 --rho_c=0.5 --rounds=N --seed=S]
+//                           [--until_iter=t]           (pause mid-training)
+//   fats_cli resume         --profile=mnist --checkpoint=/tmp/m.ckpt
+//                           [--until_iter=t]           (continue training)
+//   fats_cli unlearn-sample --profile=mnist --checkpoint=/tmp/m.ckpt
+//                           --client=3 --index=7
+//   fats_cli unlearn-client --profile=mnist --checkpoint=/tmp/m.ckpt
+//                           --client=5
+//   fats_cli info           --profile=mnist --checkpoint=/tmp/m.ckpt
+//
+// The dataset is re-materialized from (profile, seed) on every invocation;
+// deletions performed by earlier `unlearn-*` invocations are replayed from
+// the checkpoint-adjacent deletion journal (<checkpoint>.deletions), so the
+// client-side data view stays consistent across process lifetimes.
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/client_unlearner.h"
+#include "core/sample_unlearner.h"
+#include "data/paper_configs.h"
+#include "io/checkpoint.h"
+#include "metrics/gradient_diversity.h"
+#include "util/flags.h"
+
+namespace fats {
+namespace {
+
+struct CliOptions {
+  std::string command;
+  std::string profile_name;
+  std::string checkpoint;
+  double rho_s = 0.25;
+  double rho_c = 0.5;
+  int64_t rounds = 0;   // 0 = profile default
+  int64_t seed = 1;
+  int64_t until_iter = 0;  // 0 = train to T
+  int64_t client = -1;
+  int64_t index = -1;
+};
+
+std::string DeletionJournalPath(const std::string& checkpoint) {
+  return checkpoint + ".deletions";
+}
+
+/// Applies the deletion journal (one "sample <k> <i>" or "client <k>" per
+/// line) so the local data view matches what earlier invocations deleted.
+Status ReplayDeletions(const std::string& path, FederatedDataset* data) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::OK();  // no journal yet
+  std::string kind;
+  while (in >> kind) {
+    if (kind == "sample") {
+      int64_t client = 0;
+      int64_t index = 0;
+      if (!(in >> client >> index)) {
+        return Status::IoError("corrupt deletion journal: " + path);
+      }
+      FATS_RETURN_NOT_OK(data->RemoveSample({client, index}));
+    } else if (kind == "client") {
+      int64_t client = 0;
+      if (!(in >> client)) {
+        return Status::IoError("corrupt deletion journal: " + path);
+      }
+      FATS_RETURN_NOT_OK(data->RemoveClient(client));
+    } else {
+      return Status::IoError("unknown journal entry: " + kind);
+    }
+  }
+  return Status::OK();
+}
+
+Status AppendDeletion(const std::string& path, const std::string& line) {
+  std::ofstream out(path, std::ios::app);
+  if (!out.is_open()) return Status::IoError("cannot open journal: " + path);
+  out << line << "\n";
+  return out.good() ? Status::OK()
+                    : Status::IoError("journal write failed");
+}
+
+Result<DatasetProfile> ResolveProfile(const CliOptions& options) {
+  FATS_ASSIGN_OR_RETURN(DatasetProfile profile,
+                        ScaledProfile(options.profile_name));
+  if (options.rounds > 0) profile.rounds_r = options.rounds;
+  return profile;
+}
+
+void PrintStatusLine(FatsTrainer* trainer) {
+  std::printf("  progress : iteration %lld / %lld (generation %llu)\n",
+              static_cast<long long>(trainer->trained_through()),
+              static_cast<long long>(trainer->config().total_iters_t()),
+              static_cast<unsigned long long>(trainer->generation()));
+  std::printf("  accuracy : %.4f\n", trainer->EvaluateTestAccuracy());
+  std::printf("  comm     : %s\n",
+              trainer->comm_stats().ToString().c_str());
+  std::printf("  store    : %lld minibatch records, %lld local models, "
+              "%lld bytes\n",
+              static_cast<long long>(trainer->store().num_minibatch_records()),
+              static_cast<long long>(
+                  trainer->store().num_local_model_records()),
+              static_cast<long long>(trainer->store().ApproxBytes()));
+}
+
+Status RunTrain(const CliOptions& options, bool resume) {
+  FATS_ASSIGN_OR_RETURN(DatasetProfile profile, ResolveProfile(options));
+  FederatedDataset data =
+      BuildFederatedData(profile, static_cast<uint64_t>(options.seed));
+  FATS_RETURN_NOT_OK(
+      ReplayDeletions(DeletionJournalPath(options.checkpoint), &data));
+  FatsConfig config = FatsConfig::FromProfile(profile);
+  config.rho_s = options.rho_s;
+  config.rho_c = options.rho_c;
+  config.seed = static_cast<uint64_t>(options.seed);
+  FATS_RETURN_NOT_OK(config.Validate());
+  FatsTrainer trainer(profile.model, config, &data);
+  if (resume) {
+    FATS_RETURN_NOT_OK(LoadTrainerCheckpoint(options.checkpoint, &trainer));
+    std::printf("resumed from %s at iteration %lld\n",
+                options.checkpoint.c_str(),
+                static_cast<long long>(trainer.trained_through()));
+  } else {
+    std::printf("training %s: %s\n", profile.name.c_str(),
+                config.ToString().c_str());
+  }
+  const int64_t target = options.until_iter > 0 ? options.until_iter
+                                                : config.total_iters_t();
+  trainer.TrainUntil(target);
+  PrintStatusLine(&trainer);
+  FATS_RETURN_NOT_OK(SaveTrainerCheckpoint(&trainer, options.checkpoint));
+  std::printf("checkpoint written to %s\n", options.checkpoint.c_str());
+  return Status::OK();
+}
+
+Status RunUnlearn(const CliOptions& options, bool client_level) {
+  FATS_ASSIGN_OR_RETURN(DatasetProfile profile, ResolveProfile(options));
+  if (options.client < 0) {
+    return Status::InvalidArgument("--client is required");
+  }
+  if (!client_level && options.index < 0) {
+    return Status::InvalidArgument("--index is required for samples");
+  }
+  FederatedDataset data =
+      BuildFederatedData(profile, static_cast<uint64_t>(options.seed));
+  FATS_RETURN_NOT_OK(
+      ReplayDeletions(DeletionJournalPath(options.checkpoint), &data));
+  FatsConfig config = FatsConfig::FromProfile(profile);
+  config.rho_s = options.rho_s;
+  config.rho_c = options.rho_c;
+  config.seed = static_cast<uint64_t>(options.seed);
+  FATS_RETURN_NOT_OK(config.Validate());
+  FatsTrainer trainer(profile.model, config, &data);
+  FATS_RETURN_NOT_OK(LoadTrainerCheckpoint(options.checkpoint, &trainer));
+
+  UnlearningOutcome outcome;
+  if (client_level) {
+    ClientUnlearner unlearner(&trainer);
+    FATS_ASSIGN_OR_RETURN(
+        outcome,
+        unlearner.Unlearn(options.client, trainer.trained_through()));
+    FATS_RETURN_NOT_OK(AppendDeletion(
+        DeletionJournalPath(options.checkpoint),
+        "client " + std::to_string(options.client)));
+  } else {
+    SampleUnlearner unlearner(&trainer);
+    FATS_ASSIGN_OR_RETURN(
+        outcome, unlearner.Unlearn({options.client, options.index},
+                                   trainer.trained_through()));
+    FATS_RETURN_NOT_OK(AppendDeletion(
+        DeletionJournalPath(options.checkpoint),
+        "sample " + std::to_string(options.client) + " " +
+            std::to_string(options.index)));
+  }
+  std::printf("unlearned %s: recomputed=%s", client_level ? "client"
+                                                          : "sample",
+              outcome.recomputed ? "yes" : "no");
+  if (outcome.recomputed) {
+    std::printf(" (%lld iterations from t=%lld, %lld rounds, %.3fs)",
+                static_cast<long long>(outcome.recomputed_iterations),
+                static_cast<long long>(outcome.restart_iteration),
+                static_cast<long long>(outcome.recomputed_rounds),
+                outcome.wall_seconds);
+  }
+  std::printf("\n");
+  PrintStatusLine(&trainer);
+  FATS_RETURN_NOT_OK(SaveTrainerCheckpoint(&trainer, options.checkpoint));
+  std::printf("checkpoint updated: %s\n", options.checkpoint.c_str());
+  return Status::OK();
+}
+
+Status RunInfo(const CliOptions& options) {
+  FATS_ASSIGN_OR_RETURN(DatasetProfile profile, ResolveProfile(options));
+  FederatedDataset data =
+      BuildFederatedData(profile, static_cast<uint64_t>(options.seed));
+  FATS_RETURN_NOT_OK(
+      ReplayDeletions(DeletionJournalPath(options.checkpoint), &data));
+  FatsConfig config = FatsConfig::FromProfile(profile);
+  config.rho_s = options.rho_s;
+  config.rho_c = options.rho_c;
+  config.seed = static_cast<uint64_t>(options.seed);
+  FATS_RETURN_NOT_OK(config.Validate());
+  FatsTrainer trainer(profile.model, config, &data);
+  FATS_RETURN_NOT_OK(LoadTrainerCheckpoint(options.checkpoint, &trainer));
+  std::printf("%s\n", config.ToString().c_str());
+  std::printf("  data     : %s\n", data.ToString().c_str());
+  PrintStatusLine(&trainer);
+  const double lambda = MaxGradientDiversity(
+      trainer.model(), data, trainer.trained_through() /
+                                 std::max<int64_t>(config.local_iters_e, 1),
+      /*probes=*/4, [&trainer](int64_t round) {
+        return trainer.store().GetGlobalModel(round);
+      });
+  std::printf("  lambda^  : %.3f (gradient diversity, Definition 5)\n",
+              lambda);
+  return Status::OK();
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: fats_cli <train|resume|unlearn-sample|"
+                 "unlearn-client|info> [flags]\nsee --help per command\n");
+    return 2;
+  }
+  CliOptions options;
+  options.command = argv[1];
+
+  FlagParser flags;
+  std::string* profile = flags.AddString("profile", "mnist",
+                                         "scaled profile name");
+  std::string* checkpoint =
+      flags.AddString("checkpoint", "/tmp/fats.ckpt", "checkpoint path");
+  double* rho_s = flags.AddDouble("rho_s", 0.25, "sample TV-stability");
+  double* rho_c = flags.AddDouble("rho_c", 0.5, "client TV-stability");
+  int64_t* rounds = flags.AddInt("rounds", 0, "override profile rounds R");
+  int64_t* seed = flags.AddInt("seed", 1, "workload + algorithm seed");
+  int64_t* until_iter = flags.AddInt("until_iter", 0,
+                                     "pause training at this iteration");
+  int64_t* client = flags.AddInt("client", -1, "target client id");
+  int64_t* index = flags.AddInt("index", -1, "target sample index");
+  Status parse = flags.Parse(argc - 1, argv + 1);
+  if (parse.code() == StatusCode::kNotFound) return 0;  // --help
+  if (!parse.ok()) {
+    std::fprintf(stderr, "%s\n%s", parse.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+  options.profile_name = *profile;
+  options.checkpoint = *checkpoint;
+  options.rho_s = *rho_s;
+  options.rho_c = *rho_c;
+  options.rounds = *rounds;
+  options.seed = *seed;
+  options.until_iter = *until_iter;
+  options.client = *client;
+  options.index = *index;
+
+  Status status;
+  if (options.command == "train") {
+    status = RunTrain(options, /*resume=*/false);
+  } else if (options.command == "resume") {
+    status = RunTrain(options, /*resume=*/true);
+  } else if (options.command == "unlearn-sample") {
+    status = RunUnlearn(options, /*client_level=*/false);
+  } else if (options.command == "unlearn-client") {
+    status = RunUnlearn(options, /*client_level=*/true);
+  } else if (options.command == "info") {
+    status = RunInfo(options);
+  } else {
+    std::fprintf(stderr, "unknown command: %s\n", options.command.c_str());
+    return 2;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fats
+
+int main(int argc, char** argv) { return fats::Main(argc, argv); }
