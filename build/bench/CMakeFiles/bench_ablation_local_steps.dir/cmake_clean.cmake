@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_local_steps.dir/bench_ablation_local_steps.cc.o"
+  "CMakeFiles/bench_ablation_local_steps.dir/bench_ablation_local_steps.cc.o.d"
+  "bench_ablation_local_steps"
+  "bench_ablation_local_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_local_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_requests.dir/bench_fig3_requests.cc.o"
+  "CMakeFiles/bench_fig3_requests.dir/bench_fig3_requests.cc.o.d"
+  "bench_fig3_requests"
+  "bench_fig3_requests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

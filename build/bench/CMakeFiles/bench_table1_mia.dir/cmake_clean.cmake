@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_mia.dir/bench_table1_mia.cc.o"
+  "CMakeFiles/bench_table1_mia.dir/bench_table1_mia.cc.o.d"
+  "bench_table1_mia"
+  "bench_table1_mia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

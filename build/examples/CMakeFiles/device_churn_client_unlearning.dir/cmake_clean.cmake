@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_churn_client_unlearning.dir/device_churn_client_unlearning.cpp.o"
+  "CMakeFiles/device_churn_client_unlearning.dir/device_churn_client_unlearning.cpp.o.d"
+  "device_churn_client_unlearning"
+  "device_churn_client_unlearning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_churn_client_unlearning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for device_churn_client_unlearning.
+# This may be replaced when dependencies are built.

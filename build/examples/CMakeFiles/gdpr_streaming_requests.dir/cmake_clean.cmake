@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdpr_streaming_requests.dir/gdpr_streaming_requests.cpp.o"
+  "CMakeFiles/gdpr_streaming_requests.dir/gdpr_streaming_requests.cpp.o.d"
+  "gdpr_streaming_requests"
+  "gdpr_streaming_requests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdpr_streaming_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gdpr_streaming_requests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hospital_sample_unlearning.dir/hospital_sample_unlearning.cpp.o"
+  "CMakeFiles/hospital_sample_unlearning.dir/hospital_sample_unlearning.cpp.o.d"
+  "hospital_sample_unlearning"
+  "hospital_sample_unlearning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hospital_sample_unlearning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisoning_recovery.dir/poisoning_recovery.cpp.o"
+  "CMakeFiles/poisoning_recovery.dir/poisoning_recovery.cpp.o.d"
+  "poisoning_recovery"
+  "poisoning_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisoning_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/mia.cc" "src/CMakeFiles/fats.dir/attack/mia.cc.o" "gcc" "src/CMakeFiles/fats.dir/attack/mia.cc.o.d"
+  "/root/repo/src/baselines/fr2.cc" "src/CMakeFiles/fats.dir/baselines/fr2.cc.o" "gcc" "src/CMakeFiles/fats.dir/baselines/fr2.cc.o.d"
+  "/root/repo/src/baselines/frs.cc" "src/CMakeFiles/fats.dir/baselines/frs.cc.o" "gcc" "src/CMakeFiles/fats.dir/baselines/frs.cc.o.d"
+  "/root/repo/src/core/client_unlearner.cc" "src/CMakeFiles/fats.dir/core/client_unlearner.cc.o" "gcc" "src/CMakeFiles/fats.dir/core/client_unlearner.cc.o.d"
+  "/root/repo/src/core/compact_unlearner.cc" "src/CMakeFiles/fats.dir/core/compact_unlearner.cc.o" "gcc" "src/CMakeFiles/fats.dir/core/compact_unlearner.cc.o.d"
+  "/root/repo/src/core/fats_config.cc" "src/CMakeFiles/fats.dir/core/fats_config.cc.o" "gcc" "src/CMakeFiles/fats.dir/core/fats_config.cc.o.d"
+  "/root/repo/src/core/fats_trainer.cc" "src/CMakeFiles/fats.dir/core/fats_trainer.cc.o" "gcc" "src/CMakeFiles/fats.dir/core/fats_trainer.cc.o.d"
+  "/root/repo/src/core/sample_unlearner.cc" "src/CMakeFiles/fats.dir/core/sample_unlearner.cc.o" "gcc" "src/CMakeFiles/fats.dir/core/sample_unlearner.cc.o.d"
+  "/root/repo/src/core/tv_stability.cc" "src/CMakeFiles/fats.dir/core/tv_stability.cc.o" "gcc" "src/CMakeFiles/fats.dir/core/tv_stability.cc.o.d"
+  "/root/repo/src/core/unlearning_executor.cc" "src/CMakeFiles/fats.dir/core/unlearning_executor.cc.o" "gcc" "src/CMakeFiles/fats.dir/core/unlearning_executor.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/fats.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/fats.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/federated_dataset.cc" "src/CMakeFiles/fats.dir/data/federated_dataset.cc.o" "gcc" "src/CMakeFiles/fats.dir/data/federated_dataset.cc.o.d"
+  "/root/repo/src/data/paper_configs.cc" "src/CMakeFiles/fats.dir/data/paper_configs.cc.o" "gcc" "src/CMakeFiles/fats.dir/data/paper_configs.cc.o.d"
+  "/root/repo/src/data/partition.cc" "src/CMakeFiles/fats.dir/data/partition.cc.o" "gcc" "src/CMakeFiles/fats.dir/data/partition.cc.o.d"
+  "/root/repo/src/data/synthetic_image.cc" "src/CMakeFiles/fats.dir/data/synthetic_image.cc.o" "gcc" "src/CMakeFiles/fats.dir/data/synthetic_image.cc.o.d"
+  "/root/repo/src/data/synthetic_text.cc" "src/CMakeFiles/fats.dir/data/synthetic_text.cc.o" "gcc" "src/CMakeFiles/fats.dir/data/synthetic_text.cc.o.d"
+  "/root/repo/src/fl/client.cc" "src/CMakeFiles/fats.dir/fl/client.cc.o" "gcc" "src/CMakeFiles/fats.dir/fl/client.cc.o.d"
+  "/root/repo/src/fl/comm_stats.cc" "src/CMakeFiles/fats.dir/fl/comm_stats.cc.o" "gcc" "src/CMakeFiles/fats.dir/fl/comm_stats.cc.o.d"
+  "/root/repo/src/fl/fedavg.cc" "src/CMakeFiles/fats.dir/fl/fedavg.cc.o" "gcc" "src/CMakeFiles/fats.dir/fl/fedavg.cc.o.d"
+  "/root/repo/src/fl/server.cc" "src/CMakeFiles/fats.dir/fl/server.cc.o" "gcc" "src/CMakeFiles/fats.dir/fl/server.cc.o.d"
+  "/root/repo/src/fl/state_store.cc" "src/CMakeFiles/fats.dir/fl/state_store.cc.o" "gcc" "src/CMakeFiles/fats.dir/fl/state_store.cc.o.d"
+  "/root/repo/src/fl/train_log.cc" "src/CMakeFiles/fats.dir/fl/train_log.cc.o" "gcc" "src/CMakeFiles/fats.dir/fl/train_log.cc.o.d"
+  "/root/repo/src/io/checkpoint.cc" "src/CMakeFiles/fats.dir/io/checkpoint.cc.o" "gcc" "src/CMakeFiles/fats.dir/io/checkpoint.cc.o.d"
+  "/root/repo/src/metrics/evaluation.cc" "src/CMakeFiles/fats.dir/metrics/evaluation.cc.o" "gcc" "src/CMakeFiles/fats.dir/metrics/evaluation.cc.o.d"
+  "/root/repo/src/metrics/gradient_diversity.cc" "src/CMakeFiles/fats.dir/metrics/gradient_diversity.cc.o" "gcc" "src/CMakeFiles/fats.dir/metrics/gradient_diversity.cc.o.d"
+  "/root/repo/src/metrics/unlearning_metrics.cc" "src/CMakeFiles/fats.dir/metrics/unlearning_metrics.cc.o" "gcc" "src/CMakeFiles/fats.dir/metrics/unlearning_metrics.cc.o.d"
+  "/root/repo/src/nn/activations.cc" "src/CMakeFiles/fats.dir/nn/activations.cc.o" "gcc" "src/CMakeFiles/fats.dir/nn/activations.cc.o.d"
+  "/root/repo/src/nn/conv2d.cc" "src/CMakeFiles/fats.dir/nn/conv2d.cc.o" "gcc" "src/CMakeFiles/fats.dir/nn/conv2d.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/CMakeFiles/fats.dir/nn/embedding.cc.o" "gcc" "src/CMakeFiles/fats.dir/nn/embedding.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/fats.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/fats.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/fats.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/fats.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/CMakeFiles/fats.dir/nn/loss.cc.o" "gcc" "src/CMakeFiles/fats.dir/nn/loss.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/CMakeFiles/fats.dir/nn/lstm.cc.o" "gcc" "src/CMakeFiles/fats.dir/nn/lstm.cc.o.d"
+  "/root/repo/src/nn/model_zoo.cc" "src/CMakeFiles/fats.dir/nn/model_zoo.cc.o" "gcc" "src/CMakeFiles/fats.dir/nn/model_zoo.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/fats.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/fats.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/parameter_vector.cc" "src/CMakeFiles/fats.dir/nn/parameter_vector.cc.o" "gcc" "src/CMakeFiles/fats.dir/nn/parameter_vector.cc.o.d"
+  "/root/repo/src/nn/pooling.cc" "src/CMakeFiles/fats.dir/nn/pooling.cc.o" "gcc" "src/CMakeFiles/fats.dir/nn/pooling.cc.o.d"
+  "/root/repo/src/nn/sequential.cc" "src/CMakeFiles/fats.dir/nn/sequential.cc.o" "gcc" "src/CMakeFiles/fats.dir/nn/sequential.cc.o.d"
+  "/root/repo/src/rng/philox.cc" "src/CMakeFiles/fats.dir/rng/philox.cc.o" "gcc" "src/CMakeFiles/fats.dir/rng/philox.cc.o.d"
+  "/root/repo/src/rng/rng_stream.cc" "src/CMakeFiles/fats.dir/rng/rng_stream.cc.o" "gcc" "src/CMakeFiles/fats.dir/rng/rng_stream.cc.o.d"
+  "/root/repo/src/rng/sampling.cc" "src/CMakeFiles/fats.dir/rng/sampling.cc.o" "gcc" "src/CMakeFiles/fats.dir/rng/sampling.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/fats.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/fats.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/tensor/tensor_ops.cc" "src/CMakeFiles/fats.dir/tensor/tensor_ops.cc.o" "gcc" "src/CMakeFiles/fats.dir/tensor/tensor_ops.cc.o.d"
+  "/root/repo/src/util/binary_io.cc" "src/CMakeFiles/fats.dir/util/binary_io.cc.o" "gcc" "src/CMakeFiles/fats.dir/util/binary_io.cc.o.d"
+  "/root/repo/src/util/csv_writer.cc" "src/CMakeFiles/fats.dir/util/csv_writer.cc.o" "gcc" "src/CMakeFiles/fats.dir/util/csv_writer.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/fats.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/fats.dir/util/flags.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/fats.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/fats.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/fats.dir/util/status.cc.o" "gcc" "src/CMakeFiles/fats.dir/util/status.cc.o.d"
+  "/root/repo/src/util/stopwatch.cc" "src/CMakeFiles/fats.dir/util/stopwatch.cc.o" "gcc" "src/CMakeFiles/fats.dir/util/stopwatch.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/fats.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/fats.dir/util/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/central_lda_test.dir/central_lda_test.cc.o"
+  "CMakeFiles/central_lda_test.dir/central_lda_test.cc.o.d"
+  "central_lda_test"
+  "central_lda_test.pdb"
+  "central_lda_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/central_lda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

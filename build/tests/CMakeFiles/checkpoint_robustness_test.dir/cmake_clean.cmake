@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_robustness_test.dir/checkpoint_robustness_test.cc.o"
+  "CMakeFiles/checkpoint_robustness_test.dir/checkpoint_robustness_test.cc.o.d"
+  "checkpoint_robustness_test"
+  "checkpoint_robustness_test.pdb"
+  "checkpoint_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim1_property_test.dir/claim1_property_test.cc.o"
+  "CMakeFiles/claim1_property_test.dir/claim1_property_test.cc.o.d"
+  "claim1_property_test"
+  "claim1_property_test.pdb"
+  "claim1_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim1_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

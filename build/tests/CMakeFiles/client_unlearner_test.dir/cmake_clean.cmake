@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_unlearner_test.dir/client_unlearner_test.cc.o"
+  "CMakeFiles/client_unlearner_test.dir/client_unlearner_test.cc.o.d"
+  "client_unlearner_test"
+  "client_unlearner_test.pdb"
+  "client_unlearner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_unlearner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

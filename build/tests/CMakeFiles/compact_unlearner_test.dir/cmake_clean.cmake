@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compact_unlearner_test.dir/compact_unlearner_test.cc.o"
+  "CMakeFiles/compact_unlearner_test.dir/compact_unlearner_test.cc.o.d"
+  "compact_unlearner_test"
+  "compact_unlearner_test.pdb"
+  "compact_unlearner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compact_unlearner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_unlearning_property_test.dir/exact_unlearning_property_test.cc.o"
+  "CMakeFiles/exact_unlearning_property_test.dir/exact_unlearning_property_test.cc.o.d"
+  "exact_unlearning_property_test"
+  "exact_unlearning_property_test.pdb"
+  "exact_unlearning_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_unlearning_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fats_config_test.dir/fats_config_test.cc.o"
+  "CMakeFiles/fats_config_test.dir/fats_config_test.cc.o.d"
+  "fats_config_test"
+  "fats_config_test.pdb"
+  "fats_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fats_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fats_replay_test.dir/fats_replay_test.cc.o"
+  "CMakeFiles/fats_replay_test.dir/fats_replay_test.cc.o.d"
+  "fats_replay_test"
+  "fats_replay_test.pdb"
+  "fats_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fats_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fats_trainer_test.dir/fats_trainer_test.cc.o"
+  "CMakeFiles/fats_trainer_test.dir/fats_trainer_test.cc.o.d"
+  "fats_trainer_test"
+  "fats_trainer_test.pdb"
+  "fats_trainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fats_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_dataset_test.dir/federated_dataset_test.cc.o"
+  "CMakeFiles/federated_dataset_test.dir/federated_dataset_test.cc.o.d"
+  "federated_dataset_test"
+  "federated_dataset_test.pdb"
+  "federated_dataset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fr2_details_test.dir/fr2_details_test.cc.o"
+  "CMakeFiles/fr2_details_test.dir/fr2_details_test.cc.o.d"
+  "fr2_details_test"
+  "fr2_details_test.pdb"
+  "fr2_details_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fr2_details_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

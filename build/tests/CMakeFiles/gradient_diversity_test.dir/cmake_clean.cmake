@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradient_diversity_test.dir/gradient_diversity_test.cc.o"
+  "CMakeFiles/gradient_diversity_test.dir/gradient_diversity_test.cc.o.d"
+  "gradient_diversity_test"
+  "gradient_diversity_test.pdb"
+  "gradient_diversity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradient_diversity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mia_test.dir/mia_test.cc.o"
+  "CMakeFiles/mia_test.dir/mia_test.cc.o.d"
+  "mia_test"
+  "mia_test.pdb"
+  "mia_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mia_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

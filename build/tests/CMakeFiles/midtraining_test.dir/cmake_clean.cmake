@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midtraining_test.dir/midtraining_test.cc.o"
+  "CMakeFiles/midtraining_test.dir/midtraining_test.cc.o.d"
+  "midtraining_test"
+  "midtraining_test.pdb"
+  "midtraining_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midtraining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_configs_test.dir/paper_configs_test.cc.o"
+  "CMakeFiles/paper_configs_test.dir/paper_configs_test.cc.o.d"
+  "paper_configs_test"
+  "paper_configs_test.pdb"
+  "paper_configs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_configs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/philox_test.dir/philox_test.cc.o"
+  "CMakeFiles/philox_test.dir/philox_test.cc.o.d"
+  "philox_test"
+  "philox_test.pdb"
+  "philox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/philox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

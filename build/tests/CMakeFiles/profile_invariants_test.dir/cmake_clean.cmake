@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_invariants_test.dir/profile_invariants_test.cc.o"
+  "CMakeFiles/profile_invariants_test.dir/profile_invariants_test.cc.o.d"
+  "profile_invariants_test"
+  "profile_invariants_test.pdb"
+  "profile_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rng_stream_test.dir/rng_stream_test.cc.o"
+  "CMakeFiles/rng_stream_test.dir/rng_stream_test.cc.o.d"
+  "rng_stream_test"
+  "rng_stream_test.pdb"
+  "rng_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rng_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sample_unlearner_test.dir/sample_unlearner_test.cc.o"
+  "CMakeFiles/sample_unlearner_test.dir/sample_unlearner_test.cc.o.d"
+  "sample_unlearner_test"
+  "sample_unlearner_test.pdb"
+  "sample_unlearner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_unlearner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

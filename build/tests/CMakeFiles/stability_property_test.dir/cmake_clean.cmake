@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stability_property_test.dir/stability_property_test.cc.o"
+  "CMakeFiles/stability_property_test.dir/stability_property_test.cc.o.d"
+  "stability_property_test"
+  "stability_property_test.pdb"
+  "stability_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stability_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

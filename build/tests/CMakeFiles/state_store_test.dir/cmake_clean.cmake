@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_store_test.dir/state_store_test.cc.o"
+  "CMakeFiles/state_store_test.dir/state_store_test.cc.o.d"
+  "state_store_test"
+  "state_store_test.pdb"
+  "state_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_midtraining_test.dir/streaming_midtraining_test.cc.o"
+  "CMakeFiles/streaming_midtraining_test.dir/streaming_midtraining_test.cc.o.d"
+  "streaming_midtraining_test"
+  "streaming_midtraining_test.pdb"
+  "streaming_midtraining_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_midtraining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

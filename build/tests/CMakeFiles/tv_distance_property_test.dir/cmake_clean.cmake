@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_distance_property_test.dir/tv_distance_property_test.cc.o"
+  "CMakeFiles/tv_distance_property_test.dir/tv_distance_property_test.cc.o.d"
+  "tv_distance_property_test"
+  "tv_distance_property_test.pdb"
+  "tv_distance_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_distance_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

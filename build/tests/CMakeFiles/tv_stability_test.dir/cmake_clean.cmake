@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_stability_test.dir/tv_stability_test.cc.o"
+  "CMakeFiles/tv_stability_test.dir/tv_stability_test.cc.o.d"
+  "tv_stability_test"
+  "tv_stability_test.pdb"
+  "tv_stability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_stability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

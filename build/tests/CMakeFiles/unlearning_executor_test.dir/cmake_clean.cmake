@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unlearning_executor_test.dir/unlearning_executor_test.cc.o"
+  "CMakeFiles/unlearning_executor_test.dir/unlearning_executor_test.cc.o.d"
+  "unlearning_executor_test"
+  "unlearning_executor_test.pdb"
+  "unlearning_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unlearning_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

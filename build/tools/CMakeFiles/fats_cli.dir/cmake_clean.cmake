@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fats_cli.dir/fats_cli.cc.o"
+  "CMakeFiles/fats_cli.dir/fats_cli.cc.o.d"
+  "fats_cli"
+  "fats_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fats_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
