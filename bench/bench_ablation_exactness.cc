@@ -83,13 +83,23 @@ std::string EncodeHistory(const FatsTrainer& trainer) {
         trainer.store().GetClientSelection(r);
     if (selection == nullptr) continue;
     out += "R[";
-    for (int64_t k : *selection) out += std::to_string(k) + ",";
+    // Sequential appends: `"B" + std::to_string(k) + ...` trips GCC 12's
+    // -Wrestrict false positive (PR 105651) at -O3 under -Werror.
+    for (int64_t k : *selection) {
+      out += std::to_string(k);
+      out += ",";
+    }
     out += "]";
     for (int64_t k = 0; k < kClients; ++k) {
       const std::vector<int64_t>* batch = trainer.store().GetMinibatch(r, k);
       if (batch == nullptr) continue;
-      out += "B" + std::to_string(k) + "(";
-      for (int64_t i : *batch) out += std::to_string(i) + ",";
+      out += "B";
+      out += std::to_string(k);
+      out += "(";
+      for (int64_t i : *batch) {
+        out += std::to_string(i);
+        out += ",";
+      }
       out += ")";
     }
   }

@@ -1,0 +1,48 @@
+# Sanitizer wiring for FATS.
+#
+# FATS_SANITIZE is a semicolon-separated list of sanitizers applied to every
+# target in the build:
+#
+#   cmake -B build-asan -S . -DFATS_SANITIZE="address;undefined"
+#   cmake -B build-tsan -S . -DFATS_SANITIZE=thread
+#
+# Supported values: address, undefined, thread, leak.  `thread` cannot be
+# combined with `address` or `leak` (the runtimes conflict); it is wired now
+# so the future parallel trainer can be raced under TSan from day one.
+# UBSan runs with -fno-sanitize-recover so any UB aborts the test instead of
+# merely logging, which is what tier-1 verification needs.
+
+set(FATS_SANITIZE "" CACHE STRING
+    "Semicolon list of sanitizers: address;undefined;thread;leak")
+
+function(fats_enable_sanitizers)
+  if(NOT FATS_SANITIZE)
+    return()
+  endif()
+
+  set(_known address undefined thread leak)
+  set(_flags "")
+  foreach(_san IN LISTS FATS_SANITIZE)
+    if(NOT _san IN_LIST _known)
+      message(FATAL_ERROR
+        "FATS_SANITIZE: unknown sanitizer '${_san}' (supported: ${_known})")
+    endif()
+    list(APPEND _flags "-fsanitize=${_san}")
+  endforeach()
+
+  if("thread" IN_LIST FATS_SANITIZE AND
+     ("address" IN_LIST FATS_SANITIZE OR "leak" IN_LIST FATS_SANITIZE))
+    message(FATAL_ERROR
+      "FATS_SANITIZE: 'thread' cannot be combined with 'address' or 'leak'")
+  endif()
+
+  # Usable stack traces and hard failure on UB.
+  list(APPEND _flags -fno-omit-frame-pointer)
+  if("undefined" IN_LIST FATS_SANITIZE)
+    list(APPEND _flags -fno-sanitize-recover=all)
+  endif()
+
+  add_compile_options(${_flags})
+  add_link_options(${_flags})
+  message(STATUS "FATS: sanitizers enabled: ${FATS_SANITIZE}")
+endfunction()

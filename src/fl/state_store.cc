@@ -5,6 +5,26 @@
 #include "util/logging.h"
 
 namespace fats {
+namespace {
+
+// Sorted key enumeration for the unordered record maps.  Hash-order
+// traversal never escapes this helper: every public enumeration API returns
+// keys in sorted order, so checkpointing and diagnostics are replay-stable.
+template <typename Map>
+std::vector<typename Map::key_type> SortedKeys(const Map& m) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(m.size());
+  // Order-insensitive key collection, sorted below.
+  // fats-lint: allow(unordered-iteration)
+  for (const auto& [key, value] : m) {
+    (void)value;
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace
 
 void StateStore::SaveClientSelection(int64_t round,
                                      std::vector<int64_t> multiset) {
@@ -79,19 +99,24 @@ void StateStore::TruncateFromIteration(int64_t from_iter,
   FATS_CHECK_GE(from_iter, 1);
   FATS_CHECK_GE(local_iters_e, 1);
   // Round r covers iterations (r-1)E+1 .. rE; its selection happens at
-  // (r-1)E+1 and its global model is saved at rE.
+  // (r-1)E+1 and its global model is saved at rE.  The erase-if sweeps below
+  // keep the same surviving set whatever the traversal order.
+  // fats-lint: allow(unordered-iteration)
   for (auto it = minibatches_.begin(); it != minibatches_.end();) {
     it = (it->first.first >= from_iter) ? minibatches_.erase(it)
                                         : std::next(it);
   }
+  // fats-lint: allow(unordered-iteration)
   for (auto it = local_models_.begin(); it != local_models_.end();) {
     it = (it->first.first >= from_iter) ? local_models_.erase(it)
                                         : std::next(it);
   }
+  // fats-lint: allow(unordered-iteration)
   for (auto it = selections_.begin(); it != selections_.end();) {
     const int64_t round_start = (it->first - 1) * local_iters_e + 1;
     it = (round_start >= from_iter) ? selections_.erase(it) : std::next(it);
   }
+  // fats-lint: allow(unordered-iteration)
   for (auto it = global_models_.begin(); it != global_models_.end();) {
     const int64_t round_end = it->first * local_iters_e;  // round 0 -> 0
     it = (it->first != 0 && round_end >= from_iter) ? global_models_.erase(it)
@@ -103,9 +128,13 @@ void StateStore::TruncateFromIteration(int64_t from_iter,
 void StateStore::RebuildEarliestIndices() {
   earliest_sample_use_.clear();
   earliest_client_round_.clear();
+  // The rebuilt indices hold per-key minima, the same whatever the
+  // traversal order (no float accumulation involved).
+  // fats-lint: allow(unordered-iteration)
   for (const auto& [key, indices] : minibatches_) {
     IndexMinibatch(key.first, key.second, indices);
   }
+  // fats-lint: allow(unordered-iteration)
   for (const auto& [round, multiset] : selections_) {
     for (int64_t k : multiset) {
       auto it = earliest_client_round_.find(k);
@@ -117,47 +146,19 @@ void StateStore::RebuildEarliestIndices() {
 }
 
 std::vector<int64_t> StateStore::SelectionRounds() const {
-  std::vector<int64_t> rounds;
-  rounds.reserve(selections_.size());
-  for (const auto& [round, selection] : selections_) {
-    (void)selection;
-    rounds.push_back(round);
-  }
-  std::sort(rounds.begin(), rounds.end());
-  return rounds;
+  return SortedKeys(selections_);
 }
 
 std::vector<int64_t> StateStore::GlobalModelRounds() const {
-  std::vector<int64_t> rounds;
-  rounds.reserve(global_models_.size());
-  for (const auto& [round, params] : global_models_) {
-    (void)params;
-    rounds.push_back(round);
-  }
-  std::sort(rounds.begin(), rounds.end());
-  return rounds;
+  return SortedKeys(global_models_);
 }
 
 std::vector<std::pair<int64_t, int64_t>> StateStore::MinibatchKeys() const {
-  std::vector<std::pair<int64_t, int64_t>> keys;
-  keys.reserve(minibatches_.size());
-  for (const auto& [key, batch] : minibatches_) {
-    (void)batch;
-    keys.push_back(key);
-  }
-  std::sort(keys.begin(), keys.end());
-  return keys;
+  return SortedKeys(minibatches_);
 }
 
 std::vector<std::pair<int64_t, int64_t>> StateStore::LocalModelKeys() const {
-  std::vector<std::pair<int64_t, int64_t>> keys;
-  keys.reserve(local_models_.size());
-  for (const auto& [key, params] : local_models_) {
-    (void)params;
-    keys.push_back(key);
-  }
-  std::sort(keys.begin(), keys.end());
-  return keys;
+  return SortedKeys(local_models_);
 }
 
 void StateStore::Clear() {
@@ -170,19 +171,24 @@ void StateStore::Clear() {
 }
 
 int64_t StateStore::ApproxBytes() const {
+  // Integer byte counts commute; traversal order cannot change the sum.
   int64_t bytes = 0;
+  // fats-lint: allow(unordered-iteration)
   for (const auto& [round, multiset] : selections_) {
     (void)round;
     bytes += 8 + static_cast<int64_t>(multiset.size()) * 8;
   }
+  // fats-lint: allow(unordered-iteration)
   for (const auto& [round, params] : global_models_) {
     (void)round;
     bytes += 8 + params.size() * 4;
   }
+  // fats-lint: allow(unordered-iteration)
   for (const auto& [key, indices] : minibatches_) {
     (void)key;
     bytes += 16 + static_cast<int64_t>(indices.size()) * 8;
   }
+  // fats-lint: allow(unordered-iteration)
   for (const auto& [key, params] : local_models_) {
     (void)key;
     bytes += 16 + params.size() * 4;

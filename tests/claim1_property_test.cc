@@ -123,9 +123,14 @@ INSTANTIATE_TEST_SUITE_P(
     testing::Values(std::make_pair<int64_t, int64_t>(5, 2),
                     std::make_pair<int64_t, int64_t>(4, 1),
                     std::make_pair<int64_t, int64_t>(6, 3)),
-    [](const testing::TestParamInfo<std::pair<int64_t, int64_t>>& info) {
-      return "N" + std::to_string(info.param.first) + "b" +
-             std::to_string(info.param.second);
+    [](const testing::TestParamInfo<std::pair<int64_t, int64_t>>& param_info) {
+      // Sequential appends: literal + to_string chains trip GCC 12's
+      // -Wrestrict false positive (PR 105651) at -O3 under -Werror.
+      std::string name = "N";
+      name += std::to_string(param_info.param.first);
+      name += "b";
+      name += std::to_string(param_info.param.second);
+      return name;
     });
 
 TEST(Claim1FormulaTest, InclusionProbabilityMatchesBOverN) {

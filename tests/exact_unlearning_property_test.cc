@@ -57,15 +57,30 @@ std::string EncodeHistory(const FatsTrainer& trainer) {
     const std::vector<int64_t>* selection =
         trainer.store().GetClientSelection(r);
     if (selection == nullptr) continue;
-    out += "R" + std::to_string(r) + ":[";
-    for (int64_t k : *selection) out += std::to_string(k) + ",";
+    // Sequential appends rather than `"R" + std::to_string(r) + ...`: the
+    // temporary-chain form trips GCC 12's -Wrestrict false positive
+    // (PR 105651) at -O3, which the -Werror release preset turns fatal.
+    out += "R";
+    out += std::to_string(r);
+    out += ":[";
+    for (int64_t k : *selection) {
+      out += std::to_string(k);
+      out += ",";
+    }
     out += "]";
     for (int64_t t = (r - 1) * kLocalIters + 1; t <= r * kLocalIters; ++t) {
       for (int64_t k = 0; k < kClients; ++k) {
         const std::vector<int64_t>* batch = trainer.store().GetMinibatch(t, k);
         if (batch == nullptr) continue;
-        out += "B" + std::to_string(t) + "." + std::to_string(k) + ":(";
-        for (int64_t i : *batch) out += std::to_string(i) + ",";
+        out += "B";
+        out += std::to_string(t);
+        out += ".";
+        out += std::to_string(k);
+        out += ":(";
+        for (int64_t i : *batch) {
+          out += std::to_string(i);
+          out += ",";
+        }
         out += ")";
       }
     }

@@ -1,0 +1,276 @@
+// Tests for the determinism lint scanner (tools/fats_lint_lib.h): known-bad
+// snippets must fire the exact rule IDs, suppression comments must downgrade
+// them, and the path classifier must exempt src/rng/.
+
+#include "fats_lint_lib.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace fats::lint {
+namespace {
+
+std::vector<std::string> ActiveRules(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  for (const Finding& f : findings) {
+    if (!f.suppressed) rules.push_back(f.rule);
+  }
+  std::sort(rules.begin(), rules.end());
+  return rules;
+}
+
+TEST(FatsLintClassify, RngDirIsExemptFromRngRules) {
+  const FileClass rng = ClassifyPath("src/rng/philox.cc");
+  EXPECT_FALSE(rng.rng_rules);
+  EXPECT_FALSE(rng.ordered_rules);
+
+  const FileClass core = ClassifyPath("src/core/fats_trainer.cc");
+  EXPECT_TRUE(core.rng_rules);
+  EXPECT_TRUE(core.ordered_rules);
+
+  const FileClass fl = ClassifyPath("src/fl/server.cc");
+  EXPECT_TRUE(fl.ordered_rules);
+  const FileClass baselines = ClassifyPath("src/baselines/frs.cc");
+  EXPECT_TRUE(baselines.ordered_rules);
+
+  const FileClass nn = ClassifyPath("src/nn/linear.cc");
+  EXPECT_TRUE(nn.rng_rules);
+  EXPECT_FALSE(nn.ordered_rules);
+
+  // Absolute paths classify the same way.
+  EXPECT_FALSE(ClassifyPath("/home/u/repo/src/rng/sampling.cc").rng_rules);
+  EXPECT_TRUE(ClassifyPath("/home/u/repo/src/core/x.cc").ordered_rules);
+}
+
+TEST(FatsLintClassify, LintableExtensions) {
+  EXPECT_TRUE(ShouldLintFile("src/core/a.cc"));
+  EXPECT_TRUE(ShouldLintFile("examples/quickstart.cpp"));
+  EXPECT_TRUE(ShouldLintFile("src/nn/module.h"));
+  EXPECT_FALSE(ShouldLintFile("CMakeLists.txt"));
+  EXPECT_FALSE(ShouldLintFile("tools/ci.sh"));
+}
+
+TEST(FatsLintRng, RawStdRandFires) {
+  const std::vector<Finding> f = ScanSource(
+      "src/nn/init.cc", "int x = std::rand() % 7;\n");
+  ASSERT_EQ(ActiveRules(f), std::vector<std::string>{kRuleBannedRand});
+  EXPECT_EQ(f[0].line, 1);
+  EXPECT_EQ(f[0].file, "src/nn/init.cc");
+}
+
+TEST(FatsLintRng, BareRandAndSrandFire) {
+  const std::vector<Finding> f = ScanSource(
+      "bench/bench_x.cc",
+      "void f() {\n  srand(42);\n  int x = rand();\n}\n");
+  const std::vector<std::string> expected = {kRuleBannedRand, kRuleBannedRand};
+  EXPECT_EQ(ActiveRules(f), expected);
+  EXPECT_EQ(f[0].line, 2);
+  EXPECT_EQ(f[1].line, 3);
+}
+
+TEST(FatsLintRng, RandomDeviceFires) {
+  const std::vector<Finding> f = ScanSource(
+      "src/data/partition.cc", "std::random_device rd;\n");
+  EXPECT_EQ(ActiveRules(f),
+            std::vector<std::string>{kRuleBannedRandomDevice});
+}
+
+TEST(FatsLintRng, DefaultConstructedEngineFires) {
+  EXPECT_EQ(ActiveRules(ScanSource("src/fl/client.cc",
+                                   "std::mt19937 gen;\n")),
+            std::vector<std::string>{kRuleDefaultEngine});
+  EXPECT_EQ(ActiveRules(ScanSource("tools/foo.cc",
+                                   "std::default_random_engine eng{};\n")),
+            std::vector<std::string>{kRuleDefaultEngine});
+  // A seeded engine is not the default-engine pattern (the include ban
+  // covers it instead).
+  EXPECT_TRUE(ActiveRules(ScanSource("src/fl/client.cc",
+                                     "std::mt19937 gen(seed);\n"))
+                  .empty());
+}
+
+TEST(FatsLintRng, RandomIncludeFiresOutsideRngOnly) {
+  const char kSnippet[] = "#include <random>\n";
+  EXPECT_EQ(ActiveRules(ScanSource("src/metrics/evaluation.cc", kSnippet)),
+            std::vector<std::string>{kRuleRandomInclude});
+  EXPECT_TRUE(ActiveRules(ScanSource("src/rng/rng_stream.h", kSnippet))
+                  .empty());
+}
+
+TEST(FatsLintRng, TimeSeedFires) {
+  const std::vector<Finding> f = ScanSource(
+      "examples/demo.cpp", "engine.seed(std::time(nullptr));\n");
+  EXPECT_EQ(ActiveRules(f), std::vector<std::string>{kRuleTimeSeed});
+  // Wall-clock reads without a seeding context (e.g. the stopwatch) pass.
+  EXPECT_TRUE(
+      ActiveRules(ScanSource("src/util/stopwatch.cc",
+                             "auto t = steady_clock::now();\n"))
+          .empty());
+}
+
+TEST(FatsLintRng, LiteralsAndCommentsDoNotFire) {
+  const std::vector<Finding> f = ScanSource(
+      "src/util/logging.cc",
+      "// std::rand() would be bad here\n"
+      "const char* msg = \"never call std::rand()\";\n"
+      "const char* re = R\"(\\bstd::random_device\\b)\";\n");
+  EXPECT_TRUE(ActiveRules(f).empty());
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(FatsLintUnordered, RangeForOverMemberFires) {
+  const char kSnippet[] =
+      "#include <unordered_map>\n"
+      "struct S {\n"
+      "  std::unordered_map<int, float> weights_;\n"
+      "  float Sum() const {\n"
+      "    float s = 0;\n"
+      "    for (const auto& [k, v] : weights_) s += v;\n"
+      "    return s;\n"
+      "  }\n"
+      "};\n";
+  const std::vector<Finding> f = ScanSource("src/core/foo.h", kSnippet);
+  ASSERT_EQ(ActiveRules(f),
+            std::vector<std::string>{kRuleUnorderedIteration});
+  EXPECT_EQ(f[0].line, 6);
+
+  // The same code outside the ordered-discipline trees is fine.
+  EXPECT_TRUE(ActiveRules(ScanSource("src/data/foo.h", kSnippet)).empty());
+}
+
+TEST(FatsLintUnordered, ExplicitIteratorLoopFires) {
+  const char kSnippet[] =
+      "std::unordered_set<int> live_;\n"
+      "void f() {\n"
+      "  for (auto it = live_.begin(); it != live_.end(); ++it) {}\n"
+      "}\n";
+  const std::vector<Finding> f = ScanSource("src/baselines/frs.cc", kSnippet);
+  ASSERT_EQ(ActiveRules(f),
+            std::vector<std::string>{kRuleUnorderedIteration});
+  EXPECT_EQ(f[0].line, 3);
+}
+
+TEST(FatsLintUnordered, SiblingHeaderDeclsAreVisible) {
+  const char kHeader[] =
+      "struct Store {\n"
+      "  std::unordered_map<long,\n"
+      "      std::vector<long>> records_;\n"
+      "};\n";
+  const char kSource[] =
+      "void Store::Dump() {\n"
+      "  for (const auto& [k, v] : records_) {}\n"
+      "}\n";
+  const std::vector<std::string_view> extra = {kHeader};
+  const std::vector<Finding> f =
+      ScanSource("src/fl/store.cc", kSource, ClassifyPath("src/fl/store.cc"),
+                 extra);
+  ASSERT_EQ(ActiveRules(f),
+            std::vector<std::string>{kRuleUnorderedIteration});
+  EXPECT_EQ(f[0].line, 2);
+  // Without the header context the member is unknown.
+  EXPECT_TRUE(ActiveRules(ScanSource("src/fl/store.cc", kSource)).empty());
+}
+
+TEST(FatsLintUnordered, LookupsDoNotFire) {
+  const char kSnippet[] =
+      "std::unordered_map<int, int> idx_;\n"
+      "int f(int k) {\n"
+      "  auto it = idx_.find(k);\n"
+      "  return it == idx_.end() ? -1 : it->second;\n"
+      "}\n";
+  // find() and the .end() sentinel compare are order-independent and must
+  // not fire; only traversal (range-for or begin()) counts as iteration.
+  EXPECT_TRUE(ScanSource("src/core/idx.cc", kSnippet).empty());
+}
+
+TEST(FatsLintSuppression, SameLineAndPreviousLine) {
+  const std::vector<Finding> same_line = ScanSource(
+      "src/core/a.cc",
+      "int x = std::rand();  // fats-lint: allow(banned-rand)\n");
+  ASSERT_EQ(static_cast<int>(same_line.size()), 1);
+  EXPECT_TRUE(same_line[0].suppressed);
+  EXPECT_EQ(ActiveCount(same_line), 0);
+
+  const std::vector<Finding> prev_line = ScanSource(
+      "src/core/a.cc",
+      "// fats-lint: allow(banned-rand)\n"
+      "int x = std::rand();\n");
+  ASSERT_EQ(static_cast<int>(prev_line.size()), 1);
+  EXPECT_TRUE(prev_line[0].suppressed);
+}
+
+TEST(FatsLintSuppression, WrongRuleDoesNotSuppress) {
+  const std::vector<Finding> f = ScanSource(
+      "src/core/a.cc",
+      "int x = std::rand();  // fats-lint: allow(time-seed)\n");
+  ASSERT_EQ(static_cast<int>(f.size()), 1);
+  EXPECT_FALSE(f[0].suppressed);
+  EXPECT_EQ(ActiveCount(f), 1);
+}
+
+TEST(FatsLintSuppression, ListAndAll) {
+  const std::vector<Finding> list = ScanSource(
+      "src/core/a.cc",
+      "std::random_device rd;  // fats-lint: allow(banned-random-device, "
+      "banned-rand)\n");
+  ASSERT_EQ(static_cast<int>(list.size()), 1);
+  EXPECT_TRUE(list[0].suppressed);
+
+  const std::vector<Finding> all = ScanSource(
+      "src/core/a.cc", "int x = std::rand();  // fats-lint: allow(all)\n");
+  ASSERT_EQ(static_cast<int>(all.size()), 1);
+  EXPECT_TRUE(all[0].suppressed);
+}
+
+TEST(FatsLintReport, JsonShape) {
+  const std::vector<Finding> f = ScanSource(
+      "src/core/a.cc",
+      "int x = std::rand();\n"
+      "int y = std::rand();  // fats-lint: allow(banned-rand)\n");
+  ASSERT_EQ(static_cast<int>(f.size()), 2);
+  const std::string json = ToJson(f);
+  EXPECT_NE(json.find("\"rule\": \"banned-rand\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"suppressed\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"suppressed\": false"), std::string::npos);
+  EXPECT_EQ(ToJson({}), "[]\n");
+}
+
+TEST(FatsLintReport, AllRulesListed) {
+  const std::vector<std::string> rules = AllRules();
+  EXPECT_EQ(static_cast<int>(rules.size()), 6);
+  EXPECT_NE(std::find(rules.begin(), rules.end(), kRuleUnorderedIteration),
+            rules.end());
+}
+
+TEST(FatsLintStrip, PreservesOffsetsAndNewlines) {
+  const std::string stripped = StripCommentsAndStrings(
+      "int a; // comment\n\"str\\\"ing\" 'c'\n/* multi\nline */int b;\n");
+  EXPECT_EQ(stripped.size(),
+            std::string("int a; // comment\n\"str\\\"ing\" 'c'\n/* multi\n"
+                        "line */int b;\n")
+                .size());
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'), 4);
+  EXPECT_NE(stripped.find("int a;"), std::string::npos);
+  EXPECT_NE(stripped.find("int b;"), std::string::npos);
+  EXPECT_EQ(stripped.find("comment"), std::string::npos);
+  EXPECT_EQ(stripped.find("str"), std::string::npos);
+}
+
+TEST(FatsLintStrip, CollectsMultiLineDeclarations) {
+  const std::vector<std::string> names = CollectUnorderedNames(
+      "std::unordered_map<std::pair<long, long>, std::vector<long>,\n"
+      "                   PairHash>\n"
+      "    minibatches_;\n"
+      "std::unordered_set<int> live_;\n"
+      "using Alias = std::unordered_map<int, int>;\n"
+      "std::unordered_map<int, int> Lookup();\n");
+  const std::vector<std::string> expected = {"live_", "minibatches_"};
+  EXPECT_EQ(names, expected);
+}
+
+}  // namespace
+}  // namespace fats::lint

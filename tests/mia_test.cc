@@ -133,8 +133,8 @@ INSTANTIATE_TEST_SUITE_P(
     BothAttacks, MiaAttackKindTest,
     testing::Values(MiaAttackKind::kLossThreshold,
                     MiaAttackKind::kShadowLogistic),
-    [](const testing::TestParamInfo<MiaAttackKind>& info) {
-      return info.param == MiaAttackKind::kLossThreshold ? "LossThreshold"
+    [](const testing::TestParamInfo<MiaAttackKind>& param_info) {
+      return param_info.param == MiaAttackKind::kLossThreshold ? "LossThreshold"
                                                          : "ShadowLogistic";
     });
 

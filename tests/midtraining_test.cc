@@ -150,8 +150,15 @@ TEST(MidTrainingTest, ExactnessOfUnlearnThenContinue) {
         const std::vector<int64_t>* batch =
             trainer.store().GetMinibatch(r, k);
         if (batch == nullptr) continue;
-        out += "B" + std::to_string(k) + "(";
-        for (int64_t i : *batch) out += std::to_string(i) + ",";
+        // Sequential appends: `"B" + std::to_string(k) + ...` trips GCC
+        // 12's -Wrestrict false positive (PR 105651) at -O3 under -Werror.
+        out += "B";
+        out += std::to_string(k);
+        out += "(";
+        for (int64_t i : *batch) {
+          out += std::to_string(i);
+          out += ",";
+        }
         out += ")";
       }
     }

@@ -126,8 +126,8 @@ TEST_P(ModelZooAllKindsTest, PerExampleLossSizeMatchesBatch) {
 INSTANTIATE_TEST_SUITE_P(
     AllModelKinds, ModelZooAllKindsTest,
     testing::Values(LogRegSpec(), MlpSpec(), CnnSpec(), LstmSpec()),
-    [](const testing::TestParamInfo<ModelSpec>& info) {
-      switch (info.param.kind) {
+    [](const testing::TestParamInfo<ModelSpec>& param_info) {
+      switch (param_info.param.kind) {
         case ModelKind::kLogReg:
           return std::string("LogReg");
         case ModelKind::kMlp:

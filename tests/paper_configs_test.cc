@@ -77,8 +77,8 @@ TEST_P(ScaledProfileTest, BuildIsDeterministicInSeed) {
 
 INSTANTIATE_TEST_SUITE_P(AllProfiles, ScaledProfileTest,
                          testing::ValuesIn(ScaledProfileNames()),
-                         [](const testing::TestParamInfo<std::string>& info) {
-                           return info.param;
+                         [](const testing::TestParamInfo<std::string>& param_info) {
+                           return param_info.param;
                          });
 
 TEST(ScaledProfilesTest, ProfileToStringIncludesRhos) {

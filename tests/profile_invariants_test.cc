@@ -116,8 +116,8 @@ TEST_P(ProfileInvariantsTest, DeterministicAcrossRebuilds) {
 
 INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfileInvariantsTest,
                          testing::ValuesIn(ScaledProfileNames()),
-                         [](const testing::TestParamInfo<std::string>& info) {
-                           return info.param;
+                         [](const testing::TestParamInfo<std::string>& param_info) {
+                           return param_info.param;
                          });
 
 }  // namespace

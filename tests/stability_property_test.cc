@@ -96,8 +96,8 @@ INSTANTIATE_TEST_SUITE_P(
                     StabilityCase{0.5, 0.5, "s50_c50"},
                     StabilityCase{0.25, 1.0, "s25_c100"},
                     StabilityCase{1.0, 0.5, "s100_c50"}),
-    [](const testing::TestParamInfo<StabilityCase>& info) {
-      return info.param.name;
+    [](const testing::TestParamInfo<StabilityCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(StabilityTheoryTest, ClientParticipationProbabilityMatchesTheory) {

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# CI driver: configure -> build -> ctest -> fats_lint -> clang-tidy.
+#
+# Usage:
+#   tools/ci.sh [PRESET]            # default preset: release
+#   CI_BASE_REF=origin/main tools/ci.sh release
+#
+# PRESET is a CMakePresets.json configure preset (release, asan-ubsan,
+# tsan).  clang-tidy runs on the files changed relative to CI_BASE_REF when
+# that ref exists (keeps CI latency proportional to the diff), otherwise on
+# the whole tree; it is skipped gracefully when clang-tidy is not installed.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PRESET="${1:-release}"
+JOBS="$(nproc 2> /dev/null || echo 2)"
+
+echo "=== [1/5] configure (preset: $PRESET) ==="
+cmake --preset "$PRESET"
+
+echo "=== [2/5] build ==="
+cmake --build --preset "$PRESET" -j "$JOBS"
+
+echo "=== [3/5] ctest ==="
+ctest --preset "$PRESET" -j "$JOBS"
+
+BUILD_DIR="build-${PRESET}"
+if [[ "$PRESET" == "asan-ubsan" ]]; then
+  BUILD_DIR="build-asan"
+fi
+
+echo "=== [4/5] fats_lint ==="
+"$BUILD_DIR/tools/fats_lint" --root . --json fats_lint_report.json
+
+echo "=== [5/5] clang-tidy ==="
+CHANGED=()
+if [[ -n "${CI_BASE_REF:-}" ]] && git rev-parse --verify -q "$CI_BASE_REF" > /dev/null; then
+  while IFS= read -r f; do
+    [[ -f "$f" ]] && CHANGED+=("$f")
+  done < <(git diff --name-only "$CI_BASE_REF"...HEAD -- \
+             'src/*.cc' 'src/*.cpp' 'tools/*.cc' 'bench/*.cc' 'examples/*.cpp')
+  if [[ ${#CHANGED[@]} -eq 0 ]]; then
+    echo "clang-tidy: no C++ sources changed vs $CI_BASE_REF; skipping"
+  else
+    tools/run_clang_tidy.sh -p "$BUILD_DIR" "${CHANGED[@]}"
+  fi
+else
+  tools/run_clang_tidy.sh -p "$BUILD_DIR"
+fi
+
+echo "=== CI OK (preset: $PRESET) ==="

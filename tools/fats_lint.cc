@@ -1,0 +1,194 @@
+// fats_lint driver: walks src/, tools/, bench/, and examples/ under a repo
+// root and reports determinism-discipline violations (see fats_lint_lib.h
+// for the rule set and suppression syntax).
+//
+// Usage:
+//   fats_lint [--root DIR] [--json FILE|-] [--quiet] [--list-rules] [PATH...]
+//
+// With explicit PATH arguments only those files/directories are scanned
+// (used by tools/ci.sh to lint changed files).  Exit status is the number
+// of unsuppressed findings, capped at 1, so it plugs directly into ctest.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fats_lint_lib.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string ReadFile(const fs::path& p, bool* ok) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return {};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *ok = true;
+  return ss.str();
+}
+
+bool IsSkippedDir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name.rfind("build", 0) == 0 || name == ".git" ||
+         name == "third_party";
+}
+
+void CollectFiles(const fs::path& root, std::vector<fs::path>* out) {
+  if (!fs::exists(root)) return;
+  if (fs::is_regular_file(root)) {
+    if (fats::lint::ShouldLintFile(root.string())) out->push_back(root);
+    return;
+  }
+  fs::recursive_directory_iterator it(
+      root, fs::directory_options::skip_permission_denied);
+  for (auto end = fs::recursive_directory_iterator(); it != end; ++it) {
+    if (it->is_directory()) {
+      if (IsSkippedDir(it->path())) it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() &&
+        fats::lint::ShouldLintFile(it->path().string())) {
+      out->push_back(it->path());
+    }
+  }
+}
+
+// Path relative to `root` when possible (keeps reports stable across
+// machines); otherwise the path as-is.
+std::string RelativeTo(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  if (ec || rel.empty() || rel.string().rfind("..", 0) == 0) {
+    return p.generic_string();
+  }
+  return rel.generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::string json_out;
+  bool quiet = false;
+  std::vector<std::string> explicit_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : fats::lint::AllRules()) {
+        std::cout << r << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: fats_lint [--root DIR] [--json FILE|-] [--quiet] "
+                   "[--list-rules] [PATH...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      // A typo'd flag must not silently degrade into an empty scan that
+      // "passes".
+      std::cerr << "fats_lint: unknown option '" << arg
+                << "' (see --help)\n";
+      return 2;
+    } else {
+      explicit_paths.push_back(arg);
+    }
+  }
+
+  std::vector<fs::path> files;
+  if (!explicit_paths.empty()) {
+    for (const std::string& p : explicit_paths) {
+      if (!fs::exists(p)) {
+        std::cerr << "fats_lint: no such file or directory: " << p << "\n";
+        return 2;
+      }
+      CollectFiles(p, &files);
+    }
+  } else {
+    for (const char* sub : {"src", "tools", "bench", "examples"}) {
+      CollectFiles(root / sub, &files);
+    }
+  }
+
+  std::vector<fats::lint::Finding> findings;
+  int read_errors = 0;
+  for (const fs::path& file : files) {
+    bool ok = false;
+    const std::string content = ReadFile(file, &ok);
+    if (!ok) {
+      std::cerr << "fats_lint: cannot read " << file << "\n";
+      ++read_errors;
+      continue;
+    }
+    const std::string rel = RelativeTo(file, root);
+    const fats::lint::FileClass cls = fats::lint::ClassifyPath(rel);
+
+    // Make the sibling header's unordered-container members visible when
+    // scanning a .cc (e.g. state_store.cc iterates members declared in
+    // state_store.h).
+    std::vector<std::string> extra_storage;
+    std::vector<std::string_view> extra;
+    if (cls.ordered_rules && file.extension() != ".h") {
+      fs::path header = file;
+      header.replace_extension(".h");
+      if (fs::exists(header)) {
+        bool hok = false;
+        std::string hcontent = ReadFile(header, &hok);
+        if (hok) {
+          extra_storage.push_back(std::move(hcontent));
+          extra.push_back(extra_storage.back());
+        }
+      }
+    }
+
+    std::vector<fats::lint::Finding> file_findings =
+        fats::lint::ScanSource(rel, content, cls, extra);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+
+  if (!quiet) {
+    for (const fats::lint::Finding& f : findings) {
+      std::cerr << f.file << ":" << f.line << ": [" << f.rule << "]"
+                << (f.suppressed ? " (suppressed)" : "") << " " << f.message
+                << "\n";
+    }
+  }
+
+  if (!json_out.empty()) {
+    const std::string json = fats::lint::ToJson(findings);
+    if (json_out == "-") {
+      std::cout << json;
+    } else {
+      std::ofstream out(json_out, std::ios::binary);
+      out << json;
+      if (!out) {
+        std::cerr << "fats_lint: cannot write " << json_out << "\n";
+        return 2;
+      }
+    }
+  }
+
+  const int active = fats::lint::ActiveCount(findings);
+  if (!quiet) {
+    std::cerr << "fats_lint: scanned " << files.size() << " files, " << active
+              << " violation(s), "
+              << static_cast<int>(findings.size()) - active
+              << " suppressed\n";
+  }
+  if (read_errors > 0) return 2;
+  return active > 0 ? 1 : 0;
+}

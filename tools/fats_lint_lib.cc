@@ -1,0 +1,455 @@
+#include "fats_lint_lib.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace fats::lint {
+namespace {
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// True if `path` contains the directory component `dir` (e.g. "src/rng").
+// Both '/' and '\\' are accepted as separators.
+bool HasComponent(std::string_view path, std::string_view dir) {
+  std::string norm(path);
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  std::string needle = "/" + std::string(dir) + "/";
+  if (norm.find(needle) != std::string::npos) return true;
+  // Repo-relative paths like "src/rng/philox.cc" have no leading slash.
+  return norm.rfind(std::string(dir) + "/", 0) == 0;
+}
+
+int LineOfOffset(std::string_view text, size_t offset) {
+  return 1 + static_cast<int>(
+                 std::count(text.begin(), text.begin() + offset, '\n'));
+}
+
+// Splits original content into lines (no trailing '\n').
+std::vector<std::string_view> SplitLines(std::string_view content) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start <= content.size()) {
+    size_t nl = content.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.push_back(content.substr(start));
+      break;
+    }
+    lines.push_back(content.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+// Parses `// fats-lint: allow(rule-a, rule-b)` directives.  Returns a map
+// from 1-based line number to the set of allowed rule IDs ("all" allowed).
+std::map<int, std::set<std::string>> ParseSuppressions(
+    std::string_view content) {
+  std::map<int, std::set<std::string>> out;
+  const std::vector<std::string_view> lines = SplitLines(content);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::string_view line = lines[i];
+    size_t pos = line.find("fats-lint:");
+    if (pos == std::string_view::npos) continue;
+    size_t open = line.find("allow(", pos);
+    if (open == std::string_view::npos) continue;
+    size_t close = line.find(')', open);
+    if (close == std::string_view::npos) continue;
+    std::string list(line.substr(open + 6, close - open - 6));
+    std::set<std::string>& rules = out[static_cast<int>(i) + 1];
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      item.erase(std::remove_if(item.begin(), item.end(),
+                                [](unsigned char c) { return std::isspace(c); }),
+                 item.end());
+      if (!item.empty()) rules.insert(item);
+    }
+  }
+  return out;
+}
+
+bool IsSuppressed(const std::map<int, std::set<std::string>>& sup, int line,
+                  const std::string& rule) {
+  for (int l : {line, line - 1}) {
+    auto it = sup.find(l);
+    if (it == sup.end()) continue;
+    if (it->second.count(rule) || it->second.count("all")) return true;
+  }
+  return false;
+}
+
+struct Pattern {
+  const char* rule;
+  std::regex re;
+  const char* message;
+};
+
+// RNG-discipline patterns, applied to comment/string-stripped text of files
+// outside src/rng/.
+const std::vector<Pattern>& RngPatterns() {
+  static const std::vector<Pattern>* kPatterns = new std::vector<Pattern>{
+      {kRuleBannedRand,
+       std::regex(R"(\bstd\s*::\s*rand\b|\brand\s*\(|\bsrand\s*\()"),
+       "libc rand()/srand() is banned: route randomness through "
+       "fats::RngStream (src/rng/) so unlearning replay is bit-exact"},
+      {kRuleBannedRandomDevice, std::regex(R"(\brandom_device\b)"),
+       "std::random_device is a non-reproducible entropy source; derive "
+       "seeds from the experiment config instead"},
+      {kRuleDefaultEngine,
+       std::regex(
+           R"(\b(?:std\s*::\s*)?(?:mt19937(?:_64)?|default_random_engine|minstd_rand0?|ranlux(?:24|48)(?:_base)?|knuth_b)\s+[A-Za-z_]\w*\s*(?:;|\{\s*\}|\(\s*\)))"),
+       "default-constructed standard engine: all streams must be "
+       "Philox streams keyed by (seed, stream id) from src/rng/"},
+      {kRuleRandomInclude, std::regex(R"(#\s*include\s*<random>)"),
+       "direct <random> include outside src/rng/: use rng/rng_stream.h "
+       "and rng/sampling.h instead"},
+  };
+  return *kPatterns;
+}
+
+// time-seed is line-oriented: a wall-clock call and a seeding context on the
+// same line.
+bool LineHasTimeSeed(std::string_view line) {
+  static const std::regex kClock(
+      R"(\b(?:std\s*::\s*)?time\s*\(|\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\()");
+  static const std::regex kSeedContext(
+      R"(\bseed\w*\s*\(|\bseed\b|\bsrand\b|\bmt19937\b|\bdefault_random_engine\b)");
+  std::string s(line);
+  return std::regex_search(s, kClock) && std::regex_search(s, kSeedContext);
+}
+
+// Finds the offset just past the '>' matching the '<' at `open`.
+size_t MatchAngle(std::string_view text, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '<') {
+      ++depth;
+    } else if (text[i] == '>') {
+      if (--depth == 0) return i + 1;
+    } else if (text[i] == ';') {
+      // A ';' inside template args means we mis-parsed; bail out.
+      return std::string_view::npos;
+    }
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace
+
+std::vector<std::string> AllRules() {
+  return {kRuleBannedRand,   kRuleBannedRandomDevice, kRuleDefaultEngine,
+          kRuleTimeSeed,     kRuleRandomInclude,      kRuleUnorderedIteration};
+}
+
+FileClass ClassifyPath(std::string_view path) {
+  FileClass cls;
+  cls.rng_rules = !HasComponent(path, "src/rng");
+  cls.ordered_rules = HasComponent(path, "src/core") ||
+                      HasComponent(path, "src/fl") ||
+                      HasComponent(path, "src/baselines");
+  return cls;
+}
+
+bool ShouldLintFile(std::string_view path) {
+  return EndsWith(path, ".cc") || EndsWith(path, ".cpp") ||
+         EndsWith(path, ".cxx") || EndsWith(path, ".h") ||
+         EndsWith(path, ".hpp");
+}
+
+std::string StripCommentsAndStrings(std::string_view content) {
+  std::string out(content);
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // the )delim" terminator of a raw string
+  size_t i = 0;
+  auto blank = [&out](size_t pos) {
+    if (out[pos] != '\n') out[pos] = ' ';
+  };
+  while (i < out.size()) {
+    char c = out[i];
+    char next = (i + 1 < out.size()) ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   out[i - 1])) &&
+                               out[i - 1] != '_'))) {
+          // R"delim( ... )delim"
+          size_t open = out.find('(', i + 2);
+          if (open == std::string::npos) {
+            ++i;
+            break;
+          }
+          raw_delim = ")" + out.substr(i + 2, open - (i + 2)) + "\"";
+          for (size_t j = i; j <= open; ++j) blank(j);
+          i = open + 1;
+          state = State::kRawString;
+        } else if (c == '"') {
+          state = State::kString;
+          ++i;
+        } else if (c == '\'') {
+          state = State::kChar;
+          ++i;
+        } else {
+          ++i;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          blank(i);
+        }
+        ++i;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          blank(i);
+          blank(i + 1);
+          state = State::kCode;
+          i += 2;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          blank(i);
+          if (i + 1 < out.size()) blank(i + 1);
+          i += 2;
+        } else if (c == '"') {
+          state = State::kCode;
+          ++i;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          blank(i);
+          if (i + 1 < out.size()) blank(i + 1);
+          i += 2;
+        } else if (c == '\'') {
+          state = State::kCode;
+          ++i;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      case State::kRawString:
+        if (out.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t j = i; j < i + raw_delim.size(); ++j) blank(j);
+          i += raw_delim.size();
+          state = State::kCode;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> CollectUnorderedNames(std::string_view content) {
+  const std::string stripped = StripCommentsAndStrings(content);
+  std::vector<std::string> names;
+  static const std::regex kDecl(R"(\bunordered_(?:map|set|multimap|multiset)\s*(<))");
+  auto begin = std::sregex_iterator(stripped.begin(), stripped.end(), kDecl);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    size_t open = static_cast<size_t>(it->position(1));
+    size_t after = MatchAngle(stripped, open);
+    if (after == std::string_view::npos) continue;
+    // Skip whitespace, then expect an identifier (the variable name).
+    while (after < stripped.size() &&
+           std::isspace(static_cast<unsigned char>(stripped[after]))) {
+      ++after;
+    }
+    size_t name_end = after;
+    while (name_end < stripped.size() &&
+           (std::isalnum(static_cast<unsigned char>(stripped[name_end])) ||
+            stripped[name_end] == '_')) {
+      ++name_end;
+    }
+    if (name_end == after) continue;  // e.g. `using X = unordered_map<...>;`
+    size_t tail = name_end;
+    while (tail < stripped.size() &&
+           std::isspace(static_cast<unsigned char>(stripped[tail]))) {
+      ++tail;
+    }
+    // `(` after the identifier means a function returning the container, not
+    // a variable declaration.
+    if (tail < stripped.size() && stripped[tail] == '(') continue;
+    names.push_back(stripped.substr(after, name_end - after));
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+std::vector<Finding> ScanSource(
+    std::string_view path, std::string_view content, const FileClass& cls,
+    const std::vector<std::string_view>& extra_decl_sources) {
+  std::vector<Finding> findings;
+  const std::string stripped = StripCommentsAndStrings(content);
+  const auto suppressions = ParseSuppressions(content);
+
+  auto add = [&](const char* rule, int line, const std::string& message) {
+    Finding f;
+    f.rule = rule;
+    f.file = std::string(path);
+    f.line = line;
+    f.message = message;
+    f.suppressed = IsSuppressed(suppressions, line, f.rule);
+    findings.push_back(std::move(f));
+  };
+
+  if (cls.rng_rules) {
+    for (const Pattern& p : RngPatterns()) {
+      auto begin = std::sregex_iterator(stripped.begin(), stripped.end(), p.re);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        add(p.rule, LineOfOffset(stripped, static_cast<size_t>(it->position())),
+            p.message);
+      }
+    }
+    const std::vector<std::string_view> lines = SplitLines(stripped);
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (LineHasTimeSeed(lines[i])) {
+        add(kRuleTimeSeed, static_cast<int>(i) + 1,
+            "wall-clock time used as a seed: seeds must come from the "
+            "experiment config so retraining replays bit-identically");
+      }
+    }
+  }
+
+  if (cls.ordered_rules) {
+    std::vector<std::string> names = CollectUnorderedNames(content);
+    for (std::string_view extra : extra_decl_sources) {
+      std::vector<std::string> more = CollectUnorderedNames(extra);
+      names.insert(names.end(), more.begin(), more.end());
+    }
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    for (const std::string& name : names) {
+      const std::string msg =
+          "iteration over unordered container '" + name +
+          "': hash-order traversal makes float accumulation order "
+          "nondeterministic across runs, breaking TV-stable replay; iterate "
+          "over sorted keys or use an ordered container";
+      const std::regex range_for("for\\s*\\([^;)]*:\\s*" + name + "\\s*\\)");
+      auto begin =
+          std::sregex_iterator(stripped.begin(), stripped.end(), range_for);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        add(kRuleUnorderedIteration,
+            LineOfOffset(stripped, static_cast<size_t>(it->position())), msg);
+      }
+      // begin() only: the .end() sentinel also appears in order-independent
+      // find()-lookup compares, and iteration always touches begin().
+      const std::regex explicit_iter("\\b" + name +
+                                     "\\s*\\.\\s*c?r?begin\\s*\\(");
+      begin = std::sregex_iterator(stripped.begin(), stripped.end(),
+                                   explicit_iter);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        add(kRuleUnorderedIteration,
+            LineOfOffset(stripped, static_cast<size_t>(it->position())), msg);
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+            });
+  return findings;
+}
+
+std::vector<Finding> ScanSource(std::string_view path,
+                                std::string_view content) {
+  return ScanSource(path, content, ClassifyPath(path), {});
+}
+
+namespace {
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string ToJson(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i) os << ",";
+    os << "\n  {\"rule\": \"" << JsonEscape(f.rule) << "\", \"file\": \""
+       << JsonEscape(f.file) << "\", \"line\": " << f.line
+       << ", \"suppressed\": " << (f.suppressed ? "true" : "false")
+       << ", \"message\": \"" << JsonEscape(f.message) << "\"}";
+  }
+  os << (findings.empty() ? "]" : "\n]");
+  os << "\n";
+  return os.str();
+}
+
+int ActiveCount(const std::vector<Finding>& findings) {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (!f.suppressed) ++n;
+  }
+  return n;
+}
+
+}  // namespace fats::lint
