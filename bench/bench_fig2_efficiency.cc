@@ -46,13 +46,14 @@ DatasetProfile SweepProfile(const std::string& name) {
 /// requests, retraining between requests so each one probes a fresh state.
 double MeanUnlearningSteps(const DatasetProfile& profile,
                            const FatsConfig& base_config, bool client_level,
-                           int trials) {
+                           int trials, int64_t num_threads) {
   double total_steps = 0.0;
   for (int trial = 0; trial < trials; ++trial) {
     FederatedDataset data =
         BuildFederatedData(profile, 100 + static_cast<uint64_t>(trial));
     FatsConfig config = base_config;
     config.seed = 100 + static_cast<uint64_t>(trial);
+    config.num_threads = num_threads;
     FatsTrainer trainer(profile.model, config, &data);
     trainer.Train();
     StreamId id;
@@ -85,6 +86,10 @@ int main(int argc, char** argv) {
   using namespace fats;  // NOLINT
   FlagParser flags;
   int64_t* trials = flags.AddInt("trials", 8, "trials per sweep point");
+  int64_t* threads = flags.AddInt(
+      "threads", 1,
+      "worker threads for client updates (results are thread-count-"
+      "invariant; only wall-clock changes)");
   Status status = flags.Parse(argc, argv);
   if (status.code() == StatusCode::kNotFound) return 0;
   if (!status.ok()) {
@@ -114,7 +119,7 @@ int main(int argc, char** argv) {
         }
         const double steps = MeanUnlearningSteps(
             profile, config, /*client_level=*/false,
-            static_cast<int>(*trials));
+            static_cast<int>(*trials), *threads);
         line += StrFormat(" K=%lld:%.1f", static_cast<long long>(k), steps);
         csv.WriteRow({name, "sample", "b", std::to_string(b),
                       std::to_string(k), FormatDouble(config.rho_s, 4),
@@ -144,7 +149,8 @@ int main(int argc, char** argv) {
           break;
         }
         const double steps = MeanUnlearningSteps(
-            sized, config, /*client_level=*/true, static_cast<int>(*trials));
+            sized, config, /*client_level=*/true, static_cast<int>(*trials),
+            *threads);
         line += StrFormat(" K=%lld:%.1f", static_cast<long long>(k), steps);
         csv.WriteRow({name, "client", "M", std::to_string(sized.clients_m),
                       std::to_string(k), FormatDouble(config.rho_c, 4),

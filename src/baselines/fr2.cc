@@ -47,7 +47,6 @@ Result<UnlearningOutcome> Fr2Unlearner::Recover() {
 void Fr2Unlearner::RecoveryRound(int64_t round) {
   Model* model = trainer_->model();
   const FedAvgOptions& opts = trainer_->options();
-  ClientRuntime client_runtime(data_, model);
   const int64_t model_params = model->NumParameters();
 
   StreamId sel_id;
@@ -62,18 +61,25 @@ void Fr2Unlearner::RecoveryRound(int64_t round) {
   trainer_->comm_stats().RecordBroadcast(
       static_cast<int64_t>(selected.size()), model_params);
 
+  // Recovery reuses the trainer's client runner: per-client chains run as
+  // independent tasks over pre-derived stream keys (the velocity/Fisher
+  // accumulators are task-local), and losses/local models are committed in
+  // selection order — bit-identical to the serial loop.
   const Tensor global = model->GetParameters();
-  std::vector<Tensor> locals;
-  locals.reserve(selected.size());
-  double loss_sum = 0.0;
-  int64_t loss_count = 0;
   const double lr = opts.learning_rate * options_.lr_scale;
-  for (int64_t client : selected) {
-    model->SetParameters(global);
-    // Per-client velocity and Fisher-diagonal accumulators (flat vectors).
-    Tensor velocity({model_params});
-    Tensor fisher({model_params});
-    bool fisher_init = false;
+  const size_t n_sel = selected.size();
+  struct RecoveryChain {
+    Tensor params;
+    std::vector<double> step_losses;
+  };
+  std::vector<RecoveryChain> chains(n_sel);
+  std::vector<std::vector<uint64_t>> stream_keys(n_sel);
+  std::vector<int64_t> batch_sizes(n_sel);
+  for (size_t s = 0; s < n_sel; ++s) {
+    const int64_t client = selected[s];
+    batch_sizes[s] =
+        std::min<int64_t>(opts.batch_b, data_->num_active_samples(client));
+    stream_keys[s].reserve(static_cast<size_t>(opts.local_iters_e));
     for (int64_t e = 1; e <= opts.local_iters_e; ++e) {
       StreamId batch_id;
       batch_id.purpose = RngPurpose::kMinibatchSampling;
@@ -81,42 +87,66 @@ void Fr2Unlearner::RecoveryRound(int64_t round) {
       batch_id.round = static_cast<uint64_t>(1000000 + round);
       batch_id.client = static_cast<uint64_t>(client);
       batch_id.iteration = static_cast<uint64_t>(e);
-      RngStream batch_stream(opts.seed, batch_id);
-      const int64_t b =
-          std::min<int64_t>(opts.batch_b, data_->num_active_samples(client));
-      if (b == 0) break;
-      std::vector<int64_t> indices =
-          client_runtime.SampleMinibatch(client, b, &batch_stream);
-      Batch batch = data_->MakeBatch(client, indices);
-      loss_sum += model->ComputeLossAndGradients(batch.inputs, batch.labels);
-      ++loss_count;
-      Tensor grad = model->GetGradients();
-      // Fisher diagonal EMA: F ← β·F + (1−β)·g⊙g.
-      float* fisher_data = fisher.data();
-      const float* grad_data = grad.data();
-      const float beta = static_cast<float>(options_.fisher_ema);
-      for (int64_t i = 0; i < model_params; ++i) {
-        const float g2 = grad_data[i] * grad_data[i];
-        fisher_data[i] =
-            fisher_init ? beta * fisher_data[i] + (1.0f - beta) * g2 : g2;
-      }
-      fisher_init = true;
-      // Momentum velocity and preconditioned step:
-      // v ← μ·v + g ; θ ← θ − lr · v / (sqrt(F) + damping).
-      Tensor params = model->GetParameters();
-      float* param_data = params.data();
-      float* velocity_data = velocity.data();
-      const float mu = static_cast<float>(options_.momentum);
-      const float damping = static_cast<float>(options_.damping);
-      const float step = static_cast<float>(lr);
-      for (int64_t i = 0; i < model_params; ++i) {
-        velocity_data[i] = mu * velocity_data[i] + grad_data[i];
-        param_data[i] -=
-            step * velocity_data[i] / (std::sqrt(fisher_data[i]) + damping);
-      }
-      model->SetParameters(params);
+      stream_keys[s].push_back(DeriveStreamKey(opts.seed, batch_id));
     }
-    locals.push_back(model->GetParameters());
+  }
+  trainer_->client_runner()->ForEachClient(
+      static_cast<int64_t>(n_sel), [&](int64_t task, Model* m) {
+        const size_t s = static_cast<size_t>(task);
+        const int64_t client = selected[s];
+        m->SetParameters(global);
+        ClientRuntime runtime(data_, m);
+        // Per-client velocity and Fisher-diagonal accumulators (flat
+        // vectors).
+        Tensor velocity({model_params});
+        Tensor fisher({model_params});
+        bool fisher_init = false;
+        for (int64_t e = 1; e <= opts.local_iters_e; ++e) {
+          if (batch_sizes[s] == 0) break;
+          RngStream batch_stream(stream_keys[s][static_cast<size_t>(e - 1)]);
+          std::vector<int64_t> indices = runtime.SampleMinibatch(
+              client, batch_sizes[s], &batch_stream);
+          Batch batch = data_->MakeBatch(client, indices);
+          chains[s].step_losses.push_back(
+              m->ComputeLossAndGradients(batch.inputs, batch.labels));
+          Tensor grad = m->GetGradients();
+          // Fisher diagonal EMA: F ← β·F + (1−β)·g⊙g.
+          float* fisher_data = fisher.data();
+          const float* grad_data = grad.data();
+          const float beta = static_cast<float>(options_.fisher_ema);
+          for (int64_t i = 0; i < model_params; ++i) {
+            const float g2 = grad_data[i] * grad_data[i];
+            fisher_data[i] =
+                fisher_init ? beta * fisher_data[i] + (1.0f - beta) * g2 : g2;
+          }
+          fisher_init = true;
+          // Momentum velocity and preconditioned step:
+          // v ← μ·v + g ; θ ← θ − lr · v / (sqrt(F) + damping).
+          Tensor params = m->GetParameters();
+          float* param_data = params.data();
+          float* velocity_data = velocity.data();
+          const float mu = static_cast<float>(options_.momentum);
+          const float damping = static_cast<float>(options_.damping);
+          const float step = static_cast<float>(lr);
+          for (int64_t i = 0; i < model_params; ++i) {
+            velocity_data[i] = mu * velocity_data[i] + grad_data[i];
+            param_data[i] -= step * velocity_data[i] /
+                             (std::sqrt(fisher_data[i]) + damping);
+          }
+          m->SetParameters(params);
+        }
+        chains[s].params = m->GetParameters();
+      });
+  std::vector<Tensor> locals;
+  locals.reserve(n_sel);
+  double loss_sum = 0.0;
+  int64_t loss_count = 0;
+  for (size_t s = 0; s < n_sel; ++s) {
+    for (double loss : chains[s].step_losses) {
+      loss_sum += loss;
+      ++loss_count;
+    }
+    locals.push_back(std::move(chains[s].params));
   }
   trainer_->comm_stats().RecordUpload(static_cast<int64_t>(locals.size()),
                                       model_params);

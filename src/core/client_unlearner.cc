@@ -61,7 +61,9 @@ Result<UnlearningOutcome> ClientUnlearner::UnlearnBatch(
   // re-drawn over the remaining clients with fresh randomness — the
   // ν(M−1, K) measure — and training re-runs to T. Unlike the sample-level
   // case, re-drawing the selections is exactly what the coupling requires
-  // here, because the deletion changed the selection measure itself.
+  // here, because the deletion changed the selection measure itself. The
+  // re-run inherits the trainer's parallel client runner (config
+  // num_threads), which is bit-identical to the serial schedule.
   const int64_t t_restart = (r_actual - 1) * e + 1;
   trainer_->store().TruncateFromIteration(t_restart, e);
   trainer_->BumpGeneration();

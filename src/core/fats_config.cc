@@ -55,6 +55,9 @@ Status FatsConfig::Validate() const {
   if (learning_rate <= 0.0) {
     return Status::InvalidArgument("learning rate must be positive");
   }
+  if (num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
   const int64_t k = DeriveK();
   const int64_t b = DeriveB();
   if (k < 1) return Status::InvalidArgument("derived K < 1");
@@ -69,11 +72,12 @@ Status FatsConfig::Validate() const {
 std::string FatsConfig::ToString() const {
   return StrFormat(
       "FatsConfig(M=%lld N=%lld R=%lld E=%lld rho_s=%.3f rho_c=%.3f "
-      "-> K=%lld b=%lld, eff_rho_s=%.3f eff_rho_c=%.3f, lr=%.3f)",
+      "-> K=%lld b=%lld, eff_rho_s=%.3f eff_rho_c=%.3f, lr=%.3f, "
+      "threads=%lld)",
       (long long)clients_m, (long long)samples_per_client_n,
       (long long)rounds_r, (long long)local_iters_e, rho_s, rho_c,
       (long long)DeriveK(), (long long)DeriveB(), EffectiveRhoS(),
-      EffectiveRhoC(), learning_rate);
+      EffectiveRhoC(), learning_rate, (long long)num_threads);
 }
 
 }  // namespace fats

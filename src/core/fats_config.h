@@ -35,6 +35,14 @@ struct FatsConfig {
   double learning_rate = 0.05;
   uint64_t seed = 1;
 
+  /// Worker threads for per-round client execution. 1 (the default) runs
+  /// clients serially on the calling thread; N > 1 runs them on a fixed
+  /// pool with pre-drawn substreams and ordered reduction, producing
+  /// bit-identical models, mini-batch history, and state store (see
+  /// DESIGN.md §7). Purely an execution knob: it does not enter the
+  /// checkpoint format or any algorithmic state.
+  int64_t num_threads = 1;
+
   int64_t total_iters_t() const { return rounds_r * local_iters_e; }
 
   /// K = ρ_C·E·M/T, rounded to the nearest integer >= 1.

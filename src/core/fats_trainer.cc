@@ -16,7 +16,8 @@ FatsTrainer::FatsTrainer(const ModelSpec& spec, const FatsConfig& config,
       model_(std::make_unique<Model>(spec, config.seed)),
       test_batch_(data->global_test().AsBatch()),
       k_(config.DeriveK()),
-      b_(config.DeriveB()) {
+      b_(config.DeriveB()),
+      runner_(spec, config.seed, config.num_threads) {
   FATS_CHECK_OK(config_.Validate());
   FATS_CHECK_EQ(data_->num_clients(), config_.clients_m)
       << "dataset does not match config M";
@@ -24,10 +25,18 @@ FatsTrainer::FatsTrainer(const ModelSpec& spec, const FatsConfig& config,
 }
 
 std::vector<int64_t> FatsTrainer::UniqueClients(
-    const std::vector<int64_t>& multiset) {
+    const std::vector<int64_t>& multiset) const {
+  // First-occurrence-order dedup with a seen-flag vector: O(K + M) where
+  // the old std::find scan was O(K²). The output order is load-bearing —
+  // it fixes the reduction order, so parallel and serial runs aggregate in
+  // the same sequence.
+  std::vector<uint8_t> seen(static_cast<size_t>(data_->num_clients()), 0);
   std::vector<int64_t> unique;
+  unique.reserve(multiset.size());
   for (int64_t k : multiset) {
-    if (std::find(unique.begin(), unique.end(), k) == unique.end()) {
+    uint8_t& flag = seen[static_cast<size_t>(k)];
+    if (flag == 0) {
+      flag = 1;
       unique.push_back(k);
     }
   }
@@ -54,7 +63,6 @@ void FatsTrainer::Run(int64_t t0, int64_t t_end) {
   FATS_CHECK(t_end >= t0 && t_end <= config_.total_iters_t())
       << "t_end out of range: " << t_end;
   const int64_t model_params = model_->NumParameters();
-  ClientRuntime client_runtime(data_, model_.get());
 
   std::vector<int64_t> selection;          // P of the current round
   std::vector<int64_t> participants;       // unique clients in P
@@ -106,27 +114,57 @@ void FatsTrainer::Run(int64_t t0, int64_t t_end) {
       loss_count = 0;
     }
 
-    // STEP 2: one local mini-batch SGD iteration per distinct participant.
-    for (int64_t client : participants) {
-      model_->SetParameters(local_params[client]);
+    // STEP 2: one local mini-batch SGD iteration per distinct participant,
+    // executed by the client runner (parallel when num_threads > 1).
+    // Stream keys, batch sizes, and start-parameter pointers are frozen on
+    // the main thread in participant order before dispatch, and results
+    // are committed in that same order, so the schedule — draws, store
+    // contents, float accumulation — is bit-identical to serial.
+    const size_t n_part = participants.size();
+    struct LocalStep {
+      std::vector<int64_t> batch;
+      Tensor params;
+      double loss = 0.0;
+    };
+    std::vector<LocalStep> steps(n_part);
+    std::vector<uint64_t> stream_keys(n_part);
+    std::vector<int64_t> batch_sizes(n_part);
+    std::vector<const Tensor*> start_params(n_part);
+    for (size_t i = 0; i < n_part; ++i) {
+      const int64_t client = participants[i];
       StreamId batch_id;
       batch_id.purpose = RngPurpose::kMinibatchSampling;
       batch_id.generation = generation_;
       batch_id.round = static_cast<uint64_t>(r);
       batch_id.client = static_cast<uint64_t>(client);
       batch_id.iteration = static_cast<uint64_t>(t);
-      RngStream batch_stream(config_.seed, batch_id);
-      const int64_t batch_size =
+      stream_keys[i] = DeriveStreamKey(config_.seed, batch_id);
+      batch_sizes[i] =
           std::min<int64_t>(b_, data_->num_active_samples(client));
-      FATS_CHECK_GT(batch_size, 0)
+      FATS_CHECK_GT(batch_sizes[i], 0)
           << "client " << client << " has no active samples";
-      std::vector<int64_t> indices =
-          client_runtime.SampleMinibatch(client, batch_size, &batch_stream);
-      store_.SaveMinibatch(t, client, indices);
-      loss_sum += client_runtime.Step(client, indices, config_.learning_rate);
+      start_params[i] = &local_params.at(client);
+    }
+    runner_.ForEachClient(
+        static_cast<int64_t>(n_part), [&](int64_t i, Model* m) {
+          const size_t s = static_cast<size_t>(i);
+          const int64_t client = participants[s];
+          m->SetParameters(*start_params[s]);
+          RngStream batch_stream(stream_keys[s]);
+          ClientRuntime runtime(data_, m);
+          steps[s].batch =
+              runtime.SampleMinibatch(client, batch_sizes[s], &batch_stream);
+          steps[s].loss =
+              runtime.Step(client, steps[s].batch, config_.learning_rate);
+          steps[s].params = m->GetParameters();
+        });
+    for (size_t i = 0; i < n_part; ++i) {
+      const int64_t client = participants[i];
+      store_.SaveMinibatch(t, client, std::move(steps[i].batch));
+      loss_sum += steps[i].loss;
       ++loss_count;
       ++local_iterations_executed_;
-      local_params[client] = model_->GetParameters();
+      local_params[client] = std::move(steps[i].params);
       store_.SaveLocalModel(t, client, local_params[client]);
     }
 
@@ -165,7 +203,6 @@ void FatsTrainer::ReplayFrom(int64_t t0, int64_t t_end) {
   FATS_CHECK(t_end >= t0 && t_end <= config_.total_iters_t())
       << "t_end out of range: " << t_end;
   const int64_t model_params = model_->NumParameters();
-  ClientRuntime client_runtime(data_, model_.get());
 
   std::vector<int64_t> selection;
   std::vector<int64_t> participants;
@@ -207,15 +244,39 @@ void FatsTrainer::ReplayFrom(int64_t t0, int64_t t_end) {
       loss_count = 0;
     }
 
-    for (int64_t client : participants) {
-      const std::vector<int64_t>* batch = store_.GetMinibatch(t, client);
-      FATS_CHECK(batch != nullptr)
+    // Replay executes the stored mini-batches (no sampling), so the only
+    // frozen inputs are the batch pointers and start parameters; results
+    // commit in participant order exactly as in Run.
+    const size_t n_part = participants.size();
+    struct ReplayStep {
+      Tensor params;
+      double loss = 0.0;
+    };
+    std::vector<ReplayStep> steps(n_part);
+    std::vector<const std::vector<int64_t>*> batches(n_part);
+    std::vector<const Tensor*> start_params(n_part);
+    for (size_t i = 0; i < n_part; ++i) {
+      const int64_t client = participants[i];
+      batches[i] = store_.GetMinibatch(t, client);
+      FATS_CHECK(batches[i] != nullptr)
           << "replay missing mini-batch (" << t << ", " << client << ")";
-      model_->SetParameters(local_params[client]);
-      loss_sum += client_runtime.Step(client, *batch, config_.learning_rate);
+      start_params[i] = &local_params.at(client);
+    }
+    runner_.ForEachClient(
+        static_cast<int64_t>(n_part), [&](int64_t i, Model* m) {
+          const size_t s = static_cast<size_t>(i);
+          m->SetParameters(*start_params[s]);
+          ClientRuntime runtime(data_, m);
+          steps[s].loss = runtime.Step(participants[s], *batches[s],
+                                       config_.learning_rate);
+          steps[s].params = m->GetParameters();
+        });
+    for (size_t i = 0; i < n_part; ++i) {
+      const int64_t client = participants[i];
+      loss_sum += steps[i].loss;
       ++loss_count;
       ++local_iterations_executed_;
-      local_params[client] = model_->GetParameters();
+      local_params[client] = std::move(steps[i].params);
       store_.SaveLocalModel(t, client, local_params[client]);
     }
 

@@ -30,6 +30,7 @@
 #include "core/fats_config.h"
 #include "data/federated_dataset.h"
 #include "fl/comm_stats.h"
+#include "fl/parallel_clients.h"
 #include "fl/state_store.h"
 #include "fl/train_log.h"
 #include "nn/model_zoo.h"
@@ -115,10 +116,17 @@ class FatsTrainer {
     return local_iterations_executed_;
   }
 
+  /// Executes per-round client updates; parallel when config.num_threads
+  /// exceeds 1, bit-identical to serial either way. Exposed so unlearners
+  /// that re-run local client work share the trainer's pool and replicas.
+  ParallelClientRunner* client_runner() { return &runner_; }
+
  private:
-  /// Unique clients of the multiset, preserving first-occurrence order.
-  static std::vector<int64_t> UniqueClients(
-      const std::vector<int64_t>& multiset);
+  /// Unique clients of the multiset, preserving first-occurrence order
+  /// (the output order drives the reduction order, so it is part of the
+  /// determinism contract).
+  std::vector<int64_t> UniqueClients(
+      const std::vector<int64_t>& multiset) const;
 
   ModelSpec spec_;
   FatsConfig config_;
@@ -132,6 +140,7 @@ class FatsTrainer {
   bool recomputation_mode_ = false;
   int64_t local_iterations_executed_ = 0;
   int64_t trained_through_ = 0;
+  ParallelClientRunner runner_;
   StateStore store_;
   TrainLog log_;
   CommStats comm_stats_;

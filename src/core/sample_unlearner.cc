@@ -107,7 +107,9 @@ Result<UnlearningOutcome> SampleUnlearner::UnlearnBatch(
   // The stale earliest-use entries of the deleted samples must go.
   trainer_->store().RebuildIndices();
 
-  // Recompute the model trajectory against the substituted history.
+  // Recompute the model trajectory against the substituted history. The
+  // replay inherits the trainer's parallel client runner (config
+  // num_threads), which is bit-identical to the serial schedule.
   trainer_->set_recomputation_mode(true);
   trainer_->ReplayFrom(t_first_substituted);
   trainer_->set_recomputation_mode(false);

@@ -5,6 +5,9 @@
 
 namespace fats {
 
+// Requests execute strictly in order; each unlearner's recomputation runs
+// through the trainer and so inherits its deterministic parallel client
+// runner (config num_threads) without any extra wiring here.
 Result<UnlearningSummary> UnlearningExecutor::ExecuteStream(
     const std::vector<UnlearningRequest>& requests) {
   UnlearningSummary summary;

@@ -13,10 +13,10 @@ FedAvgTrainer::FedAvgTrainer(const ModelSpec& spec,
       options_(options),
       data_(data),
       model_(std::make_unique<Model>(spec, options.seed)),
-      test_batch_(data->global_test().AsBatch()) {}
+      test_batch_(data->global_test().AsBatch()),
+      runner_(spec, options.seed, options.num_threads) {}
 
 void FedAvgTrainer::RunRounds(int64_t num_rounds) {
-  ClientRuntime client_runtime(data_, model_.get());
   const int64_t model_params = model_->NumParameters();
   for (int64_t r = 0; r < num_rounds; ++r) {
     const int64_t round = ++rounds_completed_;
@@ -37,13 +37,27 @@ void FedAvgTrainer::RunRounds(int64_t num_rounds) {
     comm_stats_.RecordBroadcast(static_cast<int64_t>(selected.size()),
                                 model_params);
 
+    // Each selection entry runs its full E-iteration local chain as one
+    // task (duplicate entries recompute independently from the broadcast
+    // model, exactly as the serial loop did). Stream keys are derived on
+    // the main thread in the serial draw order; per-step losses and local
+    // models are committed in selection order so float accumulation and
+    // the AverageModels reduction are bit-identical to serial.
     const Tensor global = model_->GetParameters();
-    std::vector<Tensor> locals;
-    locals.reserve(selected.size());
-    double loss_sum = 0.0;
-    int64_t loss_count = 0;
-    for (int64_t client : selected) {
-      model_->SetParameters(global);
+    const size_t n_sel = selected.size();
+    struct ClientChain {
+      Tensor params;
+      std::vector<double> step_losses;
+    };
+    std::vector<ClientChain> chains(n_sel);
+    std::vector<std::vector<uint64_t>> stream_keys(n_sel);
+    std::vector<int64_t> batch_sizes(n_sel);
+    for (size_t i = 0; i < n_sel; ++i) {
+      const int64_t client = selected[i];
+      batch_sizes[i] = std::min<int64_t>(options_.batch_b,
+                                         data_->num_active_samples(client));
+      stream_keys[i].reserve(
+          static_cast<size_t>(options_.local_iters_e));
       for (int64_t e = 1; e <= options_.local_iters_e; ++e) {
         StreamId batch_id;
         batch_id.purpose = RngPurpose::kMinibatchSampling;
@@ -51,17 +65,35 @@ void FedAvgTrainer::RunRounds(int64_t num_rounds) {
         batch_id.round = static_cast<uint64_t>(round);
         batch_id.client = static_cast<uint64_t>(client);
         batch_id.iteration = static_cast<uint64_t>(e);
-        RngStream batch_stream(options_.seed, batch_id);
-        const int64_t b = std::min<int64_t>(options_.batch_b,
-                                            data_->num_active_samples(client));
-        if (b == 0) break;
-        std::vector<int64_t> indices =
-            client_runtime.SampleMinibatch(client, b, &batch_stream);
-        loss_sum += client_runtime.Step(client, indices,
-                                        options_.learning_rate);
+        stream_keys[i].push_back(DeriveStreamKey(options_.seed, batch_id));
+      }
+    }
+    runner_.ForEachClient(
+        static_cast<int64_t>(n_sel), [&](int64_t i, Model* m) {
+          const size_t s = static_cast<size_t>(i);
+          const int64_t client = selected[s];
+          m->SetParameters(global);
+          ClientRuntime runtime(data_, m);
+          for (int64_t e = 1; e <= options_.local_iters_e; ++e) {
+            if (batch_sizes[s] == 0) break;
+            RngStream batch_stream(stream_keys[s][static_cast<size_t>(e - 1)]);
+            std::vector<int64_t> indices = runtime.SampleMinibatch(
+                client, batch_sizes[s], &batch_stream);
+            chains[s].step_losses.push_back(
+                runtime.Step(client, indices, options_.learning_rate));
+          }
+          chains[s].params = m->GetParameters();
+        });
+    std::vector<Tensor> locals;
+    locals.reserve(n_sel);
+    double loss_sum = 0.0;
+    int64_t loss_count = 0;
+    for (size_t i = 0; i < n_sel; ++i) {
+      for (double loss : chains[i].step_losses) {
+        loss_sum += loss;
         ++loss_count;
       }
-      locals.push_back(model_->GetParameters());
+      locals.push_back(std::move(chains[i].params));
     }
     comm_stats_.RecordUpload(static_cast<int64_t>(locals.size()),
                              model_params);

@@ -17,6 +17,7 @@
 
 #include "data/federated_dataset.h"
 #include "fl/comm_stats.h"
+#include "fl/parallel_clients.h"
 #include "fl/train_log.h"
 #include "nn/model_zoo.h"
 
@@ -30,6 +31,9 @@ struct FedAvgOptions {
   uint64_t seed = 1;
   /// FATS samples clients with replacement; classic FedAvg without.
   bool sample_clients_with_replacement = false;
+  /// Worker threads for per-round client execution; 1 = serial. Parallel
+  /// runs are bit-identical to serial (see fl/parallel_clients.h).
+  int64_t num_threads = 1;
 };
 
 class FedAvgTrainer {
@@ -71,6 +75,11 @@ class FedAvgTrainer {
 
   void set_recomputation_mode(bool on) { recomputation_mode_ = on; }
 
+  /// Executes per-round client updates; shared with the unlearning
+  /// baselines (FR² recovery rounds) so they reuse the same pool and
+  /// replicas under the same determinism contract.
+  ParallelClientRunner* client_runner() { return &runner_; }
+
  private:
   ModelSpec spec_;
   FedAvgOptions options_;
@@ -80,6 +89,7 @@ class FedAvgTrainer {
   int64_t rounds_completed_ = 0;
   uint64_t generation_ = 0;
   bool recomputation_mode_ = false;
+  ParallelClientRunner runner_;
   TrainLog log_;
   CommStats comm_stats_;
 };

@@ -1,13 +1,23 @@
 #include "io/checkpoint.h"
 
 #include <cmath>
+#include <cstdio>
 
 namespace fats {
 
 namespace {
 
 constexpr char kMagic[] = "FATSCKPT";
-constexpr uint32_t kVersion = 1;
+// Version 2 appends kFooter so a write torn at a record boundary (which
+// would otherwise parse cleanly) is detected on load.
+constexpr char kFooter[] = "FATSEND.";
+constexpr uint32_t kVersion = 2;
+
+// Upper bound on the element count of any single checkpointed tensor.
+// Shapes whose volume exceeds it (or overflows int64_t) are corrupt: the
+// largest model in the zoo is far below this, and the guard keeps a bad
+// shape from turning into a multi-GB allocation.
+constexpr int64_t kMaxTensorVolume = int64_t{1} << 33;
 
 void WriteConfig(const FatsConfig& config, BinaryWriter* writer) {
   writer->WriteI64(config.clients_m);
@@ -57,6 +67,9 @@ Result<Tensor> ReadTensor(BinaryReader* reader) {
   int64_t volume = 1;
   for (int64_t d : shape) {
     if (d <= 0) return Status::IoError("corrupt tensor shape");
+    if (d > kMaxTensorVolume || volume > kMaxTensorVolume / d) {
+      return Status::IoError("tensor shape volume overflows sanity bound");
+    }
     volume *= d;
   }
   if (volume != static_cast<int64_t>(data.size())) {
@@ -65,7 +78,9 @@ Result<Tensor> ReadTensor(BinaryReader* reader) {
   return Tensor(std::move(shape), std::move(data));
 }
 
-Status SaveTrainerCheckpoint(FatsTrainer* trainer, const std::string& path) {
+namespace {
+
+Status WriteCheckpointFile(FatsTrainer* trainer, const std::string& path) {
   BinaryWriter writer(path);
   FATS_RETURN_NOT_OK(writer.status());
   writer.WriteString(kMagic);
@@ -120,7 +135,27 @@ Status SaveTrainerCheckpoint(FatsTrainer* trainer, const std::string& path) {
   writer.WriteI64(trainer->comm_stats().uplink_bytes());
   writer.WriteI64(trainer->comm_stats().downlink_bytes());
   writer.WriteI64(trainer->comm_stats().messages());
+  writer.WriteString(kFooter);
   return writer.Finish();
+}
+
+}  // namespace
+
+Status SaveTrainerCheckpoint(FatsTrainer* trainer, const std::string& path) {
+  // Write to a sibling temp file and rename into place, so a crash or a
+  // full disk mid-save never leaves a torn file at `path` (the previous
+  // checkpoint, if any, survives intact).
+  const std::string tmp_path = path + ".tmp";
+  Status written = WriteCheckpointFile(trainer, tmp_path);
+  if (!written.ok()) {
+    std::remove(tmp_path.c_str());
+    return written;
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("failed to rename checkpoint into place: " + path);
+  }
+  return Status::OK();
 }
 
 Status LoadTrainerCheckpoint(const std::string& path, FatsTrainer* trainer) {
@@ -211,6 +246,16 @@ Status LoadTrainerCheckpoint(const std::string& path, FatsTrainer* trainer) {
   FATS_ASSIGN_OR_RETURN(int64_t up, reader.ReadI64());
   FATS_ASSIGN_OR_RETURN(int64_t down, reader.ReadI64());
   FATS_ASSIGN_OR_RETURN(int64_t messages, reader.ReadI64());
+
+  // The footer catches a write torn at a record boundary, which the
+  // length-prefixed records above cannot distinguish from a complete file.
+  FATS_ASSIGN_OR_RETURN(std::string footer, reader.ReadString());
+  if (footer != kFooter) {
+    return Status::IoError("truncated checkpoint (missing footer): " + path);
+  }
+  if (reader.remaining() != 0) {
+    return Status::IoError("trailing bytes after checkpoint footer: " + path);
+  }
 
   // ---- commit ----
   StateStore& store = trainer->store();

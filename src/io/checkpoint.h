@@ -8,8 +8,11 @@
 // same FederatedDataset (same profile + seed + prior deletions) and build
 // the trainer with the same spec/config before calling Load.
 //
-// Format: "FATSCKPT" magic, u32 version, config echo (validated on load),
-// then model parameters, store records, counters, and the round log.
+// Format (version 2): "FATSCKPT" magic, u32 version, config echo
+// (validated on load), then model parameters, store records, counters, the
+// round log, and a trailing "FATSEND." footer. The footer lets the loader
+// reject writes torn at a record boundary, which the length-prefixed
+// records alone cannot detect.
 
 #ifndef FATS_IO_CHECKPOINT_H_
 #define FATS_IO_CHECKPOINT_H_
@@ -27,9 +30,10 @@ void WriteTensor(const Tensor& tensor, BinaryWriter* writer);
 /// Reads a tensor written by WriteTensor.
 Result<Tensor> ReadTensor(BinaryReader* reader);
 
-/// Writes `trainer`'s full state to `path` (atomically to the final name
-/// only insofar as the filesystem's rename is; callers wanting crash
-/// safety should write to a temp name and rename).
+/// Writes `trainer`'s full state to `path`. The write goes to a sibling
+/// `<path>.tmp` file which is renamed into place only after a successful
+/// flush, so a crash or I/O error mid-save never clobbers an existing
+/// checkpoint with a torn file; on failure the temp file is removed.
 Status SaveTrainerCheckpoint(FatsTrainer* trainer, const std::string& path);
 
 /// Restores state saved by SaveTrainerCheckpoint into `trainer`, which must

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
 #include "io/checkpoint.h"
@@ -102,6 +103,102 @@ TEST(CheckpointRobustnessTest, GarbageFileRejected) {
   WriteFile(path, garbage);
   Env env = MakeEnv(false);
   EXPECT_FALSE(LoadTrainerCheckpoint(path, env.trainer.get()).ok());
+}
+
+TEST(CheckpointRobustnessTest, TornAtRecordBoundaryRejected) {
+  // A write cut exactly at the footer boundary parses every length-prefixed
+  // record cleanly — only the footer check can catch it.
+  const std::string path = TempPath("robust_torn.bin");
+  Env saved = MakeEnv(true);
+  ASSERT_TRUE(SaveTrainerCheckpoint(saved.trainer.get(), path).ok());
+  const std::string blob = ReadFile(path);
+  // The footer is a length-prefixed string: u64 length + 8 bytes. A cut
+  // that drops it entirely fails on the footer read.
+  ASSERT_GT(blob.size(), 16u);
+  WriteFile(path, blob.substr(0, blob.size() - 16));
+  {
+    Env env = MakeEnv(false);
+    EXPECT_FALSE(LoadTrainerCheckpoint(path, env.trainer.get()).ok());
+  }
+
+  // A file whose trailing bytes parse as a string but are not the footer
+  // magic is rejected with the explicit truncation message.
+  std::string bad_footer = blob;
+  bad_footer[bad_footer.size() - 1] ^= 0x5A;
+  WriteFile(path, bad_footer);
+  Env env = MakeEnv(false);
+  Status status = LoadTrainerCheckpoint(path, env.trainer.get());
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("truncated"), std::string::npos)
+      << status.message();
+}
+
+TEST(CheckpointRobustnessTest, TrailingGarbageRejected) {
+  const std::string path = TempPath("robust_trailing.bin");
+  Env saved = MakeEnv(true);
+  ASSERT_TRUE(SaveTrainerCheckpoint(saved.trainer.get(), path).ok());
+  WriteFile(path, ReadFile(path) + std::string(32, '\7'));
+
+  Env env = MakeEnv(false);
+  EXPECT_FALSE(LoadTrainerCheckpoint(path, env.trainer.get()).ok());
+}
+
+TEST(CheckpointRobustnessTest, SaveLeavesNoTempFile) {
+  const std::string path = TempPath("robust_atomic.bin");
+  Env saved = MakeEnv(true);
+  ASSERT_TRUE(SaveTrainerCheckpoint(saved.trainer.get(), path).ok());
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good()) << "temp file left behind after successful save";
+}
+
+TEST(CheckpointRobustnessTest, FailedRenameKeepsOldCheckpointAndCleansTemp) {
+  // Saving over a path occupied by a directory makes the final rename fail;
+  // the save must report the error and remove its temp file.
+  const std::string path = TempPath("robust_dir_target");
+  std::remove(path.c_str());
+  ASSERT_EQ(std::system(("mkdir -p " + path).c_str()), 0);
+  Env saved = MakeEnv(true);
+  Status status = SaveTrainerCheckpoint(saved.trainer.get(), path);
+  EXPECT_FALSE(status.ok());
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good()) << "temp file left behind after failed save";
+  ASSERT_EQ(std::system(("rmdir " + path).c_str()), 0);
+}
+
+TEST(CheckpointRobustnessTest, CommStatsSurviveRoundTrip) {
+  const std::string path = TempPath("robust_comm.bin");
+  Env saved = MakeEnv(true);
+  const CommStats& before = saved.trainer->comm_stats();
+  ASSERT_GT(before.rounds(), 0);
+  ASSERT_GT(before.uplink_bytes(), 0);
+  ASSERT_TRUE(SaveTrainerCheckpoint(saved.trainer.get(), path).ok());
+
+  Env env = MakeEnv(false);
+  ASSERT_TRUE(LoadTrainerCheckpoint(path, env.trainer.get()).ok());
+  const CommStats& after = env.trainer->comm_stats();
+  EXPECT_EQ(after.rounds(), before.rounds());
+  EXPECT_EQ(after.uplink_bytes(), before.uplink_bytes());
+  EXPECT_EQ(after.downlink_bytes(), before.downlink_bytes());
+  EXPECT_EQ(after.messages(), before.messages());
+  EXPECT_EQ(env.trainer->trained_through(), saved.trainer->trained_through());
+  EXPECT_EQ(env.trainer->generation(), saved.trainer->generation());
+}
+
+TEST(CheckpointRobustnessTest, OversizedTensorShapeRejected) {
+  // A shape whose volume overflows int64_t (or just exceeds the sanity
+  // bound) must fail instead of attempting a giant allocation.
+  const std::string path = TempPath("robust_overflow_tensor.bin");
+  {
+    BinaryWriter writer(path);
+    writer.WriteI64Vector({int64_t{1} << 32, int64_t{1} << 32, 3});
+    writer.WriteFloatVector({1.0f, 2.0f});
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  BinaryReader reader(path);
+  Result<Tensor> tensor = ReadTensor(&reader);
+  ASSERT_FALSE(tensor.ok());
+  EXPECT_NE(tensor.status().message().find("overflow"), std::string::npos)
+      << tensor.status().message();
 }
 
 TEST(CheckpointRobustnessTest, SuccessfulReloadAfterFailedAttempts) {

@@ -16,11 +16,20 @@ namespace {
 #define FATS_CLI_PATH "build/tools/fats_cli"
 #endif
 
-std::string Checkpoint() { return testing::TempDir() + "/cli_test.ckpt"; }
+// Per-test-case paths: ctest runs discovered cases as separate processes,
+// possibly concurrently, so shared fixed paths race.
+std::string Checkpoint() {
+  return testing::TempDir() + "/cli_test_" +
+         testing::UnitTest::GetInstance()->current_test_info()->name() +
+         ".ckpt";
+}
 
 /// Runs the CLI with `args`, returns the exit code and captures stdout+err.
 int RunCli(const std::string& args, std::string* output) {
-  const std::string out_path = testing::TempDir() + "/cli_test_out.txt";
+  const std::string out_path =
+      testing::TempDir() + "/cli_test_" +
+      testing::UnitTest::GetInstance()->current_test_info()->name() +
+      "_out.txt";
   const std::string command =
       std::string(FATS_CLI_PATH) + " " + args + " > " + out_path + " 2>&1";
   const int raw = std::system(command.c_str());
@@ -114,6 +123,29 @@ TEST_F(CliTest, UnlearnRequiresTargetFlags) {
                    &output),
             1);
   EXPECT_NE(output.find("--index is required"), std::string::npos);
+}
+
+TEST_F(CliTest, ThreadsFlagProducesBitIdenticalCheckpoint) {
+  auto read_file = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string serial_ckpt = Checkpoint();
+  const std::string parallel_ckpt = Checkpoint() + ".par";
+  std::remove(parallel_ckpt.c_str());
+  std::string output;
+  ASSERT_EQ(RunCli("train --profile=mnist --rounds=4 --threads=1 "
+                   "--checkpoint=" + serial_ckpt, &output), 0)
+      << output;
+  ASSERT_EQ(RunCli("train --profile=mnist --rounds=4 --threads=4 "
+                   "--checkpoint=" + parallel_ckpt, &output), 0)
+      << output;
+  const std::string serial_blob = read_file(serial_ckpt);
+  ASSERT_FALSE(serial_blob.empty());
+  EXPECT_EQ(serial_blob, read_file(parallel_ckpt))
+      << "parallel training must serialize the exact same state as serial";
+  std::remove(parallel_ckpt.c_str());
 }
 
 TEST_F(CliTest, DoubleDeletionRejected) {

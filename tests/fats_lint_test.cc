@@ -186,6 +186,42 @@ TEST(FatsLintUnordered, LookupsDoNotFire) {
   EXPECT_TRUE(ScanSource("src/core/idx.cc", kSnippet).empty());
 }
 
+TEST(FatsLintThread, RawThreadFiresOutsidePool) {
+  EXPECT_EQ(ActiveRules(ScanSource("src/core/fats_trainer.cc",
+                                   "std::thread t([] {});\n")),
+            std::vector<std::string>{kRuleRawThread});
+  EXPECT_EQ(ActiveRules(ScanSource("src/fl/server.cc",
+                                   "auto f = std::async([] {});\n")),
+            std::vector<std::string>{kRuleRawThread});
+  EXPECT_EQ(ActiveRules(ScanSource("bench/bench_x.cc",
+                                   "std::jthread t([] {});\n")),
+            std::vector<std::string>{kRuleRawThread});
+  // std::this_thread is not thread creation.
+  EXPECT_TRUE(ActiveRules(ScanSource("src/util/stopwatch.cc",
+                                     "std::this_thread::yield();\n"))
+                  .empty());
+}
+
+TEST(FatsLintThread, PoolModuleIsExempt) {
+  EXPECT_FALSE(ClassifyPath("src/util/thread_pool.h").thread_rules);
+  EXPECT_FALSE(ClassifyPath("src/util/thread_pool.cc").thread_rules);
+  EXPECT_FALSE(
+      ClassifyPath("/home/u/repo/src/util/thread_pool.cc").thread_rules);
+  EXPECT_TRUE(ClassifyPath("src/util/stopwatch.cc").thread_rules);
+  EXPECT_TRUE(ActiveRules(ScanSource("src/util/thread_pool.h",
+                                     "std::vector<std::thread> workers_;\n"))
+                  .empty());
+}
+
+TEST(FatsLintThread, SuppressionDowngrades) {
+  const std::vector<Finding> f = ScanSource(
+      "src/core/a.cc",
+      "std::thread t;  // fats-lint: allow(raw-thread)\n");
+  ASSERT_EQ(static_cast<int>(f.size()), 1);
+  EXPECT_TRUE(f[0].suppressed);
+  EXPECT_EQ(ActiveCount(f), 0);
+}
+
 TEST(FatsLintSuppression, SameLineAndPreviousLine) {
   const std::vector<Finding> same_line = ScanSource(
       "src/core/a.cc",
@@ -241,8 +277,10 @@ TEST(FatsLintReport, JsonShape) {
 
 TEST(FatsLintReport, AllRulesListed) {
   const std::vector<std::string> rules = AllRules();
-  EXPECT_EQ(static_cast<int>(rules.size()), 6);
+  EXPECT_EQ(static_cast<int>(rules.size()), 7);
   EXPECT_NE(std::find(rules.begin(), rules.end(), kRuleUnorderedIteration),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), kRuleRawThread),
             rules.end());
 }
 

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# CI driver: configure -> build -> ctest -> fats_lint -> clang-tidy.
+# CI driver: configure -> build -> ctest -> fats_lint -> clang-tidy ->
+# tsan smoke of the parallel-execution tests.
 #
 # Usage:
 #   tools/ci.sh [PRESET]            # default preset: release
@@ -16,13 +17,13 @@ cd "$(dirname "$0")/.."
 PRESET="${1:-release}"
 JOBS="$(nproc 2> /dev/null || echo 2)"
 
-echo "=== [1/5] configure (preset: $PRESET) ==="
+echo "=== [1/6] configure (preset: $PRESET) ==="
 cmake --preset "$PRESET"
 
-echo "=== [2/5] build ==="
+echo "=== [2/6] build ==="
 cmake --build --preset "$PRESET" -j "$JOBS"
 
-echo "=== [3/5] ctest ==="
+echo "=== [3/6] ctest ==="
 ctest --preset "$PRESET" -j "$JOBS"
 
 BUILD_DIR="build-${PRESET}"
@@ -30,10 +31,10 @@ if [[ "$PRESET" == "asan-ubsan" ]]; then
   BUILD_DIR="build-asan"
 fi
 
-echo "=== [4/5] fats_lint ==="
+echo "=== [4/6] fats_lint ==="
 "$BUILD_DIR/tools/fats_lint" --root . --json fats_lint_report.json
 
-echo "=== [5/5] clang-tidy ==="
+echo "=== [5/6] clang-tidy ==="
 CHANGED=()
 if [[ -n "${CI_BASE_REF:-}" ]] && git rev-parse --verify -q "$CI_BASE_REF" > /dev/null; then
   while IFS= read -r f; do
@@ -47,6 +48,19 @@ if [[ -n "${CI_BASE_REF:-}" ]] && git rev-parse --verify -q "$CI_BASE_REF" > /de
   fi
 else
   tools/run_clang_tidy.sh -p "$BUILD_DIR"
+fi
+
+echo "=== [6/6] tsan smoke (parallel-execution tests) ==="
+if [[ "$PRESET" == "tsan" ]]; then
+  echo "tsan smoke: preset is already tsan; full suite covered above"
+else
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$JOBS" \
+    --target thread_pool_test parallel_exactness_test
+  # Run the binaries directly: only these two targets are built, so the
+  # build-tsan ctest manifest is incomplete.
+  build-tsan/tests/thread_pool_test
+  build-tsan/tests/parallel_exactness_test
 fi
 
 echo "=== CI OK (preset: $PRESET) ==="

@@ -3,6 +3,7 @@
 //   fats_cli train          --profile=mnist --checkpoint=/tmp/m.ckpt
 //                           [--rho_s=0.25 --rho_c=0.5 --rounds=N --seed=S]
 //                           [--until_iter=t]           (pause mid-training)
+//                           [--threads=N]   (parallel, bit-identical results)
 //   fats_cli resume         --profile=mnist --checkpoint=/tmp/m.ckpt
 //                           [--until_iter=t]           (continue training)
 //   fats_cli unlearn-sample --profile=mnist --checkpoint=/tmp/m.ckpt
@@ -40,6 +41,7 @@ struct CliOptions {
   int64_t until_iter = 0;  // 0 = train to T
   int64_t client = -1;
   int64_t index = -1;
+  int64_t threads = 1;  // worker threads; results are thread-count-invariant
 };
 
 std::string DeletionJournalPath(const std::string& checkpoint) {
@@ -114,6 +116,7 @@ Status RunTrain(const CliOptions& options, bool resume) {
   config.rho_s = options.rho_s;
   config.rho_c = options.rho_c;
   config.seed = static_cast<uint64_t>(options.seed);
+  config.num_threads = options.threads;
   FATS_RETURN_NOT_OK(config.Validate());
   FatsTrainer trainer(profile.model, config, &data);
   if (resume) {
@@ -150,6 +153,7 @@ Status RunUnlearn(const CliOptions& options, bool client_level) {
   config.rho_s = options.rho_s;
   config.rho_c = options.rho_c;
   config.seed = static_cast<uint64_t>(options.seed);
+  config.num_threads = options.threads;
   FATS_RETURN_NOT_OK(config.Validate());
   FatsTrainer trainer(profile.model, config, &data);
   FATS_RETURN_NOT_OK(LoadTrainerCheckpoint(options.checkpoint, &trainer));
@@ -200,6 +204,7 @@ Status RunInfo(const CliOptions& options) {
   config.rho_s = options.rho_s;
   config.rho_c = options.rho_c;
   config.seed = static_cast<uint64_t>(options.seed);
+  config.num_threads = options.threads;
   FATS_RETURN_NOT_OK(config.Validate());
   FatsTrainer trainer(profile.model, config, &data);
   FATS_RETURN_NOT_OK(LoadTrainerCheckpoint(options.checkpoint, &trainer));
@@ -240,6 +245,8 @@ int Main(int argc, char** argv) {
                                      "pause training at this iteration");
   int64_t* client = flags.AddInt("client", -1, "target client id");
   int64_t* index = flags.AddInt("index", -1, "target sample index");
+  int64_t* threads = flags.AddInt(
+      "threads", 1, "worker threads for client updates (bit-identical)");
   Status parse = flags.Parse(argc - 1, argv + 1);
   if (parse.code() == StatusCode::kNotFound) return 0;  // --help
   if (!parse.ok()) {
@@ -256,6 +263,7 @@ int Main(int argc, char** argv) {
   options.until_iter = *until_iter;
   options.client = *client;
   options.index = *index;
+  options.threads = *threads;
 
   Status status;
   if (options.command == "train") {

@@ -146,7 +146,8 @@ size_t MatchAngle(std::string_view text, size_t open) {
 
 std::vector<std::string> AllRules() {
   return {kRuleBannedRand,   kRuleBannedRandomDevice, kRuleDefaultEngine,
-          kRuleTimeSeed,     kRuleRandomInclude,      kRuleUnorderedIteration};
+          kRuleTimeSeed,     kRuleRandomInclude,      kRuleUnorderedIteration,
+          kRuleRawThread};
 }
 
 FileClass ClassifyPath(std::string_view path) {
@@ -155,6 +156,10 @@ FileClass ClassifyPath(std::string_view path) {
   cls.ordered_rules = HasComponent(path, "src/core") ||
                       HasComponent(path, "src/fl") ||
                       HasComponent(path, "src/baselines");
+  // The pool module itself is the single sanctioned thread creator.
+  std::string norm(path);
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  cls.thread_rules = norm.find("util/thread_pool.") == std::string::npos;
   return cls;
 }
 
@@ -347,6 +352,21 @@ std::vector<Finding> ScanSource(
             "wall-clock time used as a seed: seeds must come from the "
             "experiment config so retraining replays bit-identically");
       }
+    }
+  }
+
+  if (cls.thread_rules) {
+    static const std::regex kRawThread(
+        R"(\bstd\s*::\s*(?:thread|jthread|async)\b)");
+    auto begin =
+        std::sregex_iterator(stripped.begin(), stripped.end(), kRawThread);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      add(kRuleRawThread,
+          LineOfOffset(stripped, static_cast<size_t>(it->position())),
+          "raw std::thread/std::jthread/std::async outside "
+          "src/util/thread_pool: ad-hoc threads bypass the deterministic-"
+          "parallelism contract (pre-drawn substreams, ordered reduction); "
+          "run parallel work through fats::ThreadPool");
     }
   }
 

@@ -22,6 +22,11 @@
 //                         src/core/, src/fl/, or src/baselines/, where
 //                         order-dependent float accumulation would break
 //                         replay.
+//   raw-thread            std::thread / std::jthread / std::async outside
+//                         src/util/thread_pool.*: ad-hoc threads bypass the
+//                         deterministic-parallelism contract (pre-drawn
+//                         substreams + ordered reduction); use
+//                         fats::ThreadPool.
 //
 // Suppression: append `// fats-lint: allow(<rule>)` (comma-separated list,
 // or `all`) on the offending line or the line directly above it.  Suppressed
@@ -48,6 +53,7 @@ inline constexpr const char kRuleDefaultEngine[] = "default-engine";
 inline constexpr const char kRuleTimeSeed[] = "time-seed";
 inline constexpr const char kRuleRandomInclude[] = "random-include";
 inline constexpr const char kRuleUnorderedIteration[] = "unordered-iteration";
+inline constexpr const char kRuleRawThread[] = "raw-thread";
 
 // All rule IDs, for --list-rules and for validating allow(...) directives.
 std::vector<std::string> AllRules();
@@ -68,6 +74,9 @@ struct FileClass {
   bool rng_rules = true;
   // unordered-iteration.  On only for src/core/, src/fl/, src/baselines/.
   bool ordered_rules = false;
+  // raw-thread.  Off only for the src/util/thread_pool.{h,cc} module, the
+  // one place allowed to create threads.
+  bool thread_rules = true;
 };
 
 // Classifies a repo-relative path ("src/core/fats_trainer.cc").  Absolute
