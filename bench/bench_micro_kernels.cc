@@ -1,6 +1,13 @@
 // Micro-benchmarks (google-benchmark) for the numeric and sampling kernels
 // underneath FATS: matmul, conv2d, LSTM step, Philox throughput, and the
 // samplers whose laws the unlearning proofs depend on.
+//
+// The GEMM / conv / step-latency cases feed the bench-regression smoke:
+// tools/ci.sh runs this binary with --benchmark_out=BENCH_kernels.json and
+// tools/bench_check compares the result against the checked-in baseline.
+// Speedup baselines are benchmarked here too: BM_ScalarIkjMatMul is the
+// pre-kernel scalar loop (the kernel this PR replaced) and
+// BM_ReferenceMatMul is the contract-defining triple loop.
 
 #include <benchmark/benchmark.h>
 
@@ -8,72 +15,191 @@
 #include "nn/linear.h"
 #include "nn/lstm.h"
 #include "nn/model_zoo.h"
+#include "nn/workspace.h"
 #include "rng/philox.h"
 #include "rng/sampling.h"
+#include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
 
 namespace fats {
 namespace {
 
+void FillPattern(Tensor* t, int64_t modulus, float scale) {
+  for (int64_t i = 0; i < t->size(); ++i) {
+    (*t)[i] = scale * static_cast<float>(i % modulus);
+  }
+}
+
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
   Tensor a({n, n});
   Tensor b({n, n});
-  for (int64_t i = 0; i < a.size(); ++i) a[i] = static_cast<float>(i % 7);
-  for (int64_t i = 0; i < b.size(); ++i) b[i] = static_cast<float>(i % 5);
+  Tensor c({n, n});
+  FillPattern(&a, 7, 1.0f);
+  FillPattern(&b, 5, 1.0f);
   for (auto _ : state) {
-    Tensor c = MatMul(a, b);
+    MatMulInto(a, b, &c);
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetBytesProcessed(state.iterations() * 3 * n * n *
+                          static_cast<int64_t>(sizeof(float)));
 }
-BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+// The scalar i-k-j loop that MatMul used before the blocked kernels — kept
+// here (minus its data-dependent zero skip) as the speedup baseline for the
+// BM_MatMul/256 >= 4x acceptance check.
+void BM_ScalarIkjMatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tensor a({n, n});
+  Tensor b({n, n});
+  Tensor c({n, n});
+  FillPattern(&a, 7, 1.0f);
+  FillPattern(&b, 5, 1.0f);
+  for (auto _ : state) {
+    c.SetZero();
+    const float* ap = a.data();
+    const float* bp = b.data();
+    float* cp = c.data();
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t kk = 0; kk < n; ++kk) {
+        const float aik = ap[i * n + kk];
+        const float* brow = bp + kk * n;
+        float* crow = cp + i * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetBytesProcessed(state.iterations() * 3 * n * n *
+                          static_cast<int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_ScalarIkjMatMul)->Arg(128)->Arg(256);
+
+// The canonical-order reference loop that defines the deterministic
+// contract (gemm.h). Slowest of the three; kept for perspective.
+void BM_ReferenceMatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tensor a({n, n});
+  Tensor b({n, n});
+  Tensor c({n, n});
+  FillPattern(&a, 7, 1.0f);
+  FillPattern(&b, 5, 1.0f);
+  for (auto _ : state) {
+    gemm::ReferenceSgemmNN(n, n, n, a.data(), n, b.data(), n, c.data(), n,
+                           false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetBytesProcessed(state.iterations() * 3 * n * n *
+                          static_cast<int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_ReferenceMatMul)->Arg(128)->Arg(256);
+
+// Rectangular shapes from the paper models: a Linear(256->64) forward panel
+// (batch x 256) @ (64 x 256)^T and an LSTM gate block (batch x H) @ (4H x H)^T
+// with H = 32 (kCharLstm's hidden size).
+void BM_MatMulLinearShape(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  Tensor x({batch, 256});
+  Tensor w({64, 256});
+  Tensor y({batch, 64});
+  FillPattern(&x, 13, 0.01f);
+  FillPattern(&w, 7, 0.01f);
+  for (auto _ : state) {
+    MatMulTransposeBInto(x, w, &y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * batch * 256 * 64);
+}
+BENCHMARK(BM_MatMulLinearShape)->Arg(4)->Arg(32);
+
+void BM_MatMulLstmGateShape(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  Tensor h({batch, 32});
+  Tensor u({128, 32});  // (4H x H)
+  Tensor z({batch, 128});
+  FillPattern(&h, 9, 0.01f);
+  FillPattern(&u, 7, 0.01f);
+  for (auto _ : state) {
+    MatMulTransposeBInto(h, u, &z);
+    benchmark::DoNotOptimize(z.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * batch * 32 * 128);
+}
+BENCHMARK(BM_MatMulLstmGateShape)->Arg(4)->Arg(32);
 
 void BM_LinearForwardBackward(benchmark::State& state) {
   const int64_t batch = state.range(0);
   RngStream rng(uint64_t{1});
   Linear layer(256, 64, &rng);
+  Workspace ws;
   Tensor x({batch, 256});
-  for (int64_t i = 0; i < x.size(); ++i) x[i] = 0.01f * (i % 13);
+  FillPattern(&x, 13, 0.01f);
   Tensor grad({batch, 64});
   grad.Fill(0.1f);
   for (auto _ : state) {
     layer.ZeroGrad();
-    Tensor y = layer.Forward(x);
-    Tensor gx = layer.Backward(grad);
+    const Tensor& y = layer.Forward(x, &ws);
+    const Tensor& gx = layer.Backward(grad, &ws);
+    benchmark::DoNotOptimize(y.data());
     benchmark::DoNotOptimize(gx.data());
   }
 }
 BENCHMARK(BM_LinearForwardBackward)->Arg(4)->Arg(32);
 
+// im2col + GEMM conv at an MNIST-like shape (1x28x28, 8 output channels).
 void BM_Conv2dForwardBackward(benchmark::State& state) {
+  const int64_t batch = state.range(0);
   RngStream rng(uint64_t{2});
   Conv2d conv(1, 8, 16, 16, 3, 1, &rng);
-  Tensor x({4, 256});
-  for (int64_t i = 0; i < x.size(); ++i) x[i] = 0.01f * (i % 11);
-  Tensor grad({4, conv.OutputFeatures(256)});
+  Workspace ws;
+  Tensor x({batch, 256});
+  FillPattern(&x, 11, 0.01f);
+  Tensor grad({batch, conv.OutputFeatures(256)});
   grad.Fill(0.1f);
   for (auto _ : state) {
     conv.ZeroGrad();
-    Tensor y = conv.Forward(x);
-    Tensor gx = conv.Backward(grad);
+    const Tensor& y = conv.Forward(x, &ws);
+    const Tensor& gx = conv.Backward(grad, &ws);
+    benchmark::DoNotOptimize(y.data());
     benchmark::DoNotOptimize(gx.data());
   }
 }
-BENCHMARK(BM_Conv2dForwardBackward);
+BENCHMARK(BM_Conv2dForwardBackward)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_Im2colConvForward(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  RngStream rng(uint64_t{6});
+  Conv2d conv(1, 8, 28, 28, 3, 1, &rng);
+  Workspace ws;
+  Tensor x({batch, 28 * 28});
+  FillPattern(&x, 11, 0.01f);
+  for (auto _ : state) {
+    const Tensor& y = conv.Forward(x, &ws);
+    benchmark::DoNotOptimize(y.data());
+  }
+  // 2*K MACs per output element.
+  state.SetItemsProcessed(state.iterations() * batch * 8 * 28 * 28 * 2 * 9);
+}
+BENCHMARK(BM_Im2colConvForward)->Arg(4)->Arg(32);
 
 void BM_LstmForwardBackward(benchmark::State& state) {
   const int64_t seq = state.range(0);
   RngStream rng(uint64_t{3});
   Lstm lstm(8, 32, seq, &rng);
+  Workspace ws;
   Tensor x({4, seq * 8});
-  for (int64_t i = 0; i < x.size(); ++i) x[i] = 0.01f * (i % 9);
+  FillPattern(&x, 9, 0.01f);
   Tensor grad({4, 32});
   grad.Fill(0.1f);
   for (auto _ : state) {
     lstm.ZeroGrad();
-    Tensor y = lstm.Forward(x);
-    Tensor gx = lstm.Backward(grad);
+    const Tensor& y = lstm.Forward(x, &ws);
+    const Tensor& gx = lstm.Backward(grad, &ws);
+    benchmark::DoNotOptimize(y.data());
     benchmark::DoNotOptimize(gx.data());
   }
 }
@@ -119,7 +245,7 @@ void BM_ModelSgdStep(benchmark::State& state) {
   spec.num_classes = 10;
   Model model(spec, 1);
   Tensor x({4, 64});
-  for (int64_t i = 0; i < x.size(); ++i) x[i] = 0.01f * (i % 17);
+  FillPattern(&x, 17, 0.01f);
   std::vector<int64_t> y = {0, 3, 7, 9};
   for (auto _ : state) {
     double loss = model.ComputeLossAndGradients(x, y);
@@ -128,6 +254,45 @@ void BM_ModelSgdStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ModelSgdStep);
+
+void BM_ModelSgdStepLstm(benchmark::State& state) {
+  ModelSpec spec;
+  spec.kind = ModelKind::kCharLstm;
+  spec.vocab_size = 64;
+  spec.embed_dim = 8;
+  spec.lstm_hidden = 32;
+  spec.seq_len = 20;
+  spec.num_classes = 64;
+  Model model(spec, 2);
+  Tensor x({4, 20});
+  for (int64_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i % 64);
+  std::vector<int64_t> y = {1, 5, 9, 13};
+  for (auto _ : state) {
+    double loss = model.ComputeLossAndGradients(x, y);
+    model.SgdStep(0.05);
+    benchmark::DoNotOptimize(loss);
+  }
+}
+BENCHMARK(BM_ModelSgdStepLstm);
+
+void BM_ModelSgdStepMlp(benchmark::State& state) {
+  ModelSpec spec;
+  spec.kind = ModelKind::kMlp;
+  spec.input_dim = 256;
+  spec.hidden_dims = {128, 64};
+  spec.num_classes = 10;
+  Model model(spec, 3);
+  Tensor x({32, 256});
+  FillPattern(&x, 19, 0.01f);
+  std::vector<int64_t> y(32);
+  for (size_t i = 0; i < y.size(); ++i) y[i] = static_cast<int64_t>(i % 10);
+  for (auto _ : state) {
+    double loss = model.ComputeLossAndGradients(x, y);
+    model.SgdStep(0.05);
+    benchmark::DoNotOptimize(loss);
+  }
+}
+BENCHMARK(BM_ModelSgdStepMlp);
 
 }  // namespace
 }  // namespace fats

@@ -12,7 +12,10 @@
 //   * Private model replicas — each worker owns a Model replica; a task
 //     fully overwrites the replica's parameters before computing, so the
 //     result depends only on the task's inputs, never on which worker ran
-//     it or what ran there before.
+//     it or what ran there before. Each replica carries its own Workspace
+//     tensor arena (see nn/workspace.h), so the allocation-free hot path
+//     needs no locking: arenas, like replicas, are never shared between
+//     workers, and steady-state steps touch the heap not at all.
 //   * Ordered reduction — tasks write results into a slot indexed by their
 //     position in the participant list; the caller commits the slots (store
 //     writes, loss accumulation, model averaging) in that fixed order on

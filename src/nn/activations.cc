@@ -4,63 +4,77 @@
 
 namespace fats {
 
-Tensor ReLU::Forward(const Tensor& input) {
-  cached_input_ = input;
-  Tensor out = input;
-  float* data = out.data();
-  for (int64_t i = 0; i < out.size(); ++i) {
-    if (data[i] < 0.0f) data[i] = 0.0f;
+namespace {
+enum Slot { kOut, kGradIn };
+}  // namespace
+
+const Tensor& ReLU::Forward(const Tensor& input, Workspace* ws) {
+  cached_input_ = &input;
+  Tensor& out = ws->Get(this, kOut, input.shape());
+  const float* xp = input.data();
+  float* yp = out.data();
+  for (int64_t i = 0; i < input.size(); ++i) {
+    yp[i] = xp[i] < 0.0f ? 0.0f : xp[i];
   }
   return out;
 }
 
-Tensor ReLU::Backward(const Tensor& grad_output) {
-  FATS_CHECK(grad_output.shape() == cached_input_.shape());
-  Tensor grad = grad_output;
-  float* gp = grad.data();
-  const float* xp = cached_input_.data();
+const Tensor& ReLU::Backward(const Tensor& grad_output, Workspace* ws) {
+  FATS_CHECK(cached_input_ != nullptr) << "Backward before Forward";
+  FATS_CHECK(grad_output.shape() == cached_input_->shape());
+  Tensor& grad = ws->Get(this, kGradIn, grad_output.shape());
+  const float* gp = grad_output.data();
+  const float* xp = cached_input_->data();
+  float* op = grad.data();
   for (int64_t i = 0; i < grad.size(); ++i) {
-    if (xp[i] <= 0.0f) gp[i] = 0.0f;
+    // Read gp[i] unconditionally: a load that only happens on the
+    // not-taken arm blocks if-conversion, and with it vectorization.
+    const float g = gp[i];
+    op[i] = xp[i] <= 0.0f ? 0.0f : g;
   }
   return grad;
 }
 
-Tensor Tanh::Forward(const Tensor& input) {
-  Tensor out = input;
-  float* data = out.data();
-  for (int64_t i = 0; i < out.size(); ++i) data[i] = std::tanh(data[i]);
-  cached_output_ = out;
+const Tensor& Tanh::Forward(const Tensor& input, Workspace* ws) {
+  Tensor& out = ws->Get(this, kOut, input.shape());
+  const float* xp = input.data();
+  float* yp = out.data();
+  for (int64_t i = 0; i < input.size(); ++i) yp[i] = std::tanh(xp[i]);
   return out;
 }
 
-Tensor Tanh::Backward(const Tensor& grad_output) {
-  FATS_CHECK(grad_output.shape() == cached_output_.shape());
-  Tensor grad = grad_output;
-  float* gp = grad.data();
-  const float* yp = cached_output_.data();
+const Tensor& Tanh::Backward(const Tensor& grad_output, Workspace* ws) {
+  const Tensor& out = ws->Peek(this, kOut);
+  FATS_CHECK(grad_output.shape() == out.shape()) << "Backward before Forward";
+  Tensor& grad = ws->Get(this, kGradIn, grad_output.shape());
+  const float* gp = grad_output.data();
+  const float* yp = out.data();
+  float* op = grad.data();
   for (int64_t i = 0; i < grad.size(); ++i) {
-    gp[i] *= 1.0f - yp[i] * yp[i];
+    op[i] = gp[i] * (1.0f - yp[i] * yp[i]);
   }
   return grad;
 }
 
-Tensor Sigmoid::Forward(const Tensor& input) {
-  Tensor out = input;
-  float* data = out.data();
-  for (int64_t i = 0; i < out.size(); ++i) {
-    data[i] = 1.0f / (1.0f + std::exp(-data[i]));
+const Tensor& Sigmoid::Forward(const Tensor& input, Workspace* ws) {
+  Tensor& out = ws->Get(this, kOut, input.shape());
+  const float* xp = input.data();
+  float* yp = out.data();
+  for (int64_t i = 0; i < input.size(); ++i) {
+    yp[i] = 1.0f / (1.0f + std::exp(-xp[i]));
   }
-  cached_output_ = out;
   return out;
 }
 
-Tensor Sigmoid::Backward(const Tensor& grad_output) {
-  FATS_CHECK(grad_output.shape() == cached_output_.shape());
-  Tensor grad = grad_output;
-  float* gp = grad.data();
-  const float* yp = cached_output_.data();
+const Tensor& Sigmoid::Backward(const Tensor& grad_output, Workspace* ws) {
+  const Tensor& out = ws->Peek(this, kOut);
+  FATS_CHECK(grad_output.shape() == out.shape()) << "Backward before Forward";
+  Tensor& grad = ws->Get(this, kGradIn, grad_output.shape());
+  const float* gp = grad_output.data();
+  const float* yp = out.data();
+  float* op = grad.data();
   for (int64_t i = 0; i < grad.size(); ++i) {
-    gp[i] *= yp[i] * (1.0f - yp[i]);
+    op[i] = gp[i] * yp[i] * (1.0f - yp[i]);
   }
   return grad;
 }

@@ -11,41 +11,41 @@ namespace fats {
 
 class ReLU : public Module {
  public:
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  using Module::Forward;
+  using Module::Backward;
+  const Tensor& Forward(const Tensor& input, Workspace* ws) override;
+  const Tensor& Backward(const Tensor& grad_output, Workspace* ws) override;
   std::string ToString() const override { return "ReLU"; }
   int64_t OutputFeatures(int64_t input_features) const override {
     return input_features;
   }
 
  private:
-  Tensor cached_input_;
+  const Tensor* cached_input_ = nullptr;  // borrowed; alive until Backward
 };
 
 class Tanh : public Module {
  public:
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  using Module::Forward;
+  using Module::Backward;
+  const Tensor& Forward(const Tensor& input, Workspace* ws) override;
+  const Tensor& Backward(const Tensor& grad_output, Workspace* ws) override;
   std::string ToString() const override { return "Tanh"; }
   int64_t OutputFeatures(int64_t input_features) const override {
     return input_features;
   }
-
- private:
-  Tensor cached_output_;
 };
 
 class Sigmoid : public Module {
  public:
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  using Module::Forward;
+  using Module::Backward;
+  const Tensor& Forward(const Tensor& input, Workspace* ws) override;
+  const Tensor& Backward(const Tensor& grad_output, Workspace* ws) override;
   std::string ToString() const override { return "Sigmoid"; }
   int64_t OutputFeatures(int64_t input_features) const override {
     return input_features;
   }
-
- private:
-  Tensor cached_output_;
 };
 
 }  // namespace fats

@@ -11,24 +11,43 @@
 
 namespace fats {
 
-/// Direct (non-im2col) convolution with stride 1 and symmetric zero padding.
-/// The input tensor is (batch, in_channels * height * width) in CHW order.
+/// Convolution with stride 1 and symmetric zero padding. The input tensor is
+/// (batch, in_channels * height * width) in CHW order.
+///
+/// The main path is im2col + GEMM: each sample's receptive fields are
+/// unrolled into a (K x P) column matrix (K = in_ch·k², P = out_h·out_w,
+/// cached in a Workspace slot and reused across steps), so forward is one
+/// SgemmNN per sample and backward is one SgemmNT (dW) plus one SgemmTN
+/// (dcol) per sample followed by a col2im scatter. The original direct
+/// convolution is retained as ForwardDirect/BackwardDirect — a slow,
+/// independent reference that gradcheck tests compare against.
 class Conv2d : public Module {
  public:
   Conv2d(int64_t in_channels, int64_t out_channels, int64_t height,
          int64_t width, int64_t kernel_size, int64_t padding, RngStream* rng);
 
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  using Module::Forward;
+  using Module::Backward;
+  const Tensor& Forward(const Tensor& input, Workspace* ws) override;
+  const Tensor& Backward(const Tensor& grad_output, Workspace* ws) override;
   std::vector<Parameter*> Parameters() override { return {&weight_, &bias_}; }
   std::string ToString() const override;
   int64_t OutputFeatures(int64_t input_features) const override;
+
+  /// Direct (non-im2col) reference convolution; no caching, no workspace.
+  Tensor ForwardDirect(const Tensor& input) const;
+  /// Direct reference backward for the pair (input, grad_output); accumulates
+  /// parameter gradients and returns the input gradient.
+  Tensor BackwardDirect(const Tensor& input, const Tensor& grad_output);
 
   int64_t out_height() const { return out_height_; }
   int64_t out_width() const { return out_width_; }
   int64_t out_channels() const { return out_channels_; }
 
  private:
+  void Im2Col(const float* x, float* col) const;
+  void Col2ImAdd(const float* col, float* gx) const;
+
   int64_t in_channels_;
   int64_t out_channels_;
   int64_t height_;
@@ -39,7 +58,7 @@ class Conv2d : public Module {
   int64_t out_width_;
   Parameter weight_;  // (out_ch, in_ch * k * k)
   Parameter bias_;    // (out_ch)
-  Tensor cached_input_;
+  int64_t cached_batch_ = 0;
 };
 
 }  // namespace fats

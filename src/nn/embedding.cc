@@ -7,6 +7,10 @@
 
 namespace fats {
 
+namespace {
+enum Slot { kOut, kGradIn };
+}  // namespace
+
 Embedding::Embedding(int64_t vocab_size, int64_t embed_dim, int64_t seq_len,
                      RngStream* rng)
     : vocab_size_(vocab_size),
@@ -17,13 +21,13 @@ Embedding::Embedding(int64_t vocab_size, int64_t embed_dim, int64_t seq_len,
                rng);
 }
 
-Tensor Embedding::Forward(const Tensor& input) {
+const Tensor& Embedding::Forward(const Tensor& input, Workspace* ws) {
   FATS_CHECK_EQ(input.rank(), 2);
   FATS_CHECK_EQ(input.dim(1), seq_len_) << ToString();
   const int64_t batch = input.dim(0);
   cached_input_shape_ = input.shape();
   cached_ids_.assign(static_cast<size_t>(batch * seq_len_), 0);
-  Tensor out({batch, seq_len_ * embed_dim_});
+  Tensor& out = ws->Get(this, kOut, batch, seq_len_ * embed_dim_);
   const float* xp = input.data();
   const float* tp = table_.value.data();
   float* yp = out.data();
@@ -39,7 +43,7 @@ Tensor Embedding::Forward(const Tensor& input) {
   return out;
 }
 
-Tensor Embedding::Backward(const Tensor& grad_output) {
+const Tensor& Embedding::Backward(const Tensor& grad_output, Workspace* ws) {
   FATS_CHECK_EQ(grad_output.dim(1), seq_len_ * embed_dim_);
   float* tg = table_.grad.data();
   const float* gp = grad_output.data();
@@ -49,7 +53,9 @@ Tensor Embedding::Backward(const Tensor& grad_output) {
     for (int64_t d = 0; d < embed_dim_; ++d) row[d] += src[d];
   }
   // Ids are not differentiable; propagate zeros of the input shape.
-  return Tensor(cached_input_shape_);
+  Tensor& grad_input = ws->Get(this, kGradIn, cached_input_shape_);
+  grad_input.Fill(0.0f);
+  return grad_input;
 }
 
 std::string Embedding::ToString() const {

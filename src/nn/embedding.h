@@ -19,8 +19,10 @@ class Embedding : public Module {
   Embedding(int64_t vocab_size, int64_t embed_dim, int64_t seq_len,
             RngStream* rng);
 
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  using Module::Forward;
+  using Module::Backward;
+  const Tensor& Forward(const Tensor& input, Workspace* ws) override;
+  const Tensor& Backward(const Tensor& grad_output, Workspace* ws) override;
   std::vector<Parameter*> Parameters() override { return {&table_}; }
   std::string ToString() const override;
   int64_t OutputFeatures(int64_t input_features) const override;

@@ -6,6 +6,10 @@
 
 namespace fats {
 
+namespace {
+enum Slot { kOut, kGradIn };
+}  // namespace
+
 Linear::Linear(int64_t in_features, int64_t out_features, RngStream* rng)
     : in_features_(in_features),
       out_features_(out_features),
@@ -14,22 +18,26 @@ Linear::Linear(int64_t in_features, int64_t out_features, RngStream* rng)
   InitXavierUniform(&weight_.value, in_features, out_features, rng);
 }
 
-Tensor Linear::Forward(const Tensor& input) {
+const Tensor& Linear::Forward(const Tensor& input, Workspace* ws) {
   FATS_CHECK_EQ(input.rank(), 2);
   FATS_CHECK_EQ(input.dim(1), in_features_) << ToString();
-  cached_input_ = input;
-  Tensor out = MatMulTransposeB(input, weight_.value);  // (batch x out)
+  cached_input_ = &input;
+  Tensor& out = ws->Peek(this, kOut);
+  MatMulTransposeBInto(input, weight_.value, &out);  // (batch x out)
   AddRowwise(&out, bias_.value);
   return out;
 }
 
-Tensor Linear::Backward(const Tensor& grad_output) {
+const Tensor& Linear::Backward(const Tensor& grad_output, Workspace* ws) {
   FATS_CHECK_EQ(grad_output.rank(), 2);
   FATS_CHECK_EQ(grad_output.dim(1), out_features_);
+  FATS_CHECK(cached_input_ != nullptr) << "Backward before Forward";
   // dW += gO^T @ X ; db += column sums of gO ; dX = gO @ W.
-  weight_.grad += MatMulTransposeA(grad_output, cached_input_);
-  bias_.grad += SumRows(grad_output);
-  return MatMul(grad_output, weight_.value);
+  AddMatMulTransposeAInto(grad_output, *cached_input_, &weight_.grad);
+  AddSumRowsInto(grad_output, &bias_.grad);
+  Tensor& grad_input = ws->Peek(this, kGradIn);
+  MatMulInto(grad_output, weight_.value, &grad_input);
+  return grad_input;
 }
 
 std::string Linear::ToString() const {

@@ -16,8 +16,10 @@ class Linear : public Module {
   /// Weights are Xavier-initialized from `rng`; bias starts at zero.
   Linear(int64_t in_features, int64_t out_features, RngStream* rng);
 
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  using Module::Forward;
+  using Module::Backward;
+  const Tensor& Forward(const Tensor& input, Workspace* ws) override;
+  const Tensor& Backward(const Tensor& grad_output, Workspace* ws) override;
   std::vector<Parameter*> Parameters() override { return {&weight_, &bias_}; }
   std::string ToString() const override;
   int64_t OutputFeatures(int64_t input_features) const override;
@@ -30,7 +32,7 @@ class Linear : public Module {
   int64_t out_features_;
   Parameter weight_;  // (out x in)
   Parameter bias_;    // (out)
-  Tensor cached_input_;
+  const Tensor* cached_input_ = nullptr;  // borrowed; alive until Backward
 };
 
 }  // namespace fats

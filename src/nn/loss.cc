@@ -14,16 +14,16 @@ double SoftmaxCrossEntropy::Compute(const Tensor& logits,
   const int64_t batch = logits.dim(0);
   const int64_t classes = logits.dim(1);
   FATS_CHECK_EQ(batch, static_cast<int64_t>(labels.size()));
-  Tensor probs = SoftmaxRows(logits);
+  SoftmaxRowsInto(logits, &probs_);
   double total = 0.0;
   for (int64_t n = 0; n < batch; ++n) {
     const int64_t y = labels[static_cast<size_t>(n)];
     FATS_CHECK(y >= 0 && y < classes) << "label out of range: " << y;
-    const double p = std::max<double>(probs.at(n, y), 1e-12);
+    const double p = std::max<double>(probs_.at(n, y), 1e-12);
     total -= std::log(p);
   }
   if (grad_logits != nullptr) {
-    *grad_logits = probs;
+    *grad_logits = probs_;
     const float inv_batch = 1.0f / static_cast<float>(batch);
     for (int64_t n = 0; n < batch; ++n) {
       grad_logits->at(n, labels[static_cast<size_t>(n)]) -= 1.0f;

@@ -22,6 +22,11 @@ class SoftmaxCrossEntropy {
   /// Per-example losses (used by the membership-inference attack).
   std::vector<double> PerExampleLoss(const Tensor& logits,
                                      const std::vector<int64_t>& labels) const;
+
+ private:
+  // Softmax scratch, reused across Compute calls so the training-step hot
+  // path stays allocation-free at steady state.
+  mutable Tensor probs_;
 };
 
 /// Fraction of rows whose argmax equals the label.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "nn/init.h"
+#include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
 #include "util/string_util.h"
 
@@ -10,19 +11,20 @@ namespace fats {
 
 namespace {
 
+enum Slot { kOut, kH, kC, kZ, kDh, kDc, kDcPrev, kDz, kGradIn };
+
 inline float SigmoidScalar(float x) { return 1.0f / (1.0f + std::exp(-x)); }
 
 /// Copies step `t` columns out of the packed (batch, seq*dim) tensor.
-Tensor SliceStep(const Tensor& packed, int64_t t, int64_t dim) {
+void SliceStepInto(const Tensor& packed, int64_t t, int64_t dim, Tensor* out) {
   const int64_t batch = packed.dim(0);
   const int64_t seq_width = packed.dim(1);
-  Tensor out({batch, dim});
+  out->ResizeTo(batch, dim);
   for (int64_t n = 0; n < batch; ++n) {
     const float* src = packed.data() + n * seq_width + t * dim;
-    float* dst = out.data() + n * dim;
+    float* dst = out->data() + n * dim;
     for (int64_t d = 0; d < dim; ++d) dst[d] = src[d];
   }
-  return out;
 }
 
 }  // namespace
@@ -44,37 +46,38 @@ Lstm::Lstm(int64_t input_dim, int64_t hidden_dim, int64_t seq_len,
   }
 }
 
-Tensor Lstm::Forward(const Tensor& input) {
+const Tensor& Lstm::Forward(const Tensor& input, Workspace* ws) {
   FATS_CHECK_EQ(input.rank(), 2);
   FATS_CHECK_EQ(input.dim(1), seq_len_ * input_dim_) << ToString();
   const int64_t batch = input.dim(0);
   cached_batch_ = batch;
-  steps_.clear();
-  steps_.reserve(static_cast<size_t>(seq_len_));
-
-  Tensor h({batch, hidden_dim_});
-  Tensor c({batch, hidden_dim_});
-  Tensor sequence_out;
-  if (return_sequence_) {
-    sequence_out = Tensor({batch, seq_len_ * hidden_dim_});
+  if (steps_.size() < static_cast<size_t>(seq_len_)) {
+    steps_.resize(static_cast<size_t>(seq_len_));
   }
+
+  Tensor& h = ws->Get(this, kH, batch, hidden_dim_);
+  Tensor& c = ws->Get(this, kC, batch, hidden_dim_);
+  h.Fill(0.0f);
+  c.Fill(0.0f);
+  Tensor& z = ws->Peek(this, kZ);
   for (int64_t t = 0; t < seq_len_; ++t) {
-    StepCache step;
-    step.x = SliceStep(input, t, input_dim_);
+    StepCache& step = steps_[static_cast<size_t>(t)];
+    SliceStepInto(input, t, input_dim_, &step.x);
     step.h_prev = h;
     step.c_prev = c;
     // Pre-activations z = x W^T + h U^T + b, packed (batch, 4H).
-    Tensor z = MatMulTransposeB(step.x, w_input_.value);
-    z += MatMulTransposeB(step.h_prev, w_hidden_.value);
+    MatMulTransposeBInto(step.x, w_input_.value, &z);
+    AddMatMulTransposeBInto(step.h_prev, w_hidden_.value, &z);
     AddRowwise(&z, bias_.value);
 
-    step.i = Tensor({batch, hidden_dim_});
-    step.f = Tensor({batch, hidden_dim_});
-    step.g = Tensor({batch, hidden_dim_});
-    step.o = Tensor({batch, hidden_dim_});
-    step.c = Tensor({batch, hidden_dim_});
-    step.tanh_c = Tensor({batch, hidden_dim_});
-    Tensor h_new({batch, hidden_dim_});
+    step.i.ResizeTo(batch, hidden_dim_);
+    step.f.ResizeTo(batch, hidden_dim_);
+    step.g.ResizeTo(batch, hidden_dim_);
+    step.o.ResizeTo(batch, hidden_dim_);
+    step.c.ResizeTo(batch, hidden_dim_);
+    step.tanh_c.ResizeTo(batch, hidden_dim_);
+    // h/c are overwritten in place: the pre-step values were already copied
+    // into h_prev/c_prev, and the gate loop reads only z and those copies.
     for (int64_t n = 0; n < batch; ++n) {
       const float* zr = z.data() + n * 4 * hidden_dim_;
       for (int64_t j = 0; j < hidden_dim_; ++j) {
@@ -90,36 +93,43 @@ Tensor Lstm::Forward(const Tensor& input) {
         step.o.at(n, j) = ov;
         step.c.at(n, j) = cv;
         step.tanh_c.at(n, j) = tc;
-        h_new.at(n, j) = ov * tc;
+        h.at(n, j) = ov * tc;
+        c.at(n, j) = cv;
       }
     }
-    h = h_new;
-    c = step.c;
-    steps_.push_back(std::move(step));
     if (return_sequence_) {
+      Tensor& out = ws->Get(this, kOut, batch, seq_len_ * hidden_dim_);
       for (int64_t n = 0; n < batch; ++n) {
-        float* dst = sequence_out.data() + n * seq_len_ * hidden_dim_ +
-                     t * hidden_dim_;
+        float* dst =
+            out.data() + n * seq_len_ * hidden_dim_ + t * hidden_dim_;
         const float* src_row = h.data() + n * hidden_dim_;
         for (int64_t j = 0; j < hidden_dim_; ++j) dst[j] = src_row[j];
       }
     }
   }
-  return return_sequence_ ? sequence_out : h;
+  return return_sequence_ ? ws->Peek(this, kOut) : h;
 }
 
-Tensor Lstm::Backward(const Tensor& grad_output) {
+const Tensor& Lstm::Backward(const Tensor& grad_output, Workspace* ws) {
+  FATS_CHECK_GT(cached_batch_, 0) << "Backward before Forward";
   FATS_CHECK_EQ(grad_output.dim(0), cached_batch_);
   FATS_CHECK_EQ(grad_output.dim(1),
                 return_sequence_ ? seq_len_ * hidden_dim_ : hidden_dim_);
   const int64_t batch = cached_batch_;
-  Tensor grad_input({batch, seq_len_ * input_dim_});
+  Tensor& grad_input = ws->Get(this, kGradIn, batch, seq_len_ * input_dim_);
   // dL/dh_t: in final-state mode the loss touches only h_T; in sequence
   // mode every step receives its own slice of grad_output in addition to
   // the gradient carried back from the future.
-  Tensor dh({batch, hidden_dim_});
-  if (!return_sequence_) dh = grad_output;
-  Tensor dc({batch, hidden_dim_});       // dL/dc_t (from the future)
+  Tensor& dh = ws->Get(this, kDh, batch, hidden_dim_);
+  if (return_sequence_) {
+    dh.Fill(0.0f);
+  } else {
+    dh = grad_output;
+  }
+  Tensor& dc = ws->Get(this, kDc, batch, hidden_dim_);  // dL/dc_t (future)
+  dc.Fill(0.0f);
+  Tensor& dz = ws->Get(this, kDz, batch, 4 * hidden_dim_);
+  Tensor& dc_prev = ws->Get(this, kDcPrev, batch, hidden_dim_);
 
   for (int64_t t = seq_len_ - 1; t >= 0; --t) {
     if (return_sequence_) {
@@ -132,8 +142,6 @@ Tensor Lstm::Backward(const Tensor& grad_output) {
     }
     const StepCache& step = steps_[static_cast<size_t>(t)];
     // Gate pre-activation gradients, packed (batch, 4H).
-    Tensor dz({batch, 4 * hidden_dim_});
-    Tensor dc_prev({batch, hidden_dim_});
     for (int64_t n = 0; n < batch; ++n) {
       float* dzr = dz.data() + n * 4 * hidden_dim_;
       for (int64_t j = 0; j < hidden_dim_; ++j) {
@@ -154,19 +162,17 @@ Tensor Lstm::Backward(const Tensor& grad_output) {
       }
     }
     // Parameter gradients.
-    w_input_.grad += MatMulTransposeA(dz, step.x);
-    w_hidden_.grad += MatMulTransposeA(dz, step.h_prev);
-    bias_.grad += SumRows(dz);
-    // Input gradient for this step.
-    Tensor dx = MatMul(dz, w_input_.value);  // (batch, input_dim)
-    for (int64_t n = 0; n < batch; ++n) {
-      float* dst = grad_input.data() + n * seq_len_ * input_dim_ +
-                   t * input_dim_;
-      const float* src = dx.data() + n * input_dim_;
-      for (int64_t d = 0; d < input_dim_; ++d) dst[d] = src[d];
-    }
+    AddMatMulTransposeAInto(dz, step.x, &w_input_.grad);
+    AddMatMulTransposeAInto(dz, step.h_prev, &w_hidden_.grad);
+    AddSumRowsInto(dz, &bias_.grad);
+    // Input gradient for this step, written directly into the packed
+    // grad_input columns via a strided destination (ldc = seq*input_dim).
+    gemm::SgemmNN(batch, input_dim_, 4 * hidden_dim_, dz.data(),
+                  4 * hidden_dim_, w_input_.value.data(), input_dim_,
+                  grad_input.data() + t * input_dim_, seq_len_ * input_dim_,
+                  /*accumulate=*/false);
     // Hidden gradient for the previous step.
-    dh = MatMul(dz, w_hidden_.value);
+    MatMulInto(dz, w_hidden_.value, &dh);
     dc = dc_prev;
   }
   return grad_input;

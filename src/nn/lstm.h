@@ -22,8 +22,10 @@ class Lstm : public Module {
   Lstm(int64_t input_dim, int64_t hidden_dim, int64_t seq_len, RngStream* rng,
        bool return_sequence = false);
 
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  using Module::Forward;
+  using Module::Backward;
+  const Tensor& Forward(const Tensor& input, Workspace* ws) override;
+  const Tensor& Backward(const Tensor& grad_output, Workspace* ws) override;
   std::vector<Parameter*> Parameters() override {
     return {&w_input_, &w_hidden_, &bias_};
   }
@@ -33,6 +35,9 @@ class Lstm : public Module {
   int64_t hidden_dim() const { return hidden_dim_; }
 
  private:
+  // Per-timestep activation cache. The steps_ vector is sized once and the
+  // tensors are ResizeTo'd in place each Forward, so steady-state steps
+  // reuse their heap blocks.
   struct StepCache {
     Tensor x;       // (batch, input_dim)
     Tensor h_prev;  // (batch, hidden)

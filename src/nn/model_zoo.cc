@@ -144,37 +144,38 @@ std::unique_ptr<Sequential> BuildNetwork(const ModelSpec& spec,
 }
 
 Model::Model(const ModelSpec& spec, uint64_t init_seed)
-    : spec_(spec), network_(BuildNetwork(spec, init_seed)) {}
+    : spec_(spec),
+      network_(BuildNetwork(spec, init_seed)),
+      params_(network_->Parameters()) {}
 
 double Model::ComputeLossAndGradients(const Tensor& inputs,
                                       const std::vector<int64_t>& labels) {
-  network_->ZeroGrad();
-  Tensor logits = network_->Forward(inputs);
-  Tensor grad_logits;
-  double loss = loss_.Compute(logits, labels, &grad_logits);
-  network_->Backward(grad_logits);
+  for (Parameter* p : params_) p->grad.SetZero();
+  const Tensor& logits = network_->Forward(inputs, &ws_);
+  double loss = loss_.Compute(logits, labels, &grad_logits_);
+  network_->Backward(grad_logits_, &ws_);
   return loss;
 }
 
 Tensor Model::Predict(const Tensor& inputs) {
-  return network_->Forward(inputs);
+  return network_->Forward(inputs, &ws_);
 }
 
 double Model::ComputeLoss(const Tensor& inputs,
                           const std::vector<int64_t>& labels) {
-  Tensor logits = network_->Forward(inputs);
+  const Tensor& logits = network_->Forward(inputs, &ws_);
   return loss_.Compute(logits, labels, nullptr);
 }
 
 double Model::EvaluateAccuracy(const Tensor& inputs,
                                const std::vector<int64_t>& labels) {
-  Tensor logits = network_->Forward(inputs);
+  const Tensor& logits = network_->Forward(inputs, &ws_);
   return Accuracy(logits, labels);
 }
 
 std::vector<double> Model::PerExampleLoss(const Tensor& inputs,
                                           const std::vector<int64_t>& labels) {
-  Tensor logits = network_->Forward(inputs);
+  const Tensor& logits = network_->Forward(inputs, &ws_);
   return loss_.PerExampleLoss(logits, labels);
 }
 
@@ -190,6 +191,6 @@ void Model::SetParameters(const Tensor& flat) {
 
 Tensor Model::GetGradients() { return FlattenGradients(network_.get()); }
 
-void Model::SgdStep(double lr) { ApplySgdStep(network_.get(), lr); }
+void Model::SgdStep(double lr) { ApplySgdStep(params_, lr); }
 
 }  // namespace fats

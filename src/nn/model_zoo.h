@@ -17,6 +17,7 @@
 
 #include "nn/loss.h"
 #include "nn/sequential.h"
+#include "nn/workspace.h"
 #include "tensor/tensor.h"
 
 namespace fats {
@@ -105,12 +106,23 @@ class Model {
   const ModelSpec& spec() const { return spec_; }
   Sequential* network() { return network_.get(); }
 
+  /// The model-owned tensor arena every Forward/Backward runs against. One
+  /// arena per Model means one arena per ParallelClientRunner worker slot
+  /// (workers own Model replicas), so arenas are never shared across
+  /// threads. Exposed for allocation accounting in tests.
+  Workspace* workspace() { return &ws_; }
+
  private:
   Tensor FlattenParametersInternal();
 
   ModelSpec spec_;
   std::unique_ptr<Sequential> network_;
   SoftmaxCrossEntropy loss_;
+  Workspace ws_;
+  // Cached Parameters() walk + reused grad-logits buffer: with these, a
+  // steady-state ComputeLossAndGradients + SgdStep allocates nothing.
+  std::vector<Parameter*> params_;
+  Tensor grad_logits_;
 };
 
 }  // namespace fats

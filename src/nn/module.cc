@@ -1,0 +1,18 @@
+#include "nn/module.h"
+
+namespace fats {
+
+Workspace* Module::ScratchWorkspace() {
+  if (!scratch_) scratch_ = std::make_unique<Workspace>();
+  return scratch_.get();
+}
+
+Tensor Module::Forward(const Tensor& input) {
+  return Forward(input, ScratchWorkspace());
+}
+
+Tensor Module::Backward(const Tensor& grad_output) {
+  return Backward(grad_output, ScratchWorkspace());
+}
+
+}  // namespace fats

@@ -7,9 +7,23 @@
 // FedAvg-style averaging and the FATS state store operate on.
 //
 // The forward/backward contract:
-//   * Forward(x) caches whatever the layer needs and returns the output.
-//   * Backward(grad_out) must follow the matching Forward, accumulates
-//     parameter gradients (+=) and returns the gradient w.r.t. the input.
+//   * Forward(x, ws) caches whatever the layer needs and returns a reference
+//     to the output, which lives in a Workspace slot owned by this layer.
+//   * Backward(grad_out, ws) must follow the matching Forward with the SAME
+//     workspace, accumulates parameter gradients (+=) and returns the
+//     gradient w.r.t. the input (also a Workspace slot).
+//   * The input passed to Forward must stay alive (and unmodified) until the
+//     matching Backward returns — layers cache it by reference, not by copy.
+//     Inside Sequential this holds automatically: each layer's input is the
+//     previous layer's Workspace slot, and no layer writes its forward-output
+//     slot during Backward.
+//
+// Threading the Workspace through the hot path is what makes a steady-state
+// training step heap-allocation-free (DESIGN.md §7.2): every slot is resized
+// with capacity reuse, so after the first step nothing allocates. The
+// by-value Forward/Backward overloads are conveniences for tests and tools;
+// they run against a lazily created module-owned scratch workspace and copy
+// the result out.
 
 #ifndef FATS_NN_MODULE_H_
 #define FATS_NN_MODULE_H_
@@ -18,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/workspace.h"
 #include "tensor/tensor.h"
 
 namespace fats {
@@ -38,12 +53,20 @@ class Module {
  public:
   virtual ~Module() = default;
 
-  /// Runs the layer on a (batch x in_features) tensor.
-  virtual Tensor Forward(const Tensor& input) = 0;
+  /// Runs the layer on a (batch x in_features) tensor. The returned
+  /// reference is a Workspace slot: valid until the next Forward on this
+  /// layer with the same workspace (or the workspace's destruction).
+  virtual const Tensor& Forward(const Tensor& input, Workspace* ws) = 0;
 
   /// Back-propagates (batch x out_features) output gradients; accumulates
-  /// into parameter .grad fields and returns input gradients.
-  virtual Tensor Backward(const Tensor& grad_output) = 0;
+  /// into parameter .grad fields and returns input gradients (a Workspace
+  /// slot). `ws` must be the workspace used by the matching Forward.
+  virtual const Tensor& Backward(const Tensor& grad_output, Workspace* ws) = 0;
+
+  // By-value conveniences over a module-owned scratch workspace. Derived
+  // classes re-expose them with `using Module::Forward/Backward`.
+  Tensor Forward(const Tensor& input);
+  Tensor Backward(const Tensor& grad_output);
 
   /// The layer's trainable parameters (possibly empty). Pointers remain
   /// valid for the lifetime of the module.
@@ -60,6 +83,11 @@ class Module {
   void ZeroGrad() {
     for (Parameter* p : Parameters()) p->grad.SetZero();
   }
+
+ private:
+  Workspace* ScratchWorkspace();
+
+  std::unique_ptr<Workspace> scratch_;
 };
 
 }  // namespace fats

@@ -45,8 +45,12 @@ Tensor FlattenGradients(Module* module) {
 }
 
 void ApplySgdStep(Module* module, double lr) {
+  ApplySgdStep(module->Parameters(), lr);
+}
+
+void ApplySgdStep(const std::vector<Parameter*>& params, double lr) {
   const float step = static_cast<float>(lr);
-  for (Parameter* p : module->Parameters()) {
+  for (Parameter* p : params) {
     float* value = p->value.data();
     const float* grad = p->grad.data();
     for (int64_t i = 0; i < p->value.size(); ++i) {

@@ -8,6 +8,7 @@
 #define FATS_NN_PARAMETER_VECTOR_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "nn/module.h"
 #include "tensor/tensor.h"
@@ -28,6 +29,10 @@ Tensor FlattenGradients(Module* module);
 
 /// In-place SGD step: value -= lr * grad for every parameter.
 void ApplySgdStep(Module* module, double lr);
+
+/// Fused axpy over a pre-collected parameter list — the hot-path form used
+/// by Model::SgdStep. Avoids the per-call Parameters() vector allocation.
+void ApplySgdStep(const std::vector<Parameter*>& params, double lr);
 
 }  // namespace fats
 

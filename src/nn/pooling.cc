@@ -4,6 +4,10 @@
 
 namespace fats {
 
+namespace {
+enum Slot { kOut, kGradIn };
+}  // namespace
+
 MaxPool2d::MaxPool2d(int64_t channels, int64_t height, int64_t width,
                      int64_t window)
     : channels_(channels),
@@ -16,12 +20,13 @@ MaxPool2d::MaxPool2d(int64_t channels, int64_t height, int64_t width,
   FATS_CHECK_EQ(width % window, 0) << "pool window must divide width";
 }
 
-Tensor MaxPool2d::Forward(const Tensor& input) {
+const Tensor& MaxPool2d::Forward(const Tensor& input, Workspace* ws) {
   FATS_CHECK_EQ(input.rank(), 2);
   FATS_CHECK_EQ(input.dim(1), channels_ * height_ * width_) << ToString();
   const int64_t batch = input.dim(0);
   input_shape_ = input.shape();
-  Tensor out({batch, channels_ * out_height_ * out_width_});
+  Tensor& out =
+      ws->Get(this, kOut, batch, channels_ * out_height_ * out_width_);
   argmax_.assign(static_cast<size_t>(out.size()), 0);
   for (int64_t n = 0; n < batch; ++n) {
     const float* x = input.data() + n * channels_ * height_ * width_;
@@ -37,10 +42,14 @@ Tensor MaxPool2d::Forward(const Tensor& input) {
             for (int64_t dw = 0; dw < window_; ++dw) {
               const int64_t idx =
                   (oh * window_ + dh) * width_ + (ow * window_ + dw);
-              if (xc[idx] > best) {
-                best = xc[idx];
-                best_idx = idx;
-              }
+              // Select, don't branch: the comparison outcome is
+              // data-dependent and mispredicts on natural inputs. Strict >
+              // keeps the first-max tie-breaking that backward's argmax
+              // scatter (and replay) relies on.
+              const float v = xc[idx];
+              const bool better = v > best;
+              best = better ? v : best;
+              best_idx = better ? idx : best_idx;
             }
           }
           const int64_t out_idx = (c * out_height_ + oh) * out_width_ + ow;
@@ -56,8 +65,10 @@ Tensor MaxPool2d::Forward(const Tensor& input) {
   return out;
 }
 
-Tensor MaxPool2d::Backward(const Tensor& grad_output) {
-  Tensor grad_input(input_shape_);
+const Tensor& MaxPool2d::Backward(const Tensor& grad_output, Workspace* ws) {
+  FATS_CHECK(!input_shape_.empty()) << "Backward before Forward";
+  Tensor& grad_input = ws->Get(this, kGradIn, input_shape_);
+  grad_input.Fill(0.0f);
   FATS_CHECK_EQ(grad_output.size(),
                 static_cast<int64_t>(argmax_.size()));
   float* gx = grad_input.data();

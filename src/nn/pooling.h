@@ -16,8 +16,10 @@ class MaxPool2d : public Module {
  public:
   MaxPool2d(int64_t channels, int64_t height, int64_t width, int64_t window);
 
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  using Module::Forward;
+  using Module::Backward;
+  const Tensor& Forward(const Tensor& input, Workspace* ws) override;
+  const Tensor& Backward(const Tensor& grad_output, Workspace* ws) override;
   std::string ToString() const override;
   int64_t OutputFeatures(int64_t input_features) const override;
 

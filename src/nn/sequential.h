@@ -21,18 +21,24 @@ class Sequential : public Module {
     return *this;
   }
 
-  Tensor Forward(const Tensor& input) override {
-    Tensor x = input;
-    for (auto& layer : layers_) x = layer->Forward(x);
-    return x;
+  using Module::Forward;
+  using Module::Backward;
+
+  // Activations flow by reference: each layer's input is the previous
+  // layer's Workspace slot, so the chain performs no copies and (at steady
+  // state) no allocations.
+  const Tensor& Forward(const Tensor& input, Workspace* ws) override {
+    const Tensor* x = &input;
+    for (auto& layer : layers_) x = &layer->Forward(*x, ws);
+    return *x;
   }
 
-  Tensor Backward(const Tensor& grad_output) override {
-    Tensor g = grad_output;
+  const Tensor& Backward(const Tensor& grad_output, Workspace* ws) override {
+    const Tensor* g = &grad_output;
     for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-      g = (*it)->Backward(g);
+      g = &(*it)->Backward(*g, ws);
     }
-    return g;
+    return *g;
   }
 
   std::vector<Parameter*> Parameters() override {

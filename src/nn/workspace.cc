@@ -1,0 +1,51 @@
+#include "nn/workspace.h"
+
+namespace fats {
+
+Tensor& Workspace::Slot(const void* owner, int id) {
+  const Key key{owner, id};
+  auto it = slots_.find(key);
+  if (it == slots_.end()) {
+    ++grow_events_;
+    it = slots_.emplace(key, Tensor()).first;
+  }
+  return it->second;
+}
+
+Tensor& Workspace::Get(const void* owner, int id, int64_t d0) {
+  Tensor& t = Slot(owner, id);
+  const size_t cap = t.storage().capacity();
+  t.ResizeTo(d0);
+  if (t.storage().capacity() != cap) ++grow_events_;
+  return t;
+}
+
+Tensor& Workspace::Get(const void* owner, int id, int64_t d0, int64_t d1) {
+  Tensor& t = Slot(owner, id);
+  const size_t cap = t.storage().capacity();
+  t.ResizeTo(d0, d1);
+  if (t.storage().capacity() != cap) ++grow_events_;
+  return t;
+}
+
+Tensor& Workspace::Get(const void* owner, int id, int64_t d0, int64_t d1,
+                       int64_t d2) {
+  Tensor& t = Slot(owner, id);
+  const size_t cap = t.storage().capacity();
+  t.ResizeTo(d0, d1, d2);
+  if (t.storage().capacity() != cap) ++grow_events_;
+  return t;
+}
+
+Tensor& Workspace::Get(const void* owner, int id,
+                       const std::vector<int64_t>& shape) {
+  Tensor& t = Slot(owner, id);
+  const size_t cap = t.storage().capacity();
+  t.ResizeTo(shape);
+  if (t.storage().capacity() != cap) ++grow_events_;
+  return t;
+}
+
+Tensor& Workspace::Peek(const void* owner, int id) { return Slot(owner, id); }
+
+}  // namespace fats

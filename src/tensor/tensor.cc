@@ -46,6 +46,36 @@ Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
   return out;
 }
 
+void Tensor::ResizeTo(const std::vector<int64_t>& shape) {
+  const int64_t volume = Volume(shape);
+  shape_.assign(shape.begin(), shape.end());
+  data_.resize(static_cast<size_t>(volume));
+}
+
+void Tensor::ResizeTo(int64_t d0) {
+  FATS_CHECK_GT(d0, 0) << "tensor dims must be positive";
+  shape_.resize(1);
+  shape_[0] = d0;
+  data_.resize(static_cast<size_t>(d0));
+}
+
+void Tensor::ResizeTo(int64_t d0, int64_t d1) {
+  FATS_CHECK(d0 > 0 && d1 > 0) << "tensor dims must be positive";
+  shape_.resize(2);
+  shape_[0] = d0;
+  shape_[1] = d1;
+  data_.resize(static_cast<size_t>(d0 * d1));
+}
+
+void Tensor::ResizeTo(int64_t d0, int64_t d1, int64_t d2) {
+  FATS_CHECK(d0 > 0 && d1 > 0 && d2 > 0) << "tensor dims must be positive";
+  shape_.resize(3);
+  shape_[0] = d0;
+  shape_[1] = d1;
+  shape_[2] = d2;
+  data_.resize(static_cast<size_t>(d0 * d1 * d2));
+}
+
 void Tensor::Fill(float value) {
   std::fill(data_.begin(), data_.end(), value);
 }

@@ -77,6 +77,16 @@ class Tensor {
   /// Reinterprets the tensor with a new shape of equal volume.
   Tensor Reshape(std::vector<int64_t> new_shape) const;
 
+  // Reshapes in place, reusing the existing heap block whenever capacity
+  // allows — after warm-up these never allocate, which is what makes
+  // Workspace slots steady-state allocation-free. Retained elements keep
+  // their old values (grown elements are zero); callers that need zeros
+  // must Fill(0) explicitly.
+  void ResizeTo(const std::vector<int64_t>& shape);
+  void ResizeTo(int64_t d0);
+  void ResizeTo(int64_t d0, int64_t d1);
+  void ResizeTo(int64_t d0, int64_t d1, int64_t d2);
+
   /// Sets every element to `value`.
   void Fill(float value);
   /// Sets every element to zero.

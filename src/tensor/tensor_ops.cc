@@ -2,71 +2,102 @@
 
 #include <cmath>
 
-namespace fats {
+#include "tensor/gemm.h"
 
-Tensor MatMul(const Tensor& a, const Tensor& b) {
+namespace fats {
+namespace {
+
+struct MatMulDims {
+  int64_t m, n, k;
+};
+
+MatMulDims CheckNN(const Tensor& a, const Tensor& b) {
   FATS_CHECK_EQ(a.rank(), 2);
   FATS_CHECK_EQ(b.rank(), 2);
-  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  FATS_CHECK_EQ(k, b.dim(0)) << "matmul inner dims";
-  Tensor c({m, n});
-  const float* ap = a.data();
-  const float* bp = b.data();
-  float* cp = c.data();
-  // i-k-j loop order for cache-friendly access to B and C rows.
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float aik = ap[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = bp + kk * n;
-      float* crow = cp + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  FATS_CHECK_EQ(a.dim(1), b.dim(0)) << "matmul inner dims";
+  return {a.dim(0), b.dim(1), a.dim(1)};
+}
+
+MatMulDims CheckNT(const Tensor& a, const Tensor& b) {
+  FATS_CHECK_EQ(a.rank(), 2);
+  FATS_CHECK_EQ(b.rank(), 2);
+  FATS_CHECK_EQ(a.dim(1), b.dim(1)) << "matmul^T inner dims";
+  return {a.dim(0), b.dim(0), a.dim(1)};
+}
+
+MatMulDims CheckTN(const Tensor& a, const Tensor& b) {
+  FATS_CHECK_EQ(a.rank(), 2);
+  FATS_CHECK_EQ(b.rank(), 2);
+  FATS_CHECK_EQ(a.dim(0), b.dim(0)) << "matmul A^T inner dims";
+  return {a.dim(1), b.dim(1), a.dim(0)};
+}
+
+void CheckAccumDst(const MatMulDims& d, const Tensor& c) {
+  FATS_CHECK_EQ(c.rank(), 2);
+  FATS_CHECK(c.dim(0) == d.m && c.dim(1) == d.n)
+      << "accumulate destination shape mismatch";
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  MatMulInto(a, b, &c);
   return c;
+}
+
+void MatMulInto(const Tensor& a, const Tensor& b, Tensor* c) {
+  const MatMulDims d = CheckNN(a, b);
+  c->ResizeTo(d.m, d.n);
+  gemm::SgemmNN(d.m, d.n, d.k, a.data(), d.k, b.data(), d.n, c->data(), d.n,
+                /*accumulate=*/false);
+}
+
+void AddMatMulInto(const Tensor& a, const Tensor& b, Tensor* c) {
+  const MatMulDims d = CheckNN(a, b);
+  CheckAccumDst(d, *c);
+  gemm::SgemmNN(d.m, d.n, d.k, a.data(), d.k, b.data(), d.n, c->data(), d.n,
+                /*accumulate=*/true);
 }
 
 Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
-  FATS_CHECK_EQ(a.rank(), 2);
-  FATS_CHECK_EQ(b.rank(), 2);
-  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  FATS_CHECK_EQ(k, b.dim(1)) << "matmul^T inner dims";
-  Tensor c({m, n});
-  const float* ap = a.data();
-  const float* bp = b.data();
-  float* cp = c.data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = ap + i * k;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = bp + j * k;
-      float acc = 0.0f;
-      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      cp[i * n + j] = acc;
-    }
-  }
+  Tensor c;
+  MatMulTransposeBInto(a, b, &c);
   return c;
 }
 
+void MatMulTransposeBInto(const Tensor& a, const Tensor& b, Tensor* c) {
+  const MatMulDims d = CheckNT(a, b);
+  c->ResizeTo(d.m, d.n);
+  gemm::SgemmNT(d.m, d.n, d.k, a.data(), d.k, b.data(), d.k, c->data(), d.n,
+                /*accumulate=*/false);
+}
+
+void AddMatMulTransposeBInto(const Tensor& a, const Tensor& b, Tensor* c) {
+  const MatMulDims d = CheckNT(a, b);
+  CheckAccumDst(d, *c);
+  gemm::SgemmNT(d.m, d.n, d.k, a.data(), d.k, b.data(), d.k, c->data(), d.n,
+                /*accumulate=*/true);
+}
+
 Tensor MatMulTransposeA(const Tensor& a, const Tensor& b) {
-  FATS_CHECK_EQ(a.rank(), 2);
-  FATS_CHECK_EQ(b.rank(), 2);
-  const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
-  FATS_CHECK_EQ(k, b.dim(0)) << "matmul A^T inner dims";
-  Tensor c({m, n});
-  const float* ap = a.data();
-  const float* bp = b.data();
-  float* cp = c.data();
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = ap + kk * m;
-    const float* brow = bp + kk * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
-      float* crow = cp + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
-    }
-  }
+  Tensor c;
+  MatMulTransposeAInto(a, b, &c);
   return c;
+}
+
+void MatMulTransposeAInto(const Tensor& a, const Tensor& b, Tensor* c) {
+  const MatMulDims d = CheckTN(a, b);
+  c->ResizeTo(d.m, d.n);
+  gemm::SgemmTN(d.m, d.n, d.k, a.data(), d.m, b.data(), d.n, c->data(), d.n,
+                /*accumulate=*/false);
+}
+
+void AddMatMulTransposeAInto(const Tensor& a, const Tensor& b, Tensor* c) {
+  const MatMulDims d = CheckTN(a, b);
+  CheckAccumDst(d, *c);
+  gemm::SgemmTN(d.m, d.n, d.k, a.data(), d.m, b.data(), d.n, c->data(), d.n,
+                /*accumulate=*/true);
 }
 
 void AddRowwise(Tensor* m, const Tensor& bias) {
@@ -84,24 +115,37 @@ void AddRowwise(Tensor* m, const Tensor& bias) {
 
 Tensor SumRows(const Tensor& m) {
   FATS_CHECK_EQ(m.rank(), 2);
+  Tensor out({m.dim(1)});
+  AddSumRowsInto(m, &out);
+  return out;
+}
+
+void AddSumRowsInto(const Tensor& m, Tensor* out) {
+  FATS_CHECK_EQ(m.rank(), 2);
+  FATS_CHECK_EQ(out->rank(), 1);
   const int64_t rows = m.dim(0), n = m.dim(1);
-  Tensor out({n});
+  FATS_CHECK_EQ(n, out->dim(0));
   const float* mp = m.data();
-  float* op = out.data();
+  float* op = out->data();
   for (int64_t i = 0; i < rows; ++i) {
     const float* row = mp + i * n;
     for (int64_t j = 0; j < n; ++j) op[j] += row[j];
   }
-  return out;
 }
 
 Tensor Hadamard(const Tensor& a, const Tensor& b) {
-  FATS_CHECK(a.shape() == b.shape()) << "hadamard shape mismatch";
-  Tensor out = a;
-  float* op = out.data();
-  const float* bp = b.data();
-  for (int64_t i = 0; i < out.size(); ++i) op[i] *= bp[i];
+  Tensor out;
+  HadamardInto(a, b, &out);
   return out;
+}
+
+void HadamardInto(const Tensor& a, const Tensor& b, Tensor* out) {
+  FATS_CHECK(a.shape() == b.shape()) << "hadamard shape mismatch";
+  out->ResizeTo(a.shape());
+  float* op = out->data();
+  const float* ap = a.data();
+  const float* bp = b.data();
+  for (int64_t i = 0; i < a.size(); ++i) op[i] = ap[i] * bp[i];
 }
 
 Tensor Transpose(const Tensor& m) {
@@ -117,23 +161,30 @@ Tensor Transpose(const Tensor& m) {
 }
 
 Tensor SoftmaxRows(const Tensor& logits) {
+  Tensor out;
+  SoftmaxRowsInto(logits, &out);
+  return out;
+}
+
+void SoftmaxRowsInto(const Tensor& logits, Tensor* out) {
   FATS_CHECK_EQ(logits.rank(), 2);
   const int64_t rows = logits.dim(0), n = logits.dim(1);
-  Tensor out = logits;
-  float* op = out.data();
+  out->ResizeTo(rows, n);
+  const float* lp = logits.data();
+  float* op = out->data();
   for (int64_t i = 0; i < rows; ++i) {
+    const float* in = lp + i * n;
     float* row = op + i * n;
-    float max_v = row[0];
-    for (int64_t j = 1; j < n; ++j) max_v = std::max(max_v, row[j]);
+    float max_v = in[0];
+    for (int64_t j = 1; j < n; ++j) max_v = std::max(max_v, in[j]);
     float sum = 0.0f;
     for (int64_t j = 0; j < n; ++j) {
-      row[j] = std::exp(row[j] - max_v);
+      row[j] = std::exp(in[j] - max_v);
       sum += row[j];
     }
     const float inv = 1.0f / sum;
     for (int64_t j = 0; j < n; ++j) row[j] *= inv;
   }
-  return out;
 }
 
 }  // namespace fats

@@ -39,6 +39,9 @@ TEST(FatsLintClassify, RngDirIsExemptFromRngRules) {
   const FileClass nn = ClassifyPath("src/nn/linear.cc");
   EXPECT_TRUE(nn.rng_rules);
   EXPECT_FALSE(nn.ordered_rules);
+  EXPECT_TRUE(nn.hot_rules);
+  EXPECT_FALSE(core.hot_rules);
+  EXPECT_TRUE(ClassifyPath("/home/u/repo/src/nn/lstm.cc").hot_rules);
 
   // Absolute paths classify the same way.
   EXPECT_FALSE(ClassifyPath("/home/u/repo/src/rng/sampling.cc").rng_rules);
@@ -222,6 +225,103 @@ TEST(FatsLintThread, SuppressionDowngrades) {
   EXPECT_EQ(ActiveCount(f), 0);
 }
 
+TEST(FatsLintHotAlloc, TensorTemporaryInForwardFires) {
+  const char kSnippet[] =
+      "const Tensor& Linear::Forward(const Tensor& input, Workspace* ws) {\n"
+      "  Tensor out({input.dim(0), out_features_});\n"
+      "  return out;\n"
+      "}\n";
+  const std::vector<Finding> f = ScanSource("src/nn/linear.cc", kSnippet);
+  ASSERT_EQ(ActiveRules(f), std::vector<std::string>{kRuleHotAlloc});
+  EXPECT_EQ(f[0].line, 2);
+  EXPECT_NE(f[0].message.find("'out'"), std::string::npos);
+
+  // The identical body outside src/nn/ is not a hot path.
+  EXPECT_TRUE(ActiveRules(ScanSource("src/core/foo.cc", kSnippet)).empty());
+}
+
+TEST(FatsLintHotAlloc, WorkspaceBindingsDoNotFire) {
+  const char kSnippet[] =
+      "const Tensor& Linear::Forward(const Tensor& input, Workspace* ws) {\n"
+      "  Tensor& out = ws->Peek(this, kOut);\n"
+      "  const Tensor& col = ws->Peek(this, kCol);\n"
+      "  const Tensor* cached = &input;\n"
+      "  return out;\n"
+      "}\n";
+  EXPECT_TRUE(ActiveRules(ScanSource("src/nn/linear.cc", kSnippet)).empty());
+}
+
+TEST(FatsLintHotAlloc, TripleLoopMatmulFires) {
+  const char kSnippet[] =
+      "const Tensor& Foo::Backward(const Tensor& g, Workspace* ws) {\n"
+      "  for (int64_t i = 0; i < m; ++i) {\n"
+      "    for (int64_t kk = 0; kk < k; ++kk) {\n"
+      "      const float aik = a[i * k + kk];\n"
+      "      for (int64_t j = 0; j < n; ++j) c[i * n + j] += aik * b[kk * n + j];\n"
+      "    }\n"
+      "  }\n"
+      "  return ws->Peek(this, 0);\n"
+      "}\n";
+  const std::vector<Finding> f = ScanSource("src/nn/foo.cc", kSnippet);
+  ASSERT_EQ(ActiveRules(f), std::vector<std::string>{kRuleHotAlloc});
+  EXPECT_EQ(f[0].line, 5);
+  EXPECT_NE(f[0].message.find("triple-nested"), std::string::npos);
+}
+
+TEST(FatsLintHotAlloc, NonMacTripleLoopDoesNotFire) {
+  // Elementwise work at depth 3 (e.g. the LSTM gate loop, conv bias add) is
+  // legitimate: only += with a multiply on one statement looks like matmul.
+  const char kSnippet[] =
+      "const Tensor& Foo::Forward(const Tensor& x, Workspace* ws) {\n"
+      "  for (int64_t t = 0; t < seq; ++t) {\n"
+      "    for (int64_t n = 0; n < batch; ++n) {\n"
+      "      for (int64_t j = 0; j < h; ++j) dst[j] += src[j];\n"
+      "    }\n"
+      "  }\n"
+      "  return ws->Peek(this, 0);\n"
+      "}\n";
+  EXPECT_TRUE(ActiveRules(ScanSource("src/nn/foo.cc", kSnippet)).empty());
+}
+
+TEST(FatsLintHotAlloc, DirectReferencePathsAreExempt) {
+  // ForwardDirect/BackwardDirect are the retained direct-conv reference
+  // implementations; Tensor returns and MAC loops are their whole point.
+  const char kSnippet[] =
+      "Tensor Conv2d::ForwardDirect(const Tensor& input) const {\n"
+      "  Tensor out({input.dim(0), out_features_});\n"
+      "  for (int64_t i = 0; i < m; ++i)\n"
+      "    for (int64_t kk = 0; kk < k; ++kk)\n"
+      "      for (int64_t j = 0; j < n; ++j) c[i * n + j] += a[i] * b[j];\n"
+      "  return out;\n"
+      "}\n";
+  EXPECT_TRUE(ActiveRules(ScanSource("src/nn/conv2d.cc", kSnippet)).empty());
+}
+
+TEST(FatsLintHotAlloc, CallsAndDeclarationsDoNotFire) {
+  const char kSnippet[] =
+      "const Tensor& Forward(const Tensor& input, Workspace* ws) override;\n"
+      "void Step() {\n"
+      "  Tensor y = layer.Forward(x, &ws);\n"
+      "  const Tensor& gx = layer.Backward(g, &ws);\n"
+      "}\n";
+  // The Tensor temporary lives in Step(), not in a Forward/Backward body;
+  // the Forward declaration has no body and the calls are not definitions.
+  EXPECT_TRUE(ActiveRules(ScanSource("src/nn/foo.h", kSnippet)).empty());
+}
+
+TEST(FatsLintHotAlloc, SuppressionDowngrades) {
+  const char kSnippet[] =
+      "const Tensor& Foo::Forward(const Tensor& x, Workspace* ws) {\n"
+      "  // fats-lint: allow(hot-alloc)\n"
+      "  Tensor scratch({4, 4});\n"
+      "  return ws->Peek(this, 0);\n"
+      "}\n";
+  const std::vector<Finding> f = ScanSource("src/nn/foo.cc", kSnippet);
+  ASSERT_EQ(static_cast<int>(f.size()), 1);
+  EXPECT_TRUE(f[0].suppressed);
+  EXPECT_EQ(ActiveCount(f), 0);
+}
+
 TEST(FatsLintSuppression, SameLineAndPreviousLine) {
   const std::vector<Finding> same_line = ScanSource(
       "src/core/a.cc",
@@ -277,10 +377,12 @@ TEST(FatsLintReport, JsonShape) {
 
 TEST(FatsLintReport, AllRulesListed) {
   const std::vector<std::string> rules = AllRules();
-  EXPECT_EQ(static_cast<int>(rules.size()), 7);
+  EXPECT_EQ(static_cast<int>(rules.size()), 8);
   EXPECT_NE(std::find(rules.begin(), rules.end(), kRuleUnorderedIteration),
             rules.end());
   EXPECT_NE(std::find(rules.begin(), rules.end(), kRuleRawThread),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), kRuleHotAlloc),
             rules.end());
 }
 

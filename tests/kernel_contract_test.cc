@@ -1,0 +1,198 @@
+// Deterministic-kernel contract tests (tensor/gemm.h, DESIGN.md §7.2).
+//
+// The blocked kernels are free to tile, pack, and vectorise however they
+// like, but every output element must be the bitwise result of the canonical
+// chain: acc starts at C[i][j] (accumulate) or 0, and the products are added
+// in ascending-k order, each product and each add rounded individually.
+// ReferenceSgemm{NN,NT,TN} spell that chain out as naive triple loops; these
+// tests pin the blocked kernels to them bit-for-bit across shapes that cover
+// all tile-edge cases (sub-tile, exact-tile, prime tails, multi-panel), both
+// accumulate modes, strided destinations, and non-finite inputs.
+
+#include "tensor/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "rng/rng_stream.h"
+
+namespace fats {
+namespace {
+
+std::vector<float> RandomVec(int64_t n, RngStream* rng) {
+  std::vector<float> v(static_cast<size_t>(n));
+  for (float& x : v) {
+    x = static_cast<float>(rng->NextDouble() * 2.0 - 1.0);
+  }
+  return v;
+}
+
+bool BitwiseEqual(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+// Shapes chosen to hit: tiny (single partial micro-tile), exact micro-tile
+// multiples (6, 16), one past a register-block boundary, primes (no
+// alignment anywhere), and a k large enough to span multiple kKc panels
+// would be slow here — k=257 crosses the 256-wide k-block boundary instead.
+struct Shape {
+  int64_t m, n, k;
+};
+
+const Shape kShapes[] = {
+    {1, 1, 1},   {2, 3, 4},    {6, 16, 8},  {7, 17, 5},   {12, 32, 16},
+    {13, 37, 7}, {5, 97, 11},  {37, 5, 64}, {19, 23, 29}, {6, 16, 257},
+    {97, 3, 2},  {31, 64, 33},
+    // Above the small-GEMM threshold with partial row/column edge tiles, so
+    // the packed/blocked path keeps full edge coverage on every host.
+    {40, 50, 30}, {70, 40, 20}, {64, 23, 48},
+};
+
+TEST(KernelContract, SgemmNNBitwiseMatchesReference) {
+  RngStream rng(uint64_t{101});
+  for (const Shape& s : kShapes) {
+    for (bool accumulate : {false, true}) {
+      const std::vector<float> a = RandomVec(s.m * s.k, &rng);
+      const std::vector<float> b = RandomVec(s.k * s.n, &rng);
+      std::vector<float> c_ref = RandomVec(s.m * s.n, &rng);
+      std::vector<float> c_blk = c_ref;
+      gemm::ReferenceSgemmNN(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n,
+                             c_ref.data(), s.n, accumulate);
+      gemm::SgemmNN(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, c_blk.data(),
+                    s.n, accumulate);
+      EXPECT_TRUE(BitwiseEqual(c_ref, c_blk))
+          << "m=" << s.m << " n=" << s.n << " k=" << s.k
+          << " accumulate=" << accumulate;
+    }
+  }
+}
+
+TEST(KernelContract, SgemmNTBitwiseMatchesReference) {
+  RngStream rng(uint64_t{102});
+  for (const Shape& s : kShapes) {
+    for (bool accumulate : {false, true}) {
+      const std::vector<float> a = RandomVec(s.m * s.k, &rng);
+      const std::vector<float> b = RandomVec(s.n * s.k, &rng);  // (n x k)
+      std::vector<float> c_ref = RandomVec(s.m * s.n, &rng);
+      std::vector<float> c_blk = c_ref;
+      gemm::ReferenceSgemmNT(s.m, s.n, s.k, a.data(), s.k, b.data(), s.k,
+                             c_ref.data(), s.n, accumulate);
+      gemm::SgemmNT(s.m, s.n, s.k, a.data(), s.k, b.data(), s.k, c_blk.data(),
+                    s.n, accumulate);
+      EXPECT_TRUE(BitwiseEqual(c_ref, c_blk))
+          << "m=" << s.m << " n=" << s.n << " k=" << s.k
+          << " accumulate=" << accumulate;
+    }
+  }
+}
+
+TEST(KernelContract, SgemmTNBitwiseMatchesReference) {
+  RngStream rng(uint64_t{103});
+  for (const Shape& s : kShapes) {
+    for (bool accumulate : {false, true}) {
+      const std::vector<float> a = RandomVec(s.k * s.m, &rng);  // (k x m)
+      const std::vector<float> b = RandomVec(s.k * s.n, &rng);
+      std::vector<float> c_ref = RandomVec(s.m * s.n, &rng);
+      std::vector<float> c_blk = c_ref;
+      gemm::ReferenceSgemmTN(s.m, s.n, s.k, a.data(), s.m, b.data(), s.n,
+                             c_ref.data(), s.n, accumulate);
+      gemm::SgemmTN(s.m, s.n, s.k, a.data(), s.m, b.data(), s.n, c_blk.data(),
+                    s.n, accumulate);
+      EXPECT_TRUE(BitwiseEqual(c_ref, c_blk))
+          << "m=" << s.m << " n=" << s.n << " k=" << s.k
+          << " accumulate=" << accumulate;
+    }
+  }
+}
+
+// Strided destination: the LSTM backward writes each step's dx directly into
+// the packed (batch, seq*input_dim) gradient with ldc = seq*input_dim.
+TEST(KernelContract, StridedDestinationMatchesReference) {
+  RngStream rng(uint64_t{104});
+  const int64_t m = 9, n = 13, k = 21, ldc = 40;
+  const std::vector<float> a = RandomVec(m * k, &rng);
+  const std::vector<float> b = RandomVec(k * n, &rng);
+  std::vector<float> c_ref = RandomVec(m * ldc, &rng);
+  std::vector<float> c_blk = c_ref;
+  gemm::ReferenceSgemmNN(m, n, k, a.data(), k, b.data(), n, c_ref.data(), ldc,
+                         /*accumulate=*/true);
+  gemm::SgemmNN(m, n, k, a.data(), k, b.data(), n, c_blk.data(), ldc,
+                /*accumulate=*/true);
+  EXPECT_TRUE(BitwiseEqual(c_ref, c_blk));
+  // Columns n..ldc of every row are untouched by both kernels by
+  // construction of the reference; bitwise equality above already covers it.
+}
+
+// Regression for the removed data-dependent skip (`if (aik == 0) continue;`):
+// a zero in A multiplied by a NaN/Inf in B must produce NaN, exactly as the
+// reference chain does.  The old skip silently blocked NaN/Inf propagation,
+// hiding divergence bugs that exactness tests rely on to surface.
+TEST(KernelContract, ZeroTimesNaNPropagates) {
+  const int64_t m = 3, n = 5, k = 4;
+  std::vector<float> a(m * k, 0.0f);  // all zeros: the old skip always fired
+  std::vector<float> b(k * n, 1.0f);
+  b[7] = std::nanf("");
+  b[11] = INFINITY;
+  std::vector<float> c_ref(m * n, 0.0f);
+  std::vector<float> c_blk(m * n, 0.0f);
+  gemm::ReferenceSgemmNN(m, n, k, a.data(), k, b.data(), n, c_ref.data(), n,
+                         false);
+  gemm::SgemmNN(m, n, k, a.data(), k, b.data(), n, c_blk.data(), n, false);
+  EXPECT_TRUE(BitwiseEqual(c_ref, c_blk));
+  // 0 * NaN = NaN and 0 * Inf = NaN must reach the output.
+  bool saw_nan = false;
+  for (float x : c_blk) saw_nan |= std::isnan(x);
+  EXPECT_TRUE(saw_nan) << "NaN/Inf in B was not propagated through a zero A";
+}
+
+TEST(KernelContract, NaNInAPropagates) {
+  RngStream rng(uint64_t{105});
+  const int64_t m = 7, n = 18, k = 12;
+  std::vector<float> a = RandomVec(m * k, &rng);
+  a[5] = std::nanf("");
+  const std::vector<float> b = RandomVec(k * n, &rng);
+  std::vector<float> c_ref(m * n, 0.0f);
+  std::vector<float> c_blk(m * n, 0.0f);
+  gemm::ReferenceSgemmNN(m, n, k, a.data(), k, b.data(), n, c_ref.data(), n,
+                         false);
+  gemm::SgemmNN(m, n, k, a.data(), k, b.data(), n, c_blk.data(), n, false);
+  EXPECT_TRUE(BitwiseEqual(c_ref, c_blk));
+  bool saw_nan = false;
+  for (float x : c_blk) saw_nan |= std::isnan(x);
+  EXPECT_TRUE(saw_nan);
+}
+
+// k == 0 zeroes (or preserves, when accumulating) the destination.
+TEST(KernelContract, EmptyKDimension) {
+  std::vector<float> a;
+  std::vector<float> b;
+  std::vector<float> c = {1.0f, 2.0f, 3.0f, 4.0f};
+  gemm::SgemmNN(2, 2, 0, a.data(), 0, b.data(), 2, c.data(), 2,
+                /*accumulate=*/true);
+  EXPECT_EQ(c[0], 1.0f);
+  EXPECT_EQ(c[3], 4.0f);
+  gemm::SgemmNN(2, 2, 0, a.data(), 0, b.data(), 2, c.data(), 2,
+                /*accumulate=*/false);
+  for (float x : c) EXPECT_EQ(x, 0.0f);
+}
+
+// Smoke: the dispatch decision is observable.  On x86 the AVX-512 or AVX2
+// micro-kernel is active; either way the bitwise tests above pin the
+// result, so this just documents which path ran in the test log.
+TEST(KernelContract, ReportsDispatchPath) {
+  const bool avx2 = gemm::UsingAvx2Kernels();
+  const bool avx512 = gemm::UsingAvx512Kernels();
+  if (avx512) {
+    EXPECT_TRUE(avx2);  // avx512f implies avx2 on every real CPU
+  }
+  SUCCEED() << "micro-kernel: "
+            << (avx512 ? "AVX-512" : (avx2 ? "AVX2" : "generic"));
+}
+
+}  // namespace
+}  // namespace fats

@@ -17,6 +17,7 @@
 #include "nn/lstm.h"
 #include "nn/pooling.h"
 #include "nn/sequential.h"
+#include "nn/workspace.h"
 #include "rng/rng_stream.h"
 
 namespace fats {
@@ -158,6 +159,60 @@ TEST(GradCheckTest, SequentialMlp) {
   seq->Add(std::make_unique<Tanh>());
   seq->Add(std::make_unique<Linear>(4, 3, &rng));
   GradCheck(seq.get(), RandomTensor({2, 5}, &rng, 0.5));
+}
+
+// The im2col + GEMM conv path must agree with the retained direct
+// convolution (ForwardDirect/BackwardDirect) everywhere: outputs, input
+// gradients, and parameter gradients. The two paths accumulate taps in
+// different orders, so the comparison is AllClose, not bitwise; the bitwise
+// guarantees live one level down in kernel_contract_test.cc.
+void CheckIm2colMatchesDirect(int64_t in_ch, int64_t out_ch, int64_t h,
+                              int64_t w, int64_t k, int64_t pad,
+                              int64_t batch, uint64_t seed) {
+  constexpr float kTol = 5e-4f;
+  RngStream rng(seed);
+  Conv2d conv(in_ch, out_ch, h, w, k, pad, &rng);
+  Workspace ws;
+  Tensor x = RandomTensor({batch, in_ch * h * w}, &rng, 0.5);
+  Tensor gy =
+      RandomTensor({batch, conv.OutputFeatures(in_ch * h * w)}, &rng, 0.5);
+  auto params = conv.Parameters();  // [weight, bias]
+
+  conv.ZeroGrad();
+  Tensor y_gemm = conv.Forward(x, &ws);  // copy out of the ws slot
+  Tensor gx_gemm = conv.Backward(gy, &ws);
+  Tensor wg_gemm = params[0]->grad;
+  Tensor bg_gemm = params[1]->grad;
+
+  conv.ZeroGrad();
+  Tensor y_direct = conv.ForwardDirect(x);
+  Tensor gx_direct = conv.BackwardDirect(x, gy);
+
+  EXPECT_TRUE(y_gemm.AllClose(y_direct, kTol)) << "forward mismatch";
+  EXPECT_TRUE(gx_gemm.AllClose(gx_direct, kTol)) << "input-grad mismatch";
+  EXPECT_TRUE(wg_gemm.AllClose(params[0]->grad, kTol))
+      << "weight-grad mismatch";
+  EXPECT_TRUE(bg_gemm.AllClose(params[1]->grad, kTol)) << "bias-grad mismatch";
+}
+
+TEST(Im2colVsDirectTest, SinglePaddedChannel) {
+  CheckIm2colMatchesDirect(1, 2, 6, 6, 3, 1, 2, uint64_t{21});
+}
+
+TEST(Im2colVsDirectTest, SingleChannelValid) {
+  CheckIm2colMatchesDirect(1, 3, 7, 5, 3, 0, 1, uint64_t{22});
+}
+
+TEST(Im2colVsDirectTest, MultiChannelPadded) {
+  CheckIm2colMatchesDirect(3, 4, 5, 5, 3, 1, 3, uint64_t{23});
+}
+
+TEST(Im2colVsDirectTest, WideKernelWidePadding) {
+  CheckIm2colMatchesDirect(2, 2, 8, 8, 5, 2, 2, uint64_t{24});
+}
+
+TEST(Im2colVsDirectTest, OneByOneKernel) {
+  CheckIm2colMatchesDirect(2, 3, 4, 4, 1, 0, 2, uint64_t{25});
 }
 
 TEST(GradCheckTest, SoftmaxCrossEntropyGradient) {

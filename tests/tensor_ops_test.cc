@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng_stream.h"
 
 namespace fats {
 namespace {
@@ -110,6 +114,151 @@ TEST(MatMulDeathTest, InnerDimMismatchAborts) {
   Tensor a({2, 3});
   Tensor b({2, 2});
   EXPECT_DEATH(MatMul(a, b), "inner dims");
+}
+
+// ---- Destination-passing (Into / AddInto) forms ----
+
+Tensor RandomTensor(std::vector<int64_t> shape, RngStream* rng) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng->NextDouble() * 2.0 - 1.0);
+  }
+  return t;
+}
+
+TEST(MatMulIntoTest, MatchesValueFormBitwise) {
+  RngStream rng(uint64_t{31});
+  Tensor a = RandomTensor({5, 7}, &rng);
+  Tensor b = RandomTensor({7, 9}, &rng);
+  Tensor out;
+  MatMulInto(a, b, &out);
+  EXPECT_TRUE(out.BitwiseEquals(MatMul(a, b)));
+  // Reuse with a different shape resizes in place.
+  Tensor a2 = RandomTensor({2, 7}, &rng);
+  MatMulInto(a2, b, &out);
+  ASSERT_EQ(out.dim(0), 2);
+  EXPECT_TRUE(out.BitwiseEquals(MatMul(a2, b)));
+}
+
+TEST(MatMulIntoTest, AddFormAccumulates) {
+  RngStream rng(uint64_t{32});
+  Tensor a = RandomTensor({4, 6}, &rng);
+  Tensor b = RandomTensor({6, 3}, &rng);
+  Tensor acc = RandomTensor({4, 3}, &rng);
+  const Tensor acc0 = acc;
+  AddMatMulInto(a, b, &acc);
+  // Same chain as the reference: acc starts from the prior destination.
+  Tensor expect = acc0;
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      float s = expect.at(i, j);
+      for (int64_t k = 0; k < 6; ++k) s += a.at(i, k) * b.at(k, j);
+      expect.at(i, j) = s;
+    }
+  }
+  EXPECT_TRUE(acc.BitwiseEquals(expect));
+}
+
+TEST(MatMulIntoTest, TransposeFormsMatchValueForms) {
+  RngStream rng(uint64_t{33});
+  Tensor x = RandomTensor({4, 6}, &rng);
+  Tensor w = RandomTensor({5, 6}, &rng);  // for x @ w^T
+  Tensor out;
+  MatMulTransposeBInto(x, w, &out);
+  EXPECT_TRUE(out.BitwiseEquals(MatMulTransposeB(x, w)));
+
+  Tensor g = RandomTensor({4, 5}, &rng);
+  Tensor ta;
+  MatMulTransposeAInto(g, x, &ta);  // g^T @ x : (5 x 6)
+  EXPECT_TRUE(ta.BitwiseEquals(MatMulTransposeA(g, x)));
+
+  // AddInto variants accumulate on top of the plain result. The doubled
+  // value is only approximately 2x (the accumulation chains round
+  // differently), so compare with a small absolute tolerance.
+  Tensor acc = out;
+  AddMatMulTransposeBInto(x, w, &acc);
+  for (int64_t i = 0; i < acc.size(); ++i) {
+    EXPECT_NEAR(acc[i], out[i] + out[i], 1e-5f);
+  }
+  Tensor tacc = ta;
+  AddMatMulTransposeAInto(g, x, &tacc);
+  for (int64_t i = 0; i < tacc.size(); ++i) {
+    EXPECT_NEAR(tacc[i], ta[i] + ta[i], 1e-5f);
+  }
+}
+
+TEST(SumRowsIntoTest, AddFormAccumulates) {
+  Tensor m({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor acc({3}, {10, 20, 30});
+  AddSumRowsInto(m, &acc);
+  EXPECT_FLOAT_EQ(acc[0], 15);
+  EXPECT_FLOAT_EQ(acc[1], 27);
+  EXPECT_FLOAT_EQ(acc[2], 39);
+}
+
+TEST(HadamardIntoTest, MatchesValueForm) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  Tensor out;
+  HadamardInto(a, b, &out);
+  EXPECT_TRUE(out.BitwiseEquals(Hadamard(a, b)));
+}
+
+TEST(SoftmaxRowsIntoTest, MatchesValueForm) {
+  Tensor logits({2, 3}, {1, 2, 3, -1, 0, 1});
+  Tensor out;
+  SoftmaxRowsInto(logits, &out);
+  EXPECT_TRUE(out.BitwiseEquals(SoftmaxRows(logits)));
+}
+
+// ---- Deterministic-kernel property: blocked GEMM == canonical order ----
+
+// MatMul must be bitwise the canonical fixed-order chain
+// C[i][j] = fl(...fl(fl(a_i0*b_0j) + fl(a_i1*b_1j))... ) regardless of how
+// the blocked kernels tile or vectorise. Shapes cover micro-tile edges.
+TEST(MatMulPropertyTest, BitIdenticalToCanonicalTripleLoop) {
+  RngStream rng(uint64_t{34});
+  const int64_t dims[][3] = {{1, 1, 1},   {3, 5, 2},   {6, 16, 8},
+                             {7, 17, 19}, {12, 33, 7}, {23, 29, 31}};
+  for (const auto& d : dims) {
+    const int64_t m = d[0], n = d[1], k = d[2];
+    Tensor a = RandomTensor({m, k}, &rng);
+    Tensor b = RandomTensor({k, n}, &rng);
+    Tensor got = MatMul(a, b);
+    Tensor expect({m, n});
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += a.at(i, p) * b.at(p, j);
+        expect.at(i, j) = acc;
+      }
+    }
+    EXPECT_TRUE(got.BitwiseEquals(expect))
+        << "m=" << m << " n=" << n << " k=" << k;
+  }
+}
+
+// ---- NaN propagation (regression for removed `aik == 0` skips) ----
+
+TEST(MatMulNaNTest, ZeroTimesNaNReachesOutput) {
+  Tensor a({2, 3});  // all-zero left operand: the old skip short-circuited it
+  Tensor b({3, 2}, {1, 2, 3, 4, 5, 6});
+  b[2] = std::nanf("");
+  Tensor c = MatMul(a, b);
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));
+  EXPECT_TRUE(std::isnan(c.at(1, 0)));
+  EXPECT_FALSE(std::isnan(c.at(0, 1)));
+}
+
+TEST(MatMulNaNTest, TransposeAZeroTimesNaNReachesOutput) {
+  Tensor g({2, 3});  // zeros
+  Tensor x({2, 4}, {1, 2, 3, 4, 5, 6, 7, 8});
+  x[5] = std::nanf("");
+  Tensor c = MatMulTransposeA(g, x);  // (3 x 4)
+  for (int64_t j = 0; j < 3; ++j) {
+    EXPECT_TRUE(std::isnan(c.at(j, 1))) << j;
+    EXPECT_FALSE(std::isnan(c.at(j, 0))) << j;
+  }
 }
 
 }  // namespace

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# CI driver: configure -> build -> ctest -> fats_lint -> clang-tidy ->
-# tsan smoke of the parallel-execution tests.
+# CI driver: configure -> build -> ctest -> fats_lint -> bench smoke ->
+# clang-tidy -> tsan smoke of the parallel-execution tests.
 #
 # Usage:
 #   tools/ci.sh [PRESET]            # default preset: release
@@ -17,13 +17,13 @@ cd "$(dirname "$0")/.."
 PRESET="${1:-release}"
 JOBS="$(nproc 2> /dev/null || echo 2)"
 
-echo "=== [1/6] configure (preset: $PRESET) ==="
+echo "=== [1/7] configure (preset: $PRESET) ==="
 cmake --preset "$PRESET"
 
-echo "=== [2/6] build ==="
+echo "=== [2/7] build ==="
 cmake --build --preset "$PRESET" -j "$JOBS"
 
-echo "=== [3/6] ctest ==="
+echo "=== [3/7] ctest ==="
 ctest --preset "$PRESET" -j "$JOBS"
 
 BUILD_DIR="build-${PRESET}"
@@ -31,10 +31,29 @@ if [[ "$PRESET" == "asan-ubsan" ]]; then
   BUILD_DIR="build-asan"
 fi
 
-echo "=== [4/6] fats_lint ==="
+echo "=== [4/7] fats_lint ==="
 "$BUILD_DIR/tools/fats_lint" --root . --json fats_lint_report.json
 
-echo "=== [5/6] clang-tidy ==="
+echo "=== [5/7] bench smoke ==="
+# Build + run the micro-kernel benchmarks with minimal iterations and diff
+# the timings against the checked-in BENCH_kernels.json via bench_check.
+# Report-only (no --max-regress): CI machines are too noisy to gate on yet.
+if [[ "$PRESET" == "release" ]]; then
+  "$BUILD_DIR/bench/bench_micro_kernels" \
+    --benchmark_min_time=0.01 \
+    --benchmark_out="$BUILD_DIR/BENCH_kernels_current.json" \
+    --benchmark_out_format=json > /dev/null
+  if [[ -f BENCH_kernels.json ]]; then
+    "$BUILD_DIR/tools/bench_check" BENCH_kernels.json \
+      "$BUILD_DIR/BENCH_kernels_current.json"
+  else
+    echo "bench smoke: no BENCH_kernels.json baseline; ran benchmarks only"
+  fi
+else
+  echo "bench smoke: skipped (preset $PRESET; benches run on release only)"
+fi
+
+echo "=== [6/7] clang-tidy ==="
 CHANGED=()
 if [[ -n "${CI_BASE_REF:-}" ]] && git rev-parse --verify -q "$CI_BASE_REF" > /dev/null; then
   while IFS= read -r f; do
@@ -50,7 +69,7 @@ else
   tools/run_clang_tidy.sh -p "$BUILD_DIR"
 fi
 
-echo "=== [6/6] tsan smoke (parallel-execution tests) ==="
+echo "=== [7/7] tsan smoke (parallel-execution tests) ==="
 if [[ "$PRESET" == "tsan" ]]; then
   echo "tsan smoke: preset is already tsan; full suite covered above"
 else

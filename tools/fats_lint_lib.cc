@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <regex>
 #include <set>
 #include <sstream>
+#include <utility>
 
 namespace fats::lint {
 namespace {
@@ -126,6 +128,141 @@ bool LineHasTimeSeed(std::string_view line) {
   return std::regex_search(s, kClock) && std::regex_search(s, kSeedContext);
 }
 
+// Finds the offset just past the ')' matching the '(' at `open`, or npos.
+size_t MatchParen(std::string_view text, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '(') {
+      ++depth;
+    } else if (text[i] == ')') {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return std::string_view::npos;
+}
+
+// Finds the offset just past the '}' matching the '{' at `open`, or npos.
+size_t MatchBrace(std::string_view text, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '{') {
+      ++depth;
+    } else if (text[i] == '}') {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return std::string_view::npos;
+}
+
+// Finds the offset just past the ';' ending the statement starting at `pos`,
+// skipping over nested (...) and {...} groups (so the ';'s inside a nested
+// for-header or compound statement don't terminate early).  Returns npos if
+// the text ends first.
+size_t StatementEnd(std::string_view text, size_t pos) {
+  size_t i = pos;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '(') {
+      i = MatchParen(text, i);
+      if (i == std::string_view::npos) return i;
+    } else if (c == '{') {
+      i = MatchBrace(text, i);
+      if (i == std::string_view::npos) return i;
+    } else if (c == ';') {
+      return i + 1;
+    } else {
+      ++i;
+    }
+  }
+  return std::string_view::npos;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// The extent of the body of a `for` whose keyword starts at `kw` (offset of
+// the 'f').  Returns {begin, end} of the body text (inside the braces for a
+// braced body, the single statement otherwise), or {npos, npos} on parse
+// trouble.
+std::pair<size_t, size_t> ForBodyExtent(std::string_view text, size_t kw) {
+  size_t open = text.find('(', kw);
+  if (open == std::string_view::npos) return {std::string_view::npos, 0};
+  size_t after = MatchParen(text, open);
+  if (after == std::string_view::npos) return {std::string_view::npos, 0};
+  while (after < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[after]))) {
+    ++after;
+  }
+  if (after >= text.size()) return {std::string_view::npos, 0};
+  if (text[after] == '{') {
+    size_t close = MatchBrace(text, after);
+    if (close == std::string_view::npos) return {std::string_view::npos, 0};
+    return {after + 1, close - 1};
+  }
+  size_t end = StatementEnd(text, after);
+  if (end == std::string_view::npos) return {std::string_view::npos, 0};
+  return {after, end};
+}
+
+// Scans a Forward/Backward method body for the hot-alloc violations: Tensor
+// temporaries and raw triple-nested multiply-accumulate loops.  Offsets are
+// absolute into `stripped`; `add` receives (rule-specific message, offset).
+void ScanHotBody(
+    std::string_view stripped, size_t body_begin, size_t body_end,
+    const std::function<void(const std::string&, size_t)>& add) {
+  const std::string_view body = stripped.substr(body_begin, body_end - body_begin);
+
+  // (a) Tensor local temporaries.  `Tensor&` / `const Tensor&` bindings and
+  // `Tensor*` pointers don't match: the regex requires whitespace then an
+  // identifier directly after the type name.
+  static const std::regex kTensorTemp(R"(\bTensor\s+([A-Za-z_]\w*))");
+  const std::string body_str(body);
+  for (auto it = std::sregex_iterator(body_str.begin(), body_str.end(),
+                                      kTensorTemp);
+       it != std::sregex_iterator(); ++it) {
+    add("Tensor temporary '" + it->str(1) +
+            "' constructed in a hot Forward/Backward body: per-step heap "
+            "allocation breaks the allocation-free training-step contract; "
+            "bind a Workspace slot (ws->Get/Peek) or use a "
+            "destination-passing Into op",
+        body_begin + static_cast<size_t>(it->position()));
+  }
+
+  // (b) Triple-nested multiply-accumulate loops.  Walk the body tracking a
+  // stack of enclosing for-loops; a for at nesting depth >= 3 whose body
+  // contains `+= ... * ...` on one statement is a raw matmul.
+  static const std::regex kMac(R"(\+=[^;]*\*)");
+  std::vector<size_t> loop_ends;  // body-relative end offsets of open loops
+  size_t i = 0;
+  while (i < body.size()) {
+    while (!loop_ends.empty() && i >= loop_ends.back()) loop_ends.pop_back();
+    if (body[i] == 'f' && body.compare(i, 3, "for") == 0 &&
+        (i == 0 || !IsIdentChar(body[i - 1])) &&
+        (i + 3 >= body.size() || !IsIdentChar(body[i + 3]))) {
+      auto [lb, le] = ForBodyExtent(body, i);
+      if (lb == std::string_view::npos) {
+        ++i;
+        continue;
+      }
+      loop_ends.push_back(le);
+      if (loop_ends.size() >= 3) {
+        const std::string inner(body.substr(lb, le - lb));
+        if (std::regex_search(inner, kMac)) {
+          add("triple-nested multiply-accumulate loop in a hot "
+              "Forward/Backward body: raw matmuls bypass the deterministic "
+              "blocked kernels; call fats::gemm / the tensor_ops Into "
+              "variants instead",
+              body_begin + i);
+        }
+      }
+      i = lb;  // descend into the loop body to find deeper nestings
+    } else {
+      ++i;
+    }
+  }
+}
+
 // Finds the offset just past the '>' matching the '<' at `open`.
 size_t MatchAngle(std::string_view text, size_t open) {
   int depth = 0;
@@ -147,7 +284,7 @@ size_t MatchAngle(std::string_view text, size_t open) {
 std::vector<std::string> AllRules() {
   return {kRuleBannedRand,   kRuleBannedRandomDevice, kRuleDefaultEngine,
           kRuleTimeSeed,     kRuleRandomInclude,      kRuleUnorderedIteration,
-          kRuleRawThread};
+          kRuleRawThread,    kRuleHotAlloc};
 }
 
 FileClass ClassifyPath(std::string_view path) {
@@ -160,6 +297,7 @@ FileClass ClassifyPath(std::string_view path) {
   std::string norm(path);
   std::replace(norm.begin(), norm.end(), '\\', '/');
   cls.thread_rules = norm.find("util/thread_pool.") == std::string::npos;
+  cls.hot_rules = HasComponent(path, "src/nn");
   return cls;
 }
 
@@ -401,6 +539,32 @@ std::vector<Finding> ScanSource(
         add(kRuleUnorderedIteration,
             LineOfOffset(stripped, static_cast<size_t>(it->position())), msg);
       }
+    }
+  }
+
+  if (cls.hot_rules) {
+    // Forward/Backward *definitions* only: the name must be followed by a
+    // parameter list and then (after qualifiers like const/override) a `{`.
+    // Plain calls end in `;`/operators and are skipped; ForwardDirect /
+    // BackwardDirect never match because `\(` must follow the name directly.
+    static const std::regex kHotDef(R"(\b(?:Forward|Backward)\s*(\())");
+    auto begin = std::sregex_iterator(stripped.begin(), stripped.end(), kHotDef);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      const size_t open = static_cast<size_t>(it->position(1));
+      size_t j = MatchParen(stripped, open);
+      if (j == std::string_view::npos) continue;
+      while (j < stripped.size() &&
+             (std::isspace(static_cast<unsigned char>(stripped[j])) ||
+              IsIdentChar(stripped[j]))) {
+        ++j;  // whitespace and trailing qualifiers (const, override, ...)
+      }
+      if (j >= stripped.size() || stripped[j] != '{') continue;
+      const size_t body_end = MatchBrace(stripped, j);
+      if (body_end == std::string_view::npos) continue;
+      ScanHotBody(stripped, j + 1, body_end - 1,
+                  [&](const std::string& msg, size_t offset) {
+                    add(kRuleHotAlloc, LineOfOffset(stripped, offset), msg);
+                  });
     }
   }
 

@@ -27,6 +27,17 @@
 //                         deterministic-parallelism contract (pre-drawn
 //                         substreams + ordered reduction); use
 //                         fats::ThreadPool.
+//   hot-alloc             in src/nn/, inside the body of a Forward(...) or
+//                         Backward(...) definition (the per-step hot path):
+//                         (a) a Tensor local temporary -- per-step heap
+//                         allocation; use a Workspace slot or an Into-style
+//                         destination-passing op instead -- or (b) a
+//                         triple-nested multiply-accumulate for-loop, i.e. a
+//                         raw matmul that bypasses the deterministic blocked
+//                         kernels in tensor/gemm.h.  Methods whose name
+//                         merely contains Forward/Backward (ForwardDirect,
+//                         BackwardDirect -- the retained reference paths)
+//                         are exempt.
 //
 // Suppression: append `// fats-lint: allow(<rule>)` (comma-separated list,
 // or `all`) on the offending line or the line directly above it.  Suppressed
@@ -54,6 +65,7 @@ inline constexpr const char kRuleTimeSeed[] = "time-seed";
 inline constexpr const char kRuleRandomInclude[] = "random-include";
 inline constexpr const char kRuleUnorderedIteration[] = "unordered-iteration";
 inline constexpr const char kRuleRawThread[] = "raw-thread";
+inline constexpr const char kRuleHotAlloc[] = "hot-alloc";
 
 // All rule IDs, for --list-rules and for validating allow(...) directives.
 std::vector<std::string> AllRules();
@@ -77,6 +89,10 @@ struct FileClass {
   // raw-thread.  Off only for the src/util/thread_pool.{h,cc} module, the
   // one place allowed to create threads.
   bool thread_rules = true;
+  // hot-alloc.  On only for src/nn/, where Forward/Backward bodies are the
+  // per-training-step hot path covered by the allocation-free contract
+  // (DESIGN.md section 7.2).
+  bool hot_rules = false;
 };
 
 // Classifies a repo-relative path ("src/core/fats_trainer.cc").  Absolute
