@@ -48,6 +48,14 @@ Result<UnlearningOutcome> ClientUnlearner::UnlearnBatch(
     }
   }
 
+  // Bracket all trainer-state mutation as one atomic operation for the
+  // durable journal (see SampleUnlearner); only a crash skips the End.
+  trainer_->NotifyUnlearnBegin();
+  struct OpGuard {
+    FatsTrainer* trainer;
+    ~OpGuard() { trainer->NotifyUnlearnEnd(); }
+  } op_guard{trainer_};
+
   for (int64_t target : targets) {
     FATS_RETURN_NOT_OK(trainer_->data()->RemoveClient(target));
   }
@@ -65,7 +73,7 @@ Result<UnlearningOutcome> ClientUnlearner::UnlearnBatch(
   // re-run inherits the trainer's parallel client runner (config
   // num_threads), which is bit-identical to the serial schedule.
   const int64_t t_restart = (r_actual - 1) * e + 1;
-  trainer_->store().TruncateFromIteration(t_restart, e);
+  trainer_->TruncateStoreFromIteration(t_restart);
   trainer_->BumpGeneration();
   trainer_->set_recomputation_mode(true);
   trainer_->Run(t_restart, t_max);

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace fats {
@@ -57,6 +59,17 @@ Status FatsConfig::Validate() const {
   }
   if (num_threads < 1) {
     return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  if (dropout_rate < 0.0 || dropout_rate >= 1.0) {
+    return Status::InvalidArgument("dropout_rate must be in [0, 1)");
+  }
+  if (dropout_max_retries < 1) {
+    return Status::InvalidArgument("dropout_max_retries must be >= 1");
+  }
+  if (!fault_spec.empty()) {
+    Result<std::vector<failpoint::Spec>> specs =
+        failpoint::ParseSpecList(fault_spec);
+    if (!specs.ok()) return specs.status();
   }
   const int64_t k = DeriveK();
   const int64_t b = DeriveB();

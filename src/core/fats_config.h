@@ -43,6 +43,24 @@ struct FatsConfig {
   /// checkpoint format or any algorithmic state.
   int64_t num_threads = 1;
 
+  /// Probability a client execution attempt is dropped (simulated client
+  /// unavailability, in [0, 1); 0 disables dropout). Dropped attempts are
+  /// retried deterministically from the same stream key, so the trained
+  /// model, selections, and mini-batches are bit-identical to dropout_rate
+  /// = 0 — only communication accounting changes (see fl/availability.h).
+  double dropout_rate = 0.0;
+  /// Attempts after which a dropped execution is forced through.
+  int64_t dropout_max_retries = 8;
+  /// Seed of the availability schedule, separate from `seed` so fault
+  /// schedules can vary under pinned training randomness.
+  uint64_t availability_seed = 0;
+
+  /// Failpoint arming spec (`site:hit_count:action[,...]`, see
+  /// util/failpoint.h), applied when a trainer is constructed with this
+  /// config. Empty disables. Like num_threads, this is an execution knob:
+  /// it does not enter the checkpoint format or any algorithmic state.
+  std::string fault_spec;
+
   int64_t total_iters_t() const { return rounds_r * local_iters_e; }
 
   /// K = ρ_C·E·M/T, rounded to the nearest integer >= 1.

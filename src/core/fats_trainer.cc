@@ -4,6 +4,7 @@
 
 #include "fl/client.h"
 #include "fl/server.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace fats {
@@ -17,10 +18,17 @@ FatsTrainer::FatsTrainer(const ModelSpec& spec, const FatsConfig& config,
       test_batch_(data->global_test().AsBatch()),
       k_(config.DeriveK()),
       b_(config.DeriveB()),
+      availability_(AvailabilityConfig{config.dropout_rate,
+                                       config.availability_seed,
+                                       config.dropout_max_retries}),
       runner_(spec, config.seed, config.num_threads) {
   FATS_CHECK_OK(config_.Validate());
   FATS_CHECK_EQ(data_->num_clients(), config_.clients_m)
       << "dataset does not match config M";
+  failpoint::ArmFromEnvOnce();
+  if (!config_.fault_spec.empty()) {
+    FATS_CHECK_OK(failpoint::ArmFromSpec(config_.fault_spec));
+  }
   initial_params_ = model_->GetParameters();
 }
 
@@ -48,6 +56,7 @@ void FatsTrainer::Train() { TrainUntil(config_.total_iters_t()); }
 void FatsTrainer::TrainUntil(int64_t t_end) {
   if (trained_through_ == 0) {
     store_.SaveGlobalModel(0, initial_params_);
+    if (sink_ != nullptr) sink_->OnGlobalModel(0, initial_params_);
     model_->SetParameters(initial_params_);
   }
   FATS_CHECK_GE(t_end, trained_through_) << "cannot train backwards";
@@ -87,8 +96,13 @@ void FatsTrainer::Run(int64_t t0, int64_t t_end) {
     }
   }
 
-  double loss_sum = 0.0;
-  int64_t loss_count = 0;
+  // Consume-once recovery seed: resuming a pass mid-round must restore the
+  // interrupted round's partial loss accumulator (a round-start entry point
+  // resets it below anyway).
+  double loss_sum = resume_loss_sum_;
+  int64_t loss_count = resume_loss_count_;
+  resume_loss_sum_ = 0.0;
+  resume_loss_count_ = 0;
   for (int64_t t = t0; t <= t_max; ++t) {
     const int64_t r = (t - 1) / e + 1;
     if (t == (r - 1) * e + 1) {
@@ -102,6 +116,8 @@ void FatsTrainer::Run(int64_t t0, int64_t t_end) {
       selection =
           ServerRuntime::SampleClientsWithReplacement(*data_, k_, &sel_stream);
       store_.SaveClientSelection(r, selection);
+      if (sink_ != nullptr) sink_->OnClientSelection(r, selection);
+      FATS_FAILPOINT("trainer.round.start");
 
       const Tensor* global = store_.GetGlobalModel(r - 1);
       FATS_CHECK(global != nullptr)
@@ -129,6 +145,7 @@ void FatsTrainer::Run(int64_t t0, int64_t t_end) {
     std::vector<LocalStep> steps(n_part);
     std::vector<uint64_t> stream_keys(n_part);
     std::vector<int64_t> batch_sizes(n_part);
+    std::vector<int64_t> dropped(n_part, 0);
     std::vector<const Tensor*> start_params(n_part);
     for (size_t i = 0; i < n_part; ++i) {
       const int64_t client = participants[i];
@@ -143,29 +160,45 @@ void FatsTrainer::Run(int64_t t0, int64_t t_end) {
           std::min<int64_t>(b_, data_->num_active_samples(client));
       FATS_CHECK_GT(batch_sizes[i], 0)
           << "client " << client << " has no active samples";
+      if (availability_.enabled()) {
+        dropped[i] = availability_.DroppedAttempts(r, t, client);
+      }
       start_params[i] = &local_params.at(client);
     }
     runner_.ForEachClient(
         static_cast<int64_t>(n_part), [&](int64_t i, Model* m) {
           const size_t s = static_cast<size_t>(i);
           const int64_t client = participants[s];
-          m->SetParameters(*start_params[s]);
-          RngStream batch_stream(stream_keys[s]);
-          ClientRuntime runtime(data_, m);
-          steps[s].batch =
-              runtime.SampleMinibatch(client, batch_sizes[s], &batch_stream);
-          steps[s].loss =
-              runtime.Step(client, steps[s].batch, config_.learning_rate);
-          steps[s].params = m->GetParameters();
+          // A dropped attempt discards the client's work; the retry
+          // re-executes the whole local step from the same frozen stream
+          // key, so the surviving attempt's draws and model bits are
+          // identical to a first-try success.
+          for (int64_t attempt = 0; attempt <= dropped[s]; ++attempt) {
+            m->SetParameters(*start_params[s]);
+            RngStream batch_stream(stream_keys[s]);
+            ClientRuntime runtime(data_, m);
+            steps[s].batch =
+                runtime.SampleMinibatch(client, batch_sizes[s], &batch_stream);
+            steps[s].loss =
+                runtime.Step(client, steps[s].batch, config_.learning_rate);
+            steps[s].params = m->GetParameters();
+          }
         });
     for (size_t i = 0; i < n_part; ++i) {
       const int64_t client = participants[i];
+      if (dropped[i] > 0) {
+        // Each retry re-broadcasts the round's start model to the client.
+        comm_stats_.RecordBroadcast(dropped[i], model_params);
+        dropout_retries_ += dropped[i];
+      }
+      if (sink_ != nullptr) sink_->OnMinibatch(t, client, steps[i].batch);
       store_.SaveMinibatch(t, client, std::move(steps[i].batch));
       loss_sum += steps[i].loss;
       ++loss_count;
       ++local_iterations_executed_;
       local_params[client] = std::move(steps[i].params);
       store_.SaveLocalModel(t, client, local_params[client]);
+      if (sink_ != nullptr) sink_->OnLocalModel(t, client, local_params[client]);
     }
 
     if (t % e == 0) {
@@ -179,6 +212,7 @@ void FatsTrainer::Run(int64_t t0, int64_t t_end) {
       comm_stats_.RecordUpload(k_, model_params);
       comm_stats_.RecordRound();
       model_->SetParameters(aggregate);
+      if (sink_ != nullptr) sink_->OnGlobalModel(r, aggregate);
 
       RoundRecord record;
       record.round = r;
@@ -187,7 +221,12 @@ void FatsTrainer::Run(int64_t t0, int64_t t_end) {
           loss_count > 0 ? loss_sum / static_cast<double>(loss_count) : 0.0;
       record.recomputation = recomputation_mode_;
       log_.Append(record);
+      if (sink_ != nullptr) sink_->OnRoundRecord(record);
+      FATS_FAILPOINT("trainer.round.end");
     }
+    FATS_FAILPOINT("trainer.iter.commit");
+    NotifyIterationComplete(t, t_max, TrainPassKind::kRun, loss_sum,
+                            loss_count);
   }
   trained_through_ = std::max(trained_through_, t_max);
   // Leave the model holding the latest completed round's global parameters.
@@ -224,8 +263,11 @@ void FatsTrainer::ReplayFrom(int64_t t0, int64_t t_end) {
     }
   }
 
-  double loss_sum = 0.0;
-  int64_t loss_count = 0;
+  // Consume-once recovery seed, mirroring Run (see comment there).
+  double loss_sum = resume_loss_sum_;
+  int64_t loss_count = resume_loss_count_;
+  resume_loss_sum_ = 0.0;
+  resume_loss_count_ = 0;
   for (int64_t t = t0; t <= t_max; ++t) {
     const int64_t r = (t - 1) / e + 1;
     if (t == (r - 1) * e + 1) {
@@ -278,6 +320,7 @@ void FatsTrainer::ReplayFrom(int64_t t0, int64_t t_end) {
       ++local_iterations_executed_;
       local_params[client] = std::move(steps[i].params);
       store_.SaveLocalModel(t, client, local_params[client]);
+      if (sink_ != nullptr) sink_->OnLocalModel(t, client, local_params[client]);
     }
 
     if (t % e == 0) {
@@ -290,6 +333,7 @@ void FatsTrainer::ReplayFrom(int64_t t0, int64_t t_end) {
       comm_stats_.RecordUpload(k_, model_params);
       comm_stats_.RecordRound();
       model_->SetParameters(aggregate);
+      if (sink_ != nullptr) sink_->OnGlobalModel(r, aggregate);
 
       RoundRecord record;
       record.round = r;
@@ -298,11 +342,36 @@ void FatsTrainer::ReplayFrom(int64_t t0, int64_t t_end) {
           loss_count > 0 ? loss_sum / static_cast<double>(loss_count) : 0.0;
       record.recomputation = recomputation_mode_;
       log_.Append(record);
+      if (sink_ != nullptr) sink_->OnRoundRecord(record);
+      FATS_FAILPOINT("trainer.round.end");
     }
+    FATS_FAILPOINT("trainer.iter.commit");
+    NotifyIterationComplete(t, t_max, TrainPassKind::kReplay, loss_sum,
+                            loss_count);
   }
   trained_through_ = std::max(trained_through_, t_max);
   const Tensor* final_global = store_.GetGlobalModel(t_max / e);
   if (final_global != nullptr) model_->SetParameters(*final_global);
+}
+
+void FatsTrainer::NotifyIterationComplete(int64_t t, int64_t t_end,
+                                          TrainPassKind pass, double loss_sum,
+                                          int64_t loss_count) {
+  if (sink_ == nullptr) return;
+  IterationMark mark;
+  mark.iteration = t;
+  mark.pass_end = t_end;
+  mark.trained_through = std::max(trained_through_, t);
+  mark.generation = generation_;
+  mark.pass = pass;
+  mark.recomputation = recomputation_mode_;
+  mark.comm_rounds = comm_stats_.rounds();
+  mark.comm_uplink_bytes = comm_stats_.uplink_bytes();
+  mark.comm_downlink_bytes = comm_stats_.downlink_bytes();
+  mark.comm_messages = comm_stats_.messages();
+  mark.round_loss_sum = loss_sum;
+  mark.round_loss_count = loss_count;
+  sink_->OnIterationComplete(mark);
 }
 
 double FatsTrainer::EvaluateTestAccuracy() {

@@ -29,9 +29,11 @@
 
 #include "core/fats_config.h"
 #include "data/federated_dataset.h"
+#include "fl/availability.h"
 #include "fl/comm_stats.h"
 #include "fl/parallel_clients.h"
 #include "fl/state_store.h"
+#include "fl/train_events.h"
 #include "fl/train_log.h"
 #include "nn/model_zoo.h"
 
@@ -100,8 +102,45 @@ class FatsTrainer {
   int64_t b() const { return b_; }
 
   /// Makes all subsequently drawn streams independent of earlier ones.
-  void BumpGeneration() { ++generation_; }
+  void BumpGeneration() {
+    ++generation_;
+    if (sink_ != nullptr) sink_->OnGenerationBump(generation_);
+  }
   uint64_t generation() const { return generation_; }
+
+  /// Attaches an observer of every durable state transition (the journaled
+  /// session). Borrowed; pass nullptr to detach. The sink sees events after
+  /// the in-memory mutation, in commit order, on the calling thread.
+  void set_event_sink(TrainEventSink* sink) { sink_ = sink; }
+  TrainEventSink* event_sink() { return sink_; }
+
+  /// Truncates the store from `from_iter` onward (client-level unlearning),
+  /// notifying the event sink. Unlearners must use this instead of mutating
+  /// store() directly so the durable record stays consistent.
+  void TruncateStoreFromIteration(int64_t from_iter) {
+    store_.TruncateFromIteration(from_iter, config_.local_iters_e);
+    if (sink_ != nullptr) sink_->OnTruncate(from_iter);
+  }
+
+  /// Replaces the stored mini-batch for (t, client) (sample-level
+  /// unlearning's substitution step), notifying the event sink.
+  void SubstituteMinibatch(int64_t t, int64_t client,
+                           std::vector<int64_t> indices) {
+    if (sink_ != nullptr) sink_->OnMinibatch(t, client, indices);
+    store_.SaveMinibatch(t, client, std::move(indices));
+  }
+
+  /// Unlearning-operation brackets, forwarded to the sink. Everything
+  /// between Begin and End is atomic under crash recovery.
+  void NotifyUnlearnBegin() {
+    if (sink_ != nullptr) sink_->OnUnlearnBegin();
+  }
+  void NotifyUnlearnEnd() {
+    if (sink_ != nullptr) sink_->OnUnlearnEnd();
+  }
+
+  /// Dropped client executions retried so far (see fl/availability.h).
+  int64_t dropout_retries() const { return dropout_retries_; }
 
   // Checkpoint-restore support (see io/checkpoint.h). These overwrite the
   // trainer's progress markers; use only when restoring a saved state whose
@@ -110,6 +149,14 @@ class FatsTrainer {
   void set_trained_through(int64_t t) { trained_through_ = t; }
   /// Rounds executed while this flag is set are marked in the log.
   void set_recomputation_mode(bool on) { recomputation_mode_ = on; }
+  /// Seeds the round-loss accumulator for the next Run/ReplayFrom entry
+  /// (consumed once, then reset). Used by crash recovery when resuming a
+  /// pass mid-round so the re-executed round's mean_local_loss still
+  /// includes the iterations committed before the crash.
+  void SeedRoundLossAccumulator(double sum, int64_t count) {
+    resume_loss_sum_ = sum;
+    resume_loss_count_ = count;
+  }
 
   /// Total local SGD iterations executed across all runs (compute cost).
   int64_t local_iterations_executed() const {
@@ -122,6 +169,10 @@ class FatsTrainer {
   ParallelClientRunner* client_runner() { return &runner_; }
 
  private:
+  /// Emits the iteration-commit mark for iteration `t` to the sink, if any.
+  void NotifyIterationComplete(int64_t t, int64_t t_end, TrainPassKind pass,
+                               double loss_sum, int64_t loss_count);
+
   /// Unique clients of the multiset, preserving first-occurrence order
   /// (the output order drives the reduction order, so it is part of the
   /// determinism contract).
@@ -140,6 +191,13 @@ class FatsTrainer {
   bool recomputation_mode_ = false;
   int64_t local_iterations_executed_ = 0;
   int64_t trained_through_ = 0;
+  int64_t dropout_retries_ = 0;
+  // One-shot round-loss accumulator seed, set by SeedRoundLossAccumulator
+  // and consumed at the next Run/ReplayFrom entry.
+  double resume_loss_sum_ = 0.0;
+  int64_t resume_loss_count_ = 0;
+  TrainEventSink* sink_ = nullptr;
+  AvailabilitySchedule availability_;
   ParallelClientRunner runner_;
   StateStore store_;
   TrainLog log_;

@@ -50,6 +50,16 @@ Result<UnlearningOutcome> SampleUnlearner::UnlearnBatch(
     }
   }
 
+  // Everything past this point mutates trainer state; bracket it as one
+  // atomic operation for the durable journal. Only a process crash skips
+  // the End (std::_Exit skips destructors), so recovery rolls back exactly
+  // the operations a crash interrupted.
+  trainer_->NotifyUnlearnBegin();
+  struct OpGuard {
+    FatsTrainer* trainer;
+    ~OpGuard() { trainer->NotifyUnlearnEnd(); }
+  } op_guard{trainer_};
+
   // The data holders erase the samples regardless of participation.
   std::map<int64_t, std::set<int64_t>> removed_by_client;
   for (const SampleRef& target : targets) {
@@ -89,7 +99,7 @@ Result<UnlearningOutcome> SampleUnlearner::UnlearnBatch(
           trainer_->b(), trainer_->data()->num_active_samples(client));
       FATS_CHECK_GT(batch_size, 0)
           << "client " << client << " has no active samples left";
-      trainer_->store().SaveMinibatch(
+      trainer_->SubstituteMinibatch(
           t, client, runtime.SampleMinibatch(client, batch_size, &stream));
       t_first_substituted = (t_first_substituted == -1)
                                 ? t

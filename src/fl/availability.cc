@@ -1,0 +1,31 @@
+#include "fl/availability.h"
+
+#include "rng/rng_stream.h"
+
+namespace fats {
+
+bool AvailabilitySchedule::Available(int64_t round, int64_t iteration,
+                                     int64_t client, int64_t attempt) const {
+  if (!enabled()) return true;
+  if (attempt >= config_.max_retries) return true;
+  StreamId id;
+  id.purpose = RngPurpose::kAvailability;
+  // The attempt rides in the generation field: each retry gets its own
+  // stream, and none of them collides with a training stream (different
+  // purpose).
+  id.generation = static_cast<uint64_t>(attempt);
+  id.round = static_cast<uint64_t>(round);
+  id.client = static_cast<uint64_t>(client);
+  id.iteration = static_cast<uint64_t>(iteration);
+  RngStream stream(config_.seed, id);
+  return !stream.NextBernoulli(config_.dropout_rate);
+}
+
+int64_t AvailabilitySchedule::DroppedAttempts(int64_t round, int64_t iteration,
+                                              int64_t client) const {
+  int64_t attempt = 0;
+  while (!Available(round, iteration, client, attempt)) ++attempt;
+  return attempt;
+}
+
+}  // namespace fats

@@ -1,0 +1,64 @@
+// Seeded, replayable client-availability schedule for dropout simulation.
+//
+// Real federated deployments lose clients mid-round. FATS's exactness
+// contract (the recorded ν(M,K) selection law and ξ(N,b) mini-batch draws)
+// must survive that, so dropout is modeled as a *schedule* — a pure function
+// of (availability_seed, round, iteration, client, attempt) — entirely
+// separate from the training randomness:
+//
+//   * Availability draws use RngPurpose::kAvailability, so arming dropout
+//     changes no client-selection or mini-batch stream.
+//   * A dropped execution is retried by re-running the client's local step
+//     from the same frozen stream key; Philox streams are pure functions of
+//     their keys, so the retry reproduces the identical mini-batch and model
+//     bits. Retries cost communication (re-broadcasts), never randomness.
+//   * After `max_retries` failed attempts the execution is forced through
+//     (the schedule reports the client available), bounding retry work and
+//     guaranteeing the round completes with the full recorded selection.
+//
+// DroppedAttempts(...) is the number of failed attempts before the first
+// available one — the retry count the trainer will incur.
+
+#ifndef FATS_FL_AVAILABILITY_H_
+#define FATS_FL_AVAILABILITY_H_
+
+#include <cstdint>
+
+namespace fats {
+
+struct AvailabilityConfig {
+  /// Probability a client execution attempt is dropped, in [0, 1).
+  /// 0 disables the schedule entirely.
+  double dropout_rate = 0.0;
+  /// Root seed of the availability streams (independent of the training
+  /// seed so fault schedules can vary while training randomness is pinned).
+  uint64_t seed = 0;
+  /// Attempts after which an execution is forced through.
+  int64_t max_retries = 8;
+};
+
+class AvailabilitySchedule {
+ public:
+  explicit AvailabilitySchedule(const AvailabilityConfig& config)
+      : config_(config) {}
+
+  bool enabled() const { return config_.dropout_rate > 0.0; }
+  int64_t max_retries() const { return config_.max_retries; }
+
+  /// Whether `client`'s execution of iteration `iteration` in `round`
+  /// succeeds on attempt `attempt` (0-based). Deterministic; attempts at or
+  /// past max_retries always succeed.
+  bool Available(int64_t round, int64_t iteration, int64_t client,
+                 int64_t attempt) const;
+
+  /// Failed attempts before the first available one, in [0, max_retries].
+  int64_t DroppedAttempts(int64_t round, int64_t iteration,
+                          int64_t client) const;
+
+ private:
+  AvailabilityConfig config_;
+};
+
+}  // namespace fats
+
+#endif  // FATS_FL_AVAILABILITY_H_

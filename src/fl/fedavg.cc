@@ -2,6 +2,7 @@
 
 #include "fl/client.h"
 #include "fl/server.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace fats {
@@ -109,6 +110,7 @@ void FedAvgTrainer::RunRounds(int64_t num_rounds) {
         loss_count > 0 ? loss_sum / static_cast<double>(loss_count) : 0.0;
     record.recomputation = recomputation_mode_;
     log_.Append(record);
+    FATS_FAILPOINT("fedavg.round.end");
   }
 }
 

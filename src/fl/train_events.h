@@ -1,0 +1,88 @@
+// Observation interface for durable training state.
+//
+// FatsTrainer emits an event at every state transition the exactness
+// contract cares about — the save(·) calls of Algorithm 1, iteration
+// commits, store truncations, generation bumps, and unlearning-operation
+// brackets. A TrainEventSink (the journaled session in io/train_journal.h)
+// turns those events into durable records; a trainer with no sink attached
+// behaves exactly as before.
+//
+// The sink sees events *after* the in-memory StateStore mutation they
+// describe, in commit order, on the main thread.
+
+#ifndef FATS_FL_TRAIN_EVENTS_H_
+#define FATS_FL_TRAIN_EVENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fl/train_log.h"
+#include "tensor/tensor.h"
+
+namespace fats {
+
+/// Which trainer entry point a pass runs under. Recovery must resume an
+/// interrupted pass through the same entry point: Run redraws sampling from
+/// streams, ReplayFrom consumes the stored history.
+enum class TrainPassKind : uint8_t {
+  kRun = 0,
+  kReplay = 1,
+};
+
+/// Snapshot of trainer progress at an iteration commit. This is the
+/// journal's commit point: a crash after the mark is durable costs nothing,
+/// a crash before it re-executes the iteration (bit-identically, because
+/// every draw is a pure function of its stream key).
+struct IterationMark {
+  int64_t iteration = 0;       // t just committed
+  int64_t pass_end = 0;        // t_end of the enclosing Run/ReplayFrom
+  int64_t trained_through = 0; // trainer progress marker after this commit
+  uint64_t generation = 0;
+  TrainPassKind pass = TrainPassKind::kRun;
+  bool recomputation = false;
+  // Comm counters after this commit (CommStats snapshot), so a recovered
+  // session's accounting matches the uninterrupted run.
+  int64_t comm_rounds = 0;
+  int64_t comm_uplink_bytes = 0;
+  int64_t comm_downlink_bytes = 0;
+  int64_t comm_messages = 0;
+  // Running round-loss accumulator after this commit. A mid-round resume
+  // must seed these back into the trainer or the re-executed round's
+  // mean_local_loss would forget the pre-crash iterations.
+  double round_loss_sum = 0.0;
+  int64_t round_loss_count = 0;
+};
+
+class TrainEventSink {
+ public:
+  virtual ~TrainEventSink() = default;
+
+  /// P^(r) saved for round r.
+  virtual void OnClientSelection(int64_t round,
+                                 const std::vector<int64_t>& selection) = 0;
+  /// B_k^(t) saved (drawn by Run or substituted by sample unlearning).
+  virtual void OnMinibatch(int64_t iteration, int64_t client,
+                           const std::vector<int64_t>& indices) = 0;
+  /// θ_k^(t) saved.
+  virtual void OnLocalModel(int64_t iteration, int64_t client,
+                            const Tensor& params) = 0;
+  /// θ^(r) saved (round 0 is the initial model).
+  virtual void OnGlobalModel(int64_t round, const Tensor& params) = 0;
+  /// Round summary appended to the TrainLog.
+  virtual void OnRoundRecord(const RoundRecord& record) = 0;
+  /// Iteration t fully committed (store + log + comm stats updated).
+  virtual void OnIterationComplete(const IterationMark& mark) = 0;
+  /// Store truncated from `from_iteration` onward (client-level unlearning).
+  virtual void OnTruncate(int64_t from_iteration) = 0;
+  /// Stream generation bumped; all later draws use the new value.
+  virtual void OnGenerationBump(uint64_t generation) = 0;
+  /// An unlearning operation started mutating trainer state. Everything
+  /// between Begin and End is atomic under recovery: a crash inside the
+  /// bracket rolls the whole operation back.
+  virtual void OnUnlearnBegin() = 0;
+  virtual void OnUnlearnEnd() = 0;
+};
+
+}  // namespace fats
+
+#endif  // FATS_FL_TRAIN_EVENTS_H_

@@ -1,5 +1,6 @@
 #include "fl/train_log.h"
 
+#include "util/csv_writer.h"
 #include "util/string_util.h"
 
 namespace fats {
@@ -30,6 +31,20 @@ std::string TrainLog::ToCsv() const {
                      r.recomputation ? 1 : 0);
   }
   return out;
+}
+
+Status TrainLog::WriteCsvFile(const std::string& path) const {
+  CsvWriter writer(path);
+  FATS_RETURN_NOT_OK(writer.status());
+  writer.WriteHeader(
+      {"round", "test_accuracy", "mean_local_loss", "recomputation"});
+  for (const RoundRecord& r : records_) {
+    writer.WriteRow({StrFormat("%lld", (long long)r.round),
+                     StrFormat("%.6f", r.test_accuracy),
+                     StrFormat("%.6f", r.mean_local_loss),
+                     r.recomputation ? "1" : "0"});
+  }
+  return writer.Finish();
 }
 
 }  // namespace fats

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.h"
+
 namespace fats {
 
 struct RoundRecord {
@@ -39,6 +41,10 @@ class TrainLog {
   int64_t RoundsToReach(double target, size_t from_index) const;
 
   std::string ToCsv() const;
+
+  /// Writes the CSV rendering to `path`, propagating write/flush failures
+  /// (a full disk surfaces as kIoError, not a silently truncated file).
+  Status WriteCsvFile(const std::string& path) const;
 
  private:
   std::vector<RoundRecord> records_;

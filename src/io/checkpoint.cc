@@ -3,15 +3,19 @@
 #include <cmath>
 #include <cstdio>
 
+#include "io/journal.h"
+#include "util/failpoint.h"
+
 namespace fats {
 
 namespace {
 
 constexpr char kMagic[] = "FATSCKPT";
 // Version 2 appends kFooter so a write torn at a record boundary (which
-// would otherwise parse cleanly) is detected on load.
+// would otherwise parse cleanly) is detected on load. Version 3 adds the
+// journal epoch after the config echo.
 constexpr char kFooter[] = "FATSEND.";
-constexpr uint32_t kVersion = 2;
+constexpr uint32_t kVersion = 3;
 
 // Upper bound on the element count of any single checkpointed tensor.
 // Shapes whose volume exceeds it (or overflows int64_t) are corrupt: the
@@ -80,12 +84,15 @@ Result<Tensor> ReadTensor(BinaryReader* reader) {
 
 namespace {
 
-Status WriteCheckpointFile(FatsTrainer* trainer, const std::string& path) {
+Status WriteCheckpointFile(FatsTrainer* trainer, const std::string& path,
+                           uint64_t journal_epoch) {
   BinaryWriter writer(path);
   FATS_RETURN_NOT_OK(writer.status());
+  FATS_FAILPOINT_STATUS("checkpoint.write.body");
   writer.WriteString(kMagic);
   writer.WriteU32(kVersion);
   WriteConfig(trainer->config(), &writer);
+  writer.WriteU64(journal_epoch);
 
   // Progress markers and the deployed model.
   writer.WriteU64(trainer->generation());
@@ -141,16 +148,19 @@ Status WriteCheckpointFile(FatsTrainer* trainer, const std::string& path) {
 
 }  // namespace
 
-Status SaveTrainerCheckpoint(FatsTrainer* trainer, const std::string& path) {
+Status SaveTrainerCheckpoint(FatsTrainer* trainer, const std::string& path,
+                             uint64_t journal_epoch) {
   // Write to a sibling temp file and rename into place, so a crash or a
   // full disk mid-save never leaves a torn file at `path` (the previous
   // checkpoint, if any, survives intact).
   const std::string tmp_path = path + ".tmp";
-  Status written = WriteCheckpointFile(trainer, tmp_path);
+  Status written = WriteCheckpointFile(trainer, tmp_path, journal_epoch);
   if (!written.ok()) {
     std::remove(tmp_path.c_str());
     return written;
   }
+  // Crash here strands the `.tmp`; the loader sweeps it.
+  FATS_FAILPOINT("checkpoint.rename");
   if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
     std::remove(tmp_path.c_str());
     return Status::IoError("failed to rename checkpoint into place: " + path);
@@ -158,7 +168,12 @@ Status SaveTrainerCheckpoint(FatsTrainer* trainer, const std::string& path) {
   return Status::OK();
 }
 
-Status LoadTrainerCheckpoint(const std::string& path, FatsTrainer* trainer) {
+Status LoadTrainerCheckpoint(const std::string& path, FatsTrainer* trainer,
+                             uint64_t* journal_epoch) {
+  // A crash between tmp-write and rename leaves an orphan `<path>.tmp`
+  // containing a possibly-torn checkpoint; it is never valid input, so
+  // remove it rather than leak it.
+  SweepOrphanTmp(path);
   BinaryReader reader(path);
   FATS_RETURN_NOT_OK(reader.status());
   FATS_ASSIGN_OR_RETURN(std::string magic, reader.ReadString());
@@ -175,6 +190,7 @@ Status LoadTrainerCheckpoint(const std::string& path, FatsTrainer* trainer) {
         "checkpoint config does not match the trainer's: " +
         stored_config.ToString());
   }
+  FATS_ASSIGN_OR_RETURN(uint64_t stored_epoch, reader.ReadU64());
 
   // Parse everything into staging storage first; the trainer is mutated
   // only after the whole file has validated, so a corrupt checkpoint never
@@ -282,6 +298,7 @@ Status LoadTrainerCheckpoint(const std::string& path, FatsTrainer* trainer) {
   trainer->set_generation(generation);
   trainer->set_trained_through(trained_through);
   trainer->model()->SetParameters(params);
+  if (journal_epoch != nullptr) *journal_epoch = stored_epoch;
   return Status::OK();
 }
 

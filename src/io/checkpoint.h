@@ -8,11 +8,16 @@
 // same FederatedDataset (same profile + seed + prior deletions) and build
 // the trainer with the same spec/config before calling Load.
 //
-// Format (version 2): "FATSCKPT" magic, u32 version, config echo
-// (validated on load), then model parameters, store records, counters, the
-// round log, and a trailing "FATSEND." footer. The footer lets the loader
-// reject writes torn at a record boundary, which the length-prefixed
-// records alone cannot detect.
+// Format (version 3): "FATSCKPT" magic, u32 version, config echo
+// (validated on load), u64 journal epoch, then model parameters, store
+// records, counters, the round log, and a trailing "FATSEND." footer. The
+// footer lets the loader reject writes torn at a record boundary, which the
+// length-prefixed records alone cannot detect.
+//
+// The journal epoch ties the checkpoint to its journal segment (see
+// io/train_journal.h): a segment whose kBegin epoch is older than the
+// checkpoint's is stale and is ignored on recovery. Standalone checkpoints
+// use epoch 0.
 
 #ifndef FATS_IO_CHECKPOINT_H_
 #define FATS_IO_CHECKPOINT_H_
@@ -34,13 +39,19 @@ Result<Tensor> ReadTensor(BinaryReader* reader);
 /// `<path>.tmp` file which is renamed into place only after a successful
 /// flush, so a crash or I/O error mid-save never clobbers an existing
 /// checkpoint with a torn file; on failure the temp file is removed.
-Status SaveTrainerCheckpoint(FatsTrainer* trainer, const std::string& path);
+/// `journal_epoch` stamps the checkpoint for journal recovery (0 when the
+/// checkpoint is not paired with a journal).
+Status SaveTrainerCheckpoint(FatsTrainer* trainer, const std::string& path,
+                             uint64_t journal_epoch = 0);
 
 /// Restores state saved by SaveTrainerCheckpoint into `trainer`, which must
 /// have been constructed with the same ModelSpec and FatsConfig over an
 /// equivalent dataset. Fails with InvalidArgument if the stored config does
-/// not match the trainer's.
-Status LoadTrainerCheckpoint(const std::string& path, FatsTrainer* trainer);
+/// not match the trainer's. Any stale `<path>.tmp` stranded by a crash
+/// mid-save is swept first. `journal_epoch`, when non-null, receives the
+/// stored epoch.
+Status LoadTrainerCheckpoint(const std::string& path, FatsTrainer* trainer,
+                             uint64_t* journal_epoch = nullptr);
 
 }  // namespace fats
 

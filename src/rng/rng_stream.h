@@ -35,6 +35,10 @@ enum class RngPurpose : uint32_t {
   kAttack = 6,
   kEvaluation = 7,
   kGeneric = 8,
+  /// Client availability draws for dropout simulation. A separate purpose so
+  /// the dropout schedule never perturbs any training stream; the
+  /// `generation` field of availability StreamIds carries the retry attempt.
+  kAvailability = 9,
 };
 
 /// Structured address of a random stream.

@@ -24,13 +24,34 @@ void CsvWriter::WriteHeader(const std::vector<std::string>& columns) {
 }
 
 void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
-  if (!status_.ok()) return;
+  if (!status_.ok() || out_ == nullptr) return;
   *out_ << line_prefix_;
   for (size_t i = 0; i < fields.size(); ++i) {
     if (i > 0) *out_ << ",";
     *out_ << CsvEscape(fields[i]);
   }
   *out_ << "\n";
+  if (!out_->good()) {
+    status_ = Status::IoError("CSV write failed (disk full?)");
+  }
+}
+
+Status CsvWriter::Finish() {
+  if (out_ == nullptr) return status_;  // already finished, or bad open
+  if (status_.ok()) {
+    out_->flush();
+    if (!out_->good()) {
+      status_ = Status::IoError("CSV flush failed (disk full?)");
+    }
+  }
+  if (out_ == &file_) {
+    file_.close();
+    if (status_.ok() && file_.fail()) {
+      status_ = Status::IoError("CSV close failed");
+    }
+  }
+  out_ = nullptr;
+  return status_;
 }
 
 std::string CsvEscape(const std::string& value) {

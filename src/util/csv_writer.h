@@ -34,7 +34,15 @@ class CsvWriter {
   void WriteHeader(const std::vector<std::string>& columns);
 
   /// Writes one data row. Fields containing commas or quotes are quoted.
+  /// A stream-level write failure (e.g. a full disk) latches into status()
+  /// and turns subsequent calls into no-ops.
   void WriteRow(const std::vector<std::string>& fields);
+
+  /// Flushes (and closes, in file mode) and reports the first error
+  /// encountered, including failures the buffered stream only surfaces at
+  /// flush time — a full disk shows up here as kIoError, never as a
+  /// silently truncated file. Safe to call twice.
+  Status Finish();
 
  private:
   std::ofstream file_;

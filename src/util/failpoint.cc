@@ -1,0 +1,167 @@
+#include "util/failpoint.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+
+namespace fats::failpoint {
+namespace {
+
+struct ArmedSpec {
+  int64_t remaining = 1;
+  Action action = Action::kError;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::set<std::string> sites;
+  std::map<std::string, ArmedSpec> armed;
+};
+
+// Leaked singletons: failpoints are evaluated from static-destruction-free
+// contexts (including inside std::_Exit-bound crash paths), so the state
+// must never be torn down.
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+std::atomic<int>& ArmedCount() {
+  static std::atomic<int> count{0};
+  return count;
+}
+
+Result<Action> ParseAction(const std::string& name) {
+  if (name == "error") return Action::kError;
+  if (name == "crash") return Action::kCrash;
+  if (name == "torn-write") return Action::kTornWrite;
+  if (name == "delay") return Action::kDelay;
+  return Status::InvalidArgument("unknown failpoint action: " + name);
+}
+
+}  // namespace
+
+Result<std::vector<Spec>> ParseSpecList(const std::string& text) {
+  std::vector<Spec> specs;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    const std::string item = text.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    start = comma == std::string::npos ? text.size() + 1 : comma + 1;
+    if (item.empty()) continue;
+    const size_t c1 = item.find(':');
+    const size_t c2 = c1 == std::string::npos ? std::string::npos
+                                              : item.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos || c1 == 0) {
+      return Status::InvalidArgument(
+          "failpoint spec must be site:hit_count:action, got: " + item);
+    }
+    Spec spec;
+    spec.site = item.substr(0, c1);
+    const std::string count_str = item.substr(c1 + 1, c2 - c1 - 1);
+    char* end = nullptr;
+    spec.hit_count = std::strtoll(count_str.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || count_str.empty() ||
+        spec.hit_count < 1) {
+      return Status::InvalidArgument(
+          "failpoint hit_count must be a positive integer, got: " + item);
+    }
+    FATS_ASSIGN_OR_RETURN(spec.action, ParseAction(item.substr(c2 + 1)));
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+Status ArmFromSpec(const std::string& text) {
+  FATS_ASSIGN_OR_RETURN(std::vector<Spec> specs, ParseSpecList(text));
+  for (const Spec& spec : specs) Arm(spec);
+  return Status::OK();
+}
+
+void Arm(const Spec& spec) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto [it, inserted] =
+      registry.armed.insert_or_assign(spec.site,
+                                      ArmedSpec{spec.hit_count, spec.action});
+  (void)it;
+  if (inserted) ArmedCount().fetch_add(1, std::memory_order_relaxed);
+}
+
+void DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.armed.clear();
+  ArmedCount().store(0, std::memory_order_relaxed);
+}
+
+void ArmFromEnvOnce() {
+  static const bool armed = [] {
+    const char* env = std::getenv("FATS_FAILPOINTS");
+    if (env != nullptr && env[0] != '\0') {
+      // A malformed env spec is a usage error, not a data error; surface it
+      // loudly rather than silently running without fault injection.
+      Status status = ArmFromSpec(env);
+      if (!status.ok()) {
+        std::fprintf(stderr, "FATS_FAILPOINTS: %s\n",
+                     status.ToString().c_str());
+        std::abort();
+      }
+    }
+    return true;
+  }();
+  (void)armed;
+}
+
+bool AnyArmed() {
+  return ArmedCount().load(std::memory_order_relaxed) > 0;
+}
+
+bool RegisterSite(const char* site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.sites.insert(site);
+  return true;
+}
+
+std::vector<std::string> RegisteredSites() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return std::vector<std::string>(registry.sites.begin(),
+                                  registry.sites.end());
+}
+
+Triggered Evaluate(const char* site) {
+  Action action;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.sites.insert(site);
+    auto it = registry.armed.find(site);
+    if (it == registry.armed.end()) return Triggered::kNone;
+    if (--it->second.remaining > 0) return Triggered::kNone;
+    action = it->second.action;
+    registry.armed.erase(it);
+    ArmedCount().fetch_sub(1, std::memory_order_relaxed);
+  }
+  switch (action) {
+    case Action::kError:
+      return Triggered::kError;
+    case Action::kCrash:
+      std::_Exit(kCrashExitCode);
+    case Action::kTornWrite:
+      return Triggered::kTornWrite;
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      return Triggered::kNone;
+  }
+  return Triggered::kNone;
+}
+
+}  // namespace fats::failpoint

@@ -1,0 +1,132 @@
+// Deterministic failpoint injection.
+//
+// A failpoint is a named site in the code (every durable-write and
+// round-boundary site in src/io, src/fl, src/core registers one) that can be
+// armed to misbehave on a chosen hit:
+//
+//   error       the site reports an injected Status::IoError
+//   crash       the process exits immediately with kCrashExitCode via
+//               std::_Exit — no flushing, no destructors — simulating a kill
+//               (bytes already handed to the OS page cache survive; bytes in
+//               user-space stdio buffers are lost)
+//   torn-write  like crash, but the journal writer first emits a partial
+//               record frame, simulating a write torn mid-sector
+//   delay       the site sleeps briefly (for schedule-perturbation tests)
+//
+// Arming is programmatic (Arm / ArmFromSpec), via FatsConfig::fault_spec, or
+// via the FATS_FAILPOINTS environment variable; the spec grammar is a
+// comma-separated list of `site:hit_count:action` triples, e.g.
+//
+//   FATS_FAILPOINTS="journal.append:3:crash,checkpoint.rename:1:error"
+//
+// `hit_count` is 1-based: the action fires on the Nth execution of the site
+// after arming, and the spec disarms itself once fired. Hit counting is
+// deterministic because the training loop itself is deterministic, which is
+// what makes the crash-matrix test (kill at every site, recover, compare
+// bitwise) reproducible.
+//
+// Disarmed cost: one function-local-static registration guard plus one
+// relaxed atomic load per site execution — nothing measurable next to a
+// training step. Sites self-register on first execution, so after a
+// reference run RegisteredSites() enumerates every site that run crossed.
+
+#ifndef FATS_UTIL_FAILPOINT_H_
+#define FATS_UTIL_FAILPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fats::failpoint {
+
+/// Exit code used by the crash / torn-write actions. Distinct from every
+/// exit code the binaries use, so tests can assert the death was injected.
+inline constexpr int kCrashExitCode = 86;
+
+enum class Action {
+  kError,
+  kCrash,
+  kTornWrite,
+  kDelay,
+};
+
+struct Spec {
+  std::string site;
+  int64_t hit_count = 1;  // fire on the Nth hit after arming
+  Action action = Action::kError;
+};
+
+/// Parses a `site:hit_count:action[,...]` spec list.
+Result<std::vector<Spec>> ParseSpecList(const std::string& text);
+
+/// Arms every spec in `text` (additive; later specs for the same site
+/// replace earlier ones).
+Status ArmFromSpec(const std::string& text);
+
+/// Arms one spec. A second Arm for the same site replaces the first.
+void Arm(const Spec& spec);
+
+/// Disarms everything (registered sites stay registered).
+void DisarmAll();
+
+/// Arms from the FATS_FAILPOINTS environment variable, once per process.
+/// Subsequent calls are no-ops, so every entry point may call it safely.
+void ArmFromEnvOnce();
+
+/// True if any spec is currently armed. Lock-free; the disarmed fast path
+/// of every failpoint site is exactly this load.
+bool AnyArmed();
+
+/// Adds `site` to the registry (idempotent). Returns true, so it can seed a
+/// function-local static. Sites register on first execution.
+bool RegisterSite(const char* site);
+
+/// Sorted names of every site registered so far in this process.
+std::vector<std::string> RegisteredSites();
+
+/// What a fired failpoint asks the site to do. kCrash and kDelay never
+/// reach the caller (the crash exits; the delay sleeps and reports kNone).
+enum class Triggered {
+  kNone,
+  kError,
+  kTornWrite,
+};
+
+/// Counts a hit of `site` against its armed spec, if any, and performs or
+/// reports the action. Call only when AnyArmed() — the macros below do.
+Triggered Evaluate(const char* site);
+
+}  // namespace fats::failpoint
+
+#define FATS_FAILPOINT_CONCAT_INNER_(a, b) a##b
+#define FATS_FAILPOINT_CONCAT_(a, b) FATS_FAILPOINT_CONCAT_INNER_(a, b)
+
+/// Failpoint in a void context: crash and delay act; error and torn-write
+/// have no channel to report through and are ignored.
+#define FATS_FAILPOINT(site)                                              \
+  do {                                                                    \
+    static const bool FATS_FAILPOINT_CONCAT_(fats_fp_reg_, __LINE__) =    \
+        ::fats::failpoint::RegisterSite(site);                            \
+    (void)FATS_FAILPOINT_CONCAT_(fats_fp_reg_, __LINE__);                 \
+    if (::fats::failpoint::AnyArmed()) {                                  \
+      (void)::fats::failpoint::Evaluate(site);                            \
+    }                                                                     \
+  } while (0)
+
+/// Failpoint in a Status-returning function: the error action returns an
+/// injected Status::IoError from the enclosing function.
+#define FATS_FAILPOINT_STATUS(site)                                       \
+  do {                                                                    \
+    static const bool FATS_FAILPOINT_CONCAT_(fats_fp_reg_, __LINE__) =    \
+        ::fats::failpoint::RegisterSite(site);                            \
+    (void)FATS_FAILPOINT_CONCAT_(fats_fp_reg_, __LINE__);                 \
+    if (::fats::failpoint::AnyArmed() &&                                  \
+        ::fats::failpoint::Evaluate(site) ==                              \
+            ::fats::failpoint::Triggered::kError) {                       \
+      return ::fats::Status::IoError(std::string("failpoint '") + site +  \
+                                     "' injected an error");              \
+    }                                                                     \
+  } while (0)
+
+#endif  // FATS_UTIL_FAILPOINT_H_

@@ -165,6 +165,33 @@ TEST(CheckpointRobustnessTest, FailedRenameKeepsOldCheckpointAndCleansTemp) {
   ASSERT_EQ(std::system(("rmdir " + path).c_str()), 0);
 }
 
+TEST(CheckpointRobustnessTest, LoadSweepsStaleTempFile) {
+  // A crash between temp-write and rename strands `<path>.tmp`; the next
+  // load must remove it (it can never be trusted) while loading the real
+  // checkpoint normally.
+  const std::string path = TempPath("robust_sweep.bin");
+  Env saved = MakeEnv(true);
+  ASSERT_TRUE(SaveTrainerCheckpoint(saved.trainer.get(), path).ok());
+  WriteFile(path + ".tmp", "half-written checkpoint garbage");
+
+  Env env = MakeEnv(false);
+  ASSERT_TRUE(LoadTrainerCheckpoint(path, env.trainer.get()).ok());
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good()) << "stale .tmp survived a successful load";
+  EXPECT_TRUE(env.trainer->global_params().BitwiseEquals(
+      saved.trainer->global_params()));
+}
+
+TEST(CheckpointRobustnessTest, LoadSweepsStaleTempFileEvenWhenLoadFails) {
+  const std::string path = TempPath("robust_sweep_fail.bin");
+  WriteFile(path, "FATSCKPTgarbage");
+  WriteFile(path + ".tmp", "stale temp");
+  Env env = MakeEnv(false);
+  EXPECT_FALSE(LoadTrainerCheckpoint(path, env.trainer.get()).ok());
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good()) << "stale .tmp survived a failed load";
+}
+
 TEST(CheckpointRobustnessTest, CommStatsSurviveRoundTrip) {
   const std::string path = TempPath("robust_comm.bin");
   Env saved = MakeEnv(true);
@@ -182,6 +209,18 @@ TEST(CheckpointRobustnessTest, CommStatsSurviveRoundTrip) {
   EXPECT_EQ(after.messages(), before.messages());
   EXPECT_EQ(env.trainer->trained_through(), saved.trainer->trained_through());
   EXPECT_EQ(env.trainer->generation(), saved.trainer->generation());
+}
+
+TEST(CheckpointRobustnessTest, JournalEpochSurvivesRoundTrip) {
+  const std::string path = TempPath("robust_epoch.bin");
+  Env saved = MakeEnv(true);
+  ASSERT_TRUE(
+      SaveTrainerCheckpoint(saved.trainer.get(), path, /*journal_epoch=*/7)
+          .ok());
+  Env env = MakeEnv(false);
+  uint64_t epoch = 0;
+  ASSERT_TRUE(LoadTrainerCheckpoint(path, env.trainer.get(), &epoch).ok());
+  EXPECT_EQ(epoch, 7u);
 }
 
 TEST(CheckpointRobustnessTest, OversizedTensorShapeRejected) {

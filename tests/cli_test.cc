@@ -148,6 +148,72 @@ TEST_F(CliTest, ThreadsFlagProducesBitIdenticalCheckpoint) {
   std::remove(parallel_ckpt.c_str());
 }
 
+/// Extracts the 8-hex-digit model fingerprint from a status block.
+std::string ModelHash(const std::string& output) {
+  const size_t pos = output.find("crc32=");
+  if (pos == std::string::npos) return "";
+  return output.substr(pos + 6, 8);
+}
+
+TEST_F(CliTest, FaultSpecErrorActionSurfacesAsFailure) {
+  std::string output;
+  EXPECT_EQ(RunCli("train " + CommonFlags() +
+                       " --fault_spec=checkpoint.write.body:1:error",
+                   &output),
+            1)
+      << output;
+  EXPECT_NE(output.find("error:"), std::string::npos) << output;
+  EXPECT_NE(output.find("failpoint"), std::string::npos) << output;
+}
+
+TEST_F(CliTest, MalformedFaultSpecRejected) {
+  std::string output;
+  EXPECT_EQ(RunCli("train " + CommonFlags() +
+                       " --fault_spec=not-a-valid-spec",
+                   &output),
+            1)
+      << output;
+}
+
+TEST_F(CliTest, CrashFaultRecoversBitExactlyViaJournal) {
+  const std::string ckpt = Checkpoint();
+  const std::string jrn = ckpt + ".jrn";
+  const std::string ref_ckpt = ckpt + ".ref";
+  const std::string ref_jrn = ref_ckpt + ".jrn";
+  for (const std::string& p :
+       {jrn, jrn + ".tmp", ref_ckpt, ref_ckpt + ".tmp", ref_jrn,
+        ref_jrn + ".tmp", ref_ckpt + ".deletions"}) {
+    std::remove(p.c_str());
+  }
+
+  // Uninterrupted journaled reference run.
+  std::string ref_out;
+  ASSERT_EQ(RunCli("train --profile=mnist --rounds=6 --checkpoint=" +
+                       ref_ckpt + " --journal=" + ref_jrn,
+                   &ref_out),
+            0)
+      << ref_out;
+  const std::string ref_hash = ModelHash(ref_out);
+  ASSERT_EQ(ref_hash.size(), 8u) << ref_out;
+
+  // Same run killed mid-training by an armed crash failpoint: the process
+  // must die with the dedicated crash exit code, not a clean failure.
+  std::string output;
+  EXPECT_EQ(RunCli("train " + CommonFlags() + " --journal=" + jrn +
+                       " --fault_spec=trainer.iter.commit:7:crash",
+                   &output),
+            86)
+      << output;
+
+  // Re-running with the journal recovers and finishes; the final model is
+  // bit-identical to the uninterrupted run.
+  ASSERT_EQ(RunCli("train " + CommonFlags() + " --journal=" + jrn, &output),
+            0)
+      << output;
+  EXPECT_EQ(ModelHash(output), ref_hash)
+      << "recovered model must match the uninterrupted run: " << output;
+}
+
 TEST_F(CliTest, DoubleDeletionRejected) {
   std::string output;
   ASSERT_EQ(RunCli("train " + CommonFlags(), &output), 0);

@@ -2,10 +2,20 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
+
+#include "fl/train_log.h"
 
 namespace fats {
 namespace {
+
+// True when /dev/full is available (Linux): writes to it fail with ENOSPC,
+// which is how we simulate a full disk.
+bool HaveDevFull() {
+  std::ofstream probe("/dev/full");
+  return probe.is_open();
+}
 
 TEST(CsvEscapeTest, PlainValuesUnchanged) {
   EXPECT_EQ(CsvEscape("abc"), "abc");
@@ -56,6 +66,69 @@ TEST(CsvWriterTest, FileTargetWrites) {
   std::getline(in, line2);
   EXPECT_EQ(line1, "k,v");
   EXPECT_EQ(line2, "a,1");
+}
+
+TEST(CsvWriterTest, FinishReportsOkOnHappyPath) {
+  std::string path = testing::TempDir() + "/csv_writer_finish.csv";
+  CsvWriter writer(path);
+  ASSERT_TRUE(writer.status().ok());
+  writer.WriteRow({"a", "1"});
+  EXPECT_TRUE(writer.Finish().ok());
+  EXPECT_TRUE(writer.Finish().ok());  // safe to call twice
+  writer.WriteRow({"late"});          // no-op after Finish, must not crash
+}
+
+TEST(CsvWriterTest, FullDiskSurfacesAsIoErrorAtFinish) {
+  if (!HaveDevFull()) GTEST_SKIP() << "/dev/full not available";
+  CsvWriter writer("/dev/full");
+  ASSERT_TRUE(writer.status().ok());
+  writer.WriteRow({"a", "1"});
+  Status status = writer.Finish();
+  ASSERT_FALSE(status.ok()) << "full disk was not reported";
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(CsvWriterTest, FullDiskLatchesDuringLargeWrites) {
+  if (!HaveDevFull()) GTEST_SKIP() << "/dev/full not available";
+  CsvWriter writer("/dev/full");
+  ASSERT_TRUE(writer.status().ok());
+  // A row larger than any stdio buffer forces the stream to hit the device
+  // mid-write, so the failure latches in WriteRow itself.
+  const std::string big(1 << 22, 'x');
+  writer.WriteRow({big});
+  writer.WriteRow({big});
+  EXPECT_FALSE(writer.Finish().ok());
+}
+
+TEST(TrainLogCsvTest, WriteCsvFileMatchesToCsv) {
+  TrainLog log;
+  log.Append({1, 0.5, 1.25, false});
+  log.Append({2, 0.75, 0.5, true});
+  std::string path = testing::TempDir() + "/train_log_write.csv";
+  ASSERT_TRUE(log.WriteCsvFile(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, log.ToCsv());
+}
+
+TEST(TrainLogCsvTest, WriteCsvFilePropagatesOpenFailure) {
+  TrainLog log;
+  log.Append({1, 0.5, 1.25, false});
+  Status status = log.WriteCsvFile("/nonexistent_dir_zzz/log.csv");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(TrainLogCsvTest, WriteCsvFilePropagatesFullDisk) {
+  if (!HaveDevFull()) GTEST_SKIP() << "/dev/full not available";
+  TrainLog log;
+  for (int64_t r = 1; r <= 64; ++r) {
+    log.Append({r, 0.5, 1.0, false});
+  }
+  Status status = log.WriteCsvFile("/dev/full");
+  ASSERT_FALSE(status.ok()) << "full disk was not reported";
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
 }
 
 }  // namespace

@@ -1,0 +1,159 @@
+// Failpoint framework tests: spec parsing, Nth-hit firing, self-disarm,
+// and the injected-Status macro path. Crash/torn-write end-to-end behaviour
+// lives in crash_matrix_test.cc.
+
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace fats::failpoint {
+namespace {
+
+class FailpointTest : public testing::Test {
+ protected:
+  void SetUp() override { DisarmAll(); }
+  void TearDown() override { DisarmAll(); }
+};
+
+TEST_F(FailpointTest, ParsesSpecList) {
+  Result<std::vector<Spec>> specs =
+      ParseSpecList("journal.append:3:crash,checkpoint.rename:1:error");
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+  ASSERT_EQ(specs->size(), 2u);
+  EXPECT_EQ((*specs)[0].site, "journal.append");
+  EXPECT_EQ((*specs)[0].hit_count, 3);
+  EXPECT_EQ((*specs)[0].action, Action::kCrash);
+  EXPECT_EQ((*specs)[1].site, "checkpoint.rename");
+  EXPECT_EQ((*specs)[1].hit_count, 1);
+  EXPECT_EQ((*specs)[1].action, Action::kError);
+}
+
+TEST_F(FailpointTest, ParsesAllActions) {
+  Result<std::vector<Spec>> specs =
+      ParseSpecList("a:1:error,b:1:crash,c:1:torn-write,d:1:delay");
+  ASSERT_TRUE(specs.ok());
+  EXPECT_EQ((*specs)[0].action, Action::kError);
+  EXPECT_EQ((*specs)[1].action, Action::kCrash);
+  EXPECT_EQ((*specs)[2].action, Action::kTornWrite);
+  EXPECT_EQ((*specs)[3].action, Action::kDelay);
+}
+
+TEST_F(FailpointTest, EmptySpecIsEmpty) {
+  Result<std::vector<Spec>> specs = ParseSpecList("");
+  ASSERT_TRUE(specs.ok());
+  EXPECT_TRUE(specs->empty());
+}
+
+TEST_F(FailpointTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseSpecList("siteonly").ok());
+  EXPECT_FALSE(ParseSpecList("site:1").ok());
+  EXPECT_FALSE(ParseSpecList(":1:error").ok());
+  EXPECT_FALSE(ParseSpecList("site:0:error").ok());
+  EXPECT_FALSE(ParseSpecList("site:-2:error").ok());
+  EXPECT_FALSE(ParseSpecList("site:x:error").ok());
+  EXPECT_FALSE(ParseSpecList("site:1:explode").ok());
+  EXPECT_FALSE(ParseSpecList("good:1:error,bad").ok());
+}
+
+TEST_F(FailpointTest, DisarmedSitesAreFree) {
+  EXPECT_FALSE(AnyArmed());
+  EXPECT_TRUE(RegisterSite("test.disarmed"));
+  // Evaluate on an unarmed site reports nothing and stays unarmed.
+  EXPECT_EQ(Evaluate("test.disarmed"), Triggered::kNone);
+  EXPECT_FALSE(AnyArmed());
+}
+
+TEST_F(FailpointTest, FiresOnNthHitThenSelfDisarms) {
+  ASSERT_TRUE(ArmFromSpec("test.nth:3:error").ok());
+  EXPECT_TRUE(AnyArmed());
+  EXPECT_EQ(Evaluate("test.nth"), Triggered::kNone);
+  EXPECT_EQ(Evaluate("test.nth"), Triggered::kNone);
+  EXPECT_EQ(Evaluate("test.nth"), Triggered::kError);
+  // The spec disarmed itself when it fired.
+  EXPECT_FALSE(AnyArmed());
+  EXPECT_EQ(Evaluate("test.nth"), Triggered::kNone);
+}
+
+TEST_F(FailpointTest, RearmReplacesPriorSpec) {
+  Arm(Spec{"test.rearm", 5, Action::kError});
+  Arm(Spec{"test.rearm", 1, Action::kTornWrite});
+  EXPECT_EQ(Evaluate("test.rearm"), Triggered::kTornWrite);
+}
+
+TEST_F(FailpointTest, SpecsForDifferentSitesAreIndependent) {
+  ASSERT_TRUE(ArmFromSpec("test.a:1:error,test.b:2:torn-write").ok());
+  EXPECT_EQ(Evaluate("test.b"), Triggered::kNone);
+  EXPECT_EQ(Evaluate("test.a"), Triggered::kError);
+  EXPECT_TRUE(AnyArmed());  // test.b still pending
+  EXPECT_EQ(Evaluate("test.b"), Triggered::kTornWrite);
+  EXPECT_FALSE(AnyArmed());
+}
+
+TEST_F(FailpointTest, DelayReportsNone) {
+  ASSERT_TRUE(ArmFromSpec("test.delay:1:delay").ok());
+  EXPECT_EQ(Evaluate("test.delay"), Triggered::kNone);
+  EXPECT_FALSE(AnyArmed());
+}
+
+TEST_F(FailpointTest, DisarmAllClearsEverything) {
+  ASSERT_TRUE(ArmFromSpec("test.x:1:error,test.y:1:error").ok());
+  ASSERT_TRUE(AnyArmed());
+  DisarmAll();
+  EXPECT_FALSE(AnyArmed());
+  EXPECT_EQ(Evaluate("test.x"), Triggered::kNone);
+}
+
+TEST_F(FailpointTest, RegisteredSitesAreSortedAndDeduped) {
+  RegisterSite("test.reg.b");
+  RegisterSite("test.reg.a");
+  RegisterSite("test.reg.b");
+  std::vector<std::string> sites = RegisteredSites();
+  ASSERT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+  int a = 0;
+  int b = 0;
+  for (const std::string& s : sites) {
+    if (s == "test.reg.a") ++a;
+    if (s == "test.reg.b") ++b;
+  }
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+Status StatusSite() {
+  FATS_FAILPOINT_STATUS("test.status.site");
+  return Status::OK();
+}
+
+TEST_F(FailpointTest, StatusMacroInjectsIoError) {
+  EXPECT_TRUE(StatusSite().ok());
+  ASSERT_TRUE(ArmFromSpec("test.status.site:2:error").ok());
+  EXPECT_TRUE(StatusSite().ok());  // hit 1 of 2
+  Status injected = StatusSite();
+  ASSERT_FALSE(injected.ok());
+  EXPECT_EQ(injected.code(), StatusCode::kIoError);
+  EXPECT_NE(injected.message().find("test.status.site"), std::string::npos);
+  EXPECT_TRUE(StatusSite().ok());  // self-disarmed
+}
+
+void VoidSite() { FATS_FAILPOINT("test.void.site"); }
+
+TEST_F(FailpointTest, CrashActionExitsWithCrashCode) {
+  EXPECT_EXIT(
+      {
+        (void)ArmFromSpec("test.void.site:1:crash");
+        VoidSite();
+      },
+      testing::ExitedWithCode(kCrashExitCode), "");
+}
+
+TEST_F(FailpointTest, MacroRegistersSiteOnFirstExecution) {
+  VoidSite();
+  std::vector<std::string> sites = RegisteredSites();
+  EXPECT_NE(std::find(sites.begin(), sites.end(), "test.void.site"),
+            sites.end());
+}
+
+}  // namespace
+}  // namespace fats::failpoint

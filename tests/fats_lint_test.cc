@@ -225,6 +225,66 @@ TEST(FatsLintThread, SuppressionDowngrades) {
   EXPECT_EQ(ActiveCount(f), 0);
 }
 
+TEST(FatsLintRawIo, ClassifierScopesTheRule) {
+  EXPECT_TRUE(ClassifyPath("src/core/fats_trainer.cc").io_rules);
+  EXPECT_TRUE(ClassifyPath("src/fl/train_log.cc").io_rules);
+  EXPECT_TRUE(ClassifyPath("src/io/checkpoint.cc").io_rules);
+  EXPECT_TRUE(ClassifyPath("src/io/train_journal.cc").io_rules);
+  // The journal module is the sanctioned raw-file writer.
+  EXPECT_FALSE(ClassifyPath("src/io/journal.cc").io_rules);
+  EXPECT_FALSE(ClassifyPath("src/io/journal.h").io_rules);
+  // Outside the durable-state trees the rule does not apply.
+  EXPECT_FALSE(ClassifyPath("src/util/csv_writer.cc").io_rules);
+  EXPECT_FALSE(ClassifyPath("src/nn/linear.cc").io_rules);
+  EXPECT_FALSE(ClassifyPath("bench/bench_micro_kernels.cc").io_rules);
+}
+
+TEST(FatsLintRawIo, OfstreamAndStdioWritesFire) {
+  EXPECT_EQ(ActiveRules(ScanSource(
+                "src/io/snapshot.cc",
+                "void f() { std::ofstream out(p, std::ios::binary); }\n")),
+            std::vector<std::string>{kRuleRawIo});
+  EXPECT_EQ(ActiveRules(ScanSource("src/core/dump.cc",
+                                   "FILE* f = fopen(path, qq);\n")),
+            std::vector<std::string>{kRuleRawIo});
+  EXPECT_EQ(ActiveRules(ScanSource("src/fl/spill.cc",
+                                   "std::fwrite(buf, 1, n, f);\n")),
+            std::vector<std::string>{kRuleRawIo});
+}
+
+TEST(FatsLintRawIo, JournalModuleDoesNotFire) {
+  EXPECT_TRUE(
+      ActiveRules(ScanSource("src/io/journal.cc",
+                             "std::FILE* f = std::fopen(p, qq);\n"
+                             "std::fwrite(buf, 1, n, f);\n"))
+          .empty());
+}
+
+TEST(FatsLintRawIo, OutsideDurableTreesDoesNotFire) {
+  EXPECT_TRUE(ActiveRules(ScanSource("src/util/csv_writer.cc",
+                                     "std::ofstream file_(path);\n"))
+                  .empty());
+}
+
+TEST(FatsLintRawIo, LiteralsAndCommentsDoNotFire) {
+  EXPECT_TRUE(
+      ActiveRules(ScanSource("src/io/doc.cc",
+                             "// never call fopen here\n"
+                             "const char* s = \"std::ofstream out;\";\n"))
+          .empty());
+}
+
+TEST(FatsLintRawIo, SuppressionDowngrades) {
+  const std::vector<Finding> findings = ScanSource(
+      "src/io/probe.cc",
+      "// Read-only probe.  fats-lint: allow(raw-io)\n"
+      "std::FILE* f = std::fopen(p, qq);\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, kRuleRawIo);
+  EXPECT_TRUE(findings[0].suppressed);
+  EXPECT_EQ(ActiveCount(findings), 0);
+}
+
 TEST(FatsLintHotAlloc, TensorTemporaryInForwardFires) {
   const char kSnippet[] =
       "const Tensor& Linear::Forward(const Tensor& input, Workspace* ws) {\n"
@@ -377,11 +437,12 @@ TEST(FatsLintReport, JsonShape) {
 
 TEST(FatsLintReport, AllRulesListed) {
   const std::vector<std::string> rules = AllRules();
-  EXPECT_EQ(static_cast<int>(rules.size()), 8);
+  EXPECT_EQ(static_cast<int>(rules.size()), 9);
   EXPECT_NE(std::find(rules.begin(), rules.end(), kRuleUnorderedIteration),
             rules.end());
   EXPECT_NE(std::find(rules.begin(), rules.end(), kRuleRawThread),
             rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), kRuleRawIo), rules.end());
   EXPECT_NE(std::find(rules.begin(), rules.end(), kRuleHotAlloc),
             rules.end());
 }

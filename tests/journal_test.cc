@@ -1,0 +1,288 @@
+// Journal framing tests: CRC detection of corrupt/truncated tails, append
+// resumption, orphan sweeping — and end-to-end DurableTrainingSession
+// recovery when the journal itself loses its tail.
+
+#include "io/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "io/train_journal.h"
+#include "test_workloads.h"
+
+namespace fats {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+}
+
+constexpr int64_t kHeaderBytes = 12;  // "FATSJRN1" + u32 version
+
+TEST(Crc32Test, KnownVectors) {
+  // The IEEE reflected CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+  EXPECT_EQ(Crc32("a", 1), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, ChainsAcrossCalls) {
+  const char* data = "the quick brown fox";
+  const size_t len = std::strlen(data);
+  const uint32_t whole = Crc32(data, len);
+  const uint32_t part = Crc32(data + 5, len - 5, Crc32(data, 5));
+  EXPECT_EQ(whole, part);
+}
+
+TEST(JournalTest, CreateWritesHeaderOnly) {
+  const std::string path = TempPath("jrn_create.jrn");
+  ASSERT_TRUE(JournalWriter::Create(path).ok());
+  Result<JournalScan> scan = ScanJournal(path);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_TRUE(scan->records.empty());
+  EXPECT_EQ(scan->valid_bytes, kHeaderBytes);
+  EXPECT_FALSE(scan->torn_tail);
+  // No stranded temp file.
+  EXPECT_EQ(ReadFile(path + ".tmp"), "");
+}
+
+TEST(JournalTest, AppendScanRoundtrip) {
+  const std::string path = TempPath("jrn_roundtrip.jrn");
+  ASSERT_TRUE(JournalWriter::Create(path).ok());
+  const std::string binary_payload("\x00\xff\x7f\n\x01", 5);
+  {
+    Result<std::unique_ptr<JournalWriter>> writer = JournalWriter::OpenForAppend(
+        path, kHeaderBytes, JournalWriter::SyncMode::kNone);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    ASSERT_TRUE((*writer)->Append("alpha").ok());
+    ASSERT_TRUE((*writer)->Append("").ok());
+    ASSERT_TRUE((*writer)->Append(binary_payload).ok());
+    ASSERT_TRUE((*writer)->Sync().ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  Result<JournalScan> scan = ScanJournal(path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 3u);
+  EXPECT_EQ(scan->records[0], "alpha");
+  EXPECT_EQ(scan->records[1], "");
+  EXPECT_EQ(scan->records[2], binary_payload);
+  EXPECT_FALSE(scan->torn_tail);
+  EXPECT_EQ(scan->record_ends.size(), 3u);
+  EXPECT_EQ(scan->record_ends.back(), scan->valid_bytes);
+}
+
+// Writes a journal with three records and returns its raw bytes.
+std::string ThreeRecordJournal(const std::string& path) {
+  EXPECT_TRUE(JournalWriter::Create(path).ok());
+  Result<std::unique_ptr<JournalWriter>> writer = JournalWriter::OpenForAppend(
+      path, kHeaderBytes, JournalWriter::SyncMode::kNone);
+  EXPECT_TRUE(writer.ok());
+  EXPECT_TRUE((*writer)->Append("record-one").ok());
+  EXPECT_TRUE((*writer)->Append("record-two").ok());
+  EXPECT_TRUE((*writer)->Append("record-three").ok());
+  EXPECT_TRUE((*writer)->Close().ok());
+  return ReadFile(path);
+}
+
+TEST(JournalTest, CorruptedTailDetectedByCrc) {
+  const std::string path = TempPath("jrn_corrupt.jrn");
+  std::string blob = ThreeRecordJournal(path);
+  // Flip a byte inside the last record's payload.
+  blob[blob.size() - 2] = static_cast<char>(blob[blob.size() - 2] ^ 0x40);
+  WriteFile(path, blob);
+
+  Result<JournalScan> scan = ScanJournal(path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->records[1], "record-two");
+  EXPECT_TRUE(scan->torn_tail);
+  EXPECT_NE(scan->tail_detail.find("CRC"), std::string::npos)
+      << scan->tail_detail;
+}
+
+TEST(JournalTest, TruncatedTailDetected) {
+  const std::string path = TempPath("jrn_trunc.jrn");
+  const std::string blob = ThreeRecordJournal(path);
+  // Cut mid-payload of the last record.
+  WriteFile(path, blob.substr(0, blob.size() - 4));
+  Result<JournalScan> scan = ScanJournal(path);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->records.size(), 2u);
+  EXPECT_TRUE(scan->torn_tail);
+  EXPECT_NE(scan->tail_detail.find("truncated"), std::string::npos)
+      << scan->tail_detail;
+
+  // Cut mid-frame-header (fewer than 8 bytes of len+crc remain).
+  const int64_t second_end = 12 + 2 * (8 + 10);  // header + two framed records
+  WriteFile(path, blob.substr(0, static_cast<size_t>(second_end) + 3));
+  scan = ScanJournal(path);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->valid_bytes, second_end);
+  EXPECT_TRUE(scan->torn_tail);
+}
+
+TEST(JournalTest, InsaneFrameLengthRejected) {
+  const std::string path = TempPath("jrn_insane.jrn");
+  std::string blob = ThreeRecordJournal(path).substr(0, kHeaderBytes);
+  // A frame claiming ~4 GiB of payload must stop the scan at the header.
+  const char huge[8] = {'\xff', '\xff', '\xff', '\xff', 0, 0, 0, 0};
+  blob.append(huge, sizeof(huge));
+  WriteFile(path, blob);
+  Result<JournalScan> scan = ScanJournal(path);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->records.empty());
+  EXPECT_EQ(scan->valid_bytes, kHeaderBytes);
+  EXPECT_TRUE(scan->torn_tail);
+}
+
+TEST(JournalTest, NonJournalFileRejected) {
+  const std::string path = TempPath("jrn_garbage.jrn");
+  WriteFile(path, "this is not a journal, definitely not");
+  EXPECT_FALSE(ScanJournal(path).ok());
+  EXPECT_FALSE(ScanJournal(TempPath("jrn_missing.jrn")).ok());
+}
+
+TEST(JournalTest, OpenForAppendTruncatesTornTailAndResumes) {
+  const std::string path = TempPath("jrn_resume.jrn");
+  std::string blob = ThreeRecordJournal(path);
+  blob[blob.size() - 1] = static_cast<char>(blob[blob.size() - 1] ^ 0x01);
+  WriteFile(path, blob);
+
+  Result<JournalScan> scan = ScanJournal(path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_TRUE(scan->torn_tail);
+  Result<std::unique_ptr<JournalWriter>> writer = JournalWriter::OpenForAppend(
+      path, scan->valid_bytes, JournalWriter::SyncMode::kEveryAppend);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ASSERT_TRUE((*writer)->Append("record-new").ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  Result<JournalScan> rescan = ScanJournal(path);
+  ASSERT_TRUE(rescan.ok());
+  ASSERT_EQ(rescan->records.size(), 3u);
+  EXPECT_EQ(rescan->records[0], "record-one");
+  EXPECT_EQ(rescan->records[1], "record-two");
+  EXPECT_EQ(rescan->records[2], "record-new");
+  EXPECT_FALSE(rescan->torn_tail);
+}
+
+TEST(JournalTest, SweepOrphanTmpRemovesStaleFile) {
+  const std::string path = TempPath("jrn_sweep.jrn");
+  WriteFile(path + ".tmp", "half-written garbage");
+  EXPECT_TRUE(SweepOrphanTmp(path));
+  EXPECT_EQ(ReadFile(path + ".tmp"), "");
+  EXPECT_FALSE(SweepOrphanTmp(path));  // nothing left to sweep
+}
+
+// --- End-to-end: DurableTrainingSession survives a damaged journal tail ---
+
+struct Env {
+  FederatedDataset data;
+  FatsConfig config;
+  std::unique_ptr<FatsTrainer> trainer;
+};
+
+Env MakeEnv() {
+  Env env;
+  env.data = TinyImageData(5, 8);
+  env.config = TinyFatsConfig(5, 8, 3, 2);
+  env.trainer =
+      std::make_unique<FatsTrainer>(TinyModelSpec(), env.config, &env.data);
+  return env;
+}
+
+// Runs a full durable training pass from scratch (removing any files a
+// previous test invocation left behind) and returns the final global model.
+Tensor RunDurable(const std::string& ckpt, const std::string& jrn) {
+  for (const std::string& p : {ckpt, ckpt + ".tmp", jrn, jrn + ".tmp"}) {
+    std::remove(p.c_str());
+  }
+  Env env = MakeEnv();
+  Result<std::unique_ptr<DurableTrainingSession>> session =
+      DurableTrainingSession::Open(ckpt, jrn, env.trainer.get());
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+  env.trainer->Train();
+  EXPECT_TRUE((*session)->status().ok());
+  return env.trainer->global_params();
+}
+
+TEST(DurableJournalTest, RecoversBitExactlyFromCorruptedTail) {
+  const std::string ref_ckpt = TempPath("djrn_ref.ckpt");
+  const std::string ref_jrn = TempPath("djrn_ref.jrn");
+  const Tensor reference = RunDurable(ref_ckpt, ref_jrn);
+
+  const std::string ckpt = TempPath("djrn_corrupt.ckpt");
+  const std::string jrn = TempPath("djrn_corrupt.jrn");
+  (void)RunDurable(ckpt, jrn);
+
+  // Corrupt a byte two-thirds into the journal: the committed prefix before
+  // it survives, everything after is discarded and re-executed.
+  std::string blob = ReadFile(jrn);
+  ASSERT_GT(blob.size(), 100u);
+  const size_t pos = (blob.size() * 2) / 3;
+  blob[pos] = static_cast<char>(blob[pos] ^ 0xA5);
+  WriteFile(jrn, blob);
+
+  Env env = MakeEnv();
+  Result<std::unique_ptr<DurableTrainingSession>> session =
+      DurableTrainingSession::Open(ckpt, jrn, env.trainer.get());
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  const int64_t total = env.config.total_iters_t();
+  EXPECT_EQ(env.trainer->trained_through(), total);
+  EXPECT_TRUE(env.trainer->global_params().BitwiseEquals(reference));
+}
+
+TEST(DurableJournalTest, RecoversBitExactlyFromTruncatedTail) {
+  const std::string ref_ckpt = TempPath("djrn_tref.ckpt");
+  const std::string ref_jrn = TempPath("djrn_tref.jrn");
+  const Tensor reference = RunDurable(ref_ckpt, ref_jrn);
+
+  const std::string ckpt = TempPath("djrn_trunc.ckpt");
+  const std::string jrn = TempPath("djrn_trunc.jrn");
+  (void)RunDurable(ckpt, jrn);
+
+  std::string blob = ReadFile(jrn);
+  ASSERT_GT(blob.size(), 100u);
+  WriteFile(jrn, blob.substr(0, blob.size() / 2));
+
+  Env env = MakeEnv();
+  Result<std::unique_ptr<DurableTrainingSession>> session =
+      DurableTrainingSession::Open(ckpt, jrn, env.trainer.get());
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_EQ(env.trainer->trained_through(), env.config.total_iters_t());
+  EXPECT_TRUE(env.trainer->global_params().BitwiseEquals(reference));
+}
+
+TEST(DurableJournalTest, CleanReopenDoesNotRetrain) {
+  const std::string ckpt = TempPath("djrn_clean.ckpt");
+  const std::string jrn = TempPath("djrn_clean.jrn");
+  const Tensor reference = RunDurable(ckpt, jrn);
+
+  Env env = MakeEnv();
+  Result<std::unique_ptr<DurableTrainingSession>> session =
+      DurableTrainingSession::Open(ckpt, jrn, env.trainer.get());
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_TRUE((*session)->recovered());
+  EXPECT_EQ(env.trainer->trained_through(), env.config.total_iters_t());
+  EXPECT_TRUE(env.trainer->global_params().BitwiseEquals(reference));
+}
+
+}  // namespace
+}  // namespace fats

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI driver: configure -> build -> ctest -> fats_lint -> bench smoke ->
-# clang-tidy -> tsan smoke of the parallel-execution tests.
+# clang-tidy -> tsan smoke of the parallel-execution tests -> crash-matrix
+# smoke of the durability tests under asan-ubsan.
 #
 # Usage:
 #   tools/ci.sh [PRESET]            # default preset: release
@@ -17,13 +18,13 @@ cd "$(dirname "$0")/.."
 PRESET="${1:-release}"
 JOBS="$(nproc 2> /dev/null || echo 2)"
 
-echo "=== [1/7] configure (preset: $PRESET) ==="
+echo "=== [1/8] configure (preset: $PRESET) ==="
 cmake --preset "$PRESET"
 
-echo "=== [2/7] build ==="
+echo "=== [2/8] build ==="
 cmake --build --preset "$PRESET" -j "$JOBS"
 
-echo "=== [3/7] ctest ==="
+echo "=== [3/8] ctest ==="
 ctest --preset "$PRESET" -j "$JOBS"
 
 BUILD_DIR="build-${PRESET}"
@@ -31,10 +32,10 @@ if [[ "$PRESET" == "asan-ubsan" ]]; then
   BUILD_DIR="build-asan"
 fi
 
-echo "=== [4/7] fats_lint ==="
+echo "=== [4/8] fats_lint ==="
 "$BUILD_DIR/tools/fats_lint" --root . --json fats_lint_report.json
 
-echo "=== [5/7] bench smoke ==="
+echo "=== [5/8] bench smoke ==="
 # Build + run the micro-kernel benchmarks with minimal iterations and diff
 # the timings against the checked-in BENCH_kernels.json via bench_check.
 # Report-only (no --max-regress): CI machines are too noisy to gate on yet.
@@ -53,7 +54,7 @@ else
   echo "bench smoke: skipped (preset $PRESET; benches run on release only)"
 fi
 
-echo "=== [6/7] clang-tidy ==="
+echo "=== [6/8] clang-tidy ==="
 CHANGED=()
 if [[ -n "${CI_BASE_REF:-}" ]] && git rev-parse --verify -q "$CI_BASE_REF" > /dev/null; then
   while IFS= read -r f; do
@@ -69,7 +70,7 @@ else
   tools/run_clang_tidy.sh -p "$BUILD_DIR"
 fi
 
-echo "=== [7/7] tsan smoke (parallel-execution tests) ==="
+echo "=== [7/8] tsan smoke (parallel-execution tests) ==="
 if [[ "$PRESET" == "tsan" ]]; then
   echo "tsan smoke: preset is already tsan; full suite covered above"
 else
@@ -80,6 +81,23 @@ else
   # build-tsan ctest manifest is incomplete.
   build-tsan/tests/thread_pool_test
   build-tsan/tests/parallel_exactness_test
+fi
+
+echo "=== [8/8] crash matrix under asan-ubsan ==="
+# Re-run the failpoint kill/recover matrix with sanitizers on: recovery code
+# paths (torn-tail truncation, journal replay, re-execution) are exactly the
+# ones a fuzzer won't reach and a crash will.
+if [[ "$PRESET" == "asan-ubsan" ]]; then
+  echo "crash matrix: preset is already asan-ubsan; full suite covered above"
+else
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j "$JOBS" \
+    --target crash_matrix_test journal_test failpoint_test
+  # Run the binaries directly: only these targets are built, so the
+  # build-asan ctest manifest is incomplete.
+  build-asan/tests/failpoint_test
+  build-asan/tests/journal_test
+  build-asan/tests/crash_matrix_test
 fi
 
 echo "=== CI OK (preset: $PRESET) ==="

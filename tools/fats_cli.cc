@@ -4,6 +4,8 @@
 //                           [--rho_s=0.25 --rho_c=0.5 --rounds=N --seed=S]
 //                           [--until_iter=t]           (pause mid-training)
 //                           [--threads=N]   (parallel, bit-identical results)
+//                           [--journal=/tmp/m.jrn]   (crash-exact durability)
+//                           [--log_csv=/tmp/m.csv] [--fault_spec=site:n:act]
 //   fats_cli resume         --profile=mnist --checkpoint=/tmp/m.ckpt
 //                           [--until_iter=t]           (continue training)
 //   fats_cli unlearn-sample --profile=mnist --checkpoint=/tmp/m.ckpt
@@ -17,6 +19,7 @@
 // the checkpoint-adjacent deletion journal (<checkpoint>.deletions), so the
 // client-side data view stays consistent across process lifetimes.
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -24,6 +27,7 @@
 #include "core/sample_unlearner.h"
 #include "data/paper_configs.h"
 #include "io/checkpoint.h"
+#include "io/train_journal.h"
 #include "metrics/gradient_diversity.h"
 #include "util/flags.h"
 
@@ -42,6 +46,9 @@ struct CliOptions {
   int64_t client = -1;
   int64_t index = -1;
   int64_t threads = 1;  // worker threads; results are thread-count-invariant
+  std::string journal;     // journaled crash-exact session when non-empty
+  std::string log_csv;     // write the per-round TrainLog here when non-empty
+  std::string fault_spec;  // failpoint arming spec (site:hit:action,...)
 };
 
 std::string DeletionJournalPath(const std::string& checkpoint) {
@@ -95,6 +102,14 @@ void PrintStatusLine(FatsTrainer* trainer) {
               static_cast<long long>(trainer->trained_through()),
               static_cast<long long>(trainer->config().total_iters_t()),
               static_cast<unsigned long long>(trainer->generation()));
+  // Bit-exact fingerprint of the global model; two runs that should be
+  // exactly equal (e.g. crashed-and-recovered vs uninterrupted) print the
+  // same hash.
+  const Tensor& params = trainer->global_params();
+  std::printf("  model    : crc32=%08x (%lld params)\n",
+              Crc32(params.data(),
+                    static_cast<size_t>(params.size()) * sizeof(float)),
+              static_cast<long long>(params.size()));
   std::printf("  accuracy : %.4f\n", trainer->EvaluateTestAccuracy());
   std::printf("  comm     : %s\n",
               trainer->comm_stats().ToString().c_str());
@@ -117,9 +132,27 @@ Status RunTrain(const CliOptions& options, bool resume) {
   config.rho_c = options.rho_c;
   config.seed = static_cast<uint64_t>(options.seed);
   config.num_threads = options.threads;
+  config.fault_spec = options.fault_spec;
   FATS_RETURN_NOT_OK(config.Validate());
   FatsTrainer trainer(profile.model, config, &data);
-  if (resume) {
+
+  std::unique_ptr<DurableTrainingSession> session;
+  if (!options.journal.empty()) {
+    // Journaled mode: Open loads the checkpoint if present, replays the
+    // journal's committed prefix, and finishes any interrupted pass — the
+    // train/resume distinction collapses into one recovery path.
+    FATS_ASSIGN_OR_RETURN(
+        session, DurableTrainingSession::Open(options.checkpoint,
+                                              options.journal, &trainer));
+    if (session->recovered() || trainer.trained_through() > 0) {
+      std::printf("recovered from %s + %s at iteration %lld\n",
+                  options.checkpoint.c_str(), options.journal.c_str(),
+                  static_cast<long long>(trainer.trained_through()));
+    } else {
+      std::printf("training %s (journaled): %s\n", profile.name.c_str(),
+                  config.ToString().c_str());
+    }
+  } else if (resume) {
     FATS_RETURN_NOT_OK(LoadTrainerCheckpoint(options.checkpoint, &trainer));
     std::printf("resumed from %s at iteration %lld\n",
                 options.checkpoint.c_str(),
@@ -128,12 +161,23 @@ Status RunTrain(const CliOptions& options, bool resume) {
     std::printf("training %s: %s\n", profile.name.c_str(),
                 config.ToString().c_str());
   }
-  const int64_t target = options.until_iter > 0 ? options.until_iter
-                                                : config.total_iters_t();
+  const int64_t requested = options.until_iter > 0 ? options.until_iter
+                                                   : config.total_iters_t();
+  // Recovery may already have carried training past the requested target.
+  const int64_t target = std::max(requested, trainer.trained_through());
   trainer.TrainUntil(target);
   PrintStatusLine(&trainer);
-  FATS_RETURN_NOT_OK(SaveTrainerCheckpoint(&trainer, options.checkpoint));
+  if (session != nullptr) {
+    FATS_RETURN_NOT_OK(session->status());
+    FATS_RETURN_NOT_OK(session->Checkpoint());
+  } else {
+    FATS_RETURN_NOT_OK(SaveTrainerCheckpoint(&trainer, options.checkpoint));
+  }
   std::printf("checkpoint written to %s\n", options.checkpoint.c_str());
+  if (!options.log_csv.empty()) {
+    FATS_RETURN_NOT_OK(trainer.log().WriteCsvFile(options.log_csv));
+    std::printf("round log written to %s\n", options.log_csv.c_str());
+  }
   return Status::OK();
 }
 
@@ -154,9 +198,22 @@ Status RunUnlearn(const CliOptions& options, bool client_level) {
   config.rho_c = options.rho_c;
   config.seed = static_cast<uint64_t>(options.seed);
   config.num_threads = options.threads;
+  config.fault_spec = options.fault_spec;
   FATS_RETURN_NOT_OK(config.Validate());
   FatsTrainer trainer(profile.model, config, &data);
-  FATS_RETURN_NOT_OK(LoadTrainerCheckpoint(options.checkpoint, &trainer));
+  std::unique_ptr<DurableTrainingSession> session;
+  if (!options.journal.empty()) {
+    // Journaled unlearning: the operation bracket makes a crashed unlearn
+    // roll back atomically instead of corrupting the checkpoint.
+    FATS_ASSIGN_OR_RETURN(
+        session, DurableTrainingSession::Open(options.checkpoint,
+                                              options.journal, &trainer));
+    if (trainer.trained_through() == 0) {
+      return Status::InvalidArgument("nothing trained yet; run train first");
+    }
+  } else {
+    FATS_RETURN_NOT_OK(LoadTrainerCheckpoint(options.checkpoint, &trainer));
+  }
 
   UnlearningOutcome outcome;
   if (client_level) {
@@ -189,7 +246,12 @@ Status RunUnlearn(const CliOptions& options, bool client_level) {
   }
   std::printf("\n");
   PrintStatusLine(&trainer);
-  FATS_RETURN_NOT_OK(SaveTrainerCheckpoint(&trainer, options.checkpoint));
+  if (session != nullptr) {
+    FATS_RETURN_NOT_OK(session->status());
+    FATS_RETURN_NOT_OK(session->Checkpoint());
+  } else {
+    FATS_RETURN_NOT_OK(SaveTrainerCheckpoint(&trainer, options.checkpoint));
+  }
   std::printf("checkpoint updated: %s\n", options.checkpoint.c_str());
   return Status::OK();
 }
@@ -247,6 +309,16 @@ int Main(int argc, char** argv) {
   int64_t* index = flags.AddInt("index", -1, "target sample index");
   int64_t* threads = flags.AddInt(
       "threads", 1, "worker threads for client updates (bit-identical)");
+  std::string* journal = flags.AddString(
+      "journal", "",
+      "journal path; enables crash-exact journaled sessions (recovers "
+      "automatically after a crash)");
+  std::string* log_csv = flags.AddString(
+      "log_csv", "", "write the per-round training log as CSV here");
+  std::string* fault_spec = flags.AddString(
+      "fault_spec", "",
+      "failpoint arming spec 'site:hit_count:action,...' "
+      "(action: error|crash|torn-write|delay) for crash testing");
   Status parse = flags.Parse(argc - 1, argv + 1);
   if (parse.code() == StatusCode::kNotFound) return 0;  // --help
   if (!parse.ok()) {
@@ -264,6 +336,9 @@ int Main(int argc, char** argv) {
   options.client = *client;
   options.index = *index;
   options.threads = *threads;
+  options.journal = *journal;
+  options.log_csv = *log_csv;
+  options.fault_spec = *fault_spec;
 
   Status status;
   if (options.command == "train") {

@@ -284,7 +284,7 @@ size_t MatchAngle(std::string_view text, size_t open) {
 std::vector<std::string> AllRules() {
   return {kRuleBannedRand,   kRuleBannedRandomDevice, kRuleDefaultEngine,
           kRuleTimeSeed,     kRuleRandomInclude,      kRuleUnorderedIteration,
-          kRuleRawThread,    kRuleHotAlloc};
+          kRuleRawThread,    kRuleRawIo,              kRuleHotAlloc};
 }
 
 FileClass ClassifyPath(std::string_view path) {
@@ -297,6 +297,11 @@ FileClass ClassifyPath(std::string_view path) {
   std::string norm(path);
   std::replace(norm.begin(), norm.end(), '\\', '/');
   cls.thread_rules = norm.find("util/thread_pool.") == std::string::npos;
+  // The journal module is the single sanctioned raw-file writer.
+  cls.io_rules = (HasComponent(path, "src/core") ||
+                  HasComponent(path, "src/fl") ||
+                  HasComponent(path, "src/io")) &&
+                 norm.find("io/journal.") == std::string::npos;
   cls.hot_rules = HasComponent(path, "src/nn");
   return cls;
 }
@@ -539,6 +544,21 @@ std::vector<Finding> ScanSource(
         add(kRuleUnorderedIteration,
             LineOfOffset(stripped, static_cast<size_t>(it->position())), msg);
       }
+    }
+  }
+
+  if (cls.io_rules) {
+    static const std::regex kRawIo(
+        R"(\bstd\s*::\s*ofstream\b|\bofstream\s+[A-Za-z_]|\b(?:std\s*::\s*)?fopen\s*\(|\b(?:std\s*::\s*)?fwrite\s*\()");
+    auto begin = std::sregex_iterator(stripped.begin(), stripped.end(), kRawIo);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      add(kRuleRawIo,
+          LineOfOffset(stripped, static_cast<size_t>(it->position())),
+          "raw file I/O (std::ofstream/fopen/fwrite) outside the journal "
+          "module: durable training state written behind the journal's back "
+          "has no CRC framing or fsync discipline, so a crash there is not "
+          "recoverable bit-exactly; route writes through fats::JournalWriter "
+          "or the checkpoint BinaryWriter");
     }
   }
 

@@ -27,6 +27,14 @@
 //                         deterministic-parallelism contract (pre-drawn
 //                         substreams + ordered reduction); use
 //                         fats::ThreadPool.
+//   raw-io                std::ofstream / fopen / fwrite in src/core/,
+//                         src/fl/, or src/io/ outside the journal module
+//                         (io/journal.*): durable state written behind the
+//                         journal's back has no CRC framing, no fsync
+//                         discipline, and no crash-recovery story.  Route
+//                         writes through fats::JournalWriter or the
+//                         checkpoint BinaryWriter; read-only probes take a
+//                         `// fats-lint: allow(raw-io)` suppression.
 //   hot-alloc             in src/nn/, inside the body of a Forward(...) or
 //                         Backward(...) definition (the per-step hot path):
 //                         (a) a Tensor local temporary -- per-step heap
@@ -65,6 +73,7 @@ inline constexpr const char kRuleTimeSeed[] = "time-seed";
 inline constexpr const char kRuleRandomInclude[] = "random-include";
 inline constexpr const char kRuleUnorderedIteration[] = "unordered-iteration";
 inline constexpr const char kRuleRawThread[] = "raw-thread";
+inline constexpr const char kRuleRawIo[] = "raw-io";
 inline constexpr const char kRuleHotAlloc[] = "hot-alloc";
 
 // All rule IDs, for --list-rules and for validating allow(...) directives.
@@ -89,6 +98,9 @@ struct FileClass {
   // raw-thread.  Off only for the src/util/thread_pool.{h,cc} module, the
   // one place allowed to create threads.
   bool thread_rules = true;
+  // raw-io.  On for src/core/, src/fl/, src/io/ except the journal module
+  // (io/journal.{h,cc}), the one sanctioned raw-file writer.
+  bool io_rules = false;
   // hot-alloc.  On only for src/nn/, where Forward/Backward bodies are the
   // per-training-step hot path covered by the allocation-free contract
   // (DESIGN.md section 7.2).
