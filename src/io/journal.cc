@@ -31,6 +31,7 @@ uint32_t GetU32(const char* in) {
 }
 
 Status SyncFile(std::FILE* file, const std::string& path) {
+  FATS_FAILPOINT_STATUS("journal.sync_file");
   if (std::fflush(file) != 0) {
     return Status::IoError("journal flush failed: " + path);
   }
@@ -159,6 +160,7 @@ Result<std::unique_ptr<JournalWriter>> JournalWriter::OpenForAppend(
   }
   // Discard the torn / uncommitted tail so appended records follow the last
   // committed one directly.
+  FATS_FAILPOINT_STATUS("journal.truncate_tail");
   if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
     return Status::IoError("cannot truncate journal tail: " + path);
   }
@@ -169,6 +171,8 @@ Result<std::unique_ptr<JournalWriter>> JournalWriter::OpenForAppend(
   return std::unique_ptr<JournalWriter>(new JournalWriter(file, path, mode));
 }
 
+// Destructor cannot surface a Status; callers needing the sync result must
+// call Close() themselves.  fats-lint: allow(discarded-status)
 JournalWriter::~JournalWriter() { (void)Close(); }
 
 Status JournalWriter::Append(std::string_view payload) {

@@ -103,7 +103,9 @@ void DisarmAll() {
 
 void ArmFromEnvOnce() {
   static const bool armed = [] {
-    const char* env = std::getenv("FATS_FAILPOINTS");
+    // Read once under the static-init guard, before any worker thread can
+    // exist, so the mt-unsafety of getenv cannot bite.
+    const char* env = std::getenv("FATS_FAILPOINTS");  // NOLINT(concurrency-mt-unsafe)
     if (env != nullptr && env[0] != '\0') {
       // A malformed env spec is a usage error, not a data error; surface it
       // loudly rather than silently running without fault injection.

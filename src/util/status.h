@@ -31,7 +31,10 @@ enum class StatusCode {
 const char* StatusCodeToString(StatusCode code);
 
 /// A success-or-error outcome. Cheap to copy in the success case.
-class Status {
+/// [[nodiscard]] on the type makes every dropped by-value return a compile
+/// warning (an error under FATS_WERROR); intentional discards take
+/// `(void)` plus a `// fats-lint: allow(discarded-status)` annotation.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -85,7 +88,7 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 /// Either a value of type T or an error Status. Never holds an OK status
 /// without a value.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit so `return value;` works in functions returning Result<T>.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

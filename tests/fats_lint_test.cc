@@ -447,6 +447,78 @@ TEST(FatsLintReport, AllRulesListed) {
             rules.end());
 }
 
+// --- SuppressionMap edge cases (the comment grammar, not the rules) ---
+
+TEST(FatsLintSuppressionMap, MultiRuleListOnOneLine) {
+  const SuppressionMap map = SuppressionMap::Parse(
+      "int x;  // fats-lint: allow(banned-rand,raw-thread)\n");
+  EXPECT_TRUE(map.Allows(1, "banned-rand"));
+  EXPECT_TRUE(map.Allows(1, "raw-thread"));
+  EXPECT_FALSE(map.Allows(1, "raw-io"));
+  // The directive also covers the next line (annotation-above form).
+  EXPECT_TRUE(map.Allows(2, "banned-rand"));
+  EXPECT_FALSE(map.Allows(3, "banned-rand"));
+}
+
+TEST(FatsLintSuppressionMap, TrailingCommentAfterDirective) {
+  const SuppressionMap map = SuppressionMap::Parse(
+      "f();  // fats-lint: allow(raw-io) -- read-only probe, see DESIGN 7.4\n");
+  EXPECT_TRUE(map.Allows(1, "raw-io"));
+  // Prose after the close paren must not leak extra rules.
+  EXPECT_FALSE(map.Allows(1, "probe"));
+}
+
+TEST(FatsLintSuppressionMap, BlockCommentForm) {
+  const SuppressionMap map = SuppressionMap::Parse(
+      "g(); /* fats-lint: allow(hot-alloc) */ h();\n");
+  EXPECT_TRUE(map.Allows(1, "hot-alloc"));
+}
+
+TEST(FatsLintSuppressionMap, WhitespaceBetweenAllowAndParen) {
+  const SuppressionMap map = SuppressionMap::Parse(
+      "x();  // fats-lint: allow ( banned-rand , time-seed )\n");
+  EXPECT_TRUE(map.Allows(1, "banned-rand"));
+  EXPECT_TRUE(map.Allows(1, "time-seed"));
+}
+
+TEST(FatsLintSuppressionMap, MultipleDirectivesOnOneLineMerge) {
+  const SuppressionMap map = SuppressionMap::Parse(
+      "y();  // fats-lint: allow(raw-io) fats-lint: allow(raw-thread)\n");
+  EXPECT_TRUE(map.Allows(1, "raw-io"));
+  EXPECT_TRUE(map.Allows(1, "raw-thread"));
+}
+
+TEST(FatsLintSuppressionMap, DirectiveTwoLinesAboveDoesNotApply) {
+  const std::vector<Finding> f = ScanSource(
+      "src/core/a.cc",
+      "// fats-lint: allow(banned-rand)\n"
+      "int unrelated;\n"
+      "int x = std::rand();\n");
+  ASSERT_EQ(static_cast<int>(f.size()), 1);
+  EXPECT_FALSE(f[0].suppressed);
+}
+
+TEST(FatsLintSuppressionMap, WrongLineDoesNotSuppress) {
+  // Directive BELOW the finding: only same-line and line-above count.
+  const std::vector<Finding> f = ScanSource(
+      "src/core/a.cc",
+      "int x = std::rand();\n"
+      "// fats-lint: allow(banned-rand)\n");
+  ASSERT_EQ(static_cast<int>(f.size()), 1);
+  EXPECT_FALSE(f[0].suppressed);
+}
+
+TEST(FatsLintSuppressionMap, MalformedDirectiveIsIgnored) {
+  const SuppressionMap map = SuppressionMap::Parse(
+      "a();  // fats-lint: allow banned-rand\n"   // no parens
+      "b();  // fats-lint: deny(banned-rand)\n"   // unknown verb
+      "c();  // fats-lint: allow()\n");           // empty list
+  EXPECT_FALSE(map.Allows(1, "banned-rand"));
+  EXPECT_FALSE(map.Allows(2, "banned-rand"));
+  EXPECT_FALSE(map.Allows(3, "banned-rand"));
+  EXPECT_TRUE(map.empty());
+}
+
 TEST(FatsLintStrip, PreservesOffsetsAndNewlines) {
   const std::string stripped = StripCommentsAndStrings(
       "int a; // comment\n\"str\\\"ing\" 'c'\n/* multi\nline */int b;\n");

@@ -1,0 +1,233 @@
+#include "analyze/code_model.h"
+
+#include <set>
+
+namespace fats::analyze {
+namespace {
+
+// Keywords that look like `ident (` but never start a function definition.
+const std::set<std::string_view>& ControlKeywords() {
+  static const auto* kSet = new std::set<std::string_view>{
+      "if", "for", "while", "switch", "catch", "return", "sizeof",
+      "alignof", "decltype", "static_assert", "new", "delete", "throw"};
+  return *kSet;
+}
+
+// Qualifier-ish identifiers allowed between a parameter list's ')' and the
+// body '{' of a function definition.
+bool IsTrailingQualifier(std::string_view text) {
+  return text == "const" || text == "noexcept" || text == "override" ||
+         text == "final" || text == "mutable" || text == "try";
+}
+
+// Skips a constructor member-init list starting at the ':' token.  Returns
+// the index of the body '{', or tokens.size() when the shape is not an init
+// list (e.g. `case x:` labels).
+size_t SkipInitList(const std::vector<Token>& tokens, size_t colon) {
+  size_t i = colon + 1;
+  while (i < tokens.size()) {
+    if (tokens[i].kind != TokKind::kIdent) return tokens.size();
+    ++i;
+    // Allow qualified member names (rare) and template args.
+    while (IsPunct(tokens, i, "::") && i + 1 < tokens.size() &&
+           tokens[i + 1].kind == TokKind::kIdent) {
+      i += 2;
+    }
+    if (IsPunct(tokens, i, "<")) {
+      const size_t past = MatchForward(tokens, i);
+      if (past == kNoMatch) return tokens.size();
+      i = past;
+    }
+    if (!IsPunct(tokens, i, "(") && !IsPunct(tokens, i, "{")) {
+      return tokens.size();
+    }
+    const size_t past = MatchForward(tokens, i);
+    if (past == kNoMatch) return tokens.size();
+    i = past;
+    if (IsPunct(tokens, i, ",")) {
+      ++i;
+      continue;
+    }
+    if (IsPunct(tokens, i, "{")) return i;
+    return tokens.size();
+  }
+  return tokens.size();
+}
+
+}  // namespace
+
+std::vector<FunctionDef> ExtractFunctions(const std::vector<Token>& tokens) {
+  std::vector<FunctionDef> defs;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokKind::kIdent || !IsPunct(tokens, i + 1, "(")) {
+      continue;
+    }
+    if (ControlKeywords().count(tokens[i].text) > 0) continue;
+    // The callee chain must sit at declaration position, not be a call:
+    // a call is preceded by `.`, `->`, `(`, `,`, an operator, `return`, ...
+    // A definition's name is preceded by a type token, `::`, `&`, `*`, or
+    // starts the file.  Rather than enumerate types, require that walking
+    // back over `ident ::` qualifiers lands on something that is NOT one of
+    // the call-context punctuators.
+    size_t name_idx = i;
+    std::string qualified(tokens[i].text);
+    size_t back = i;
+    while (back >= 2 && IsPunct(tokens, back - 1, "::") &&
+           tokens[back - 2].kind == TokKind::kIdent) {
+      qualified = std::string(tokens[back - 2].text) + "::" + qualified;
+      back -= 2;
+    }
+    if (back > 0) {
+      const Token& prev = tokens[back - 1];
+      const bool call_context =
+          prev.kind == TokKind::kPunct &&
+          (prev.text == "." || prev.text == "->" || prev.text == "(" ||
+           prev.text == "," || prev.text == "=" || prev.text == "+" ||
+           prev.text == "-" || prev.text == "!" || prev.text == "<" ||
+           prev.text == "?" || prev.text == ":" || prev.text == "::" ||
+           prev.text == "+=" || prev.text == "-=" || prev.text == "==" ||
+           prev.text == "!=" || prev.text == "&&" || prev.text == "||" ||
+           // `>>` is NOT call context: `Result<unique_ptr<T>> Fn(` lexes
+           // the closing angles as one `>>` token, and the body-brace
+           // requirement below already rejects stream-extraction chains.
+           prev.text == "<<");
+      const bool keyword_context = prev.kind == TokKind::kIdent &&
+                                   (prev.text == "return" ||
+                                    prev.text == "co_return" ||
+                                    prev.text == "case" || prev.text == "new");
+      if (call_context || keyword_context) continue;
+    }
+    const size_t close = MatchForward(tokens, i + 1);
+    if (close == kNoMatch) continue;
+    size_t j = close;
+    // Trailing qualifiers, `-> Type` return specs, and `: init-list`.
+    while (j < tokens.size()) {
+      if (tokens[j].kind == TokKind::kIdent &&
+          IsTrailingQualifier(tokens[j].text)) {
+        ++j;
+        continue;
+      }
+      if (IsPunct(tokens, j, "->")) {
+        // Trailing return type: skip tokens up to '{', ';', or init ':'.
+        ++j;
+        while (j < tokens.size() && !IsPunct(tokens, j, "{") &&
+               !IsPunct(tokens, j, ";") && !IsPunct(tokens, j, ":")) {
+          if (IsPunct(tokens, j, "<")) {
+            const size_t past = MatchForward(tokens, j);
+            if (past == kNoMatch) break;
+            j = past;
+          } else {
+            ++j;
+          }
+        }
+        continue;
+      }
+      if (IsPunct(tokens, j, "noexcept") || IsPunct(tokens, j, "(")) {
+        // noexcept(expr)
+        const size_t past = MatchForward(tokens, j);
+        if (past == kNoMatch) break;
+        j = past;
+        continue;
+      }
+      break;
+    }
+    size_t body_open = tokens.size();
+    if (IsPunct(tokens, j, "{")) {
+      body_open = j;
+    } else if (IsPunct(tokens, j, ":")) {
+      body_open = SkipInitList(tokens, j);
+    }
+    if (body_open >= tokens.size()) continue;
+    const size_t body_close = MatchForward(tokens, body_open);
+    if (body_close == kNoMatch) continue;
+    FunctionDef def;
+    def.name = std::string(tokens[name_idx].text);
+    def.qualified = qualified;
+    def.body_begin = body_open + 1;
+    def.body_end = body_close - 1;
+    def.line = tokens[name_idx].line;
+    defs.push_back(std::move(def));
+  }
+  return defs;
+}
+
+std::vector<LambdaBody> FindLambdas(const std::vector<Token>& tokens,
+                                    size_t begin, size_t end) {
+  std::vector<LambdaBody> lambdas;
+  for (size_t i = begin; i < end && i < tokens.size(); ++i) {
+    if (!IsPunct(tokens, i, "[")) continue;
+    // A lambda introducer is preceded by an expression-starting context;
+    // a subscript is preceded by a value (ident, ')', ']', number).
+    if (i > 0) {
+      const Token& prev = tokens[i - 1];
+      if (prev.kind == TokKind::kIdent && prev.text != "return" &&
+          prev.text != "case") {
+        continue;
+      }
+      if (prev.kind == TokKind::kNumber) continue;
+      if (prev.kind == TokKind::kPunct &&
+          (prev.text == ")" || prev.text == "]")) {
+        continue;
+      }
+    }
+    const size_t capture_close = MatchForward(tokens, i);
+    if (capture_close == kNoMatch) continue;
+    size_t j = capture_close;
+    LambdaBody lambda;
+    lambda.line = tokens[i].line;
+    if (IsPunct(tokens, j, "(")) {
+      const size_t params_close = MatchForward(tokens, j);
+      if (params_close == kNoMatch) continue;
+      // Parameter names: the identifier directly before each ',' or the
+      // closing ')' (skipping defaulted params is not needed in this tree).
+      for (size_t p = j + 1; p < params_close; ++p) {
+        if ((IsPunct(tokens, p, ",") || p == params_close - 1) && p > j + 1 &&
+            tokens[p - 1].kind == TokKind::kIdent) {
+          lambda.param_names.emplace_back(tokens[p - 1].text);
+        }
+      }
+      j = params_close;
+    }
+    // mutable / noexcept / -> Type
+    while (j < tokens.size() && !IsPunct(tokens, j, "{") &&
+           !IsPunct(tokens, j, ";") && !IsPunct(tokens, j, ")") &&
+           !IsPunct(tokens, j, ",")) {
+      ++j;
+    }
+    if (!IsPunct(tokens, j, "{")) continue;
+    const size_t body_close = MatchForward(tokens, j);
+    if (body_close == kNoMatch) continue;
+    lambda.body_begin = j + 1;
+    lambda.body_end = body_close - 1;
+    lambdas.push_back(std::move(lambda));
+    i = j;  // descend: nested lambdas are found by the continuing scan
+  }
+  return lambdas;
+}
+
+bool DeclaresVariable(const std::vector<Token>& tokens, size_t begin,
+                      size_t end, std::string_view type_name,
+                      std::string_view var_name) {
+  for (size_t i = begin; i + 1 < end && i + 1 < tokens.size(); ++i) {
+    if (!IsIdent(tokens, i, type_name)) continue;
+    // Allow `Type name`, `Type& name`, `Type* name`.
+    size_t j = i + 1;
+    while (IsPunct(tokens, j, "&") || IsPunct(tokens, j, "*")) ++j;
+    if (IsIdent(tokens, j, var_name)) return true;
+  }
+  return false;
+}
+
+FileModel BuildFileModel(const SourceFile& source) {
+  FileModel model;
+  model.source = &source;
+  model.stripped = lint::StripCommentsAndStrings(source.content);
+  model.tokens = Lex(model.stripped);
+  model.suppressions = lint::SuppressionMap::Parse(source.content);
+  model.file_class = lint::ClassifyPath(source.path);
+  model.functions = ExtractFunctions(model.tokens);
+  model.unordered_names = lint::CollectUnorderedNames(source.content);
+  return model;
+}
+
+}  // namespace fats::analyze

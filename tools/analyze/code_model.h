@@ -1,0 +1,76 @@
+// Per-file code model for fats_analyze: token stream, function definitions,
+// lambda bodies, and call sites, recovered heuristically from the token
+// stream (no full parse, no preprocessor).  The model is deliberately
+// conservative: when a construct cannot be parsed, it is omitted rather than
+// guessed, and the rules that consume it degrade to not firing.
+
+#ifndef FATS_TOOLS_ANALYZE_CODE_MODEL_H_
+#define FATS_TOOLS_ANALYZE_CODE_MODEL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyze/lexer.h"
+#include "fats_lint_lib.h"
+
+namespace fats::analyze {
+
+// One file handed to the analyzer.  `content` is the raw source.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+// A function (or method / constructor) definition: the tokens of its body,
+// [body_begin, body_end) as token indices, body_begin pointing just past the
+// opening '{' and body_end at the matching '}'.
+struct FunctionDef {
+  std::string name;       // unqualified name, e.g. "Append"
+  std::string qualified;  // e.g. "JournalWriter::Append" when qualified
+  size_t body_begin = 0;
+  size_t body_end = 0;
+  int line = 0;  // line of the name token
+};
+
+// A lambda body, [body_begin, body_end) as token indices (inside the
+// braces).  `param_names` are the lambda's parameter identifiers in order.
+struct LambdaBody {
+  size_t body_begin = 0;
+  size_t body_end = 0;
+  std::vector<std::string> param_names;
+  int line = 0;  // line of the '[' introducer
+};
+
+// A fully analyzed file: raw + stripped content, tokens, suppressions, and
+// the recovered definitions.  Built once per file and shared by every pass.
+struct FileModel {
+  const SourceFile* source = nullptr;
+  std::string stripped;
+  std::vector<Token> tokens;
+  lint::SuppressionMap suppressions;
+  lint::FileClass file_class;
+  std::vector<FunctionDef> functions;
+  // Names declared with unordered container types, from this file plus (for
+  // a .cc) its sibling header when the analyzer can resolve it.
+  std::vector<std::string> unordered_names;
+};
+
+FileModel BuildFileModel(const SourceFile& source);
+
+// Extracts function definitions from a token stream.  Exposed for tests.
+std::vector<FunctionDef> ExtractFunctions(const std::vector<Token>& tokens);
+
+// Finds lambda bodies in the token range [begin, end).  Exposed for tests.
+std::vector<LambdaBody> FindLambdas(const std::vector<Token>& tokens,
+                                    size_t begin, size_t end);
+
+// True when an identifier token sequence `Type name` (declaration of `name`
+// with type `type_name`) occurs in [begin, end).
+bool DeclaresVariable(const std::vector<Token>& tokens, size_t begin,
+                      size_t end, std::string_view type_name,
+                      std::string_view var_name);
+
+}  // namespace fats::analyze
+
+#endif  // FATS_TOOLS_ANALYZE_CODE_MODEL_H_

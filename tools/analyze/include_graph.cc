@@ -1,0 +1,131 @@
+#include "analyze/include_graph.h"
+
+#include <algorithm>
+#include <functional>
+#include <regex>
+
+namespace fats::analyze {
+namespace {
+
+const std::map<std::string, int>& RankTable() {
+  static const auto* kRanks = new std::map<std::string, int>{
+      {"util", 0},      {"tensor", 1}, {"rng", 1},   {"nn", 2},
+      {"data", 3},      {"fl", 4},     {"core", 5},  {"metrics", 5},
+      {"io", 6},        {"baselines", 6}, {"attack", 6},
+  };
+  return *kRanks;
+}
+
+}  // namespace
+
+std::string ModuleOf(std::string_view path) {
+  std::string norm(path);
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  size_t src = norm.rfind("src/");
+  if (src == std::string::npos) return "";
+  // Accept only a path-component "src" ("xsrc/" must not match).
+  if (src != 0 && norm[src - 1] != '/') return "";
+  const size_t mod_begin = src + 4;
+  const size_t mod_end = norm.find('/', mod_begin);
+  if (mod_end == std::string::npos) return "";
+  return norm.substr(mod_begin, mod_end - mod_begin);
+}
+
+int ModuleRank(std::string_view module) {
+  const auto& ranks = RankTable();
+  auto it = ranks.find(std::string(module));
+  return it == ranks.end() ? -1 : it->second;
+}
+
+void IncludeGraph::AddFile(std::string_view path, std::string_view content) {
+  static const std::regex kInclude(R"(^[ \t]*#[ \t]*include[ \t]*"([^"]+)\")");
+  const std::string from_module = ModuleOf(path);
+  int line = 1;
+  size_t start = 0;
+  const std::string text(content);
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    const std::string line_text =
+        text.substr(start, nl == std::string::npos ? std::string::npos
+                                                   : nl - start);
+    std::smatch m;
+    if (std::regex_search(line_text, m, kInclude)) {
+      IncludeEdge edge;
+      edge.from_file = std::string(path);
+      edge.target = m[1].str();
+      edge.line = line;
+      edges_.push_back(edge);
+      if (!from_module.empty()) {
+        // Project includes are written repo-relative to src/ ("core/x.h").
+        const std::string to_module = ModuleOf("src/" + edge.target);
+        if (!to_module.empty() && to_module != from_module) {
+          module_edges_[from_module].emplace(to_module, edge);
+        }
+      }
+    }
+    if (nl == std::string::npos) break;
+    start = nl + 1;
+    ++line;
+  }
+}
+
+std::vector<IncludeEdge> IncludeGraph::RankViolations() const {
+  std::vector<IncludeEdge> violations;
+  for (const auto& [from, targets] : module_edges_) {
+    const int from_rank = ModuleRank(from);
+    if (from_rank < 0) continue;
+    for (const auto& [to, edge] : targets) {
+      const int to_rank = ModuleRank(to);
+      if (to_rank < 0) continue;
+      if (to_rank > from_rank) violations.push_back(edge);
+    }
+  }
+  return violations;
+}
+
+std::vector<std::vector<IncludeEdge>> IncludeGraph::Cycles() const {
+  // Iterative DFS with colors over the module graph; each back edge yields
+  // one cycle (the current stack slice).  Modules are visited in sorted
+  // order, so reports are deterministic.
+  std::vector<std::vector<IncludeEdge>> cycles;
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> stack;
+
+  // Recursive lambda via explicit stack of (module, next-target iterator).
+  std::function<void(const std::string&)> visit = [&](const std::string& mod) {
+    color[mod] = 1;
+    stack.push_back(mod);
+    auto it = module_edges_.find(mod);
+    if (it != module_edges_.end()) {
+      for (const auto& [to, edge] : it->second) {
+        if (color[to] == 1) {
+          // Back edge: the cycle is the stack from `to` to `mod` plus this
+          // edge.  Collect the representative include for each hop.
+          std::vector<IncludeEdge> cycle;
+          auto begin = std::find(stack.begin(), stack.end(), to);
+          for (auto s = begin; s != stack.end(); ++s) {
+            auto next = (s + 1 != stack.end()) ? *(s + 1) : to;
+            auto hop_from = module_edges_.find(*s);
+            if (hop_from != module_edges_.end()) {
+              auto hop = hop_from->second.find(next);
+              if (hop != hop_from->second.end()) cycle.push_back(hop->second);
+            }
+          }
+          if (!cycle.empty()) cycles.push_back(std::move(cycle));
+        } else if (color[to] == 0) {
+          visit(to);
+        }
+      }
+    }
+    stack.pop_back();
+    color[mod] = 2;
+  };
+
+  for (const auto& [mod, targets] : module_edges_) {
+    (void)targets;
+    if (color[mod] == 0) visit(mod);
+  }
+  return cycles;
+}
+
+}  // namespace fats::analyze

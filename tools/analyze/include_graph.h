@@ -1,0 +1,72 @@
+// Include-graph builder and layering checker for fats_analyze.
+//
+// The repository's module DAG (DESIGN.md §7.4) is, bottom-up:
+//
+//   rank 0  util                      (includable by every module)
+//   rank 1  tensor, rng
+//   rank 2  nn                        (tensor + rng)
+//   rank 3  data                      (nn + below)
+//   rank 4  fl                        (data + below)
+//   rank 5  core, metrics             (fl + below)
+//   rank 6  io, baselines, attack     (core + below)
+//
+// A file in module A may include module B only when rank(B) <= rank(A).
+// Same-rank cross-includes are tolerated (core does not include metrics
+// today, but nothing structural forbids it) — the cycle check catches any
+// mutual dependence that would arise.  Modules the rank table does not know
+// (e.g. a future src/transport) are exempt from the rank check but still
+// participate in cycle detection, so new layers cannot silently create
+// cycles before they are assigned a rank.
+//
+// tools/, bench/, tests/, and examples/ may include anything.
+
+#ifndef FATS_TOOLS_ANALYZE_INCLUDE_GRAPH_H_
+#define FATS_TOOLS_ANALYZE_INCLUDE_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fats::analyze {
+
+struct IncludeEdge {
+  std::string from_file;  // path as given to AddFile
+  std::string target;     // the quoted include text, e.g. "core/fats_trainer.h"
+  int line = 0;
+};
+
+// Returns the src/ module of a repo-relative or absolute path
+// ("src/core/x.cc" -> "core"), or "" for paths outside src/.
+std::string ModuleOf(std::string_view path);
+
+// Rank of a module in the layer DAG, or -1 when unknown.
+int ModuleRank(std::string_view module);
+
+class IncludeGraph {
+ public:
+  // Parses the `#include "..."` directives of one file (from its raw,
+  // unstripped content so include lines inside #if blocks still count) and
+  // records the module-level edges.
+  void AddFile(std::string_view path, std::string_view content);
+
+  const std::vector<IncludeEdge>& edges() const { return edges_; }
+
+  // Edges whose source module has a rank and whose target module's rank is
+  // strictly higher (an include of an upper layer).
+  std::vector<IncludeEdge> RankViolations() const;
+
+  // Module cycles among src/ modules, each reported once as the edge list
+  // of the cycle (file/line of one representative include per hop).
+  std::vector<std::vector<IncludeEdge>> Cycles() const;
+
+ private:
+  std::vector<IncludeEdge> edges_;
+  // module -> module -> one representative edge (first seen).
+  std::map<std::string, std::map<std::string, IncludeEdge>> module_edges_;
+};
+
+}  // namespace fats::analyze
+
+#endif  // FATS_TOOLS_ANALYZE_INCLUDE_GRAPH_H_

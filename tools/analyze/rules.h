@@ -1,0 +1,105 @@
+// fats_analyze rule passes.  Every rule reports fats::lint::Finding with a
+// stable rule ID; suppression uses the same `// fats-lint: allow(<rule>)`
+// syntax as the token-scanner rules (see fats_lint_lib.h).
+//
+// Rule catalog (DESIGN.md §7.4):
+//
+//   rng-raw-key        PhiloxEngine constructed outside src/rng/, or an
+//                      RngStream built from a literal-only raw key: stream
+//                      keys must come from DeriveStreamKey over a structured
+//                      StreamId, or replay cannot re-derive them.
+//   rng-shared-stream  an RNG draw inside a ParallelFor task on a stream
+//                      declared outside the task body: worker tasks racing
+//                      on one engine make the draw order schedule-dependent.
+//                      Per-task streams must be constructed inside the task
+//                      from pre-derived keys (slot-indexed receivers are
+//                      exempt for that reason).
+//   rng-unordered-draw an RNG draw (or stream construction) inside a loop
+//                      over an unordered container: hash order decides the
+//                      draw order, so two runs consume the stream
+//                      differently.
+//   nondet-reduction   float/double `+=`/`-=` accumulation onto shared state
+//                      inside a ParallelFor task body (not slot-indexed by
+//                      the task index), or inside a loop over an unordered
+//                      container: the reduction order differs run to run, so
+//                      the sum differs in the low bits and the exactness
+//                      proof dies.
+//   failpoint-gap      a function in src/io that calls a durable-write
+//                      primitive (fsync/fdatasync/rename/truncate/fwrite or
+//                      fopen for write) with no failpoint site in its body:
+//                      the crash matrix cannot kill inside it, so its
+//                      recovery path is untested.
+//   discarded-status   a Status/Result-returning call used as a bare
+//                      statement, or cast to (void) without a
+//                      `// fats-lint: allow(discarded-status)` suppression:
+//                      silently dropped I/O errors void the durability
+//                      contract.
+//   layer-order        an #include of a higher-rank module (see
+//                      include_graph.h for the layer DAG).
+//   layer-cycle        a module-level include cycle among src/ modules.
+
+#ifndef FATS_TOOLS_ANALYZE_RULES_H_
+#define FATS_TOOLS_ANALYZE_RULES_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/code_model.h"
+#include "analyze/include_graph.h"
+#include "fats_lint_lib.h"
+
+namespace fats::analyze {
+
+inline constexpr const char kRuleRngRawKey[] = "rng-raw-key";
+inline constexpr const char kRuleRngSharedStream[] = "rng-shared-stream";
+inline constexpr const char kRuleRngUnorderedDraw[] = "rng-unordered-draw";
+inline constexpr const char kRuleNondetReduction[] = "nondet-reduction";
+inline constexpr const char kRuleFailpointGap[] = "failpoint-gap";
+inline constexpr const char kRuleDiscardedStatus[] = "discarded-status";
+inline constexpr const char kRuleLayerOrder[] = "layer-order";
+inline constexpr const char kRuleLayerCycle[] = "layer-cycle";
+
+// The analyzer-pass rule IDs (the full ID space is these plus
+// lint::AllRules()).
+std::vector<std::string> AnalyzerRules();
+
+// Cross-file state shared by the rule passes, built in one pass over every
+// file before any rule runs.
+struct AnalysisIndex {
+  // Unqualified names of functions declared to return Status or Result<T>
+  // by value, anywhere in the tree.
+  std::set<std::string> status_functions;
+  // Names also declared with some other return type somewhere (`void
+  // Append(` vs `Status Append(`).  Without type resolution a call through
+  // such a name is ambiguous, so discarded-status skips it rather than
+  // misfire on the void overload.
+  std::set<std::string> nonstatus_functions;
+  // Failpoint site names registered via FATS_FAILPOINT("..."),
+  // FATS_FAILPOINT_STATUS("..."), or failpoint::RegisterSite("...").
+  std::set<std::string> failpoint_sites;
+  IncludeGraph includes;
+};
+
+// Index-building pass.
+void IndexFile(const FileModel& model, AnalysisIndex* index);
+
+// Per-file rule passes.  Each appends findings (already marked suppressed
+// where a directive covers them).
+void CheckRngDiscipline(const FileModel& model,
+                        std::vector<lint::Finding>* findings);
+void CheckReductions(const FileModel& model,
+                     std::vector<lint::Finding>* findings);
+void CheckFailpointCoverage(const FileModel& model,
+                            std::vector<lint::Finding>* findings);
+void CheckStatusDiscipline(const FileModel& model, const AnalysisIndex& index,
+                           std::vector<lint::Finding>* findings);
+
+// Whole-tree pass over the include graph.
+void CheckLayering(const AnalysisIndex& index,
+                   const std::vector<FileModel>& models,
+                   std::vector<lint::Finding>* findings);
+
+}  // namespace fats::analyze
+
+#endif  // FATS_TOOLS_ANALYZE_RULES_H_

@@ -1,0 +1,132 @@
+#include "analyze/rules_util.h"
+
+#include <algorithm>
+
+namespace fats::analyze {
+namespace {
+
+// Token index just past the end of the statement starting at `pos`
+// (handles nested parens/braces), or tokens.size().
+size_t StatementEndTok(const std::vector<Token>& tokens, size_t pos) {
+  size_t i = pos;
+  while (i < tokens.size()) {
+    if (IsPunct(tokens, i, "(") || IsPunct(tokens, i, "{") ||
+        IsPunct(tokens, i, "[")) {
+      const size_t past = MatchForward(tokens, i);
+      if (past == kNoMatch) return tokens.size();
+      i = past;
+    } else if (IsPunct(tokens, i, ";")) {
+      return i + 1;
+    } else {
+      ++i;
+    }
+  }
+  return tokens.size();
+}
+
+}  // namespace
+
+std::vector<UnorderedLoop> FindUnorderedLoops(
+    const std::vector<Token>& tokens,
+    const std::vector<std::string>& unordered_names) {
+  std::vector<UnorderedLoop> loops;
+  if (unordered_names.empty()) return loops;
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (!IsIdent(tokens, i, "for") || !IsPunct(tokens, i + 1, "(")) continue;
+    const size_t header_open = i + 1;
+    const size_t header_close = MatchForward(tokens, header_open);
+    if (header_close == kNoMatch) continue;
+
+    bool over_unordered = false;
+    int depth = 0;
+    for (size_t j = header_open + 1; j + 1 < header_close; ++j) {
+      if (tokens[j].kind == TokKind::kPunct && tokens[j].text.size() == 1) {
+        const char c = tokens[j].text[0];
+        if (c == '(' || c == '[' || c == '{') ++depth;
+        if (c == ')' || c == ']' || c == '}') --depth;
+      }
+      // Range-for: `for (decl : container)` with ':' at top level.  The
+      // container's base identifier must be an unordered name.
+      if (depth == 0 && IsPunct(tokens, j, ":")) {
+        for (size_t k = j + 1; k < header_close - 1; ++k) {
+          if (tokens[k].kind == TokKind::kIdent &&
+              std::find(unordered_names.begin(), unordered_names.end(),
+                        std::string(tokens[k].text)) !=
+                  unordered_names.end()) {
+            over_unordered = true;
+          }
+          break;  // only the first token of the container expression
+        }
+      }
+      // Iterator loop: `name.begin()` / `name.cbegin()` in the header.
+      if (tokens[j].kind == TokKind::kIdent &&
+          (tokens[j].text == "begin" || tokens[j].text == "cbegin" ||
+           tokens[j].text == "rbegin" || tokens[j].text == "crbegin") &&
+          j >= 2 && IsPunct(tokens, j - 1, ".") &&
+          tokens[j - 2].kind == TokKind::kIdent &&
+          std::find(unordered_names.begin(), unordered_names.end(),
+                    std::string(tokens[j - 2].text)) !=
+              unordered_names.end()) {
+        over_unordered = true;
+      }
+    }
+    if (!over_unordered) continue;
+
+    UnorderedLoop loop;
+    loop.line = tokens[i].line;
+    if (IsPunct(tokens, header_close, "{")) {
+      const size_t body_close = MatchForward(tokens, header_close);
+      if (body_close == kNoMatch) continue;
+      loop.body_begin = header_close + 1;
+      loop.body_end = body_close - 1;
+    } else {
+      loop.body_begin = header_close;
+      loop.body_end = StatementEndTok(tokens, header_close);
+      if (loop.body_end == tokens.size()) continue;
+    }
+    loops.push_back(loop);
+  }
+  return loops;
+}
+
+bool FloatTypedInFile(const std::vector<Token>& tokens,
+                      std::string_view var_name) {
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokKind::kIdent || tokens[i].text != var_name) {
+      continue;
+    }
+    // Look back a short window for a float/double/Tensor type token with no
+    // statement boundary in between: catches `float x`, `double& x`,
+    // `std::vector<float> x`, `Tensor x`, `const float* x`.
+    const size_t window_begin = i >= 8 ? i - 8 : 0;
+    for (size_t j = i; j-- > window_begin;) {
+      if (tokens[j].kind == TokKind::kPunct &&
+          (tokens[j].text == ";" || tokens[j].text == "{" ||
+           tokens[j].text == "}" || tokens[j].text == ")")) {
+        break;
+      }
+      if (tokens[j].kind == TokKind::kIdent &&
+          (tokens[j].text == "float" || tokens[j].text == "double" ||
+           tokens[j].text == "Tensor")) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<std::pair<size_t, size_t>> ParallelForArgRanges(
+    const std::vector<Token>& tokens) {
+  std::vector<std::pair<size_t, size_t>> ranges;
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (!IsIdent(tokens, i, "ParallelFor") || !IsPunct(tokens, i + 1, "(")) {
+      continue;
+    }
+    const size_t close = MatchForward(tokens, i + 1);
+    if (close == kNoMatch) continue;
+    ranges.emplace_back(i + 2, close - 1);
+  }
+  return ranges;
+}
+
+}  // namespace fats::analyze

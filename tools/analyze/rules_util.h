@@ -1,0 +1,64 @@
+// Internal helpers shared by the fats_analyze rule passes.
+
+#ifndef FATS_TOOLS_ANALYZE_RULES_UTIL_H_
+#define FATS_TOOLS_ANALYZE_RULES_UTIL_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "analyze/code_model.h"
+
+namespace fats::analyze {
+
+// Appends a finding, honoring the file's suppression directives.
+inline void AddFinding(const FileModel& model, const char* rule, int line,
+                       std::string message,
+                       std::vector<lint::Finding>* findings) {
+  lint::Finding f;
+  f.rule = rule;
+  f.file = model.source->path;
+  f.line = line;
+  f.message = std::move(message);
+  f.suppressed = model.suppressions.Allows(line, f.rule);
+  findings->push_back(std::move(f));
+}
+
+// RngStream draw methods: a call to one of these consumes stream state.
+inline const std::set<std::string_view>& DrawMethods() {
+  static const auto* kSet = new std::set<std::string_view>{
+      "NextUInt32", "NextUInt64", "NextDouble",
+      "UniformInt", "NextGaussian", "NextBernoulli"};
+  return *kSet;
+}
+
+// Token extent [begin, end) of the body of a loop that iterates an
+// unordered container (range-for over a declared unordered name, or an
+// explicit `name.begin()` iterator loop).
+struct UnorderedLoop {
+  size_t body_begin = 0;
+  size_t body_end = 0;
+  int line = 0;
+};
+
+// Finds loops over any of `unordered_names` in the token stream.
+std::vector<UnorderedLoop> FindUnorderedLoops(
+    const std::vector<Token>& tokens,
+    const std::vector<std::string>& unordered_names);
+
+// True if an identifier is declared with a float/double(-backed) type
+// somewhere in the file: `float x`, `double& x`, `std::vector<float> x`,
+// `Tensor x`, or a float/double pointer.  Heuristic by design.
+bool FloatTypedInFile(const std::vector<Token>& tokens,
+                      std::string_view var_name);
+
+// Token ranges of the argument lists of every `ParallelFor(...)` call in
+// the file, as [open_paren + 1, close_paren) extents.
+std::vector<std::pair<size_t, size_t>> ParallelForArgRanges(
+    const std::vector<Token>& tokens);
+
+}  // namespace fats::analyze
+
+#endif  // FATS_TOOLS_ANALYZE_RULES_UTIL_H_

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI driver: configure -> build -> ctest -> fats_lint -> bench smoke ->
+# CI driver: configure -> build -> ctest -> fats_analyze -> bench gate ->
 # clang-tidy -> tsan smoke of the parallel-execution tests -> crash-matrix
 # smoke of the durability tests under asan-ubsan.
 #
@@ -32,13 +32,23 @@ if [[ "$PRESET" == "asan-ubsan" ]]; then
   BUILD_DIR="build-asan"
 fi
 
-echo "=== [4/8] fats_lint ==="
-"$BUILD_DIR/tools/fats_lint" --root . --json fats_lint_report.json
+echo "=== [4/8] fats_analyze (static contract analysis) ==="
+# Hard gate: the analyzer (legacy lint rules + RNG/reduction/failpoint/
+# Status/layering passes) must report zero unsuppressed violations.  The
+# JSON and SARIF reports are uploaded as CI artifacts.
+"$BUILD_DIR/tools/fats_analyze" --root . \
+  --baseline tools/fats_analyze_baseline.json \
+  --json fats_analyze_report.json \
+  --sarif fats_analyze_report.sarif
 
-echo "=== [5/8] bench smoke ==="
+echo "=== [5/8] bench gate ==="
 # Build + run the micro-kernel benchmarks with minimal iterations and diff
 # the timings against the checked-in BENCH_kernels.json via bench_check.
-# Report-only (no --max-regress): CI machines are too noisy to gate on yet.
+# Hard gate: any kernel more than BENCH_MAX_REGRESS_PCT slower than the
+# baseline fails the build.  The band is wide because CI machines are noisy;
+# it exists to catch order-of-magnitude regressions (a kernel falling off
+# the blocked/SIMD path), not single-digit drift.
+BENCH_MAX_REGRESS_PCT="${BENCH_MAX_REGRESS_PCT:-75}"
 if [[ "$PRESET" == "release" ]]; then
   "$BUILD_DIR/bench/bench_micro_kernels" \
     --benchmark_min_time=0.01 \
@@ -46,12 +56,13 @@ if [[ "$PRESET" == "release" ]]; then
     --benchmark_out_format=json > /dev/null
   if [[ -f BENCH_kernels.json ]]; then
     "$BUILD_DIR/tools/bench_check" BENCH_kernels.json \
-      "$BUILD_DIR/BENCH_kernels_current.json"
+      "$BUILD_DIR/BENCH_kernels_current.json" \
+      --max-regress "$BENCH_MAX_REGRESS_PCT"
   else
-    echo "bench smoke: no BENCH_kernels.json baseline; ran benchmarks only"
+    echo "bench gate: no BENCH_kernels.json baseline; ran benchmarks only"
   fi
 else
-  echo "bench smoke: skipped (preset $PRESET; benches run on release only)"
+  echo "bench gate: skipped (preset $PRESET; benches run on release only)"
 fi
 
 echo "=== [6/8] clang-tidy ==="

@@ -50,42 +50,9 @@ std::vector<std::string_view> SplitLines(std::string_view content) {
   return lines;
 }
 
-// Parses `// fats-lint: allow(rule-a, rule-b)` directives.  Returns a map
-// from 1-based line number to the set of allowed rule IDs ("all" allowed).
-std::map<int, std::set<std::string>> ParseSuppressions(
-    std::string_view content) {
-  std::map<int, std::set<std::string>> out;
-  const std::vector<std::string_view> lines = SplitLines(content);
-  for (size_t i = 0; i < lines.size(); ++i) {
-    std::string_view line = lines[i];
-    size_t pos = line.find("fats-lint:");
-    if (pos == std::string_view::npos) continue;
-    size_t open = line.find("allow(", pos);
-    if (open == std::string_view::npos) continue;
-    size_t close = line.find(')', open);
-    if (close == std::string_view::npos) continue;
-    std::string list(line.substr(open + 6, close - open - 6));
-    std::set<std::string>& rules = out[static_cast<int>(i) + 1];
-    std::stringstream ss(list);
-    std::string item;
-    while (std::getline(ss, item, ',')) {
-      item.erase(std::remove_if(item.begin(), item.end(),
-                                [](unsigned char c) { return std::isspace(c); }),
-                 item.end());
-      if (!item.empty()) rules.insert(item);
-    }
-  }
-  return out;
-}
-
-bool IsSuppressed(const std::map<int, std::set<std::string>>& sup, int line,
+bool IsSuppressed(const SuppressionMap& sup, int line,
                   const std::string& rule) {
-  for (int l : {line, line - 1}) {
-    auto it = sup.find(l);
-    if (it == sup.end()) continue;
-    if (it->second.count(rule) || it->second.count("all")) return true;
-  }
-  return false;
+  return sup.Allows(line, rule);
 }
 
 struct Pattern {
@@ -281,6 +248,64 @@ size_t MatchAngle(std::string_view text, size_t open) {
 
 }  // namespace
 
+SuppressionMap SuppressionMap::Parse(std::string_view content) {
+  SuppressionMap map;
+  const std::vector<std::string_view> lines = SplitLines(content);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string_view line = lines[i];
+    // A line may carry several directives (e.g. one inherited from a macro
+    // plus a trailing `// fats-lint: allow(...)`); all of them merge into
+    // the line's allow set.
+    size_t pos = 0;
+    while ((pos = line.find("fats-lint:", pos)) != std::string_view::npos) {
+      pos += std::string_view("fats-lint:").size();
+      // Tolerate whitespace around `allow` and before `(`.
+      size_t cursor = pos;
+      while (cursor < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[cursor]))) {
+        ++cursor;
+      }
+      if (line.compare(cursor, 5, "allow") != 0) continue;
+      cursor += 5;
+      while (cursor < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[cursor]))) {
+        ++cursor;
+      }
+      if (cursor >= line.size() || line[cursor] != '(') continue;
+      const size_t open = cursor;
+      const size_t close = line.find(')', open);
+      if (close == std::string_view::npos) continue;
+      std::string list(line.substr(open + 1, close - open - 1));
+      std::set<std::string> rules;
+      std::stringstream ss(list);
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        item.erase(
+            std::remove_if(item.begin(), item.end(),
+                           [](unsigned char c) { return std::isspace(c); }),
+            item.end());
+        if (!item.empty()) rules.insert(item);
+      }
+      // An empty list (`allow()`) allows nothing; recording it would make
+      // empty() lie.
+      if (!rules.empty()) {
+        map.by_line_[static_cast<int>(i) + 1].merge(rules);
+      }
+      pos = close;
+    }
+  }
+  return map;
+}
+
+bool SuppressionMap::Allows(int line, const std::string& rule) const {
+  for (int l : {line, line - 1}) {
+    auto it = by_line_.find(l);
+    if (it == by_line_.end()) continue;
+    if (it->second.count(rule) || it->second.count("all")) return true;
+  }
+  return false;
+}
+
 std::vector<std::string> AllRules() {
   return {kRuleBannedRand,   kRuleBannedRandomDevice, kRuleDefaultEngine,
           kRuleTimeSeed,     kRuleRandomInclude,      kRuleUnorderedIteration,
@@ -468,7 +493,7 @@ std::vector<Finding> ScanSource(
     const std::vector<std::string_view>& extra_decl_sources) {
   std::vector<Finding> findings;
   const std::string stripped = StripCommentsAndStrings(content);
-  const auto suppressions = ParseSuppressions(content);
+  const SuppressionMap suppressions = SuppressionMap::Parse(content);
 
   auto add = [&](const char* rule, int line, const std::string& message) {
     Finding f;

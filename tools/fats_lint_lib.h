@@ -50,7 +50,9 @@
 // Suppression: append `// fats-lint: allow(<rule>)` (comma-separated list,
 // or `all`) on the offending line or the line directly above it.  Suppressed
 // findings are still reported (with suppressed=true) but do not fail the
-// lint.
+// lint.  Multiple directives on one line merge; the directive is recognised
+// inside block comments (`/* fats-lint: allow(x) */`) and tolerates
+// whitespace between `allow` and `(`.
 //
 // The scanner strips comments and string/char literals before matching, so
 // banned tokens inside literals or prose never fire -- including the regex
@@ -59,6 +61,8 @@
 #ifndef FATS_TOOLS_FATS_LINT_LIB_H_
 #define FATS_TOOLS_FATS_LINT_LIB_H_
 
+#include <map>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -85,6 +89,24 @@ struct Finding {
   int line = 0;         // 1-based line number
   std::string message;  // human-readable explanation
   bool suppressed = false;
+};
+
+// Parsed `// fats-lint: allow(...)` directives for one file.  The rules
+// allowed on a line suppress findings on that line and the line directly
+// below it (i.e. a directive suppresses same-line and next-line findings).
+// Shared with the fats_analyze passes so every rule family uses one
+// suppression syntax.
+class SuppressionMap {
+ public:
+  static SuppressionMap Parse(std::string_view content);
+
+  // True when `rule` is allowed on `line` or the line directly above it.
+  bool Allows(int line, const std::string& rule) const;
+
+  bool empty() const { return by_line_.empty(); }
+
+ private:
+  std::map<int, std::set<std::string>> by_line_;
 };
 
 // Which rule families apply to a file, derived from its path.
