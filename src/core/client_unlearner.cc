@@ -1,6 +1,7 @@
 #include "core/client_unlearner.h"
 
 #include <algorithm>
+#include <set>
 
 #include "util/stopwatch.h"
 
@@ -24,14 +25,11 @@ Result<UnlearningOutcome> ClientUnlearner::UnlearnBatch(
   }
   const int64_t r_u = (request_iter - 1) / e + 1;
 
-  // Verification: earliest round in which any target participated —
-  // `r_trigger` restricted to rounds <= r_u (the Algorithm 3 trigger),
-  // `r_actual` over the whole recorded history (rounds after r_u model
-  // training that had not happened at request time; they must also be
-  // purged of the departing client, which equals re-running that future
-  // training on the reduced federation).
-  int64_t r_trigger = -1;
-  int64_t r_actual = -1;
+  // Validation — all failure paths fire before the journal bracket opens
+  // and before any mutation, so a bad batch (duplicate target, removed
+  // client, batch that would empty the federation) is rejected whole with
+  // no half-applied deletion.
+  std::set<int64_t> deduped;
   for (int64_t target : targets) {
     if (target < 0 || target >= trainer_->data()->num_clients()) {
       return Status::OutOfRange("target client out of range");
@@ -39,6 +37,26 @@ Result<UnlearningOutcome> ClientUnlearner::UnlearnBatch(
     if (!trainer_->data()->client_active(target)) {
       return Status::FailedPrecondition("target client already removed");
     }
+    if (!deduped.insert(target).second) {
+      return Status::InvalidArgument("duplicate client target in batch");
+    }
+  }
+  if (static_cast<int64_t>(deduped.size()) >=
+      trainer_->data()->num_active_clients()) {
+    return Status::FailedPrecondition(
+        "batch would remove every active client from the federation");
+  }
+
+  // Verification (O(1) per target via the inverted participation index):
+  // earliest round in which any target participated — `r_trigger`
+  // restricted to rounds <= r_u (the Algorithm 3 trigger), `r_actual` over
+  // the whole recorded history (rounds after r_u model training that had
+  // not happened at request time; they must also be purged of the departing
+  // client, which equals re-running that future training on the reduced
+  // federation).
+  int64_t r_trigger = -1;
+  int64_t r_actual = -1;
+  for (int64_t target : deduped) {
     const int64_t round = trainer_->store().EarliestClientRound(target);
     if (round >= 1) {
       r_actual = (r_actual == -1) ? round : std::min(r_actual, round);
@@ -56,7 +74,7 @@ Result<UnlearningOutcome> ClientUnlearner::UnlearnBatch(
     ~OpGuard() { trainer->NotifyUnlearnEnd(); }
   } op_guard{trainer_};
 
-  for (int64_t target : targets) {
+  for (int64_t target : deduped) {
     FATS_RETURN_NOT_OK(trainer_->data()->RemoveClient(target));
   }
 
@@ -79,12 +97,15 @@ Result<UnlearningOutcome> ClientUnlearner::UnlearnBatch(
   trainer_->Run(t_restart, t_max);
   trainer_->set_recomputation_mode(false);
 
+  const int64_t r_last = (t_max + e - 1) / e;
+  outcome.first_replayed_iteration = t_restart;
+  outcome.replayed_iterations = t_max - t_restart + 1;
+  outcome.replayed_rounds = r_last - r_actual + 1;
   if (r_trigger != -1) {
     const int64_t t_c = (r_trigger - 1) * e + 1;
     outcome.recomputed = true;
     outcome.restart_iteration = t_c;
     outcome.recomputed_iterations = t_max - t_c + 1;
-    const int64_t r_last = (t_max + e - 1) / e;
     outcome.recomputed_rounds = r_last - r_trigger + 1;
   }
   outcome.wall_seconds = timer.ElapsedSeconds();

@@ -51,7 +51,7 @@ void CompactUnlearner::RebuildIndexFromStore() {
 Result<UnlearningOutcome> CompactUnlearner::RetrainFromScratch() {
   const FatsConfig& config = trainer_->config();
   const int64_t t_max = trainer_->trained_through();
-  trainer_->store().TruncateFromIteration(1, config.local_iters_e);
+  trainer_->TruncateStoreFromIteration(1);
   trainer_->BumpGeneration();
   trainer_->set_recomputation_mode(true);
   trainer_->Run(1, t_max);

@@ -130,6 +130,14 @@ class FatsTrainer {
     store_.SaveMinibatch(t, client, std::move(indices));
   }
 
+  /// Records the client multiset for `round` (the coalesced client-removal
+  /// path pre-draws selections exactly as Run would), notifying the event
+  /// sink so the durable record stays consistent.
+  void RecordClientSelection(int64_t round, std::vector<int64_t> multiset) {
+    if (sink_ != nullptr) sink_->OnClientSelection(round, multiset);
+    store_.SaveClientSelection(round, std::move(multiset));
+  }
+
   /// Unlearning-operation brackets, forwarded to the sink. Everything
   /// between Begin and End is atomic under crash recovery.
   void NotifyUnlearnBegin() {

@@ -37,16 +37,48 @@ Result<UnlearningOutcome> SampleUnlearner::UnlearnBatch(
     return Status::InvalidArgument("request_iter out of range");
   }
 
-  // Verification (O(1) per target via the earliest-use dictionary): the
-  // Algorithm 2 trigger is participation at or before the request time.
-  int64_t t_trigger = -1;
+  // Validation — everything that can fail does so here, before the journal
+  // bracket opens and before any mutation, so a bad batch (duplicate
+  // target, already-deleted sample, batch that would empty a client) is
+  // rejected whole and no half-applied deletion can ever commit.
+  std::map<int64_t, std::set<int64_t>> removed_by_client;
   for (const SampleRef& target : targets) {
     if (!trainer_->data()->sample_active(target.client, target.index)) {
       return Status::FailedPrecondition("target sample already deleted");
     }
-    const int64_t used = trainer_->store().EarliestSampleUse(target);
-    if (used >= 1 && used <= request_iter) {
-      t_trigger = (t_trigger == -1) ? used : std::min(t_trigger, used);
+    if (!removed_by_client[target.client].insert(target.index).second) {
+      return Status::InvalidArgument("duplicate sample target in batch");
+    }
+  }
+  for (const auto& [client, removed] : removed_by_client) {
+    if (trainer_->data()->num_active_samples(client) <=
+        static_cast<int64_t>(removed.size())) {
+      return Status::FailedPrecondition(
+          "batch would empty the client's active sample set; use "
+          "client-level unlearning instead");
+    }
+  }
+
+  // Verification + affected-batch lookup via the inverted participation
+  // index: O(uses of the sample), not a scan over all T·clients records.
+  // The posting lists are copied into `affected_iters` because substitution
+  // below mutates them in place.
+  int64_t t_trigger = -1;
+  std::map<int64_t, std::set<int64_t>> affected_iters;
+  for (const auto& [client, removed] : removed_by_client) {
+    for (int64_t index : removed) {
+      SampleRef ref;
+      ref.client = client;
+      ref.index = index;
+      const std::vector<int64_t>* uses = trainer_->store().SampleUses(ref);
+      if (uses == nullptr) continue;
+      // Ascending list: front() is the earliest use (Algorithm 2 trigger
+      // when it falls at or before the request time).
+      if (uses->front() <= request_iter) {
+        t_trigger = (t_trigger == -1) ? uses->front()
+                                      : std::min(t_trigger, uses->front());
+      }
+      affected_iters[client].insert(uses->begin(), uses->end());
     }
   }
 
@@ -61,33 +93,28 @@ Result<UnlearningOutcome> SampleUnlearner::UnlearnBatch(
   } op_guard{trainer_};
 
   // The data holders erase the samples regardless of participation.
-  std::map<int64_t, std::set<int64_t>> removed_by_client;
-  for (const SampleRef& target : targets) {
-    FATS_RETURN_NOT_OK(trainer_->data()->RemoveSample(target));
-    removed_by_client[target.client].insert(target.index);
+  for (const auto& [client, removed] : removed_by_client) {
+    for (int64_t index : removed) {
+      SampleRef ref;
+      ref.client = client;
+      ref.index = index;
+      FATS_RETURN_NOT_OK(trainer_->data()->RemoveSample(ref));
+    }
   }
 
-  // Substitute every recorded mini-batch of an affected client that
-  // references a deleted sample: a fresh draw from the reduced measure.
-  // (Batches after `request_iter` correspond to training that, at request
-  // time, had not happened yet; substituting them equals re-running that
-  // future training on the reduced data.)
+  // Substitute every recorded mini-batch that references a deleted sample:
+  // a fresh draw from the reduced measure. (Batches after `request_iter`
+  // correspond to training that, at request time, had not happened yet;
+  // substituting them equals re-running that future training on the reduced
+  // data.) Each substitution goes through SaveMinibatch, which de-indexes
+  // the old batch — once the last referencing batch is replaced, the
+  // deleted sample's posting list empties out and its key disappears; no
+  // index rebuild is ever needed.
   trainer_->BumpGeneration();
   ClientRuntime runtime(trainer_->data(), trainer_->model());
   int64_t t_first_substituted = -1;
-  for (const auto& [client, removed] : removed_by_client) {
-    for (int64_t t = 1; t <= t_max; ++t) {
-      const std::vector<int64_t>* batch =
-          trainer_->store().GetMinibatch(t, client);
-      if (batch == nullptr) continue;
-      bool contains_removed = false;
-      for (int64_t index : *batch) {
-        if (removed.count(index) > 0) {
-          contains_removed = true;
-          break;
-        }
-      }
-      if (!contains_removed) continue;
+  for (const auto& [client, iters] : affected_iters) {
+    for (int64_t t : iters) {
       StreamId id;
       id.purpose = RngPurpose::kMinibatchSampling;
       id.generation = trainer_->generation();
@@ -97,8 +124,12 @@ Result<UnlearningOutcome> SampleUnlearner::UnlearnBatch(
       RngStream stream(trainer_->config().seed, id);
       const int64_t batch_size = std::min<int64_t>(
           trainer_->b(), trainer_->data()->num_active_samples(client));
-      FATS_CHECK_GT(batch_size, 0)
-          << "client " << client << " has no active samples left";
+      if (batch_size <= 0) {
+        // Unreachable after the emptiness pre-check; kept as defense in
+        // depth so a future caller bug degrades to an error, not an abort.
+        return Status::FailedPrecondition(
+            "client has no active samples left to draw a substitute batch");
+      }
       trainer_->SubstituteMinibatch(
           t, client, runtime.SampleMinibatch(client, batch_size, &stream));
       t_first_substituted = (t_first_substituted == -1)
@@ -114,9 +145,6 @@ Result<UnlearningOutcome> SampleUnlearner::UnlearnBatch(
     return outcome;
   }
 
-  // The stale earliest-use entries of the deleted samples must go.
-  trainer_->store().RebuildIndices();
-
   // Recompute the model trajectory against the substituted history. The
   // replay inherits the trainer's parallel client runner (config
   // num_threads), which is bit-identical to the serial schedule.
@@ -124,11 +152,14 @@ Result<UnlearningOutcome> SampleUnlearner::UnlearnBatch(
   trainer_->ReplayFrom(t_first_substituted);
   trainer_->set_recomputation_mode(false);
 
+  const int64_t r_last = (t_max + e - 1) / e;
+  outcome.first_replayed_iteration = t_first_substituted;
+  outcome.replayed_iterations = t_max - t_first_substituted + 1;
+  outcome.replayed_rounds = r_last - ((t_first_substituted - 1) / e + 1) + 1;
   if (t_trigger != -1) {
     outcome.recomputed = true;
     outcome.restart_iteration = t_trigger;
     outcome.recomputed_iterations = t_max - t_trigger + 1;
-    const int64_t r_last = (t_max + e - 1) / e;
     outcome.recomputed_rounds = r_last - ((t_trigger - 1) / e + 1) + 1;
   }
   outcome.wall_seconds = timer.ElapsedSeconds();

@@ -29,14 +29,29 @@
 namespace fats {
 
 /// What one unlearning request (or one batch of simultaneous requests) cost.
+///
+/// Two distinct cost families: the `recomputed_*` fields are the Theorem 3
+/// quantities — work attributable to the Algorithm 2/3 *trigger* (earliest
+/// participation at or before request_iter). The `replayed_*` fields count
+/// the recomputation actually performed, which can exceed the triggered
+/// amount: a sample whose only recorded uses fall after request_iter has
+/// t_trigger == -1, yet its batches are still substituted and the model
+/// still replayed from the first substituted iteration. Benches that report
+/// total work done must sum `replayed_*`, not `recomputed_*`.
 struct UnlearningOutcome {
   bool recomputed = false;
-  /// First invalidated iteration t_S (or t_C), -1 when no re-computation.
+  /// First invalidated iteration t_S (or t_C), -1 when no trigger fired.
   int64_t restart_iteration = -1;
-  /// Unlearning time in time steps: T − restart + 1 (0 when not recomputed).
+  /// Unlearning time in time steps: T − restart + 1 (0 when not triggered).
   int64_t recomputed_iterations = 0;
-  /// Communication rounds re-executed.
+  /// Communication rounds attributable to the trigger.
   int64_t recomputed_rounds = 0;
+  /// First iteration the model trajectory was actually recomputed from
+  /// (-1 when no replay happened at all).
+  int64_t first_replayed_iteration = -1;
+  /// Iterations / rounds actually re-executed (>= the triggered counts).
+  int64_t replayed_iterations = 0;
+  int64_t replayed_rounds = 0;
   double wall_seconds = 0.0;
 };
 

@@ -28,12 +28,18 @@ struct UnlearningRequest {
   int64_t request_iter = 0;  // t_u
 };
 
-/// Aggregate cost over a processed request sequence.
+/// Aggregate cost over a processed request sequence. `recomputations` /
+/// `total_recomputed_*` are the Theorem 3 triggered quantities; `replays` /
+/// `total_replayed_*` count recomputation actually performed (see
+/// UnlearningOutcome for why they can differ).
 struct UnlearningSummary {
   int64_t requests = 0;
   int64_t recomputations = 0;
   int64_t total_recomputed_iterations = 0;
   int64_t total_recomputed_rounds = 0;
+  int64_t replays = 0;
+  int64_t total_replayed_iterations = 0;
+  int64_t total_replayed_rounds = 0;
   double total_wall_seconds = 0.0;
 
   void Add(const UnlearningOutcome& outcome) {
@@ -41,6 +47,9 @@ struct UnlearningSummary {
     if (outcome.recomputed) ++recomputations;
     total_recomputed_iterations += outcome.recomputed_iterations;
     total_recomputed_rounds += outcome.recomputed_rounds;
+    if (outcome.replayed_iterations > 0) ++replays;
+    total_replayed_iterations += outcome.replayed_iterations;
+    total_replayed_rounds += outcome.replayed_rounds;
     total_wall_seconds += outcome.wall_seconds;
   }
 

@@ -1,0 +1,174 @@
+// Long-lived unlearning request service on top of FATS-SU / FATS-CU.
+//
+// The unlearners process one request (or one simultaneous batch) at a time,
+// paying a model replay per request. This service amortizes Theorem 3
+// across a whole queue: deletion requests are validated and triaged in O(1)
+// against the StateStore's inverted participation index at Submit time,
+// then Flush applies every pending dataset mutation and history rewrite
+// transactionally — in queue order, with per-request generation bumps
+// mirroring sequential processing exactly — and performs at most ONE model
+// replay, from the earliest iteration any pending request affected.
+//
+// Why one replay is exact: every history rewrite a request induces is
+// model-independent. A sample deletion substitutes the affected recorded
+// mini-batches with fresh draws keyed by (seed, generation, round, client,
+// iteration) and the reduced active set; a client removal truncates the
+// store and redraws client selections and mini-batches for the truncated
+// rounds with the same stream keys Run would use. Neither consults model
+// parameters. Processing the queue in order therefore produces bit-for-bit
+// the same final sampling history as running the unlearners sequentially —
+// and the final model is a deterministic function of that history, computed
+// by a single ReplayFrom(earliest affected iteration) instead of one replay
+// per request. (Communication counters differ: that saving is the point.)
+//
+// Queue semantics: Submit validates against the *pending* state — the
+// dataset as it will be once the queue flushes — so a request that would
+// fail mid-flush (repeat deletion, deletion on a departing client, a batch
+// that empties a client or the federation) is rejected up front and the
+// flush itself cannot half-apply. The caller must not mutate the dataset
+// or trainer history between Submit and Flush except through this service.
+
+#ifndef FATS_CORE_UNLEARNING_SERVICE_H_
+#define FATS_CORE_UNLEARNING_SERVICE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/fats_trainer.h"
+#include "core/unlearning_executor.h"
+#include "util/status.h"
+
+namespace fats {
+
+/// Aggregate cost of one coalesced Flush (and, summed, of a stream).
+struct ServiceFlushStats {
+  int64_t requests = 0;
+  int64_t sample_requests = 0;
+  int64_t client_requests = 0;
+  /// Requests whose earliest recorded participation was at or before their
+  /// request_iter (the Algorithm 2/3 trigger — the Theorem 3 quantity).
+  int64_t triggered_requests = 0;
+  /// Recorded mini-batches substituted with fresh reduced-measure draws.
+  int64_t substituted_batches = 0;
+  /// Rounds whose selection + mini-batches were redrawn after a client
+  /// removal truncated the store.
+  int64_t redrawn_rounds = 0;
+  /// Model replays performed: 0 (nothing affected) or 1 per flush.
+  int64_t replays = 0;
+  /// First iteration of the single coalesced replay (-1 when replays == 0).
+  int64_t replay_start_iteration = -1;
+  /// Iterations the coalesced replay actually re-executed.
+  int64_t replayed_iterations = 0;
+  /// What the same queue would have replayed processed one request at a
+  /// time (sum of per-request replay spans). The coalescing factor is
+  /// sequential_replayed_iterations / replayed_iterations.
+  int64_t sequential_replayed_iterations = 0;
+  double wall_seconds = 0.0;
+
+  void Accumulate(const ServiceFlushStats& other) {
+    requests += other.requests;
+    sample_requests += other.sample_requests;
+    client_requests += other.client_requests;
+    triggered_requests += other.triggered_requests;
+    substituted_batches += other.substituted_batches;
+    redrawn_rounds += other.redrawn_rounds;
+    replays += other.replays;
+    replayed_iterations += other.replayed_iterations;
+    sequential_replayed_iterations += other.sequential_replayed_iterations;
+    wall_seconds += other.wall_seconds;
+  }
+};
+
+/// A stream executed through the service: per-flush totals plus flush count.
+struct ServiceSummary {
+  int64_t flushes = 0;
+  ServiceFlushStats totals;
+};
+
+class UnlearningService {
+ public:
+  /// O(1) answer to "must we retrain, and from which iteration?".
+  struct Triage {
+    /// Earliest recorded participation of the target: first use-iteration
+    /// of the sample, or first iteration of the client's first
+    /// participating round. -1 when the target never participated (the
+    /// deletion needs no replay at all).
+    int64_t restart_iteration = -1;
+    /// Participation at or before request_iter (Algorithm 2/3 trigger).
+    bool triggers = false;
+  };
+
+  explicit UnlearningService(FatsTrainer* trainer) : trainer_(trainer) {}
+
+  /// Validates the request against the pending state and enqueues it.
+  /// O(1). Errors (nothing is enqueued, nothing is mutated):
+  ///   InvalidArgument    — request_iter outside [1, trained_through()]
+  ///   OutOfRange         — client or sample index out of range
+  ///   FailedPrecondition — target already deleted or pending deletion; a
+  ///                        sample of a departing client; a deletion that
+  ///                        would empty its client's active sample set or
+  ///                        remove the last active client
+  Status Submit(const UnlearningRequest& request);
+
+  /// O(1) triage against the inverted index; does not validate or enqueue.
+  Triage TriageRequest(const UnlearningRequest& request) const;
+
+  int64_t pending() const { return static_cast<int64_t>(queue_.size()); }
+
+  /// Drains the queue: applies every pending mutation and history rewrite
+  /// in submit order inside one durable-journal bracket, then replays the
+  /// model once from the earliest affected iteration. A model replayed by
+  /// Flush is bitwise-identical to processing the same requests one at a
+  /// time through SampleUnlearner / ClientUnlearner. No-op on an empty
+  /// queue.
+  Result<ServiceFlushStats> Flush();
+
+  /// Submits every request in order, flushing whenever `coalesce_window`
+  /// requests are pending (coalesce_window <= 0: one flush at the end).
+  /// Streaming forgetting policies — e.g. the SIFU-style P9/P70 client
+  /// departure sequences — are this with the policy's request order.
+  Result<ServiceSummary> ExecuteStream(
+      const std::vector<UnlearningRequest>& requests,
+      int64_t coalesce_window = 0);
+
+ private:
+  struct PairHash {
+    size_t operator()(const std::pair<int64_t, int64_t>& key) const {
+      uint64_t h = static_cast<uint64_t>(key.first) * 0x9E3779B97F4A7C15ull;
+      h ^= static_cast<uint64_t>(key.second) + 0x7F4A7C15ull + (h << 6);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  /// First-occurrence-order unique clients of a selection multiset
+  /// (mirrors FatsTrainer::UniqueClients; the order fixes the reduction
+  /// order during replay).
+  std::vector<int64_t> UniqueClients(const std::vector<int64_t>& multiset) const;
+
+  /// Applies one sample deletion: removes the sample, bumps the
+  /// generation, substitutes every affected recorded batch via the
+  /// inverted index. Returns the first substituted iteration or -1.
+  Result<int64_t> ApplySampleDeletion(const SampleRef& target,
+                                      int64_t t_max, ServiceFlushStats* stats);
+
+  /// Applies one client removal: removes the client; when it participated,
+  /// truncates the store, bumps the generation, and redraws the truncated
+  /// rounds' selections and mini-batches exactly as Run would. Returns the
+  /// restart iteration or -1.
+  Result<int64_t> ApplyClientRemoval(int64_t target, int64_t t_max,
+                                     ServiceFlushStats* stats);
+
+  FatsTrainer* trainer_;
+  std::vector<UnlearningRequest> queue_;
+
+  // Pending-state overlays: what the dataset will look like post-flush.
+  std::unordered_set<std::pair<int64_t, int64_t>, PairHash> pending_samples_;
+  std::unordered_set<int64_t> pending_clients_;
+  std::unordered_map<int64_t, int64_t> pending_sample_counts_;
+};
+
+}  // namespace fats
+
+#endif  // FATS_CORE_UNLEARNING_SERVICE_H_

@@ -24,17 +24,46 @@ std::vector<typename Map::key_type> SortedKeys(const Map& m) {
   return keys;
 }
 
+// Sorted-unique posting-list mutations. Postings are inserted at their
+// sorted position (an append during forward training, a binary-searched
+// insert during substitution) and erased in place; an emptied list removes
+// its key so a find() miss keeps meaning "never used".
+void InsertPosting(std::vector<int64_t>* postings, int64_t value) {
+  auto it = std::lower_bound(postings->begin(), postings->end(), value);
+  if (it != postings->end() && *it == value) return;
+  postings->insert(it, value);
+}
+
+// Returns true when the list emptied.
+bool ErasePosting(std::vector<int64_t>* postings, int64_t value) {
+  auto it = std::lower_bound(postings->begin(), postings->end(), value);
+  if (it != postings->end() && *it == value) postings->erase(it);
+  return postings->empty();
+}
+
 }  // namespace
+
+void StateStore::IndexSelection(int64_t round,
+                                const std::vector<int64_t>& multiset) {
+  for (int64_t k : multiset) InsertPosting(&client_rounds_[k], round);
+}
+
+void StateStore::UnindexSelection(int64_t round,
+                                  const std::vector<int64_t>& multiset) {
+  for (int64_t k : multiset) {
+    auto it = client_rounds_.find(k);
+    // A client repeated in the multiset unindexes once; later repeats miss.
+    if (it == client_rounds_.end()) continue;
+    if (ErasePosting(&it->second, round)) client_rounds_.erase(it);
+  }
+}
 
 void StateStore::SaveClientSelection(int64_t round,
                                      std::vector<int64_t> multiset) {
-  for (int64_t k : multiset) {
-    auto it = earliest_client_round_.find(k);
-    if (it == earliest_client_round_.end() || round < it->second) {
-      earliest_client_round_[k] = round;
-    }
-  }
-  selections_[round] = std::move(multiset);
+  std::vector<int64_t>& slot = selections_[round];
+  if (!slot.empty()) UnindexSelection(round, slot);  // re-drawn round
+  IndexSelection(round, multiset);
+  slot = std::move(multiset);
 }
 
 const std::vector<int64_t>* StateStore::GetClientSelection(
@@ -54,19 +83,24 @@ const Tensor* StateStore::GetGlobalModel(int64_t round) const {
 
 void StateStore::IndexMinibatch(int64_t iter, int64_t client,
                                 const std::vector<int64_t>& indices) {
+  for (int64_t i : indices) InsertPosting(&sample_uses_[{client, i}], iter);
+}
+
+void StateStore::UnindexMinibatch(int64_t iter, int64_t client,
+                                  const std::vector<int64_t>& indices) {
   for (int64_t i : indices) {
-    SampleKey key{client, i};
-    auto it = earliest_sample_use_.find(key);
-    if (it == earliest_sample_use_.end() || iter < it->second) {
-      earliest_sample_use_[key] = iter;
-    }
+    auto it = sample_uses_.find({client, i});
+    if (it == sample_uses_.end()) continue;
+    if (ErasePosting(&it->second, iter)) sample_uses_.erase(it);
   }
 }
 
 void StateStore::SaveMinibatch(int64_t iter, int64_t client,
                                std::vector<int64_t> indices) {
+  std::vector<int64_t>& slot = minibatches_[{iter, client}];
+  if (!slot.empty()) UnindexMinibatch(iter, client, slot);  // substitution
   IndexMinibatch(iter, client, indices);
-  minibatches_[{iter, client}] = std::move(indices);
+  slot = std::move(indices);
 }
 
 const std::vector<int64_t>* StateStore::GetMinibatch(int64_t iter,
@@ -85,13 +119,23 @@ const Tensor* StateStore::GetLocalModel(int64_t iter, int64_t client) const {
 }
 
 int64_t StateStore::EarliestSampleUse(const SampleRef& ref) const {
-  auto it = earliest_sample_use_.find({ref.client, ref.index});
-  return it == earliest_sample_use_.end() ? -1 : it->second;
+  const std::vector<int64_t>* uses = SampleUses(ref);
+  return uses == nullptr ? -1 : uses->front();
 }
 
 int64_t StateStore::EarliestClientRound(int64_t client) const {
-  auto it = earliest_client_round_.find(client);
-  return it == earliest_client_round_.end() ? -1 : it->second;
+  const std::vector<int64_t>* rounds = ClientRounds(client);
+  return rounds == nullptr ? -1 : rounds->front();
+}
+
+const std::vector<int64_t>* StateStore::SampleUses(const SampleRef& ref) const {
+  auto it = sample_uses_.find({ref.client, ref.index});
+  return it == sample_uses_.end() ? nullptr : &it->second;
+}
+
+const std::vector<int64_t>* StateStore::ClientRounds(int64_t client) const {
+  auto it = client_rounds_.find(client);
+  return it == client_rounds_.end() ? nullptr : &it->second;
 }
 
 void StateStore::TruncateFromIteration(int64_t from_iter,
@@ -100,11 +144,17 @@ void StateStore::TruncateFromIteration(int64_t from_iter,
   FATS_CHECK_GE(local_iters_e, 1);
   // Round r covers iterations (r-1)E+1 .. rE; its selection happens at
   // (r-1)E+1 and its global model is saved at rE.  The erase-if sweeps below
-  // keep the same surviving set whatever the traversal order.
+  // keep the same surviving set whatever the traversal order, and every
+  // erased record unindexes its own postings — the cost is O(discarded),
+  // not O(all records), and the inverted index never needs a rebuild.
   // fats-lint: allow(unordered-iteration)
   for (auto it = minibatches_.begin(); it != minibatches_.end();) {
-    it = (it->first.first >= from_iter) ? minibatches_.erase(it)
-                                        : std::next(it);
+    if (it->first.first >= from_iter) {
+      UnindexMinibatch(it->first.first, it->first.second, it->second);
+      it = minibatches_.erase(it);
+    } else {
+      ++it;
+    }
   }
   // fats-lint: allow(unordered-iteration)
   for (auto it = local_models_.begin(); it != local_models_.end();) {
@@ -114,7 +164,12 @@ void StateStore::TruncateFromIteration(int64_t from_iter,
   // fats-lint: allow(unordered-iteration)
   for (auto it = selections_.begin(); it != selections_.end();) {
     const int64_t round_start = (it->first - 1) * local_iters_e + 1;
-    it = (round_start >= from_iter) ? selections_.erase(it) : std::next(it);
+    if (round_start >= from_iter) {
+      UnindexSelection(it->first, it->second);
+      it = selections_.erase(it);
+    } else {
+      ++it;
+    }
   }
   // fats-lint: allow(unordered-iteration)
   for (auto it = global_models_.begin(); it != global_models_.end();) {
@@ -122,27 +177,25 @@ void StateStore::TruncateFromIteration(int64_t from_iter,
     it = (it->first != 0 && round_end >= from_iter) ? global_models_.erase(it)
                                                     : std::next(it);
   }
-  RebuildEarliestIndices();
 }
 
-void StateStore::RebuildEarliestIndices() {
-  earliest_sample_use_.clear();
-  earliest_client_round_.clear();
-  // The rebuilt indices hold per-key minima, the same whatever the
-  // traversal order (no float accumulation involved).
+bool StateStore::IndicesConsistentWithRecords() const {
+  // Reconstruct both posting maps from the records and compare. Posting
+  // lists are sorted and duplicate-free, so equality is well-defined
+  // whatever order the reconstruction visits records in.
+  std::unordered_map<SampleKey, std::vector<int64_t>, SampleKeyHash> uses;
+  std::unordered_map<int64_t, std::vector<int64_t>> rounds;
   // fats-lint: allow(unordered-iteration)
   for (const auto& [key, indices] : minibatches_) {
-    IndexMinibatch(key.first, key.second, indices);
+    for (int64_t i : indices) {
+      InsertPosting(&uses[{key.second, i}], key.first);
+    }
   }
   // fats-lint: allow(unordered-iteration)
   for (const auto& [round, multiset] : selections_) {
-    for (int64_t k : multiset) {
-      auto it = earliest_client_round_.find(k);
-      if (it == earliest_client_round_.end() || round < it->second) {
-        earliest_client_round_[k] = round;
-      }
-    }
+    for (int64_t k : multiset) InsertPosting(&rounds[k], round);
   }
+  return uses == sample_uses_ && rounds == client_rounds_;
 }
 
 std::vector<int64_t> StateStore::SelectionRounds() const {
@@ -166,8 +219,8 @@ void StateStore::Clear() {
   global_models_.clear();
   minibatches_.clear();
   local_models_.clear();
-  earliest_sample_use_.clear();
-  earliest_client_round_.clear();
+  sample_uses_.clear();
+  client_rounds_.clear();
 }
 
 int64_t StateStore::ApproxBytes() const {
@@ -193,8 +246,16 @@ int64_t StateStore::ApproxBytes() const {
     (void)key;
     bytes += 16 + params.size() * 4;
   }
-  bytes += static_cast<int64_t>(earliest_sample_use_.size()) * 24;
-  bytes += static_cast<int64_t>(earliest_client_round_.size()) * 16;
+  // fats-lint: allow(unordered-iteration)
+  for (const auto& [key, uses] : sample_uses_) {
+    (void)key;
+    bytes += 16 + static_cast<int64_t>(uses.size()) * 8;
+  }
+  // fats-lint: allow(unordered-iteration)
+  for (const auto& [client, rounds] : client_rounds_) {
+    (void)client;
+    bytes += 8 + static_cast<int64_t>(rounds.size()) * 8;
+  }
   return bytes;
 }
 

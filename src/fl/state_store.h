@@ -13,8 +13,16 @@
 //     O(M+d) words. Unlearning then retrains from scratch on a hit; same
 //     asymptotic unlearning time (Theorem 3).
 //
-// Both maintain the earliest-use dictionaries that give O(1) verification
-// per unlearning request (§5.3.1).
+// The full store maintains an *inverted participation index* — sample →
+// sorted use-iterations and client → sorted participation-rounds — updated
+// incrementally by every record mutation (save, substitution overwrite,
+// truncation). It subsumes the earliest-use dictionaries of §5.3.1: triage
+// ("must we retrain, and from which iteration?") is O(1) per request, and
+// enumerating the mini-batches affected by a deletion is O(uses of that
+// sample) instead of a scan over all T·clients records. There is no full
+// rebuild anywhere: the index is maintained in place, and
+// IndicesConsistentWithRecords() audits it against a from-scratch
+// reconstruction in tests.
 
 #ifndef FATS_FL_STATE_STORE_H_
 #define FATS_FL_STATE_STORE_H_
@@ -56,26 +64,36 @@ class StateStore {
   void SaveLocalModel(int64_t iter, int64_t client, Tensor params);
   const Tensor* GetLocalModel(int64_t iter, int64_t client) const;
 
-  // ----- O(1) verification dictionaries (§5.3.1) -----
+  // ----- O(1) verification / inverted participation index (§5.3.1) -----
 
   /// Earliest iteration whose recorded mini-batch contains the sample;
-  /// -1 if the sample was never used.
+  /// -1 if the sample was never used. O(1).
   int64_t EarliestSampleUse(const SampleRef& ref) const;
-  /// Earliest round in which the client appears in P; -1 if never.
+  /// Earliest round in which the client appears in P; -1 if never. O(1).
   int64_t EarliestClientRound(int64_t client) const;
+  /// Ascending iterations whose recorded mini-batch at ref.client contains
+  /// ref.index; nullptr when the sample appears in no recorded batch. The
+  /// pointer is invalidated by any record mutation.
+  const std::vector<int64_t>* SampleUses(const SampleRef& ref) const;
+  /// Ascending rounds whose recorded selection contains the client; nullptr
+  /// when the client appears in no recorded selection. The pointer is
+  /// invalidated by any record mutation.
+  const std::vector<int64_t>* ClientRounds(int64_t client) const;
+
+  /// O(records) audit: true iff the incrementally maintained inverted index
+  /// equals a from-scratch reconstruction from the current records. Test /
+  /// debugging hook; never needed for correctness.
+  bool IndicesConsistentWithRecords() const;
 
   // ----- re-computation support -----
 
   /// Discards all records from iteration `from_iter` onward: mini-batches
   /// and local models with iter >= from_iter, client selections of rounds
   /// starting at or after from_iter, and global models of rounds ending at
-  /// or after from_iter. The earliest-use dictionaries are rebuilt.
+  /// or after from_iter. The inverted index is maintained incrementally —
+  /// O(discarded records), not O(all records).
   /// `local_iters_e` is E (round length in iterations).
   void TruncateFromIteration(int64_t from_iter, int64_t local_iters_e);
-
-  /// Recomputes the earliest-use dictionaries from the current records.
-  /// Called after sample-level unlearning substitutes mini-batches in place.
-  void RebuildIndices() { RebuildEarliestIndices(); }
 
   // ----- enumeration (checkpointing and diagnostics) -----
 
@@ -120,17 +138,27 @@ class StateStore {
   using IterClient = std::pair<int64_t, int64_t>;
   using SampleKey = std::pair<int64_t, int64_t>;
 
+  // Incremental index maintenance. Every record mutation goes through an
+  // Index/Unindex pair; nothing else may touch the index maps (enforced by
+  // the fats_analyze store-mutation-bypass rule at the trainer API layer
+  // and audited by IndicesConsistentWithRecords()).
   void IndexMinibatch(int64_t iter, int64_t client,
                       const std::vector<int64_t>& indices);
-  void RebuildEarliestIndices();
+  void UnindexMinibatch(int64_t iter, int64_t client,
+                        const std::vector<int64_t>& indices);
+  void IndexSelection(int64_t round, const std::vector<int64_t>& multiset);
+  void UnindexSelection(int64_t round, const std::vector<int64_t>& multiset);
 
   std::unordered_map<int64_t, std::vector<int64_t>> selections_;
   std::unordered_map<int64_t, Tensor> global_models_;
   std::unordered_map<IterClient, std::vector<int64_t>, IterClientHash>
       minibatches_;
   std::unordered_map<IterClient, Tensor, IterClientHash> local_models_;
-  std::unordered_map<SampleKey, int64_t, SampleKeyHash> earliest_sample_use_;
-  std::unordered_map<int64_t, int64_t> earliest_client_round_;
+  // The inverted participation index: ascending, duplicate-free posting
+  // lists. Keys with empty lists are erased, so find() miss == never used.
+  std::unordered_map<SampleKey, std::vector<int64_t>, SampleKeyHash>
+      sample_uses_;
+  std::unordered_map<int64_t, std::vector<int64_t>> client_rounds_;
 };
 
 /// The §5.3.2 space-optimized participation index: O(N) bits per client and

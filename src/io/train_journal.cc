@@ -361,7 +361,6 @@ Result<std::unique_ptr<DurableTrainingSession>> DurableTrainingSession::Open(
   session->replayed_records_ =
       static_cast<int64_t>(commit_records) - 1;  // kBegin is not state
 
-  store.RebuildIndices();
   trainer->set_generation(generation);
   if (progress.seen) {
     trainer->set_trained_through(progress.mark.trained_through);

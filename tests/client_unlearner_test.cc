@@ -152,6 +152,19 @@ TEST(ClientUnlearnerTest, BatchRemovesAllAndRestartsOnce) {
   }
 }
 
+TEST(ClientUnlearnerTest, DuplicateClientTargetRejectedWithoutMutation) {
+  Trained t = TrainTiny();
+  const int64_t target = FindParticipant(*t.trainer, t.data);
+  const uint64_t gen_before = t.trainer->generation();
+  ClientUnlearner unlearner(t.trainer.get());
+  Result<UnlearningOutcome> outcome =
+      unlearner.UnlearnBatch({target, target}, t.config.total_iters_t());
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(t.data.client_active(target));
+  EXPECT_EQ(t.trainer->generation(), gen_before);
+}
+
 TEST(ClientUnlearnerTest, UnlearnedModelKeepsUtility) {
   Trained t = TrainTiny(10, 12, 10, 3);
   const double acc_before = t.trainer->EvaluateTestAccuracy();

@@ -437,6 +437,63 @@ TEST(AnalyzeDiscardedStatus, AnnotatedVoidCastIsSuppressed) {
   EXPECT_TRUE(HasRule(r, kRuleDiscardedStatus, /*suppressed=*/true));
 }
 
+// --- Rule fixtures: store-mutation-bypass ---
+
+TEST(AnalyzeStoreMutation, DirectTruncateInCoreFires) {
+  const AnalysisResult r = AnalyzeOne(
+      "src/core/compact_unlearner.cc",
+      "void F(FatsTrainer* trainer) {\n"
+      "  trainer->store().TruncateFromIteration(1, 3);\n"
+      "}\n");
+  EXPECT_TRUE(HasRule(r, kRuleStoreMutationBypass));
+}
+
+TEST(AnalyzeStoreMutation, DirectSaveOnMemberFires) {
+  const AnalysisResult r = AnalyzeOne(
+      "src/core/unlearning_service.cc",
+      "void G() { store_.SaveMinibatch(t, k, batch); }\n");
+  EXPECT_TRUE(HasRule(r, kRuleStoreMutationBypass));
+}
+
+TEST(AnalyzeStoreMutation, WrapperCallsAndReadsAreClean) {
+  const AnalysisResult r = AnalyzeOne(
+      "src/core/unlearning_service.cc",
+      "void G(FatsTrainer* trainer) {\n"
+      "  trainer->TruncateStoreFromIteration(1);\n"
+      "  trainer->SubstituteMinibatch(t, k, batch);\n"
+      "  const auto* b = trainer->store().GetMinibatch(t, k);\n"
+      "  int64_t first = trainer->store().EarliestSampleUse(ref);\n"
+      "}\n");
+  EXPECT_TRUE(ActiveRules(r).empty());
+}
+
+TEST(AnalyzeStoreMutation, TrainerItselfIsExempt) {
+  const AnalysisResult r = AnalyzeOne(
+      "src/core/fats_trainer.cc",
+      "void FatsTrainer::Reset() { store_.Clear(); }\n");
+  EXPECT_TRUE(ActiveRules(r).empty());
+}
+
+TEST(AnalyzeStoreMutation, OutsideCoreIsExempt) {
+  // Journal recovery rebuilds a fresh store record-by-record; the rule is
+  // scoped to src/core where the trainer wrappers are the contract.
+  const AnalysisResult r = AnalyzeOne(
+      "src/io/train_journal.cc",
+      "void H(StateStore& store) { store.SaveMinibatch(t, k, batch); }\n");
+  EXPECT_TRUE(ActiveRules(r).empty());
+}
+
+TEST(AnalyzeStoreMutation, SuppressionDowngrades) {
+  const AnalysisResult r = AnalyzeOne(
+      "src/core/x.cc",
+      "void F(FatsTrainer* trainer) {\n"
+      "  trainer->store().Clear();  "
+      "// fats-lint: allow(store-mutation-bypass)\n"
+      "}\n");
+  EXPECT_TRUE(ActiveRules(r).empty());
+  EXPECT_TRUE(HasRule(r, kRuleStoreMutationBypass, /*suppressed=*/true));
+}
+
 // --- Rule fixtures: layer-order / layer-cycle ---
 
 TEST(AnalyzeLayering, UpwardIncludeFires) {

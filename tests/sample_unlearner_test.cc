@@ -171,6 +171,69 @@ TEST(SampleUnlearnerTest, UnlearnedModelKeepsUtility) {
   EXPECT_GT(acc_after, acc_before - 0.2);
 }
 
+TEST(SampleUnlearnerTest, DuplicateTargetInBatchRejectedWithoutMutation) {
+  Trained t = TrainTiny();
+  SampleRef used = FindUsedSample(*t.trainer, t.data);
+  const Tensor before = t.trainer->global_params();
+  const uint64_t gen_before = t.trainer->generation();
+  SampleUnlearner unlearner(t.trainer.get());
+  Result<UnlearningOutcome> outcome =
+      unlearner.UnlearnBatch({used, used}, t.config.total_iters_t());
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+  // Validation precedes every mutation: the sample survives, nothing moved.
+  EXPECT_TRUE(t.data.sample_active(used.client, used.index));
+  EXPECT_TRUE(t.trainer->global_params().BitwiseEquals(before));
+  EXPECT_EQ(t.trainer->generation(), gen_before);
+}
+
+TEST(SampleUnlearnerTest, BatchEmptyingClientRejectedBeforeMutation) {
+  Trained t = TrainTiny();
+  // Every sample of client 0 in one batch would leave it with nothing to
+  // train on — rejected up front, before any deletion happens.
+  std::vector<SampleRef> all;
+  for (int64_t i = 0; i < t.data.samples_of(0); ++i) all.push_back({0, i});
+  const uint64_t gen_before = t.trainer->generation();
+  SampleUnlearner unlearner(t.trainer.get());
+  Result<UnlearningOutcome> outcome =
+      unlearner.UnlearnBatch(all, t.config.total_iters_t());
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kFailedPrecondition);
+  for (const SampleRef& ref : all) {
+    EXPECT_TRUE(t.data.sample_active(ref.client, ref.index));
+  }
+  EXPECT_EQ(t.data.num_active_samples(0), t.data.samples_of(0));
+  EXPECT_EQ(t.trainer->generation(), gen_before);
+}
+
+TEST(SampleUnlearnerTest, UntriggeredBatchStillReportsReplayedWork) {
+  Trained t = TrainTiny();
+  // Find a sample first used strictly after iteration 1 and request at an
+  // earlier iteration: Theorem 3's trigger never fires (recomputed_* zero),
+  // yet the substitution forces a replay whose cost must be accounted.
+  SampleRef used{-1, -1};
+  int64_t first_use = -1;
+  for (int64_t k = 0; k < t.data.num_clients() && used.client < 0; ++k) {
+    for (int64_t i = 0; i < t.data.samples_of(k); ++i) {
+      const int64_t use = t.trainer->store().EarliestSampleUse({k, i});
+      if (use > 1) {
+        used = {k, i};
+        first_use = use;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(used.client, 0);
+  SampleUnlearner unlearner(t.trainer.get());
+  Result<UnlearningOutcome> outcome = unlearner.Unlearn(used, first_use - 1);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->recomputed);
+  EXPECT_EQ(outcome->recomputed_iterations, 0);
+  EXPECT_EQ(outcome->first_replayed_iteration, first_use);
+  EXPECT_EQ(outcome->replayed_iterations,
+            t.config.total_iters_t() - first_use + 1);
+}
+
 TEST(SampleUnlearnerTest, RecomputationAppendsFlaggedLogRecords) {
   Trained t = TrainTiny();
   const size_t log_before = t.trainer->log().records().size();

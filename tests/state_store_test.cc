@@ -120,6 +120,108 @@ TEST(StateStoreTest, TruncateRebuildsEarliestIndices) {
   EXPECT_EQ(store.EarliestClientRound(3), 1);
 }
 
+TEST(StateStoreTest, SampleUsesListsAllIterationsSorted) {
+  StateStore store;
+  EXPECT_EQ(store.SampleUses({0, 5}), nullptr);
+  store.SaveMinibatch(9, 0, {5, 6});
+  store.SaveMinibatch(2, 0, {5});
+  store.SaveMinibatch(4, 0, {5});
+  store.SaveMinibatch(4, 1, {5});  // other client, same local index
+  const std::vector<int64_t>* uses = store.SampleUses({0, 5});
+  ASSERT_NE(uses, nullptr);
+  EXPECT_EQ(*uses, (std::vector<int64_t>{2, 4, 9}));
+  ASSERT_NE(store.SampleUses({1, 5}), nullptr);
+  EXPECT_EQ(*store.SampleUses({1, 5}), (std::vector<int64_t>{4}));
+  EXPECT_EQ(store.SampleUses({0, 7}), nullptr);
+}
+
+TEST(StateStoreTest, ClientRoundsListsAllRoundsSorted) {
+  StateStore store;
+  EXPECT_EQ(store.ClientRounds(3), nullptr);
+  store.SaveClientSelection(5, {3, 3, 1});  // repeated in multiset: one posting
+  store.SaveClientSelection(2, {3});
+  const std::vector<int64_t>* rounds = store.ClientRounds(3);
+  ASSERT_NE(rounds, nullptr);
+  EXPECT_EQ(*rounds, (std::vector<int64_t>{2, 5}));
+  ASSERT_NE(store.ClientRounds(1), nullptr);
+  EXPECT_EQ(*store.ClientRounds(1), (std::vector<int64_t>{5}));
+}
+
+TEST(StateStoreTest, MinibatchOverwriteDeindexesOldBatch) {
+  StateStore store;
+  store.SaveMinibatch(3, 0, {5, 6});
+  store.SaveMinibatch(8, 0, {5});
+  // Substitution: the new batch at iteration 3 no longer contains sample 5.
+  store.SaveMinibatch(3, 0, {6, 7});
+  ASSERT_NE(store.SampleUses({0, 5}), nullptr);
+  EXPECT_EQ(*store.SampleUses({0, 5}), (std::vector<int64_t>{8}));
+  EXPECT_EQ(*store.SampleUses({0, 6}), (std::vector<int64_t>{3}));
+  EXPECT_EQ(*store.SampleUses({0, 7}), (std::vector<int64_t>{3}));
+  // Replacing the last referencing batch erases the posting key entirely.
+  store.SaveMinibatch(8, 0, {7});
+  EXPECT_EQ(store.SampleUses({0, 5}), nullptr);
+  EXPECT_EQ(store.EarliestSampleUse({0, 5}), -1);
+  EXPECT_TRUE(store.IndicesConsistentWithRecords());
+}
+
+TEST(StateStoreTest, SelectionOverwriteDeindexesOldMultiset) {
+  StateStore store;
+  store.SaveClientSelection(2, {1, 2});
+  store.SaveClientSelection(4, {1});
+  store.SaveClientSelection(2, {2, 3});  // round 2 redrawn without client 1
+  ASSERT_NE(store.ClientRounds(1), nullptr);
+  EXPECT_EQ(*store.ClientRounds(1), (std::vector<int64_t>{4}));
+  EXPECT_EQ(*store.ClientRounds(3), (std::vector<int64_t>{2}));
+  store.SaveClientSelection(4, {3});
+  EXPECT_EQ(store.ClientRounds(1), nullptr);
+  EXPECT_EQ(store.EarliestClientRound(1), -1);
+  EXPECT_TRUE(store.IndicesConsistentWithRecords());
+}
+
+TEST(StateStoreTest, TruncateMaintainsIndexIncrementally) {
+  StateStore store;
+  const int64_t e = 2;
+  store.SaveClientSelection(1, {0, 1});
+  store.SaveClientSelection(2, {0});
+  store.SaveClientSelection(3, {1});
+  for (int64_t t = 1; t <= 6; ++t) {
+    store.SaveMinibatch(t, t % 2, {t, 100});
+  }
+  ASSERT_TRUE(store.IndicesConsistentWithRecords());
+  store.TruncateFromIteration(3, e);  // round 2 start
+  EXPECT_TRUE(store.IndicesConsistentWithRecords());
+  EXPECT_EQ(*store.ClientRounds(0), (std::vector<int64_t>{1}));
+  EXPECT_EQ(*store.ClientRounds(1), (std::vector<int64_t>{1}));
+  EXPECT_EQ(store.SampleUses({1, 3}), nullptr);  // iter-3 record erased
+  EXPECT_EQ(*store.SampleUses({0, 100}), (std::vector<int64_t>{2}));
+  EXPECT_EQ(*store.SampleUses({1, 100}), (std::vector<int64_t>{1}));
+}
+
+TEST(StateStoreTest, ClearDropsIndices) {
+  StateStore store;
+  store.SaveMinibatch(1, 0, {3});
+  store.SaveClientSelection(1, {0});
+  store.Clear();
+  EXPECT_EQ(store.SampleUses({0, 3}), nullptr);
+  EXPECT_EQ(store.ClientRounds(0), nullptr);
+  EXPECT_TRUE(store.IndicesConsistentWithRecords());
+}
+
+TEST(StateStoreTest, ConsistencyAuditDetectsNothingAfterMixedOps) {
+  StateStore store;
+  const int64_t e = 3;
+  for (int64_t r = 1; r <= 4; ++r) {
+    store.SaveClientSelection(r, {r % 3, (r + 1) % 3});
+    for (int64_t t = (r - 1) * e + 1; t <= r * e; ++t) {
+      store.SaveMinibatch(t, r % 3, {t % 5, (t + 2) % 5});
+    }
+  }
+  store.SaveMinibatch(4, 1, {0});      // substitution overwrite
+  store.TruncateFromIteration(8, e);   // mid-history truncation
+  store.SaveClientSelection(3, {2});   // redraw after truncation
+  EXPECT_TRUE(store.IndicesConsistentWithRecords());
+}
+
 TEST(StateStoreTest, ApproxBytesGrowsWithRecords) {
   StateStore store;
   const int64_t empty = store.ApproxBytes();

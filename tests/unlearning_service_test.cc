@@ -1,0 +1,444 @@
+// UnlearningService: O(1) triage, Submit-time validation against the
+// pending state, and the coalescing exactness contract — a flushed queue of
+// overlapping requests performs exactly one replay and leaves the trainer
+// bitwise-identical (model, store, generation) to processing the same
+// requests one at a time through the unlearners.
+
+#include "core/unlearning_service.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/unlearning_executor.h"
+#include "test_workloads.h"
+
+namespace fats {
+namespace {
+
+struct Harness {
+  FederatedDataset data;
+  FatsConfig config;
+  std::unique_ptr<FatsTrainer> trainer;
+};
+
+Harness MakeTrained(int64_t clients = 8, int64_t n = 8, int64_t rounds = 4,
+                int64_t e = 3, double rho_c = 0.5, int64_t train_to = -1) {
+  Harness run;
+  run.data = TinyImageData(clients, n);
+  run.config = TinyFatsConfig(clients, n, rounds, e, /*rho_s=*/0.5, rho_c);
+  run.trainer =
+      std::make_unique<FatsTrainer>(TinyModelSpec(), run.config, &run.data);
+  run.trainer->TrainUntil(train_to < 0 ? run.config.total_iters_t()
+                                       : train_to);
+  return run;
+}
+
+UnlearningRequest SampleReq(int64_t client, int64_t index, int64_t iter) {
+  UnlearningRequest r;
+  r.kind = UnlearningRequest::Kind::kSample;
+  r.sample.client = client;
+  r.sample.index = index;
+  r.request_iter = iter;
+  return r;
+}
+
+UnlearningRequest ClientReq(int64_t client, int64_t iter) {
+  UnlearningRequest r;
+  r.kind = UnlearningRequest::Kind::kClient;
+  r.client = client;
+  r.request_iter = iter;
+  return r;
+}
+
+// Deterministic target discovery via the inverted index.
+bool FindUsedSampleAt(const FatsTrainer* trainer, int64_t client,
+                      SampleRef* out) {
+  const int64_t n = trainer->config().samples_per_client_n;
+  for (int64_t i = 0; i < n; ++i) {
+    SampleRef ref;
+    ref.client = client;
+    ref.index = i;
+    if (trainer->store().EarliestSampleUse(ref) >= 1) {
+      *out = ref;
+      return true;
+    }
+  }
+  return false;
+}
+
+int64_t FirstParticipatingClient(const FatsTrainer* trainer,
+                                 int64_t skip = -1) {
+  for (int64_t k = 0; k < trainer->config().clients_m; ++k) {
+    if (k == skip) continue;
+    if (trainer->store().EarliestClientRound(k) >= 1) return k;
+  }
+  return -1;
+}
+
+void ExpectIdenticalTrainerState(FatsTrainer* a, FatsTrainer* b) {
+  EXPECT_TRUE(a->global_params().BitwiseEquals(b->global_params()))
+      << "global parameters diverged";
+  EXPECT_EQ(a->trained_through(), b->trained_through());
+  EXPECT_EQ(a->generation(), b->generation());
+
+  const StateStore& sa = a->store();
+  const StateStore& sb = b->store();
+  ASSERT_EQ(sa.SelectionRounds(), sb.SelectionRounds());
+  for (int64_t round : sa.SelectionRounds()) {
+    EXPECT_EQ(*sa.GetClientSelection(round), *sb.GetClientSelection(round))
+        << "selection of round " << round;
+  }
+  ASSERT_EQ(sa.GlobalModelRounds(), sb.GlobalModelRounds());
+  for (int64_t round : sa.GlobalModelRounds()) {
+    EXPECT_TRUE(
+        sa.GetGlobalModel(round)->BitwiseEquals(*sb.GetGlobalModel(round)))
+        << "global model of round " << round;
+  }
+  ASSERT_EQ(sa.MinibatchKeys(), sb.MinibatchKeys());
+  for (const auto& [iter, client] : sa.MinibatchKeys()) {
+    EXPECT_EQ(*sa.GetMinibatch(iter, client), *sb.GetMinibatch(iter, client))
+        << "minibatch at t=" << iter << " client=" << client;
+  }
+  ASSERT_EQ(sa.LocalModelKeys(), sb.LocalModelKeys());
+  for (const auto& [iter, client] : sa.LocalModelKeys()) {
+    EXPECT_TRUE(sa.GetLocalModel(iter, client)
+                    ->BitwiseEquals(*sb.GetLocalModel(iter, client)))
+        << "local model at t=" << iter << " client=" << client;
+  }
+  EXPECT_TRUE(sa.IndicesConsistentWithRecords());
+  EXPECT_TRUE(sb.IndicesConsistentWithRecords());
+}
+
+TEST(ServiceTriageTest, MatchesInvertedIndex) {
+  Harness run = MakeTrained();
+  UnlearningService service(run.trainer.get());
+  const int64_t t_max = run.trainer->trained_through();
+
+  SampleRef used;
+  ASSERT_TRUE(FindUsedSampleAt(run.trainer.get(),
+                               FirstParticipatingClient(run.trainer.get()),
+                               &used));
+  const int64_t first = run.trainer->store().EarliestSampleUse(used);
+  UnlearningService::Triage triage =
+      service.TriageRequest(SampleReq(used.client, used.index, t_max));
+  EXPECT_EQ(triage.restart_iteration, first);
+  EXPECT_TRUE(triage.triggers);
+
+  const int64_t c = FirstParticipatingClient(run.trainer.get());
+  const int64_t r0 = run.trainer->store().EarliestClientRound(c);
+  triage = service.TriageRequest(ClientReq(c, t_max));
+  EXPECT_EQ(triage.restart_iteration,
+            (r0 - 1) * run.config.local_iters_e + 1);
+  EXPECT_TRUE(triage.triggers);
+}
+
+TEST(ServiceTriageTest, RequestIterAtExactRoundBoundaries) {
+  Harness run = MakeTrained();
+  UnlearningService service(run.trainer.get());
+  const int64_t e = run.config.local_iters_e;
+
+  // A client whose first participation is NOT round 1, so there is a
+  // boundary below it to probe. rho_c = 0.5 over 8 clients makes one
+  // near-certain; assert we found one.
+  int64_t c = -1;
+  int64_t r0 = -1;
+  for (int64_t k = 0; k < run.config.clients_m; ++k) {
+    const int64_t round = run.trainer->store().EarliestClientRound(k);
+    if (round >= 2) {
+      c = k;
+      r0 = round;
+      break;
+    }
+  }
+  ASSERT_NE(c, -1) << "no client first selected after round 1";
+
+  const int64_t round_start = (r0 - 1) * e + 1;
+  // Request at the exact first iteration of the first participating round:
+  // triggers (participation at or before request time).
+  EXPECT_TRUE(service.TriageRequest(ClientReq(c, round_start)).triggers);
+  // One iteration earlier — the last iteration of the previous round: the
+  // trigger must not fire.
+  EXPECT_FALSE(service.TriageRequest(ClientReq(c, round_start - 1)).triggers);
+  // Same boundary probing for a sample of that client.
+  SampleRef used;
+  ASSERT_TRUE(FindUsedSampleAt(run.trainer.get(), c, &used));
+  const int64_t first = run.trainer->store().EarliestSampleUse(used);
+  ASSERT_GE(first, 2);
+  EXPECT_TRUE(
+      service.TriageRequest(SampleReq(used.client, used.index, first))
+          .triggers);
+  EXPECT_FALSE(
+      service.TriageRequest(SampleReq(used.client, used.index, first - 1))
+          .triggers);
+}
+
+TEST(ServiceSubmitTest, ValidatesAgainstPendingState) {
+  Harness run = MakeTrained();
+  UnlearningService service(run.trainer.get());
+  const int64_t t_max = run.trainer->trained_through();
+
+  // request_iter range.
+  EXPECT_TRUE(service.Submit(SampleReq(0, 0, 0)).code() == StatusCode::kInvalidArgument);
+  EXPECT_TRUE(service.Submit(SampleReq(0, 0, t_max + 1)).code() == StatusCode::kInvalidArgument);
+  // Out-of-range targets.
+  EXPECT_TRUE(service.Submit(SampleReq(999, 0, t_max)).code() == StatusCode::kOutOfRange);
+  EXPECT_TRUE(service.Submit(ClientReq(999, t_max)).code() == StatusCode::kOutOfRange);
+
+  // Duplicate pending sample.
+  ASSERT_TRUE(service.Submit(SampleReq(0, 0, t_max)).ok());
+  EXPECT_TRUE(service.Submit(SampleReq(0, 0, t_max)).code() == StatusCode::kFailedPrecondition);
+
+  // A sample of a client that is pending removal.
+  ASSERT_TRUE(service.Submit(ClientReq(1, t_max)).ok());
+  EXPECT_TRUE(service.Submit(SampleReq(1, 2, t_max)).code() == StatusCode::kFailedPrecondition);
+  // Duplicate pending client.
+  EXPECT_TRUE(service.Submit(ClientReq(1, t_max)).code() == StatusCode::kFailedPrecondition);
+
+  // Emptying a client's active sample set: n = 8, one already pending.
+  for (int64_t i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(service.Submit(SampleReq(0, i, t_max)).ok());
+  }
+  EXPECT_TRUE(service.Submit(SampleReq(0, 7, t_max)).code() == StatusCode::kFailedPrecondition);
+
+  EXPECT_EQ(service.pending(), 8);
+}
+
+TEST(ServiceSubmitTest, RepeatDeletionAfterFlushIsRejected) {
+  Harness run = MakeTrained();
+  UnlearningService service(run.trainer.get());
+  const int64_t t_max = run.trainer->trained_through();
+  ASSERT_TRUE(service.Submit(SampleReq(2, 3, t_max)).ok());
+  ASSERT_TRUE(service.Flush().ok());
+  EXPECT_FALSE(run.data.sample_active(2, 3));
+  // The second deletion of the same sample fails exactly as a streaming
+  // sequential run would: the sample is gone.
+  EXPECT_TRUE(service.Submit(SampleReq(2, 3, t_max)).code() == StatusCode::kFailedPrecondition);
+}
+
+TEST(ServiceSubmitTest, CannotEmptyFederation) {
+  Harness run = MakeTrained(/*clients=*/3, /*n=*/6, /*rounds=*/2, /*e=*/2);
+  UnlearningService service(run.trainer.get());
+  const int64_t t_max = run.trainer->trained_through();
+  ASSERT_TRUE(service.Submit(ClientReq(0, t_max)).ok());
+  ASSERT_TRUE(service.Submit(ClientReq(1, t_max)).ok());
+  EXPECT_TRUE(service.Submit(ClientReq(2, t_max)).code() == StatusCode::kFailedPrecondition);
+}
+
+TEST(ServiceFlushTest, EmptyQueueIsNoop) {
+  Harness run = MakeTrained();
+  UnlearningService service(run.trainer.get());
+  const uint64_t gen = run.trainer->generation();
+  Result<ServiceFlushStats> stats = service.Flush();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->requests, 0);
+  EXPECT_EQ(stats->replays, 0);
+  EXPECT_EQ(run.trainer->generation(), gen);
+}
+
+TEST(ServiceFlushTest, NeverSelectedClientRemovalNeedsNoReplay) {
+  // rho_c = 0.1 -> K = 1: at most `rounds` distinct clients are ever
+  // selected, so among 8 clients several never participated.
+  Harness run = MakeTrained(8, 8, 4, 3, /*rho_c=*/0.1);
+  UnlearningService service(run.trainer.get());
+  int64_t never = -1;
+  for (int64_t k = 0; k < run.config.clients_m; ++k) {
+    if (run.trainer->store().EarliestClientRound(k) == -1) {
+      never = k;
+      break;
+    }
+  }
+  ASSERT_NE(never, -1);
+  const uint64_t gen = run.trainer->generation();
+  ASSERT_TRUE(
+      service.Submit(ClientReq(never, run.trainer->trained_through())).ok());
+  Result<ServiceFlushStats> stats = service.Flush();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->replays, 0);
+  EXPECT_EQ(stats->substituted_batches, 0);
+  // Sequential processing does not bump the generation for a request that
+  // touches no recorded state; neither does the service.
+  EXPECT_EQ(run.trainer->generation(), gen);
+  EXPECT_FALSE(run.data.client_active(never));
+}
+
+TEST(ServiceFlushTest, CoalescedSampleQueueBitIdenticalToSequential) {
+  Harness sequential = MakeTrained();
+  Harness coalesced = MakeTrained();
+
+  // Four deletions of recorded-participating samples on distinct clients.
+  std::vector<UnlearningRequest> requests;
+  const int64_t t_max = sequential.trainer->trained_through();
+  for (int64_t k = 0; k < sequential.config.clients_m &&
+                      static_cast<int64_t>(requests.size()) < 4;
+       ++k) {
+    SampleRef used;
+    if (FindUsedSampleAt(sequential.trainer.get(), k, &used)) {
+      requests.push_back(SampleReq(used.client, used.index, t_max));
+    }
+  }
+  ASSERT_EQ(requests.size(), 4u);
+
+  UnlearningExecutor executor(sequential.trainer.get());
+  ASSERT_TRUE(executor.ExecuteStream(requests).ok());
+
+  UnlearningService service(coalesced.trainer.get());
+  Result<ServiceSummary> summary = service.ExecuteStream(requests);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->flushes, 1);
+  EXPECT_EQ(summary->totals.replays, 1);
+  EXPECT_EQ(summary->totals.requests, 4);
+
+  ExpectIdenticalTrainerState(sequential.trainer.get(),
+                              coalesced.trainer.get());
+}
+
+TEST(ServiceFlushTest, CoalescedMixedQueueBitIdenticalToSequential) {
+  Harness sequential = MakeTrained(10, 8, 4, 3);
+  Harness coalesced = MakeTrained(10, 8, 4, 3);
+  const int64_t t_max = sequential.trainer->trained_through();
+
+  // Interleaved queue touching the same client: delete a sample of c1,
+  // then remove c1 itself, then delete a sample of another participating
+  // client c2 (whose triage runs against the post-removal redrawn history
+  // in both execution orders).
+  const int64_t c1 = FirstParticipatingClient(sequential.trainer.get());
+  ASSERT_NE(c1, -1);
+  const int64_t c2 = FirstParticipatingClient(sequential.trainer.get(), c1);
+  ASSERT_NE(c2, -1);
+  SampleRef s1;
+  ASSERT_TRUE(FindUsedSampleAt(sequential.trainer.get(), c1, &s1));
+  SampleRef s2;
+  ASSERT_TRUE(FindUsedSampleAt(sequential.trainer.get(), c2, &s2));
+
+  std::vector<UnlearningRequest> requests = {
+      SampleReq(s1.client, s1.index, t_max),
+      ClientReq(c1, t_max),
+      SampleReq(s2.client, s2.index, t_max),
+  };
+
+  UnlearningExecutor executor(sequential.trainer.get());
+  ASSERT_TRUE(executor.ExecuteStream(requests).ok());
+
+  UnlearningService service(coalesced.trainer.get());
+  Result<ServiceSummary> summary = service.ExecuteStream(requests);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->flushes, 1);
+  EXPECT_EQ(summary->totals.replays, 1);
+  EXPECT_EQ(summary->totals.client_requests, 1);
+  EXPECT_EQ(summary->totals.sample_requests, 2);
+
+  ExpectIdenticalTrainerState(sequential.trainer.get(),
+                              coalesced.trainer.get());
+}
+
+TEST(ServiceFlushTest, OneReplayFromEarliestAffectedIteration) {
+  Harness run = MakeTrained();
+  UnlearningService service(run.trainer.get());
+  const int64_t t_max = run.trainer->trained_through();
+
+  std::vector<UnlearningRequest> requests;
+  int64_t earliest = -1;
+  for (int64_t k = 0; k < run.config.clients_m &&
+                      static_cast<int64_t>(requests.size()) < 3;
+       ++k) {
+    SampleRef used;
+    if (!FindUsedSampleAt(run.trainer.get(), k, &used)) continue;
+    const int64_t first = run.trainer->store().EarliestSampleUse(used);
+    earliest = (earliest == -1) ? first : std::min(earliest, first);
+    requests.push_back(SampleReq(used.client, used.index, t_max));
+  }
+  ASSERT_EQ(requests.size(), 3u);
+  for (const UnlearningRequest& r : requests) {
+    ASSERT_TRUE(service.Submit(r).ok());
+  }
+  Result<ServiceFlushStats> stats = service.Flush();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->replays, 1);
+  EXPECT_EQ(stats->replay_start_iteration, earliest);
+  EXPECT_EQ(stats->replayed_iterations, t_max - earliest + 1);
+  // The whole point: w requests paid one replay; the per-request sum is
+  // strictly larger whenever more than one request needed recomputation.
+  EXPECT_GT(stats->sequential_replayed_iterations,
+            stats->replayed_iterations);
+}
+
+TEST(ServiceFlushTest, UntriggeredReplayStillCounted) {
+  // request_iter below the sample's first use: the Algorithm 2 trigger does
+  // not fire, but the substitution + replay still happen and must be
+  // reported (the accounting bug this PR fixes).
+  Harness run = MakeTrained();
+  UnlearningService service(run.trainer.get());
+  SampleRef used;
+  int64_t target_client = -1;
+  int64_t first = -1;
+  for (int64_t k = 0; k < run.config.clients_m; ++k) {
+    if (!FindUsedSampleAt(run.trainer.get(), k, &used)) continue;
+    first = run.trainer->store().EarliestSampleUse(used);
+    if (first >= 2) {
+      target_client = k;
+      break;
+    }
+  }
+  ASSERT_NE(target_client, -1);
+  ASSERT_TRUE(service.Submit(SampleReq(used.client, used.index, first - 1)).ok());
+  Result<ServiceFlushStats> stats = service.Flush();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->triggered_requests, 0);
+  EXPECT_EQ(stats->replays, 1);
+  EXPECT_GT(stats->replayed_iterations, 0);
+}
+
+TEST(ServiceFlushTest, MidTrainingFlushThenContinueMatchesSequential) {
+  const int64_t t_mid = 6;  // round boundary for e = 3
+  Harness sequential = MakeTrained(8, 8, 4, 3, 0.5, t_mid);
+  Harness coalesced = MakeTrained(8, 8, 4, 3, 0.5, t_mid);
+
+  std::vector<UnlearningRequest> requests;
+  for (int64_t k = 0; k < sequential.config.clients_m &&
+                      static_cast<int64_t>(requests.size()) < 2;
+       ++k) {
+    SampleRef used;
+    if (FindUsedSampleAt(sequential.trainer.get(), k, &used)) {
+      requests.push_back(SampleReq(used.client, used.index, t_mid));
+    }
+  }
+  ASSERT_EQ(requests.size(), 2u);
+
+  UnlearningExecutor executor(sequential.trainer.get());
+  ASSERT_TRUE(executor.ExecuteStream(requests).ok());
+  sequential.trainer->TrainUntil(sequential.config.total_iters_t());
+
+  UnlearningService service(coalesced.trainer.get());
+  ASSERT_TRUE(service.ExecuteStream(requests).ok());
+  coalesced.trainer->TrainUntil(coalesced.config.total_iters_t());
+
+  ExpectIdenticalTrainerState(sequential.trainer.get(),
+                              coalesced.trainer.get());
+}
+
+TEST(ServiceFlushTest, WindowedStreamFlushesInChunks) {
+  Harness run = MakeTrained(10, 8, 4, 3);
+  UnlearningService service(run.trainer.get());
+  const int64_t t_max = run.trainer->trained_through();
+  std::vector<UnlearningRequest> requests;
+  for (int64_t k = 0; k < run.config.clients_m &&
+                      static_cast<int64_t>(requests.size()) < 4;
+       ++k) {
+    SampleRef used;
+    if (FindUsedSampleAt(run.trainer.get(), k, &used)) {
+      requests.push_back(SampleReq(used.client, used.index, t_max));
+    }
+  }
+  ASSERT_EQ(requests.size(), 4u);
+  Result<ServiceSummary> summary = service.ExecuteStream(requests, 2);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->flushes, 2);
+  EXPECT_EQ(summary->totals.requests, 4);
+  EXPECT_EQ(service.pending(), 0);
+  EXPECT_TRUE(run.trainer->store().IndicesConsistentWithRecords());
+}
+
+}  // namespace
+}  // namespace fats

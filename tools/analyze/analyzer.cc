@@ -74,6 +74,7 @@ AnalysisResult AnalyzeFiles(const std::vector<SourceFile>& files,
     CheckReductions(model, &result.findings);
     CheckFailpointCoverage(model, &result.findings);
     CheckStatusDiscipline(model, result.index, &result.findings);
+    CheckStoreMutation(model, &result.findings);
   }
 
   CheckLayering(result.index, models, &result.findings);

@@ -37,6 +37,13 @@
 //   layer-order        an #include of a higher-rank module (see
 //                      include_graph.h for the layer DAG).
 //   layer-cycle        a module-level include cycle among src/ modules.
+//   store-mutation-bypass
+//                      a StateStore mutator (SaveMinibatch, SaveClient-
+//                      Selection, SaveLocalModel, SaveGlobalModel,
+//                      TruncateFromIteration, Clear) called on the trainer's
+//                      store from src/core outside fats_trainer itself: the
+//                      mutation skips the durable event sink and must go
+//                      through the trainer's wrapper API instead.
 
 #ifndef FATS_TOOLS_ANALYZE_RULES_H_
 #define FATS_TOOLS_ANALYZE_RULES_H_
@@ -59,6 +66,8 @@ inline constexpr const char kRuleFailpointGap[] = "failpoint-gap";
 inline constexpr const char kRuleDiscardedStatus[] = "discarded-status";
 inline constexpr const char kRuleLayerOrder[] = "layer-order";
 inline constexpr const char kRuleLayerCycle[] = "layer-cycle";
+inline constexpr const char kRuleStoreMutationBypass[] =
+    "store-mutation-bypass";
 
 // The analyzer-pass rule IDs (the full ID space is these plus
 // lint::AllRules()).
@@ -94,6 +103,8 @@ void CheckFailpointCoverage(const FileModel& model,
                             std::vector<lint::Finding>* findings);
 void CheckStatusDiscipline(const FileModel& model, const AnalysisIndex& index,
                            std::vector<lint::Finding>* findings);
+void CheckStoreMutation(const FileModel& model,
+                        std::vector<lint::Finding>* findings);
 
 // Whole-tree pass over the include graph.
 void CheckLayering(const AnalysisIndex& index,

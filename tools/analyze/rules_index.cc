@@ -30,7 +30,7 @@ const std::set<std::string_view>& NotAReturnType() {
 std::vector<std::string> AnalyzerRules() {
   return {kRuleRngRawKey,     kRuleRngSharedStream, kRuleRngUnorderedDraw,
           kRuleNondetReduction, kRuleFailpointGap,  kRuleDiscardedStatus,
-          kRuleLayerOrder,    kRuleLayerCycle};
+          kRuleLayerOrder,    kRuleLayerCycle,      kRuleStoreMutationBypass};
 }
 
 void IndexFile(const FileModel& model, AnalysisIndex* index) {

@@ -61,6 +61,20 @@ if [[ "$PRESET" == "release" ]]; then
   else
     echo "bench gate: no BENCH_kernels.json baseline; ran benchmarks only"
   fi
+  # Same gate for the unlearning request service: O(1) triage staying O(1)
+  # (BM_TriageIndexed regressing toward BM_TriageScan is exactly the kind of
+  # order-of-magnitude break this catches).
+  "$BUILD_DIR/bench/bench_unlearn_service" \
+    --benchmark_min_time=0.01 \
+    --benchmark_out="$BUILD_DIR/BENCH_unlearn_current.json" \
+    --benchmark_out_format=json > /dev/null
+  if [[ -f BENCH_unlearn.json ]]; then
+    "$BUILD_DIR/tools/bench_check" BENCH_unlearn.json \
+      "$BUILD_DIR/BENCH_unlearn_current.json" \
+      --max-regress "$BENCH_MAX_REGRESS_PCT"
+  else
+    echo "bench gate: no BENCH_unlearn.json baseline; ran benchmarks only"
+  fi
 else
   echo "bench gate: skipped (preset $PRESET; benches run on release only)"
 fi
