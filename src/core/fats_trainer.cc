@@ -165,6 +165,17 @@ void FatsTrainer::Run(int64_t t0, int64_t t_end) {
       }
       start_params[i] = &local_params.at(client);
     }
+    // Fused round-start batching: at t == round start every participant's
+    // start parameters ARE the broadcast global model (assigned just above
+    // in STEP 1), so all K clients' GEMMs can share one weight pack, built
+    // once here instead of once per client per call. Mid-round iterations
+    // start from diverged per-client weights, so the pack is cleared before
+    // their dispatch. Bit-identical either way (gemm::SgemmPackedB).
+    const bool share_round_pack =
+        fused_round_pack_ && n_part > 0 && t == (r - 1) * e + 1;
+    if (share_round_pack) {
+      runner_.SetSharedWeights(*start_params[0]);
+    }
     runner_.ForEachClient(
         static_cast<int64_t>(n_part), [&](int64_t i, Model* m) {
           const size_t s = static_cast<size_t>(i);
@@ -184,6 +195,7 @@ void FatsTrainer::Run(int64_t t0, int64_t t_end) {
             steps[s].params = m->GetParameters();
           }
         });
+    if (share_round_pack) runner_.ClearSharedWeights();
     for (size_t i = 0; i < n_part; ++i) {
       const int64_t client = participants[i];
       if (dropped[i] > 0) {
@@ -304,6 +316,16 @@ void FatsTrainer::ReplayFrom(int64_t t0, int64_t t_end) {
           << "replay missing mini-batch (" << t << ", " << client << ")";
       start_params[i] = &local_params.at(client);
     }
+    // Same fused round-start pack as in Run: replay re-executes the exact
+    // schedule, so round starts have the identical all-participants-equal
+    // invariant. Keeping both passes on the same code path matters less
+    // for speed than for symmetry — but replay loops dominate unlearning
+    // cost, so they benefit the most.
+    const bool share_round_pack =
+        fused_round_pack_ && n_part > 0 && t == (r - 1) * e + 1;
+    if (share_round_pack) {
+      runner_.SetSharedWeights(*start_params[0]);
+    }
     runner_.ForEachClient(
         static_cast<int64_t>(n_part), [&](int64_t i, Model* m) {
           const size_t s = static_cast<size_t>(i);
@@ -313,6 +335,7 @@ void FatsTrainer::ReplayFrom(int64_t t0, int64_t t_end) {
                                        config_.learning_rate);
           steps[s].params = m->GetParameters();
         });
+    if (share_round_pack) runner_.ClearSharedWeights();
     for (size_t i = 0; i < n_part; ++i) {
       const int64_t client = participants[i];
       loss_sum += steps[i].loss;

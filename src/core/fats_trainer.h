@@ -176,6 +176,15 @@ class FatsTrainer {
   /// that re-run local client work share the trainer's pool and replicas.
   ParallelClientRunner* client_runner() { return &runner_; }
 
+  /// Fused round-start batching (on by default): at every round-start
+  /// iteration — where all participants provably start their local step
+  /// from the broadcast global model — the K clients' forward/backward
+  /// GEMMs share one per-layer weight pack, packed once on the main thread
+  /// (DESIGN.md §7.6). Results are bit-identical either way; the switch
+  /// exists as a diagnostics escape hatch and for A/B exactness tests.
+  void set_fused_round_pack(bool on) { fused_round_pack_ = on; }
+  bool fused_round_pack() const { return fused_round_pack_; }
+
  private:
   /// Emits the iteration-commit mark for iteration `t` to the sink, if any.
   void NotifyIterationComplete(int64_t t, int64_t t_end, TrainPassKind pass,
@@ -197,6 +206,7 @@ class FatsTrainer {
   int64_t b_;
   uint64_t generation_ = 0;
   bool recomputation_mode_ = false;
+  bool fused_round_pack_ = true;
   int64_t local_iterations_executed_ = 0;
   int64_t trained_through_ = 0;
   int64_t dropout_retries_ = 0;

@@ -24,6 +24,14 @@ enum class Tag : uint8_t {
   kOpEnd = 11,          // unlearning operation committed
 };
 
+// sync_every_append wins over async_io: per-record fsync needs the record
+// on the FILE* before Append returns, which async buffering defers.
+JournalWriter::SyncMode ChosenSyncMode(const DurableOptions& options) {
+  if (options.sync_every_append) return JournalWriter::SyncMode::kEveryAppend;
+  if (options.async_io) return JournalWriter::SyncMode::kAsync;
+  return JournalWriter::SyncMode::kNone;
+}
+
 // ----- in-memory little-endian payload codec -----
 
 class PayloadWriter {
@@ -381,9 +389,7 @@ Result<std::unique_ptr<DurableTrainingSession>> DurableTrainingSession::Open(
   FATS_ASSIGN_OR_RETURN(
       session->writer_,
       JournalWriter::OpenForAppend(journal_path, commit_offset,
-                                   options.sync_every_append
-                                       ? JournalWriter::SyncMode::kEveryAppend
-                                       : JournalWriter::SyncMode::kNone));
+                                   ChosenSyncMode(options)));
 
   // Attach first, then finish any interrupted pass so the re-executed
   // iterations are journaled like the originals.
@@ -422,9 +428,7 @@ Status DurableTrainingSession::StartSegment() {
   FATS_ASSIGN_OR_RETURN(
       writer_,
       JournalWriter::OpenForAppend(journal_path_, scan.valid_bytes,
-                                   options_.sync_every_append
-                                       ? JournalWriter::SyncMode::kEveryAppend
-                                       : JournalWriter::SyncMode::kNone));
+                                   ChosenSyncMode(options_)));
   FATS_RETURN_NOT_OK(
       writer_->Append(BeginPayload(trainer_->config(), epoch_)));
   return writer_->Sync();

@@ -34,7 +34,11 @@
 //
 // Durability cadence: every append is fflush'd (survives process death);
 // fsync (survives power loss) happens at round boundaries per
-// DurableOptions, on unlearning brackets, and on rotation.
+// DurableOptions, on unlearning brackets, and on rotation. With
+// DurableOptions::async_io, appends land in an in-memory batch drained by a
+// background writer thread instead (JournalWriter::SyncMode::kAsync); the
+// fsync barriers above drain that batch first, and the commit-point replay
+// rule makes the lost-buffered-tail crash case exact (DESIGN.md §7.6).
 
 #ifndef FATS_IO_TRAIN_JOURNAL_H_
 #define FATS_IO_TRAIN_JOURNAL_H_
@@ -56,6 +60,13 @@ struct DurableOptions {
   bool sync_every_append = false;
   /// fsync every N round boundaries (0 disables round-boundary syncs).
   int64_t sync_every_rounds = 1;
+  /// Buffer appends and flush them from a dedicated writer thread
+  /// (JournalWriter::SyncMode::kAsync): the training thread never blocks on
+  /// file I/O except at sync barriers. Recovery stays bitwise exact — a
+  /// crash loses at most the unflushed tail, which replay re-executes.
+  /// Ignored when sync_every_append is set (per-record fsync implies
+  /// synchronous writes).
+  bool async_io = false;
 };
 
 class DurableTrainingSession : public TrainEventSink {

@@ -32,6 +32,20 @@ void UnflattenParameters(const Tensor& flat, Module* module) {
   }
 }
 
+void UnflattenParameters(const Tensor& flat,
+                         const std::vector<Parameter*>& params) {
+  int64_t offset = 0;
+  for (Parameter* p : params) {
+    FATS_CHECK_LE(offset + p->value.size(), flat.size())
+        << "flat parameter size mismatch";
+    const float* src = flat.data() + offset;
+    float* dst = p->value.data();
+    for (int64_t i = 0; i < p->value.size(); ++i) dst[i] = src[i];
+    offset += p->value.size();
+  }
+  FATS_CHECK_EQ(offset, flat.size()) << "flat parameter size mismatch";
+}
+
 Tensor FlattenGradients(Module* module) {
   Tensor flat({ParameterCount(module)});
   int64_t offset = 0;

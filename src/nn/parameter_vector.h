@@ -24,6 +24,12 @@ Tensor FlattenParameters(Module* module);
 /// Writes `flat` (1-D, length ParameterCount) back into the module.
 void UnflattenParameters(const Tensor& flat, Module* module);
 
+/// Hot-path form over a pre-collected parameter list — used by
+/// Model::SetParameters, which a client task runs once per local round.
+/// Avoids the per-call Parameters() vector allocation.
+void UnflattenParameters(const Tensor& flat,
+                         const std::vector<Parameter*>& params);
+
 /// Concatenates all parameter gradients into one 1-D tensor.
 Tensor FlattenGradients(Module* module);
 

@@ -1,0 +1,50 @@
+// Round-shared prepacked weights for fused cross-client batching.
+//
+// At a round-start iteration every sampled client multiplies by the SAME
+// weight matrices (the trainer broadcasts the round's global model to all
+// participants before their first local step). The blocked GEMM normally
+// re-packs those weights inside every Forward/Backward call of every client;
+// a WeightPack hoists that work to once per round: the trainer packs each
+// eligible layer's weight matrix on the main thread, binds the pack to every
+// model replica's Workspace, and the layers consume the prepacked panels
+// instead of packing — bit-identically (gemm::SgemmPackedB's contract).
+//
+// Slot protocol: Module::AssignPackSlots walks the layer tree in definition
+// order and hands each pack-capable layer a slot index. Two Models built
+// from the same ModelSpec perform the identical walk, so a pack produced by
+// one model's PackSharedWeights is consumed at the right slots by every
+// replica — the layers verify shapes at use.
+//
+// Validity is the *binder's* contract: a bound pack must hold exactly the
+// weights every bound model will carry through its next Forward/Backward
+// (one local step — SgdStep invalidates the pack). The FATS trainer binds
+// only for round-start iterations, where the broadcast makes that invariant
+// true by construction, and unbinds before the weights diverge.
+//
+// Allocation: entries and their PackedB buffers reuse capacity, so repacking
+// the same architecture each round allocates nothing after the first round
+// (asserted by tests/workspace_alloc_test.cc).
+
+#ifndef FATS_NN_WEIGHT_PACK_H_
+#define FATS_NN_WEIGHT_PACK_H_
+
+#include <vector>
+
+#include "tensor/gemm.h"
+
+namespace fats {
+
+struct WeightPack {
+  struct Entry {
+    // Linear: forward consumes W^T (y = x W^T), backward consumes W
+    // (dx = dy W). Both are views of the same pre-step weight matrix, so
+    // both stay valid for the one local step the pack is bound for.
+    gemm::PackedB forward;
+    gemm::PackedB backward;
+  };
+  std::vector<Entry> entries;  // indexed by the layer's assigned pack slot
+};
+
+}  // namespace fats
+
+#endif  // FATS_NN_WEIGHT_PACK_H_

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <vector>
 
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define FATS_GEMM_X86 1
 #include <immintrin.h>
@@ -11,6 +14,12 @@
 namespace fats {
 namespace gemm {
 namespace {
+
+// The pool installed by the innermost live ParallelScope on this thread.
+// Thread-local by design: pool worker threads never see the caller's scope,
+// so per-client GEMMs running inside ParallelFor tasks stay serial instead
+// of nesting pool-in-pool parallelism.
+thread_local ThreadPool* tls_parallel_pool = nullptr;
 
 // Register micro-tile: MR rows of A by NR columns of B. NR is two AVX2
 // vectors wide; the generic micro-kernel uses the same geometry so packed
@@ -260,11 +269,67 @@ inline void MicroKernel(int64_t kc, const float* ap, const float* bp, float* c,
   MicroKernelGeneric(kc, ap, bp, c, ldc, mr, nr, first);
 }
 
+// Macro-kernel over one (ic, mc) row band of a (jc, pc) cache block: packs
+// the A band into per-thread scratch and runs the micro-tile loops. Writes
+// only C rows [ic, ic + mc) — the unit of parallel tile ownership, so two
+// calls on different bands never touch the same output element.
+void MacroKernelRowBand(int64_t ic, int64_t mc, int64_t jc, int64_t nc,
+                        int64_t pc, int64_t kc, const float* a, int64_t lda,
+                        bool a_trans, const float* bp_block, float* c,
+                        int64_t ldc, bool first) {
+  // Per-thread so concurrent band tasks never share, reused across calls so
+  // steady-state GEMMs allocate nothing (after each worker's first call).
+  thread_local std::vector<float> ap_buf;
+  ap_buf.resize(static_cast<size_t>(RoundUp(mc, kMr) * kc));
+  PackA(a, lda, a_trans, ic, pc, mc, kc, ap_buf.data());
+  for (int64_t jr = 0; jr < nc; jr += kNr) {
+    const int64_t nr = std::min(kNr, nc - jr);
+    const float* bp = bp_block + (jr / kNr) * kc * kNr;
+    for (int64_t ir = 0; ir < mc; ir += kMr) {
+      const int64_t mr = std::min(kMr, mc - ir);
+      const float* ap = ap_buf.data() + (ir / kMr) * kc * kMr;
+      float* cp = c + (ic + ir) * ldc + (jc + jr);
+      MicroKernel(kc, ap, bp, cp, ldc, mr, nr, first);
+    }
+  }
+}
+
+// Work floor below which dispatching pool tasks costs more than it saves.
+// A pure function of the problem shape (never of load or schedule), so the
+// serial/parallel choice is deterministic — and both sides of the choice are
+// bit-identical anyway.
+constexpr int64_t kParallelGemmMinFlops = 1 << 18;
+
+inline bool ParallelWorthwhile(const ThreadPool* pool, int64_t m, int64_t n,
+                               int64_t k) {
+  return pool != nullptr && pool->num_threads() > 1 && m >= 2 * kMr &&
+         m * n * k >= kParallelGemmMinFlops;
+}
+
+// Rows per parallel band: ceil(m / workers) rounded up to the micro-tile
+// height so a band boundary never splits a kMr row panel. Pure function of
+// (m, workers); the band -> rows map is fixed before dispatch.
+inline int64_t ParallelBandRows(int64_t m, int64_t workers) {
+  const int64_t ideal = (m + workers - 1) / workers;
+  return std::max<int64_t>(kMr, RoundUp(ideal, kMr));
+}
+
 // Shared driver. a_trans/b_trans select the TN/NT storage interpretations;
 // packing absorbs the transpose, so one macro-kernel serves all variants.
+// When `packed` is non-null it supplies B's panels (b/ldb/b_trans unused);
+// the panel bytes are identical to what PackB would produce, so the packed
+// and packing paths are bit-identical. When a ParallelScope pool is active
+// and the shape clears the work floor, the m dimension is split into fixed
+// row bands and each band runs as one pool task: B panels are packed (or
+// resolved) once on the calling thread before dispatch, every task packs
+// its own A band into thread-local scratch, and each output element is
+// written by exactly the one task owning its band with its ascending-k
+// chain intact — no atomics, no cross-task reduction, bit-identical to the
+// serial loop.
 void SgemmDriver(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
                  bool a_trans, const float* b, int64_t ldb, bool b_trans,
-                 float* c, int64_t ldc, bool accumulate) {
+                 const PackedB* packed, float* c, int64_t ldc,
+                 bool accumulate) {
   if (m <= 0 || n <= 0) return;
   if (k <= 0) {
     if (!accumulate) {
@@ -274,33 +339,44 @@ void SgemmDriver(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
     }
     return;
   }
-  // Packing scratch: per-thread so concurrent workers never share, reused
-  // across calls so steady-state GEMMs allocate nothing.
-  thread_local std::vector<float> ap_buf;
   thread_local std::vector<float> bp_buf;
+  ThreadPool* pool = tls_parallel_pool;
+  const bool parallel = ParallelWorthwhile(pool, m, n, k);
+  const int64_t num_pc_blocks = (k + kKc - 1) / kKc;
   for (int64_t jc = 0; jc < n; jc += kNc) {
     const int64_t nc = std::min(kNc, n - jc);
     for (int64_t pc = 0; pc < k; pc += kKc) {
       const int64_t kc = std::min(kKc, k - pc);
-      bp_buf.resize(static_cast<size_t>(RoundUp(nc, kNr) * kc));
-      PackB(b, ldb, b_trans, pc, jc, kc, nc, bp_buf.data());
+      const float* bp_block;
+      if (packed != nullptr) {
+        const size_t block_idx = static_cast<size_t>(
+            (jc / kNc) * num_pc_blocks + (pc / kKc));
+        bp_block = packed->panels.data() + packed->block_offsets[block_idx];
+      } else {
+        bp_buf.resize(static_cast<size_t>(RoundUp(nc, kNr) * kc));
+        PackB(b, ldb, b_trans, pc, jc, kc, nc, bp_buf.data());
+        bp_block = bp_buf.data();
+      }
       // The chain head: the first k-block starts accumulators at +0.0f
       // unless the caller asked to continue from C.
       const bool first = (pc == 0) && !accumulate;
-      for (int64_t ic = 0; ic < m; ic += kMc) {
-        const int64_t mc = std::min(kMc, m - ic);
-        ap_buf.resize(static_cast<size_t>(RoundUp(mc, kMr) * kc));
-        PackA(a, lda, a_trans, ic, pc, mc, kc, ap_buf.data());
-        for (int64_t jr = 0; jr < nc; jr += kNr) {
-          const int64_t nr = std::min(kNr, nc - jr);
-          const float* bp = bp_buf.data() + (jr / kNr) * kc * kNr;
-          for (int64_t ir = 0; ir < mc; ir += kMr) {
-            const int64_t mr = std::min(kMr, mc - ir);
-            const float* ap = ap_buf.data() + (ir / kMr) * kc * kMr;
-            float* cp = c + (ic + ir) * ldc + (jc + jr);
-            MicroKernel(kc, ap, bp, cp, ldc, mr, nr, first);
-          }
+      if (!parallel) {
+        for (int64_t ic = 0; ic < m; ic += kMc) {
+          MacroKernelRowBand(ic, std::min(kMc, m - ic), jc, nc, pc, kc, a,
+                             lda, a_trans, bp_block, c, ldc, first);
         }
+      } else {
+        const int64_t band_rows = ParallelBandRows(m, pool->num_threads());
+        const int64_t num_bands = (m + band_rows - 1) / band_rows;
+        pool->ParallelFor(num_bands, [&](int64_t band, int64_t /*worker*/) {
+          const int64_t row0 = band * band_rows;
+          const int64_t rows = std::min(band_rows, m - row0);
+          for (int64_t off = 0; off < rows; off += kMc) {
+            MacroKernelRowBand(row0 + off, std::min(kMc, rows - off), jc, nc,
+                               pc, kc, a, lda, a_trans, bp_block, c, ldc,
+                               first);
+          }
+        });
       }
     }
   }
@@ -383,7 +459,7 @@ void SgemmNN(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
   }
 #endif
   SgemmDriver(m, n, k, a, lda, /*a_trans=*/false, b, ldb, /*b_trans=*/false,
-              c, ldc, accumulate);
+              /*packed=*/nullptr, c, ldc, accumulate);
 }
 
 void SgemmNT(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
@@ -407,7 +483,7 @@ void SgemmNT(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
   }
 #endif
   SgemmDriver(m, n, k, a, lda, /*a_trans=*/false, b, ldb, /*b_trans=*/true,
-              c, ldc, accumulate);
+              /*packed=*/nullptr, c, ldc, accumulate);
 }
 
 void SgemmTN(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
@@ -421,7 +497,85 @@ void SgemmTN(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
   }
 #endif
   SgemmDriver(m, n, k, a, lda, /*a_trans=*/true, b, ldb, /*b_trans=*/false,
-              c, ldc, accumulate);
+              /*packed=*/nullptr, c, ldc, accumulate);
+}
+
+// --- ParallelScope / prepacked B -------------------------------------------
+
+ParallelScope::ParallelScope(ThreadPool* pool) : previous_(tls_parallel_pool) {
+  tls_parallel_pool =
+      (pool != nullptr && pool->num_threads() > 1) ? pool : nullptr;
+}
+
+ParallelScope::~ParallelScope() { tls_parallel_pool = previous_; }
+
+void PackBMatrix(int64_t n, int64_t k, const float* b, int64_t ldb,
+                 bool b_trans, PackedB* out) {
+  FATS_CHECK_GE(n, 1) << "PackBMatrix: n must be positive";
+  FATS_CHECK_GE(k, 1) << "PackBMatrix: k must be positive";
+  out->n = n;
+  out->k = k;
+  const int64_t num_pc_blocks = (k + kKc - 1) / kKc;
+  const int64_t num_jc_blocks = (n + kNc - 1) / kNc;
+  out->block_offsets.resize(
+      static_cast<size_t>(num_jc_blocks * num_pc_blocks));
+  // First pass: lay out block offsets (panels are padded to kNr columns, so
+  // block sizes depend only on the shape).
+  int64_t total = 0;
+  for (int64_t jc = 0; jc < n; jc += kNc) {
+    const int64_t nc = std::min(kNc, n - jc);
+    for (int64_t pc = 0; pc < k; pc += kKc) {
+      const int64_t kc = std::min(kKc, k - pc);
+      out->block_offsets[static_cast<size_t>((jc / kNc) * num_pc_blocks +
+                                             (pc / kKc))] = total;
+      total += RoundUp(nc, kNr) * kc;
+    }
+  }
+  out->panels.resize(static_cast<size_t>(total));
+  for (int64_t jc = 0; jc < n; jc += kNc) {
+    const int64_t nc = std::min(kNc, n - jc);
+    for (int64_t pc = 0; pc < k; pc += kKc) {
+      const int64_t kc = std::min(kKc, k - pc);
+      float* bp = out->panels.data() +
+                  out->block_offsets[static_cast<size_t>(
+                      (jc / kNc) * num_pc_blocks + (pc / kKc))];
+      PackB(b, ldb, b_trans, pc, jc, kc, nc, bp);
+    }
+  }
+  // Dense (k x n) mirror for the small-GEMM fast path. Only worth storing
+  // when some m could make a call eligible (m >= 1 => m*n*k >= n*k); hosts
+  // without the fast path skip it entirely.
+  out->rowmajor.clear();
+#if defined(FATS_GEMM_X86)
+  if (kUseAvx512 && n * k <= kSmallGemmFlopLimit) {
+    out->rowmajor.resize(static_cast<size_t>(n * k));
+    for (int64_t kk = 0; kk < k; ++kk) {
+      for (int64_t j = 0; j < n; ++j) {
+        out->rowmajor[static_cast<size_t>(kk * n + j)] =
+            b_trans ? b[j * ldb + kk] : b[kk * ldb + j];
+      }
+    }
+  }
+#endif
+}
+
+void SgemmPackedB(int64_t m, int64_t n, int64_t k, const float* a,
+                  int64_t lda, const PackedB& b, float* c, int64_t ldc,
+                  bool accumulate) {
+  if (m <= 0 || n <= 0) return;
+  if (k > 0) {
+    FATS_CHECK_EQ(b.n, n) << "SgemmPackedB: pack shape mismatch";
+    FATS_CHECK_EQ(b.k, k) << "SgemmPackedB: pack shape mismatch";
+  }
+#if defined(FATS_GEMM_X86)
+  if (SmallGemmEligible(m, n, k) && !b.rowmajor.empty()) {
+    SmallGemmAvx512(m, n, k, a, lda, /*a_trans=*/false, b.rowmajor.data(), n,
+                    c, ldc, accumulate);
+    return;
+  }
+#endif
+  SgemmDriver(m, n, k, a, lda, /*a_trans=*/false, /*b=*/nullptr, /*ldb=*/0,
+              /*b_trans=*/false, &b, c, ldc, accumulate);
 }
 
 void ReferenceSgemmNN(int64_t m, int64_t n, int64_t k, const float* a,

@@ -32,8 +32,12 @@
 #define FATS_TENSOR_GEMM_H_
 
 #include <cstdint>
+#include <vector>
 
 namespace fats {
+
+class ThreadPool;
+
 namespace gemm {
 
 /// C (m x n) = [C if accumulate else 0] + A (m x k) @ B (k x n).
@@ -50,6 +54,75 @@ void SgemmNT(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
 void SgemmTN(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
              const float* b, int64_t ldb, float* c, int64_t ldc,
              bool accumulate);
+
+// --- Multi-threaded execution (DESIGN.md §7.6) -----------------------------
+//
+// While a ParallelScope is active on the calling thread, the Sgemm* drivers
+// split the m dimension into contiguous row bands — a *fixed tile-ownership
+// split*, a pure function of (m, num_threads) and never of the schedule —
+// and run each band's macro-kernel as a ThreadPool task. Every output
+// element is written by exactly one task, each element's ascending-k
+// accumulation chain stays inside that task (the k-block loop remains
+// serial), and there is no atomic accumulation or cross-task reduction, so
+// results are bit-identical to the single-threaded kernels at every thread
+// count. Below an internal work threshold calls run serially on the calling
+// thread — also bit-identical, so the threshold is performance-only.
+//
+// The scope is thread-local: it parallelizes GEMMs issued by the thread that
+// constructed it and is invisible to every other thread. In particular,
+// GEMMs issued from inside ThreadPool tasks (per-client training steps)
+// never nest pool-in-pool parallelism. Never construct a ParallelScope on a
+// worker thread of the pool it wraps: ParallelFor is not reentrant.
+class ParallelScope {
+ public:
+  // A null pool (or one with num_threads() <= 1) disables parallel GEMM for
+  // the scope — convenient for --threads 1 call sites.
+  explicit ParallelScope(ThreadPool* pool);
+  ~ParallelScope();
+  ParallelScope(const ParallelScope&) = delete;
+  ParallelScope& operator=(const ParallelScope&) = delete;
+
+ private:
+  ThreadPool* previous_;
+};
+
+// --- Prepacked B operands --------------------------------------------------
+//
+// PackB'ing the weight matrix is O(k*n) copy work the blocked driver repeats
+// on every call. When many GEMMs share one B (the K sampled clients of a
+// round all multiplying by the same round-start weights), packing once and
+// reusing the panels removes that work from every call. The packed panels
+// are byte-identical to what the driver would pack internally, and the
+// small-GEMM fast path consumes the dense row-major mirror instead of
+// re-transposing, so prepacked calls are bit-identical to their unpacked
+// counterparts — pinned by tests/kernel_contract_test.cc.
+struct PackedB {
+  int64_t n = 0;
+  int64_t k = 0;
+  // kNr-column panels in the blocked driver's (jc outer, pc inner) block
+  // order; block_offsets[jc_idx * num_pc_blocks + pc_idx] locates each
+  // block's first float in `panels`.
+  std::vector<float> panels;
+  std::vector<int64_t> block_offsets;
+  // Dense (k x n) row-major mirror, filled only when the small-GEMM fast
+  // path can consume it; empty otherwise.
+  std::vector<float> rowmajor;
+};
+
+/// Packs logical B (k x n) for reuse across SgemmPackedB calls. With
+/// b_trans=false, b is stored (k x n) with row stride ldb (the SgemmNN
+/// layout); with b_trans=true, b is stored (n x k) (the SgemmNT layout).
+/// Reuses `out`'s capacity: repacking the same shape allocates nothing.
+void PackBMatrix(int64_t n, int64_t k, const float* b, int64_t ldb,
+                 bool b_trans, PackedB* out);
+
+/// C (m x n) = [C if accumulate else 0] + A (m x k) @ B, with B captured by
+/// PackBMatrix. Bit-identical to SgemmNN (b_trans=false at pack time) /
+/// SgemmNT (b_trans=true) on the original operand, on every dispatch path
+/// and thread count.
+void SgemmPackedB(int64_t m, int64_t n, int64_t k, const float* a,
+                  int64_t lda, const PackedB& b, float* c, int64_t ldc,
+                  bool accumulate);
 
 // Canonical-order reference kernels: straightforward i-j-k triple loops that
 // *define* the deterministic contract. The blocked kernels above must match

@@ -335,6 +335,62 @@ TEST(AnalyzeNondetReduction, SuppressionDowngrades) {
   EXPECT_TRUE(HasRule(r, kRuleNondetReduction, /*suppressed=*/true));
 }
 
+// --- Rule fixtures: tile-overlap ---
+
+TEST(AnalyzeTileOverlap, SharedSubscriptWriteFires) {
+  // The subscript `row` is neither a lambda parameter nor declared in the
+  // body: every worker writes the same output element.
+  const AnalysisResult r = AnalyzeOne(
+      "src/tensor/x.cc",
+      "void Kernel(ThreadPool& pool, float* c, int64_t row) {\n"
+      "  pool.ParallelFor(8, [&](int64_t band, int64_t w) {\n"
+      "    c[row] = 1.0f;\n"
+      "  });\n"
+      "}\n");
+  EXPECT_TRUE(HasRule(r, kRuleTileOverlap));
+}
+
+TEST(AnalyzeTileOverlap, BandDerivedWritesAreClean) {
+  // Writes indexed by the task parameter or by body-local state derived
+  // from it are the sanctioned fixed-ownership pattern; task-local buffers
+  // are private by construction.
+  const AnalysisResult r = AnalyzeOne(
+      "src/tensor/x.cc",
+      "void Kernel(ThreadPool& pool, float* c, int64_t band_rows) {\n"
+      "  pool.ParallelFor(8, [&](int64_t band, int64_t w) {\n"
+      "    const int64_t row0 = band * band_rows;\n"
+      "    float scratch[16];\n"
+      "    scratch[0] = 0.0f;\n"
+      "    c[band] = 1.0f;\n"
+      "    c[row0 + 1] = 2.0f;\n"
+      "  });\n"
+      "}\n");
+  EXPECT_TRUE(ActiveRules(r).empty());
+}
+
+TEST(AnalyzeTileOverlap, OutsideSrcTensorIsExempt) {
+  const AnalysisResult r = AnalyzeOne(
+      "src/fl/x.cc",
+      "void F(ThreadPool& pool, float* c, int64_t row) {\n"
+      "  pool.ParallelFor(8, [&](int64_t band, int64_t w) {\n"
+      "    c[row] = 1.0f;\n"
+      "  });\n"
+      "}\n");
+  EXPECT_FALSE(HasRule(r, kRuleTileOverlap));
+}
+
+TEST(AnalyzeTileOverlap, SuppressionDowngrades) {
+  const AnalysisResult r = AnalyzeOne(
+      "src/tensor/x.cc",
+      "void Kernel(ThreadPool& pool, float* c, int64_t row) {\n"
+      "  pool.ParallelFor(8, [&](int64_t band, int64_t w) {\n"
+      "    c[row] = 1.0f;  // fats-lint: allow(tile-overlap)\n"
+      "  });\n"
+      "}\n");
+  EXPECT_TRUE(ActiveRules(r).empty());
+  EXPECT_TRUE(HasRule(r, kRuleTileOverlap, /*suppressed=*/true));
+}
+
 // --- Rule fixtures: failpoint-gap ---
 
 TEST(AnalyzeFailpointGap, UncoveredFsyncFires) {
@@ -602,7 +658,7 @@ TEST(AnalyzeRules, AllRulesSupersetOfLegacy) {
   for (const char* rule :
        {kRuleRngRawKey, kRuleRngSharedStream, kRuleRngUnorderedDraw,
         kRuleNondetReduction, kRuleFailpointGap, kRuleDiscardedStatus,
-        kRuleLayerOrder, kRuleLayerCycle}) {
+        kRuleLayerOrder, kRuleLayerCycle, kRuleTileOverlap}) {
     EXPECT_NE(std::find(all.begin(), all.end(), rule), all.end()) << rule;
   }
 }

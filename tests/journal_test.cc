@@ -11,9 +11,11 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <utility>
 
 #include "io/train_journal.h"
 #include "test_workloads.h"
+#include "util/failpoint.h"
 
 namespace fats {
 namespace {
@@ -183,6 +185,114 @@ TEST(JournalTest, OpenForAppendTruncatesTornTailAndResumes) {
   EXPECT_FALSE(rescan->torn_tail);
 }
 
+// --- Async mode (SyncMode::kAsync): double-buffered writer thread ---
+
+TEST(JournalAsyncTest, FileBitwiseMatchesSyncMode) {
+  // The same append sequence must produce byte-identical files in kNone and
+  // kAsync modes: batching changes when bytes reach the FILE*, never which
+  // bytes.
+  const std::string sync_path = TempPath("jrn_async_ref.jrn");
+  const std::string async_path = TempPath("jrn_async_cand.jrn");
+  const std::string binary_payload("\x00\xff\x7f\n\x01", 5);
+  for (const auto& [path, mode] :
+       {std::pair{sync_path, JournalWriter::SyncMode::kNone},
+        std::pair{async_path, JournalWriter::SyncMode::kAsync}}) {
+    ASSERT_TRUE(JournalWriter::Create(path).ok());
+    Result<std::unique_ptr<JournalWriter>> writer =
+        JournalWriter::OpenForAppend(path, kHeaderBytes, mode);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    ASSERT_TRUE((*writer)->Append("alpha").ok());
+    ASSERT_TRUE((*writer)->Append("").ok());
+    ASSERT_TRUE((*writer)->Sync().ok());  // mid-stream barrier
+    ASSERT_TRUE((*writer)->Append(binary_payload).ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  const std::string sync_blob = ReadFile(sync_path);
+  ASSERT_GT(sync_blob.size(), static_cast<size_t>(kHeaderBytes));
+  EXPECT_EQ(sync_blob, ReadFile(async_path));
+}
+
+TEST(JournalAsyncTest, SyncBarrierMakesBufferedRecordsDurable) {
+  const std::string path = TempPath("jrn_async_barrier.jrn");
+  ASSERT_TRUE(JournalWriter::Create(path).ok());
+  Result<std::unique_ptr<JournalWriter>> writer = JournalWriter::OpenForAppend(
+      path, kHeaderBytes, JournalWriter::SyncMode::kAsync);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ASSERT_TRUE((*writer)->Append("buffered-one").ok());
+  ASSERT_TRUE((*writer)->Append("buffered-two").ok());
+  ASSERT_TRUE((*writer)->Sync().ok());
+  // After the barrier — with the writer still open — every appended record
+  // is on the file, not in a user-space buffer.
+  Result<JournalScan> scan = ScanJournal(path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->records[0], "buffered-one");
+  EXPECT_EQ(scan->records[1], "buffered-two");
+  ASSERT_TRUE((*writer)->Close().ok());
+}
+
+TEST(JournalAsyncTest, AutoFlushAcrossBatchThresholdKeepsOrder) {
+  // ~180 KiB of records forces several 64 KiB batch handoffs; the scan must
+  // see every record, in append order, with no torn tail.
+  const std::string path = TempPath("jrn_async_bulk.jrn");
+  ASSERT_TRUE(JournalWriter::Create(path).ok());
+  Result<std::unique_ptr<JournalWriter>> writer = JournalWriter::OpenForAppend(
+      path, kHeaderBytes, JournalWriter::SyncMode::kAsync);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  constexpr int kRecords = 3000;
+  for (int i = 0; i < kRecords; ++i) {
+    ASSERT_TRUE(
+        (*writer)->Append("record-" + std::to_string(i) + "-padding-padding")
+            .ok());
+  }
+  ASSERT_TRUE((*writer)->Close().ok());
+  Result<JournalScan> scan = ScanJournal(path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), static_cast<size_t>(kRecords));
+  for (int i : {0, 1, 1234, kRecords - 1}) {
+    EXPECT_EQ(scan->records[static_cast<size_t>(i)],
+              "record-" + std::to_string(i) + "-padding-padding");
+  }
+  EXPECT_FALSE(scan->torn_tail);
+}
+
+TEST(JournalAsyncTest, WriterThreadErrorLatchesIntoStatus) {
+  const std::string path = TempPath("jrn_async_flush_err.jrn");
+  ASSERT_TRUE(JournalWriter::Create(path).ok());
+  Result<std::unique_ptr<JournalWriter>> writer = JournalWriter::OpenForAppend(
+      path, kHeaderBytes, JournalWriter::SyncMode::kAsync);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ASSERT_TRUE(failpoint::ArmFromSpec("journal.async_flush:1:error").ok());
+  ASSERT_TRUE((*writer)->Append("doomed").ok());  // buffered, not yet flushed
+  // The barrier drains the writer, which surfaces the injected flush error.
+  Status synced = (*writer)->Sync();
+  EXPECT_FALSE(synced.ok());
+  EXPECT_NE(synced.ToString().find("journal.async_flush"), std::string::npos)
+      << synced.ToString();
+  // Latched: later appends refuse without touching the file.
+  EXPECT_FALSE((*writer)->Append("after-error").ok());
+  EXPECT_FALSE((*writer)->status().ok());
+  failpoint::DisarmAll();
+  (void)(*writer)->Close();
+}
+
+TEST(JournalAsyncTest, SwapBufferErrorLatchesIntoStatus) {
+  const std::string path = TempPath("jrn_async_swap_err.jrn");
+  ASSERT_TRUE(JournalWriter::Create(path).ok());
+  Result<std::unique_ptr<JournalWriter>> writer = JournalWriter::OpenForAppend(
+      path, kHeaderBytes, JournalWriter::SyncMode::kAsync);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ASSERT_TRUE(failpoint::ArmFromSpec("journal.swap_buffer:1:error").ok());
+  ASSERT_TRUE((*writer)->Append("doomed").ok());
+  Status synced = (*writer)->Sync();
+  EXPECT_FALSE(synced.ok());
+  EXPECT_NE(synced.ToString().find("journal.swap_buffer"), std::string::npos)
+      << synced.ToString();
+  EXPECT_FALSE((*writer)->status().ok());
+  failpoint::DisarmAll();
+  (void)(*writer)->Close();
+}
+
 TEST(JournalTest, SweepOrphanTmpRemovesStaleFile) {
   const std::string path = TempPath("jrn_sweep.jrn");
   WriteFile(path + ".tmp", "half-written garbage");
@@ -210,13 +320,14 @@ Env MakeEnv() {
 
 // Runs a full durable training pass from scratch (removing any files a
 // previous test invocation left behind) and returns the final global model.
-Tensor RunDurable(const std::string& ckpt, const std::string& jrn) {
+Tensor RunDurable(const std::string& ckpt, const std::string& jrn,
+                  const DurableOptions& options = {}) {
   for (const std::string& p : {ckpt, ckpt + ".tmp", jrn, jrn + ".tmp"}) {
     std::remove(p.c_str());
   }
   Env env = MakeEnv();
   Result<std::unique_ptr<DurableTrainingSession>> session =
-      DurableTrainingSession::Open(ckpt, jrn, env.trainer.get());
+      DurableTrainingSession::Open(ckpt, jrn, env.trainer.get(), options);
   EXPECT_TRUE(session.ok()) << session.status().ToString();
   env.trainer->Train();
   EXPECT_TRUE((*session)->status().ok());
@@ -265,6 +376,49 @@ TEST(DurableJournalTest, RecoversBitExactlyFromTruncatedTail) {
   Env env = MakeEnv();
   Result<std::unique_ptr<DurableTrainingSession>> session =
       DurableTrainingSession::Open(ckpt, jrn, env.trainer.get());
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_EQ(env.trainer->trained_through(), env.config.total_iters_t());
+  EXPECT_TRUE(env.trainer->global_params().BitwiseEquals(reference));
+}
+
+TEST(DurableJournalTest, AsyncSessionJournalMatchesSyncByte) {
+  // A full durable training pass with async_io produces the same journal
+  // bytes and the same model as the synchronous-write session.
+  const std::string ref_ckpt = TempPath("djrn_aref.ckpt");
+  const std::string ref_jrn = TempPath("djrn_aref.jrn");
+  const Tensor reference = RunDurable(ref_ckpt, ref_jrn);
+
+  const std::string ckpt = TempPath("djrn_async.ckpt");
+  const std::string jrn = TempPath("djrn_async.jrn");
+  DurableOptions options;
+  options.async_io = true;
+  const Tensor async_params = RunDurable(ckpt, jrn, options);
+
+  EXPECT_TRUE(async_params.BitwiseEquals(reference));
+  const std::string ref_blob = ReadFile(ref_jrn);
+  ASSERT_GT(ref_blob.size(), 100u);
+  EXPECT_EQ(ref_blob, ReadFile(jrn));
+}
+
+TEST(DurableJournalTest, AsyncSessionRecoversBitExactlyFromTruncatedTail) {
+  const std::string ref_ckpt = TempPath("djrn_atref.ckpt");
+  const std::string ref_jrn = TempPath("djrn_atref.jrn");
+  const Tensor reference = RunDurable(ref_ckpt, ref_jrn);
+
+  const std::string ckpt = TempPath("djrn_atrunc.ckpt");
+  const std::string jrn = TempPath("djrn_atrunc.jrn");
+  DurableOptions options;
+  options.async_io = true;
+  (void)RunDurable(ckpt, jrn, options);
+
+  std::string blob = ReadFile(jrn);
+  ASSERT_GT(blob.size(), 100u);
+  WriteFile(jrn, blob.substr(0, blob.size() / 2));
+
+  // Recovery itself also runs with the async writer.
+  Env env = MakeEnv();
+  Result<std::unique_ptr<DurableTrainingSession>> session =
+      DurableTrainingSession::Open(ckpt, jrn, env.trainer.get(), options);
   ASSERT_TRUE(session.ok()) << session.status().ToString();
   EXPECT_EQ(env.trainer->trained_through(), env.config.total_iters_t());
   EXPECT_TRUE(env.trainer->global_params().BitwiseEquals(reference));

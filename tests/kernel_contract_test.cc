@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "rng/rng_stream.h"
+#include "util/thread_pool.h"
 
 namespace fats {
 namespace {
@@ -180,6 +181,145 @@ TEST(KernelContract, EmptyKDimension) {
                 /*accumulate=*/false);
   for (float x : c) EXPECT_EQ(x, 0.0f);
 }
+
+// --- Multi-threaded execution (DESIGN.md §7.6) -----------------------------
+//
+// With a ParallelScope active, the drivers split the m dimension into fixed
+// row bands and run the bands as pool tasks. The contract is bitwise
+// identity to the serial kernels at every thread count: band boundaries
+// never touch any per-element ascending-k chain, and each element is owned
+// by exactly one task. The parallel path only engages above a work
+// threshold, so the shape list below includes shapes on both sides of it —
+// below-threshold shapes exercise the (bit-identical) serial fallback under
+// an active scope.
+
+const Shape kParallelShapes[] = {
+    // Under the parallel work floor: scope active, serial fallback.
+    {6, 16, 8}, {13, 37, 7}, {64, 23, 48},
+    // Over the floor: genuine multi-band dispatch, including band counts
+    // that don't divide evenly and rectangular extremes.
+    {128, 64, 48}, {97, 128, 33}, {256, 16, 64}, {300, 40, 25},
+    {256, 256, 17}, {48, 96, 130},
+};
+
+class ParallelKernelContract : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(ParallelKernelContract, AllVariantsBitwiseMatchSerial) {
+  const int64_t threads = GetParam();
+  ThreadPool pool(threads);
+  RngStream rng(uint64_t{200} + static_cast<uint64_t>(threads));
+  for (const Shape& s : kParallelShapes) {
+    for (bool accumulate : {false, true}) {
+      const std::vector<float> a = RandomVec(s.m * s.k, &rng);
+      const std::vector<float> b = RandomVec(s.k * s.n, &rng);
+      const std::vector<float> bt = RandomVec(s.n * s.k, &rng);  // (n x k)
+      const std::vector<float> at = RandomVec(s.k * s.m, &rng);  // (k x m)
+      const std::vector<float> c0 = RandomVec(s.m * s.n, &rng);
+
+      std::vector<float> nn_serial = c0, nn_par = c0;
+      std::vector<float> nt_serial = c0, nt_par = c0;
+      std::vector<float> tn_serial = c0, tn_par = c0;
+      gemm::SgemmNN(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n,
+                    nn_serial.data(), s.n, accumulate);
+      gemm::SgemmNT(s.m, s.n, s.k, a.data(), s.k, bt.data(), s.k,
+                    nt_serial.data(), s.n, accumulate);
+      gemm::SgemmTN(s.m, s.n, s.k, at.data(), s.m, b.data(), s.n,
+                    tn_serial.data(), s.n, accumulate);
+      {
+        gemm::ParallelScope scope(&pool);
+        gemm::SgemmNN(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n,
+                      nn_par.data(), s.n, accumulate);
+        gemm::SgemmNT(s.m, s.n, s.k, a.data(), s.k, bt.data(), s.k,
+                      nt_par.data(), s.n, accumulate);
+        gemm::SgemmTN(s.m, s.n, s.k, at.data(), s.m, b.data(), s.n,
+                      tn_par.data(), s.n, accumulate);
+      }
+      EXPECT_TRUE(BitwiseEqual(nn_serial, nn_par))
+          << "NN threads=" << threads << " m=" << s.m << " n=" << s.n
+          << " k=" << s.k << " accumulate=" << accumulate;
+      EXPECT_TRUE(BitwiseEqual(nt_serial, nt_par))
+          << "NT threads=" << threads << " m=" << s.m << " n=" << s.n
+          << " k=" << s.k << " accumulate=" << accumulate;
+      EXPECT_TRUE(BitwiseEqual(tn_serial, tn_par))
+          << "TN threads=" << threads << " m=" << s.m << " n=" << s.n
+          << " k=" << s.k << " accumulate=" << accumulate;
+    }
+  }
+}
+
+// NaN/Inf must propagate identically when the work is split across bands:
+// the parallel split must not introduce (or mask) any data-dependent skip.
+TEST_P(ParallelKernelContract, NonFinitePropagationMatchesSerial) {
+  const int64_t threads = GetParam();
+  ThreadPool pool(threads);
+  RngStream rng(uint64_t{300} + static_cast<uint64_t>(threads));
+  const int64_t m = 128, n = 64, k = 48;  // over the parallel work floor
+  std::vector<float> a = RandomVec(m * k, &rng);
+  std::vector<float> b = RandomVec(k * n, &rng);
+  a[5] = std::nanf("");
+  a[static_cast<size_t>((m - 1) * k)] = INFINITY;  // last band's rows too
+  b[11] = -INFINITY;
+  std::vector<float> c_serial(static_cast<size_t>(m * n), 0.0f);
+  std::vector<float> c_par = c_serial;
+  gemm::SgemmNN(m, n, k, a.data(), k, b.data(), n, c_serial.data(), n, false);
+  {
+    gemm::ParallelScope scope(&pool);
+    gemm::SgemmNN(m, n, k, a.data(), k, b.data(), n, c_par.data(), n, false);
+  }
+  EXPECT_TRUE(BitwiseEqual(c_serial, c_par)) << "threads=" << threads;
+  bool saw_nan = false;
+  for (float x : c_par) saw_nan |= std::isnan(x);
+  EXPECT_TRUE(saw_nan);
+}
+
+// Prepacked B must be bit-identical to packing inside the call, serial and
+// parallel, for both storage layouts — and repacking into the same PackedB
+// (the per-round reuse pattern) must behave like a fresh pack.
+TEST_P(ParallelKernelContract, PackedBBitwiseMatchesUnpacked) {
+  const int64_t threads = GetParam();
+  ThreadPool pool(threads);
+  RngStream rng(uint64_t{400} + static_cast<uint64_t>(threads));
+  gemm::PackedB pack_nn;  // reused across shapes: exercises repacking
+  gemm::PackedB pack_nt;
+  for (const Shape& s : kParallelShapes) {
+    for (bool accumulate : {false, true}) {
+      const std::vector<float> a = RandomVec(s.m * s.k, &rng);
+      const std::vector<float> b = RandomVec(s.k * s.n, &rng);   // (k x n)
+      const std::vector<float> bt = RandomVec(s.n * s.k, &rng);  // (n x k)
+      const std::vector<float> c0 = RandomVec(s.m * s.n, &rng);
+      gemm::PackBMatrix(s.n, s.k, b.data(), s.n, /*b_trans=*/false, &pack_nn);
+      gemm::PackBMatrix(s.n, s.k, bt.data(), s.k, /*b_trans=*/true, &pack_nt);
+
+      std::vector<float> nn = c0, nn_packed = c0, nn_packed_par = c0;
+      std::vector<float> nt = c0, nt_packed = c0;
+      gemm::SgemmNN(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, nn.data(),
+                    s.n, accumulate);
+      gemm::SgemmNT(s.m, s.n, s.k, a.data(), s.k, bt.data(), s.k, nt.data(),
+                    s.n, accumulate);
+      gemm::SgemmPackedB(s.m, s.n, s.k, a.data(), s.k, pack_nn,
+                         nn_packed.data(), s.n, accumulate);
+      gemm::SgemmPackedB(s.m, s.n, s.k, a.data(), s.k, pack_nt,
+                         nt_packed.data(), s.n, accumulate);
+      {
+        gemm::ParallelScope scope(&pool);
+        gemm::SgemmPackedB(s.m, s.n, s.k, a.data(), s.k, pack_nn,
+                           nn_packed_par.data(), s.n, accumulate);
+      }
+      EXPECT_TRUE(BitwiseEqual(nn, nn_packed))
+          << "NN-packed m=" << s.m << " n=" << s.n << " k=" << s.k
+          << " accumulate=" << accumulate;
+      EXPECT_TRUE(BitwiseEqual(nt, nt_packed))
+          << "NT-packed m=" << s.m << " n=" << s.n << " k=" << s.k
+          << " accumulate=" << accumulate;
+      EXPECT_TRUE(BitwiseEqual(nn, nn_packed_par))
+          << "NN-packed-parallel threads=" << threads << " m=" << s.m
+          << " n=" << s.n << " k=" << s.k << " accumulate=" << accumulate;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelKernelContract,
+                         ::testing::Values<int64_t>(1, 2, 4, 7));
 
 // Smoke: the dispatch decision is observable.  On x86 the AVX-512 or AVX2
 // micro-kernel is active; either way the bitwise tests above pin the

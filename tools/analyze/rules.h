@@ -44,6 +44,12 @@
 //                      store from src/core outside fats_trainer itself: the
 //                      mutation skips the durable event sink and must go
 //                      through the trainer's wrapper API instead.
+//   tile-overlap       (src/tensor only) a subscripted write inside a
+//                      ParallelFor task body whose index depends on neither
+//                      a lambda parameter nor task-local state: workers may
+//                      address the same output element, violating the fixed
+//                      tile-ownership split that makes multi-threaded
+//                      kernels bit-identical to serial (DESIGN.md §7.6).
 
 #ifndef FATS_TOOLS_ANALYZE_RULES_H_
 #define FATS_TOOLS_ANALYZE_RULES_H_
@@ -68,6 +74,7 @@ inline constexpr const char kRuleLayerOrder[] = "layer-order";
 inline constexpr const char kRuleLayerCycle[] = "layer-cycle";
 inline constexpr const char kRuleStoreMutationBypass[] =
     "store-mutation-bypass";
+inline constexpr const char kRuleTileOverlap[] = "tile-overlap";
 
 // The analyzer-pass rule IDs (the full ID space is these plus
 // lint::AllRules()).
@@ -104,6 +111,8 @@ void CheckFailpointCoverage(const FileModel& model,
 void CheckStatusDiscipline(const FileModel& model, const AnalysisIndex& index,
                            std::vector<lint::Finding>* findings);
 void CheckStoreMutation(const FileModel& model,
+                        std::vector<lint::Finding>* findings);
+void CheckTileOwnership(const FileModel& model,
                         std::vector<lint::Finding>* findings);
 
 // Whole-tree pass over the include graph.

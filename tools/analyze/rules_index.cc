@@ -28,9 +28,10 @@ const std::set<std::string_view>& NotAReturnType() {
 }  // namespace
 
 std::vector<std::string> AnalyzerRules() {
-  return {kRuleRngRawKey,     kRuleRngSharedStream, kRuleRngUnorderedDraw,
-          kRuleNondetReduction, kRuleFailpointGap,  kRuleDiscardedStatus,
-          kRuleLayerOrder,    kRuleLayerCycle,      kRuleStoreMutationBypass};
+  return {kRuleRngRawKey,      kRuleRngSharedStream,     kRuleRngUnorderedDraw,
+          kRuleNondetReduction, kRuleFailpointGap,       kRuleDiscardedStatus,
+          kRuleLayerOrder,     kRuleLayerCycle,
+          kRuleStoreMutationBypass, kRuleTileOverlap};
 }
 
 void IndexFile(const FileModel& model, AnalysisIndex* index) {

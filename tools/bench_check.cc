@@ -12,10 +12,20 @@
 // benchmark got slower by more than PCT percent, which is the intended
 // gating mode once a pinned-hardware runner exists.
 //
+// Build-type gate (always on, both modes): a file whose run context records
+// a debug build is rejected with exit 2 — debug timings are meaningless as
+// baselines, and comparing debug against release manufactures phantom
+// regressions. The check prefers the "fats_build_type" custom key (written
+// by bench_micro_kernels from its own NDEBUG, so it reflects the code under
+// test) and falls back to google-benchmark's "library_build_type" (which
+// tracks only how the vendored benchmark library was compiled) for files
+// recorded before the custom key existed.
+//
 // The parser is deliberately minimal: it understands exactly the subset of
 // JSON that google-benchmark emits (a "benchmarks" array of flat objects)
 // and has no third-party dependencies.
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -69,6 +79,30 @@ bool FindNumberField(const std::string& text, size_t begin, size_t end,
   if (pos == std::string::npos || pos >= end) return false;
   *out = std::strtod(text.c_str() + pos + 1, nullptr);
   return true;
+}
+
+// Run-context fields live before the "benchmarks" array. Returns the value
+// of `key` from that prefix, or "" when absent.
+std::string ContextField(const std::string& text, const std::string& key) {
+  size_t limit = text.find("\"benchmarks\"");
+  if (limit == std::string::npos) limit = text.size();
+  std::string value;
+  if (!FindStringField(text, 0, limit, key, &value)) return "";
+  return value;
+}
+
+// The recorded build type: "fats_build_type" (bench_micro_kernels' own
+// NDEBUG) when present, else "library_build_type". "" when neither exists.
+std::string ContextBuildType(const std::string& text) {
+  const std::string own = ContextField(text, "fats_build_type");
+  if (!own.empty()) return own;
+  return ContextField(text, "library_build_type");
+}
+
+bool IsDebugBuildType(const std::string& build_type) {
+  std::string lower = build_type;
+  for (char& c : lower) c = static_cast<char>(std::tolower(c));
+  return lower.find("debug") != std::string::npos;
 }
 
 /// Parses the "benchmarks" array of a google-benchmark JSON file.
@@ -139,6 +173,27 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_check: cannot read %s\n", current_path.c_str());
     return 2;
   }
+  const struct {
+    const std::string* path;
+    const std::string* text;
+    const char* role;
+  } inputs[] = {{&baseline_path, &baseline_text, "baseline"},
+                {&current_path, &current_text, "current"}};
+  for (const auto& input : inputs) {
+    const std::string build_type = ContextBuildType(*input.text);
+    if (IsDebugBuildType(build_type)) {
+      std::fprintf(stderr,
+                   "bench_check: %s %s records a debug build "
+                   "(build type \"%s\"); re-record from a release build\n",
+                   input.role, input.path->c_str(), build_type.c_str());
+      return 2;
+    }
+    const std::string threads = ContextField(*input.text, "fats_threads");
+    std::printf("%s: build_type=%s threads=%s\n", input.role,
+                build_type.empty() ? "(unrecorded)" : build_type.c_str(),
+                threads.empty() ? "(unrecorded)" : threads.c_str());
+  }
+
   std::vector<BenchEntry> baseline;
   std::vector<BenchEntry> current;
   if (!ParseBenchJson(baseline_text, &baseline)) {

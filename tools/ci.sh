@@ -50,7 +50,9 @@ echo "=== [5/8] bench gate ==="
 # the blocked/SIMD path), not single-digit drift.
 BENCH_MAX_REGRESS_PCT="${BENCH_MAX_REGRESS_PCT:-75}"
 if [[ "$PRESET" == "release" ]]; then
-  "$BUILD_DIR/bench/bench_micro_kernels" \
+  # --threads=4 matches the thread count the checked-in baseline was
+  # recorded with (bench_check prints both contexts for the diff).
+  "$BUILD_DIR/bench/bench_micro_kernels" --threads=4 \
     --benchmark_min_time=0.01 \
     --benchmark_out="$BUILD_DIR/BENCH_kernels_current.json" \
     --benchmark_out_format=json > /dev/null
@@ -96,16 +98,25 @@ else
 fi
 
 echo "=== [7/8] tsan smoke (parallel-execution tests) ==="
+# kernel_contract_test exercises the parallel GEMM at worker counts 1/2/4/7
+# (the ISSUE-8 bit-identity matrix) and crash_matrix_test exercises the
+# async journal's WriterThread handoff, so both are race-checked on every
+# preset, not just the full tsan leg. die_after_fork=0: the crash-matrix
+# children deliberately start a writer thread after fork (sanctioned — each
+# child owns its process), which TSan otherwise refuses.
 if [[ "$PRESET" == "tsan" ]]; then
   echo "tsan smoke: preset is already tsan; full suite covered above"
 else
   cmake --preset tsan
   cmake --build --preset tsan -j "$JOBS" \
-    --target thread_pool_test parallel_exactness_test
-  # Run the binaries directly: only these two targets are built, so the
+    --target thread_pool_test parallel_exactness_test \
+    kernel_contract_test crash_matrix_test
+  # Run the binaries directly: only these targets are built, so the
   # build-tsan ctest manifest is incomplete.
   build-tsan/tests/thread_pool_test
   build-tsan/tests/parallel_exactness_test
+  build-tsan/tests/kernel_contract_test
+  TSAN_OPTIONS="die_after_fork=0" build-tsan/tests/crash_matrix_test
 fi
 
 echo "=== [8/8] crash matrix under asan-ubsan ==="
