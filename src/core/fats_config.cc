@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "transport/fault_injection.h"
 #include "util/failpoint.h"
 #include "util/string_util.h"
 
@@ -70,6 +71,11 @@ Status FatsConfig::Validate() const {
     Result<std::vector<failpoint::Spec>> specs =
         failpoint::ParseSpecList(fault_spec);
     if (!specs.ok()) return specs.status();
+  }
+  {
+    Result<transport::TransportFaultSpec> spec =
+        transport::TransportFaultSpec::Parse(transport_fault_spec);
+    if (!spec.ok()) return spec.status();
   }
   const int64_t k = DeriveK();
   const int64_t b = DeriveB();

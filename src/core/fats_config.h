@@ -61,6 +61,14 @@ struct FatsConfig {
   /// it does not enter the checkpoint format or any algorithmic state.
   std::string fault_spec;
 
+  /// Transport fault schedule ("drop=0.2,corrupt=0.05,...", see
+  /// transport/fault_injection.h), applied to the trainer's wire. Empty
+  /// disables (clean wire). The recovery protocol makes the trained model,
+  /// log, and store bitwise-identical to the clean wire either way — only
+  /// the retransmit ledger grows — so this too is an execution knob outside
+  /// the checkpoint format and every algorithmic state.
+  std::string transport_fault_spec;
+
   int64_t total_iters_t() const { return rounds_r * local_iters_e; }
 
   /// K = ρ_C·E·M/T, rounded to the nearest integer >= 1.

@@ -29,7 +29,38 @@ FatsTrainer::FatsTrainer(const ModelSpec& spec, const FatsConfig& config,
   if (!config_.fault_spec.empty()) {
     FATS_CHECK_OK(failpoint::ArmFromSpec(config_.fault_spec));
   }
+  Result<transport::TransportFaultSpec> tf_spec =
+      transport::TransportFaultSpec::Parse(config_.transport_fault_spec);
+  FATS_CHECK(tf_spec.ok()) << tf_spec.status().ToString();
+  wire_ = std::make_unique<transport::LocalTransport>();
+  channel_ = std::make_unique<transport::ReliableChannel>(wire_.get(),
+                                                          *tf_spec);
   initial_params_ = model_->GetParameters();
+}
+
+Tensor FatsTrainer::TransferModel(transport::Direction direction,
+                                  int64_t round, int64_t iteration,
+                                  int64_t client, uint32_t seq,
+                                  const transport::EncodedModel& model) {
+  transport::MessageAddress address;
+  address.direction = direction;
+  address.round = round;
+  address.iteration = iteration;
+  address.client = client;
+  address.seq = seq;
+  Result<transport::ModelDelivery> delivered =
+      channel_->DeliverModel(address, model);
+  FATS_CHECK(delivered.ok())
+      << "transport delivery failed: " << delivered.status().ToString();
+  if (direction == transport::Direction::kDownlink) {
+    comm_stats_.RecordDownlinkDelivery(delivered->payload_bytes);
+  } else {
+    comm_stats_.RecordUplinkDelivery(delivered->payload_bytes);
+  }
+  comm_stats_.RecordRetransmits(delivered->retransmits,
+                                delivered->retransmit_bytes);
+  if (delivered->forced) ++transport_forced_deliveries_;
+  return std::move(delivered->params);
 }
 
 std::vector<int64_t> FatsTrainer::UniqueClients(
@@ -71,11 +102,13 @@ void FatsTrainer::Run(int64_t t0, int64_t t_end) {
       << "t0 out of range: " << t0;
   FATS_CHECK(t_end >= t0 && t_end <= config_.total_iters_t())
       << "t_end out of range: " << t_end;
-  const int64_t model_params = model_->NumParameters();
 
   std::vector<int64_t> selection;          // P of the current round
   std::vector<int64_t> participants;       // unique clients in P
   std::map<int64_t, Tensor> local_params;  // θ_k^(t−1) per participant
+  // The round's broadcast model, encoded once per round and re-sent for
+  // every downlink delivery (K selection slots + dropout re-broadcasts).
+  std::unique_ptr<transport::EncodedModel> round_broadcast;
 
   const int64_t r0 = (t0 - 1) / e + 1;
   const int64_t r0_start = (r0 - 1) * e + 1;
@@ -122,10 +155,19 @@ void FatsTrainer::Run(int64_t t0, int64_t t_end) {
       const Tensor* global = store_.GetGlobalModel(r - 1);
       FATS_CHECK(global != nullptr)
           << "missing global model for round " << r - 1;
-      comm_stats_.RecordBroadcast(k_, model_params);
+      // Broadcast θ^(r−1) over the wire: one encoding, one delivery per
+      // selection slot. Each participant starts from the *decoded* payload
+      // (bitwise the broadcast bytes), so every downlink byte the ledger
+      // charges really crossed the transport.
+      round_broadcast = std::make_unique<transport::EncodedModel>(*global);
       participants = UniqueClients(selection);
       local_params.clear();
-      for (int64_t client : participants) local_params[client] = *global;
+      for (size_t slot = 0; slot < selection.size(); ++slot) {
+        const int64_t client = selection[slot];
+        local_params[client] =
+            TransferModel(transport::Direction::kDownlink, r, t, client,
+                          static_cast<uint32_t>(slot), *round_broadcast);
+      }
       loss_sum = 0.0;
       loss_count = 0;
     }
@@ -199,8 +241,22 @@ void FatsTrainer::Run(int64_t t0, int64_t t_end) {
     for (size_t i = 0; i < n_part; ++i) {
       const int64_t client = participants[i];
       if (dropped[i] > 0) {
-        // Each retry re-broadcasts the round's start model to the client.
-        comm_stats_.RecordBroadcast(dropped[i], model_params);
+        // Each retry re-broadcasts the round's start model to the client,
+        // over the wire like the original. Mid-round pass entry skipped
+        // STEP 1, so the round's encoding may need rebuilding here. Send
+        // seqs start at K to stay distinct from the round-start slots.
+        if (round_broadcast == nullptr) {
+          const Tensor* round_global = store_.GetGlobalModel(r - 1);
+          FATS_CHECK(round_global != nullptr)
+              << "missing global model for round " << r - 1;
+          round_broadcast =
+              std::make_unique<transport::EncodedModel>(*round_global);
+        }
+        for (int64_t retry = 0; retry < dropped[i]; ++retry) {
+          (void)TransferModel(transport::Direction::kDownlink, r, t, client,
+                              static_cast<uint32_t>(k_ + retry),
+                              *round_broadcast);
+        }
         dropout_retries_ += dropped[i];
       }
       if (sink_ != nullptr) sink_->OnMinibatch(t, client, steps[i].batch);
@@ -215,13 +271,26 @@ void FatsTrainer::Run(int64_t t0, int64_t t_end) {
 
     if (t % e == 0) {
       // STEP 3: aggregate with multiset multiplicity: θ = (1/K) Σ_{k∈P} θ_k.
+      // Each selection slot uploads its client's local model over the wire
+      // (encoded once per distinct client); the server accumulates the
+      // decoded payloads in slot order — the recorded reduction order.
       Tensor aggregate(initial_params_.shape());
-      for (int64_t client : selection) {
-        aggregate += local_params[client];
+      std::map<int64_t, transport::EncodedModel> uploads;
+      for (size_t slot = 0; slot < selection.size(); ++slot) {
+        const int64_t client = selection[slot];
+        auto it = uploads.find(client);
+        if (it == uploads.end()) {
+          it = uploads
+                   .emplace(client,
+                            transport::EncodedModel(local_params[client]))
+                   .first;
+        }
+        aggregate += TransferModel(transport::Direction::kUplink, r, t,
+                                   client, static_cast<uint32_t>(slot),
+                                   it->second);
       }
       aggregate *= 1.0f / static_cast<float>(selection.size());
       store_.SaveGlobalModel(r, aggregate);
-      comm_stats_.RecordUpload(k_, model_params);
       comm_stats_.RecordRound();
       model_->SetParameters(aggregate);
       if (sink_ != nullptr) sink_->OnGlobalModel(r, aggregate);
@@ -253,7 +322,6 @@ void FatsTrainer::ReplayFrom(int64_t t0, int64_t t_end) {
       << "t0 out of range: " << t0;
   FATS_CHECK(t_end >= t0 && t_end <= config_.total_iters_t())
       << "t_end out of range: " << t_end;
-  const int64_t model_params = model_->NumParameters();
 
   std::vector<int64_t> selection;
   std::vector<int64_t> participants;
@@ -290,10 +358,18 @@ void FatsTrainer::ReplayFrom(int64_t t0, int64_t t_end) {
       const Tensor* global = store_.GetGlobalModel(r - 1);
       FATS_CHECK(global != nullptr)
           << "replay missing global model for round " << r - 1;
-      comm_stats_.RecordBroadcast(k_, model_params);
+      // Replay re-broadcasts over the wire at the same addresses as Run,
+      // so a replayed pass reproduces the original ledger — retransmit
+      // counters included (the fault schedule is address-keyed).
+      const transport::EncodedModel broadcast(*global);
       participants = UniqueClients(selection);
       local_params.clear();
-      for (int64_t client : participants) local_params[client] = *global;
+      for (size_t slot = 0; slot < selection.size(); ++slot) {
+        const int64_t client = selection[slot];
+        local_params[client] =
+            TransferModel(transport::Direction::kDownlink, r, t, client,
+                          static_cast<uint32_t>(slot), broadcast);
+      }
       loss_sum = 0.0;
       loss_count = 0;
     }
@@ -348,12 +424,22 @@ void FatsTrainer::ReplayFrom(int64_t t0, int64_t t_end) {
 
     if (t % e == 0) {
       Tensor aggregate(initial_params_.shape());
-      for (int64_t client : selection) {
-        aggregate += local_params[client];
+      std::map<int64_t, transport::EncodedModel> uploads;
+      for (size_t slot = 0; slot < selection.size(); ++slot) {
+        const int64_t client = selection[slot];
+        auto it = uploads.find(client);
+        if (it == uploads.end()) {
+          it = uploads
+                   .emplace(client,
+                            transport::EncodedModel(local_params[client]))
+                   .first;
+        }
+        aggregate += TransferModel(transport::Direction::kUplink, r, t,
+                                   client, static_cast<uint32_t>(slot),
+                                   it->second);
       }
       aggregate *= 1.0f / static_cast<float>(selection.size());
       store_.SaveGlobalModel(r, aggregate);
-      comm_stats_.RecordUpload(k_, model_params);
       comm_stats_.RecordRound();
       model_->SetParameters(aggregate);
       if (sink_ != nullptr) sink_->OnGlobalModel(r, aggregate);
@@ -391,7 +477,10 @@ void FatsTrainer::NotifyIterationComplete(int64_t t, int64_t t_end,
   mark.comm_rounds = comm_stats_.rounds();
   mark.comm_uplink_bytes = comm_stats_.uplink_bytes();
   mark.comm_downlink_bytes = comm_stats_.downlink_bytes();
-  mark.comm_messages = comm_stats_.messages();
+  mark.comm_downlink_messages = comm_stats_.downlink_messages();
+  mark.comm_uplink_messages = comm_stats_.uplink_messages();
+  mark.comm_retransmits = comm_stats_.retransmits();
+  mark.comm_retransmit_bytes = comm_stats_.retransmit_bytes();
   mark.round_loss_sum = loss_sum;
   mark.round_loss_count = loss_count;
   sink_->OnIterationComplete(mark);

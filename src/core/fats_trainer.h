@@ -36,6 +36,8 @@
 #include "fl/train_events.h"
 #include "fl/train_log.h"
 #include "nn/model_zoo.h"
+#include "transport/reliable_channel.h"
+#include "transport/transport.h"
 
 namespace fats {
 
@@ -150,6 +152,17 @@ class FatsTrainer {
   /// Dropped client executions retried so far (see fl/availability.h).
   int64_t dropout_retries() const { return dropout_retries_; }
 
+  /// Transport deliveries that exhausted the retry budget and went through
+  /// on the forced final attempt (the availability-style degradation path,
+  /// see transport/reliable_channel.h).
+  int64_t transport_forced_deliveries() const {
+    return transport_forced_deliveries_;
+  }
+
+  /// The reliable channel every model broadcast/upload travels through.
+  /// Exposed for ledger introspection (ChannelStats) in tests and benches.
+  const transport::ReliableChannel& channel() const { return *channel_; }
+
   // Checkpoint-restore support (see io/checkpoint.h). These overwrite the
   // trainer's progress markers; use only when restoring a saved state whose
   // store contents match.
@@ -190,6 +203,14 @@ class FatsTrainer {
   void NotifyIterationComplete(int64_t t, int64_t t_end, TrainPassKind pass,
                                double loss_sum, int64_t loss_count);
 
+  /// Moves one model through the wire (direction, round, iteration, client,
+  /// seq address the delivery; see transport/reliable_channel.h), charges
+  /// the comm ledger, and returns the decoded parameters — bitwise the
+  /// encoded ones, which is what keeps wire runs exact.
+  Tensor TransferModel(transport::Direction direction, int64_t round,
+                       int64_t iteration, int64_t client, uint32_t seq,
+                       const transport::EncodedModel& model);
+
   /// Unique clients of the multiset, preserving first-occurrence order
   /// (the output order drives the reduction order, so it is part of the
   /// determinism contract).
@@ -210,12 +231,18 @@ class FatsTrainer {
   int64_t local_iterations_executed_ = 0;
   int64_t trained_through_ = 0;
   int64_t dropout_retries_ = 0;
+  int64_t transport_forced_deliveries_ = 0;
   // One-shot round-loss accumulator seed, set by SeedRoundLossAccumulator
   // and consumed at the next Run/ReplayFrom entry.
   double resume_loss_sum_ = 0.0;
   int64_t resume_loss_count_ = 0;
   TrainEventSink* sink_ = nullptr;
   AvailabilitySchedule availability_;
+  // The wire: every broadcast/upload is serialized, framed, and delivered
+  // through the channel (in-process ring buffer today; the channel is the
+  // seam where a socket backend drops in).
+  std::unique_ptr<transport::LocalTransport> wire_;
+  std::unique_ptr<transport::ReliableChannel> channel_;
   ParallelClientRunner runner_;
   StateStore store_;
   TrainLog log_;

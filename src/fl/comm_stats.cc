@@ -6,9 +6,12 @@ namespace fats {
 
 std::string CommStats::ToString() const {
   return StrFormat(
-      "CommStats(rounds=%lld, down=%lld B, up=%lld B, msgs=%lld)",
-      (long long)rounds_, (long long)downlink_bytes_, (long long)uplink_bytes_,
-      (long long)messages_);
+      "CommStats(rounds=%lld, down=%lld B/%lld msgs, up=%lld B/%lld msgs, "
+      "retransmit=%lld B/%lld frames)",
+      (long long)counters_.rounds, (long long)counters_.downlink_bytes,
+      (long long)counters_.downlink_messages,
+      (long long)counters_.uplink_bytes, (long long)counters_.uplink_messages,
+      (long long)counters_.retransmit_bytes, (long long)counters_.retransmits);
 }
 
 }  // namespace fats

@@ -15,10 +15,39 @@ FedAvgTrainer::FedAvgTrainer(const ModelSpec& spec,
       data_(data),
       model_(std::make_unique<Model>(spec, options.seed)),
       test_batch_(data->global_test().AsBatch()),
-      runner_(spec, options.seed, options.num_threads) {}
+      runner_(spec, options.seed, options.num_threads) {
+  Result<transport::TransportFaultSpec> tf_spec =
+      transport::TransportFaultSpec::Parse(options.transport_fault_spec);
+  FATS_CHECK(tf_spec.ok()) << tf_spec.status().ToString();
+  wire_ = std::make_unique<transport::LocalTransport>();
+  channel_ = std::make_unique<transport::ReliableChannel>(wire_.get(), *tf_spec);
+}
+
+Tensor FedAvgTrainer::TransferModel(transport::Direction direction,
+                                    int64_t round, int64_t client,
+                                    uint32_t seq,
+                                    const transport::EncodedModel& model) {
+  transport::MessageAddress address;
+  address.direction = direction;
+  address.round = round;
+  address.iteration = round;  // FedAvg addresses the wire per round.
+  address.client = client;
+  address.seq = seq;
+  Result<transport::ModelDelivery> delivered =
+      channel_->DeliverModel(address, model);
+  FATS_CHECK(delivered.ok()) << delivered.status().ToString();
+  if (direction == transport::Direction::kDownlink) {
+    comm_stats_.RecordDownlinkDelivery(delivered->payload_bytes);
+  } else {
+    comm_stats_.RecordUplinkDelivery(delivered->payload_bytes);
+  }
+  comm_stats_.RecordRetransmits(delivered->retransmits,
+                                delivered->retransmit_bytes);
+  if (delivered->forced) ++transport_forced_deliveries_;
+  return std::move(delivered->params);
+}
 
 void FedAvgTrainer::RunRounds(int64_t num_rounds) {
-  const int64_t model_params = model_->NumParameters();
   for (int64_t r = 0; r < num_rounds; ++r) {
     const int64_t round = ++rounds_completed_;
     // Select clients for this round.
@@ -35,17 +64,24 @@ void FedAvgTrainer::RunRounds(int64_t num_rounds) {
                                                           &sel_stream)
             : ServerRuntime::SampleClientsWithoutReplacement(*data_, k,
                                                              &sel_stream);
-    comm_stats_.RecordBroadcast(static_cast<int64_t>(selected.size()),
-                                model_params);
-
     // Each selection entry runs its full E-iteration local chain as one
     // task (duplicate entries recompute independently from the broadcast
     // model, exactly as the serial loop did). Stream keys are derived on
     // the main thread in the serial draw order; per-step losses and local
     // models are committed in selection order so float accumulation and
     // the AverageModels reduction are bit-identical to serial.
-    const Tensor global = model_->GetParameters();
+    //
+    // The broadcast is encoded once and delivered per selection slot over
+    // the wire; each slot starts from its delivered (decoded) copy, which
+    // is bitwise the encoded model.
     const size_t n_sel = selected.size();
+    const transport::EncodedModel broadcast(model_->GetParameters());
+    std::vector<Tensor> start_params(n_sel);
+    for (size_t i = 0; i < n_sel; ++i) {
+      start_params[i] = TransferModel(transport::Direction::kDownlink, round,
+                                      selected[i], static_cast<uint32_t>(i),
+                                      broadcast);
+    }
     struct ClientChain {
       Tensor params;
       std::vector<double> step_losses;
@@ -73,7 +109,7 @@ void FedAvgTrainer::RunRounds(int64_t num_rounds) {
         static_cast<int64_t>(n_sel), [&](int64_t i, Model* m) {
           const size_t s = static_cast<size_t>(i);
           const int64_t client = selected[s];
-          m->SetParameters(global);
+          m->SetParameters(start_params[s]);
           ClientRuntime runtime(data_, m);
           for (int64_t e = 1; e <= options_.local_iters_e; ++e) {
             if (batch_sizes[s] == 0) break;
@@ -85,6 +121,9 @@ void FedAvgTrainer::RunRounds(int64_t num_rounds) {
           }
           chains[s].params = m->GetParameters();
         });
+    // Each slot's local model is serialized and uplinked individually; the
+    // server averages the delivered (decoded) copies in slot order, which
+    // preserves the reduction order of the direct in-memory path.
     std::vector<Tensor> locals;
     locals.reserve(n_sel);
     double loss_sum = 0.0;
@@ -94,10 +133,11 @@ void FedAvgTrainer::RunRounds(int64_t num_rounds) {
         loss_sum += loss;
         ++loss_count;
       }
-      locals.push_back(std::move(chains[i].params));
+      const transport::EncodedModel upload(chains[i].params);
+      locals.push_back(TransferModel(transport::Direction::kUplink, round,
+                                     selected[i], static_cast<uint32_t>(i),
+                                     upload));
     }
-    comm_stats_.RecordUpload(static_cast<int64_t>(locals.size()),
-                             model_params);
     comm_stats_.RecordRound();
     if (!locals.empty()) {
       model_->SetParameters(ServerRuntime::AverageModels(locals));

@@ -20,6 +20,8 @@
 #include "fl/parallel_clients.h"
 #include "fl/train_log.h"
 #include "nn/model_zoo.h"
+#include "transport/reliable_channel.h"
+#include "transport/transport.h"
 
 namespace fats {
 
@@ -34,6 +36,11 @@ struct FedAvgOptions {
   /// Worker threads for per-round client execution; 1 = serial. Parallel
   /// runs are bit-identical to serial (see fl/parallel_clients.h).
   int64_t num_threads = 1;
+  /// Transport fault schedule for the trainer's wire (see
+  /// transport/fault_injection.h). Empty disables (clean wire); either way
+  /// the trained model and log are bitwise-identical — only the retransmit
+  /// ledger grows under faults.
+  std::string transport_fault_spec;
 };
 
 class FedAvgTrainer {
@@ -80,7 +87,22 @@ class FedAvgTrainer {
   /// replicas under the same determinism contract.
   ParallelClientRunner* client_runner() { return &runner_; }
 
+  /// Transport deliveries that exhausted the retry budget and went through
+  /// on the forced final attempt (see transport/reliable_channel.h).
+  int64_t transport_forced_deliveries() const {
+    return transport_forced_deliveries_;
+  }
+
+  /// The reliable channel every model broadcast/upload travels through.
+  const transport::ReliableChannel& channel() const { return *channel_; }
+
  private:
+  /// Moves one model through the wire, charges the comm ledger, and returns
+  /// the decoded parameters (bitwise the encoded ones).
+  Tensor TransferModel(transport::Direction direction, int64_t round,
+                       int64_t client, uint32_t seq,
+                       const transport::EncodedModel& model);
+
   ModelSpec spec_;
   FedAvgOptions options_;
   const FederatedDataset* data_;
@@ -89,6 +111,9 @@ class FedAvgTrainer {
   int64_t rounds_completed_ = 0;
   uint64_t generation_ = 0;
   bool recomputation_mode_ = false;
+  int64_t transport_forced_deliveries_ = 0;
+  std::unique_ptr<transport::LocalTransport> wire_;
+  std::unique_ptr<transport::ReliableChannel> channel_;
   ParallelClientRunner runner_;
   TrainLog log_;
   CommStats comm_stats_;

@@ -41,11 +41,17 @@ struct IterationMark {
   TrainPassKind pass = TrainPassKind::kRun;
   bool recomputation = false;
   // Comm counters after this commit (CommStats snapshot), so a recovered
-  // session's accounting matches the uninterrupted run.
+  // session's accounting matches the uninterrupted run — including the
+  // retransmit ledger, which must reproduce exactly under transport faults
+  // (the fault schedule is a pure function of its stream address, so a
+  // recovery re-execution re-derives the same retries).
   int64_t comm_rounds = 0;
   int64_t comm_uplink_bytes = 0;
   int64_t comm_downlink_bytes = 0;
-  int64_t comm_messages = 0;
+  int64_t comm_downlink_messages = 0;
+  int64_t comm_uplink_messages = 0;
+  int64_t comm_retransmits = 0;
+  int64_t comm_retransmit_bytes = 0;
   // Running round-loss accumulator after this commit. A mid-round resume
   // must seed these back into the trainer or the re-executed round's
   // mean_local_loss would forget the pre-crash iterations.

@@ -15,7 +15,7 @@ constexpr char kMagic[] = "FATSCKPT";
 // would otherwise parse cleanly) is detected on load. Version 3 adds the
 // journal epoch after the config echo.
 constexpr char kFooter[] = "FATSEND.";
-constexpr uint32_t kVersion = 3;
+constexpr uint32_t kVersion = 4;
 
 // Upper bound on the element count of any single checkpointed tensor.
 // Shapes whose volume exceeds it (or overflows int64_t) are corrupt: the
@@ -138,10 +138,14 @@ Status WriteCheckpointFile(FatsTrainer* trainer, const std::string& path,
     writer.WriteDouble(record.mean_local_loss);
     writer.WriteU32(record.recomputation ? 1 : 0);
   }
-  writer.WriteI64(trainer->comm_stats().rounds());
-  writer.WriteI64(trainer->comm_stats().uplink_bytes());
-  writer.WriteI64(trainer->comm_stats().downlink_bytes());
-  writer.WriteI64(trainer->comm_stats().messages());
+  const CommCounters& comm = trainer->comm_stats().counters();
+  writer.WriteI64(comm.rounds);
+  writer.WriteI64(comm.uplink_bytes);
+  writer.WriteI64(comm.downlink_bytes);
+  writer.WriteI64(comm.downlink_messages);
+  writer.WriteI64(comm.uplink_messages);
+  writer.WriteI64(comm.retransmits);
+  writer.WriteI64(comm.retransmit_bytes);
   writer.WriteString(kFooter);
   return writer.Finish();
 }
@@ -258,10 +262,14 @@ Status LoadTrainerCheckpoint(const std::string& path, FatsTrainer* trainer,
     record.recomputation = recompute != 0;
     records.push_back(record);
   }
-  FATS_ASSIGN_OR_RETURN(int64_t comm_rounds, reader.ReadI64());
-  FATS_ASSIGN_OR_RETURN(int64_t up, reader.ReadI64());
-  FATS_ASSIGN_OR_RETURN(int64_t down, reader.ReadI64());
-  FATS_ASSIGN_OR_RETURN(int64_t messages, reader.ReadI64());
+  CommCounters comm;
+  FATS_ASSIGN_OR_RETURN(comm.rounds, reader.ReadI64());
+  FATS_ASSIGN_OR_RETURN(comm.uplink_bytes, reader.ReadI64());
+  FATS_ASSIGN_OR_RETURN(comm.downlink_bytes, reader.ReadI64());
+  FATS_ASSIGN_OR_RETURN(comm.downlink_messages, reader.ReadI64());
+  FATS_ASSIGN_OR_RETURN(comm.uplink_messages, reader.ReadI64());
+  FATS_ASSIGN_OR_RETURN(comm.retransmits, reader.ReadI64());
+  FATS_ASSIGN_OR_RETURN(comm.retransmit_bytes, reader.ReadI64());
 
   // The footer catches a write torn at a record boundary, which the
   // length-prefixed records above cannot distinguish from a complete file.
@@ -293,8 +301,7 @@ Status LoadTrainerCheckpoint(const std::string& path, FatsTrainer* trainer,
   log->Clear();
   for (const RoundRecord& record : records) log->Append(record);
   trainer->comm_stats().Reset();
-  trainer->comm_stats().Merge(
-      CommStats::FromCounters(comm_rounds, up, down, messages));
+  trainer->comm_stats().Merge(CommStats::FromCounters(comm));
   trainer->set_generation(generation);
   trainer->set_trained_through(trained_through);
   trainer->model()->SetParameters(params);

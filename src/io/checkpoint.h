@@ -8,9 +8,11 @@
 // same FederatedDataset (same profile + seed + prior deletions) and build
 // the trainer with the same spec/config before calling Load.
 //
-// Format (version 3): "FATSCKPT" magic, u32 version, config echo
+// Format (version 4): "FATSCKPT" magic, u32 version, config echo
 // (validated on load), u64 journal epoch, then model parameters, store
-// records, counters, the round log, and a trailing "FATSEND." footer. The
+// records, counters (version 4 carries the full CommCounters snapshot:
+// per-direction message counts and the retransmit ledger), the round log,
+// and a trailing "FATSEND." footer. The
 // footer lets the loader reject writes torn at a record boundary, which the
 // length-prefixed records alone cannot detect.
 //

@@ -57,14 +57,11 @@
 #include <string_view>
 #include <vector>
 
+#include "util/crc32.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace fats {
-
-/// CRC-32 (IEEE, reflected, polynomial 0xEDB88320) of `len` bytes.
-/// Chainable via `seed` (pass a previous result to continue).
-uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
 
 /// Result of validating a journal file.
 struct JournalScan {

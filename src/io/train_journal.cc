@@ -340,7 +340,10 @@ Result<std::unique_ptr<DurableTrainingSession>> DurableTrainingSession::Open(
         FATS_ASSIGN_OR_RETURN(m.comm_rounds, r.I64());
         FATS_ASSIGN_OR_RETURN(m.comm_uplink_bytes, r.I64());
         FATS_ASSIGN_OR_RETURN(m.comm_downlink_bytes, r.I64());
-        FATS_ASSIGN_OR_RETURN(m.comm_messages, r.I64());
+        FATS_ASSIGN_OR_RETURN(m.comm_downlink_messages, r.I64());
+        FATS_ASSIGN_OR_RETURN(m.comm_uplink_messages, r.I64());
+        FATS_ASSIGN_OR_RETURN(m.comm_retransmits, r.I64());
+        FATS_ASSIGN_OR_RETURN(m.comm_retransmit_bytes, r.I64());
         FATS_ASSIGN_OR_RETURN(m.round_loss_sum, r.F64());
         FATS_ASSIGN_OR_RETURN(m.round_loss_count, r.I64());
         progress.seen = true;
@@ -373,9 +376,15 @@ Result<std::unique_ptr<DurableTrainingSession>> DurableTrainingSession::Open(
   if (progress.seen) {
     trainer->set_trained_through(progress.mark.trained_through);
     trainer->comm_stats().Reset();
-    trainer->comm_stats().Merge(CommStats::FromCounters(
-        progress.mark.comm_rounds, progress.mark.comm_uplink_bytes,
-        progress.mark.comm_downlink_bytes, progress.mark.comm_messages));
+    CommCounters counters;
+    counters.rounds = progress.mark.comm_rounds;
+    counters.uplink_bytes = progress.mark.comm_uplink_bytes;
+    counters.downlink_bytes = progress.mark.comm_downlink_bytes;
+    counters.downlink_messages = progress.mark.comm_downlink_messages;
+    counters.uplink_messages = progress.mark.comm_uplink_messages;
+    counters.retransmits = progress.mark.comm_retransmits;
+    counters.retransmit_bytes = progress.mark.comm_retransmit_bytes;
+    trainer->comm_stats().Merge(CommStats::FromCounters(counters));
   }
   // Leave the model holding the latest recovered global parameters, exactly
   // as a completed pass would.
@@ -524,7 +533,10 @@ void DurableTrainingSession::OnIterationComplete(const IterationMark& mark) {
   w.I64(mark.comm_rounds);
   w.I64(mark.comm_uplink_bytes);
   w.I64(mark.comm_downlink_bytes);
-  w.I64(mark.comm_messages);
+  w.I64(mark.comm_downlink_messages);
+  w.I64(mark.comm_uplink_messages);
+  w.I64(mark.comm_retransmits);
+  w.I64(mark.comm_retransmit_bytes);
   w.F64(mark.round_loss_sum);
   w.I64(mark.round_loss_count);
   AppendRecord(w.str());

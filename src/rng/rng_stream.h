@@ -39,6 +39,11 @@ enum class RngPurpose : uint32_t {
   /// the dropout schedule never perturbs any training stream; the
   /// `generation` field of availability StreamIds carries the retry attempt.
   kAvailability = 9,
+  /// Transport fault draws (drop/corrupt/truncate/duplicate/delay per
+  /// transmission attempt, see transport/fault_injection.h). Separate from
+  /// every training purpose so a fault sweep never perturbs training
+  /// randomness; the `generation` field packs (direction, seq, attempt).
+  kTransportFaults = 10,
 };
 
 /// Structured address of a random stream.

@@ -1,0 +1,217 @@
+#include "transport/fault_injection.h"
+
+#include <cstdlib>
+
+#include "rng/rng_stream.h"
+#include "util/string_util.h"
+
+namespace fats::transport {
+namespace {
+
+// Packs the per-attempt coordinates that StreamId has no dedicated field
+// for into `generation`: direction (1 bit), send sequence (31 bits), and
+// attempt (32 bits). Every transmission attempt of every logical send gets
+// its own stream, so no retry ever re-reads another attempt's draws.
+uint64_t PackGeneration(Direction direction, uint32_t seq, int64_t attempt) {
+  return (static_cast<uint64_t>(direction) << 63) |
+         (static_cast<uint64_t>(seq & 0x7FFFFFFFu) << 32) |
+         static_cast<uint64_t>(attempt & 0xFFFFFFFF);
+}
+
+RngStream AttemptStream(const TransportFaultSpec& spec, Direction direction,
+                        int64_t round, int64_t iteration, int64_t client,
+                        uint32_t seq, int64_t attempt) {
+  StreamId id;
+  id.purpose = RngPurpose::kTransportFaults;
+  id.generation = PackGeneration(direction, seq, attempt);
+  id.round = static_cast<uint64_t>(round);
+  id.client = static_cast<uint64_t>(client);
+  id.iteration = static_cast<uint64_t>(iteration);
+  return RngStream(spec.seed, id);
+}
+
+// Draws the action from the first uniform of the attempt's stream and
+// leaves the stream positioned for the action's auxiliary draws.
+FaultAction DrawAction(const TransportFaultSpec& spec, RngStream* stream,
+                       int64_t attempt) {
+  // At or past the retry budget the delivery is forced clean (the
+  // availability-style degradation path); the draw is still consumed so
+  // auxiliary draws stay aligned.
+  const double u = stream->NextDouble();
+  if (attempt >= spec.max_retries) return FaultAction::kNone;
+  double edge = spec.drop_rate;
+  if (u < edge) return FaultAction::kDrop;
+  edge += spec.corrupt_rate;
+  if (u < edge) return FaultAction::kCorrupt;
+  edge += spec.truncate_rate;
+  if (u < edge) return FaultAction::kTruncate;
+  edge += spec.duplicate_rate;
+  if (u < edge) return FaultAction::kDuplicate;
+  edge += spec.delay_rate;
+  if (u < edge) return FaultAction::kDelay;
+  return FaultAction::kNone;
+}
+
+Status ParseRate(const std::string& key, const std::string& value,
+                 double* out) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || parsed < 0.0 || parsed > 1.0) {
+    return Status::InvalidArgument("transport fault spec: bad rate for '" +
+                                   key + "': " + value);
+  }
+  *out = parsed;
+  return Status::OK();
+}
+
+Status ParseInt(const std::string& key, const std::string& value,
+                int64_t* out) {
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || parsed < 0) {
+    return Status::InvalidArgument("transport fault spec: bad integer for '" +
+                                   key + "': " + value);
+  }
+  *out = parsed;
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* FaultActionName(FaultAction action) {
+  switch (action) {
+    case FaultAction::kNone:
+      return "none";
+    case FaultAction::kDrop:
+      return "drop";
+    case FaultAction::kCorrupt:
+      return "corrupt";
+    case FaultAction::kTruncate:
+      return "truncate";
+    case FaultAction::kDuplicate:
+      return "duplicate";
+    case FaultAction::kDelay:
+      return "delay";
+  }
+  return "unknown";
+}
+
+Result<TransportFaultSpec> TransportFaultSpec::Parse(const std::string& text) {
+  TransportFaultSpec spec;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string entry = text.substr(start, comma - start);
+    start = comma + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(
+          "transport fault spec: expected key=value, got '" + entry + "'");
+    }
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    if (key == "drop") {
+      FATS_RETURN_NOT_OK(ParseRate(key, value, &spec.drop_rate));
+    } else if (key == "corrupt") {
+      FATS_RETURN_NOT_OK(ParseRate(key, value, &spec.corrupt_rate));
+    } else if (key == "truncate") {
+      FATS_RETURN_NOT_OK(ParseRate(key, value, &spec.truncate_rate));
+    } else if (key == "duplicate") {
+      FATS_RETURN_NOT_OK(ParseRate(key, value, &spec.duplicate_rate));
+    } else if (key == "delay") {
+      FATS_RETURN_NOT_OK(ParseRate(key, value, &spec.delay_rate));
+    } else if (key == "seed") {
+      int64_t seed = 0;
+      FATS_RETURN_NOT_OK(ParseInt(key, value, &seed));
+      spec.seed = static_cast<uint64_t>(seed);
+    } else if (key == "max_retries") {
+      FATS_RETURN_NOT_OK(ParseInt(key, value, &spec.max_retries));
+    } else if (key == "backoff_base") {
+      FATS_RETURN_NOT_OK(ParseInt(key, value, &spec.backoff_base_units));
+    } else if (key == "backoff_cap") {
+      FATS_RETURN_NOT_OK(ParseInt(key, value, &spec.backoff_cap_units));
+    } else {
+      return Status::InvalidArgument(
+          "transport fault spec: unknown key '" + key + "'");
+    }
+  }
+  const double total = spec.drop_rate + spec.corrupt_rate +
+                       spec.truncate_rate + spec.duplicate_rate +
+                       spec.delay_rate;
+  if (total > 1.0) {
+    return Status::InvalidArgument(
+        "transport fault spec: rates sum past 1.0");
+  }
+  if (spec.enabled() && spec.max_retries < 1) {
+    return Status::InvalidArgument(
+        "transport fault spec: max_retries must be >= 1 when faults are on");
+  }
+  if (spec.backoff_base_units < 1 ||
+      spec.backoff_cap_units < spec.backoff_base_units) {
+    return Status::InvalidArgument(
+        "transport fault spec: need backoff_cap >= backoff_base >= 1");
+  }
+  return spec;
+}
+
+std::string TransportFaultSpec::ToString() const {
+  // The compact spec form itself, so ToString() re-parses (config echo,
+  // CLI diagnostics).
+  return StrFormat(
+      "drop=%.3f,corrupt=%.3f,truncate=%.3f,duplicate=%.3f,delay=%.3f,"
+      "seed=%llu,max_retries=%lld,backoff_base=%lld,backoff_cap=%lld",
+      drop_rate, corrupt_rate, truncate_rate, duplicate_rate, delay_rate,
+      (unsigned long long)seed, (long long)max_retries,
+      (long long)backoff_base_units, (long long)backoff_cap_units);
+}
+
+FaultAction TransportFaultModel::Decide(Direction direction, int64_t round,
+                                        int64_t iteration, int64_t client,
+                                        uint32_t seq, int64_t attempt) const {
+  if (!spec_.enabled()) return FaultAction::kNone;
+  RngStream stream =
+      AttemptStream(spec_, direction, round, iteration, client, seq, attempt);
+  return DrawAction(spec_, &stream, attempt);
+}
+
+uint64_t TransportFaultModel::CorruptBitIndex(
+    Direction direction, int64_t round, int64_t iteration, int64_t client,
+    uint32_t seq, int64_t attempt, uint64_t payload_bits) const {
+  if (payload_bits == 0) return 0;
+  RngStream stream =
+      AttemptStream(spec_, direction, round, iteration, client, seq, attempt);
+  (void)DrawAction(spec_, &stream, attempt);  // align past the action draw
+  return stream.UniformInt(payload_bits);
+}
+
+uint64_t TransportFaultModel::TruncatedLength(
+    Direction direction, int64_t round, int64_t iteration, int64_t client,
+    uint32_t seq, int64_t attempt, uint64_t frame_bytes) const {
+  if (frame_bytes == 0) return 0;
+  RngStream stream =
+      AttemptStream(spec_, direction, round, iteration, client, seq, attempt);
+  (void)DrawAction(spec_, &stream, attempt);
+  return stream.UniformInt(frame_bytes);
+}
+
+int64_t TransportFaultModel::BackoffUnits(Direction direction, int64_t round,
+                                          int64_t iteration, int64_t client,
+                                          uint32_t seq,
+                                          int64_t attempt) const {
+  const int64_t shift = attempt < 62 ? attempt : 62;
+  int64_t wait = spec_.backoff_base_units << shift;
+  if (wait > spec_.backoff_cap_units || wait <= 0) {
+    wait = spec_.backoff_cap_units;
+  }
+  RngStream stream =
+      AttemptStream(spec_, direction, round, iteration, client, seq, attempt);
+  (void)DrawAction(spec_, &stream, attempt);
+  (void)stream.NextUInt64();  // skip the slot an action-specific draw uses
+  const int64_t jitter = static_cast<int64_t>(
+      stream.UniformInt(static_cast<uint64_t>(spec_.backoff_base_units)));
+  return wait + jitter;
+}
+
+}  // namespace fats::transport

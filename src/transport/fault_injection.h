@@ -1,0 +1,112 @@
+// Deterministic transport fault injection.
+//
+// Whether a given frame transmission is dropped, bit-flipped, truncated,
+// duplicated, or delayed is a pure function of (fault seed, round,
+// iteration, client, send sequence, attempt, direction), drawn from the
+// dedicated kTransportFaults Philox purpose. That makes the fault schedule
+// exactly as addressable as every other random decision in the tree:
+//
+//   * the same spec reproduces the same faults on every run (and on a
+//     recovery re-execution after a crash, so recovered ledgers match),
+//   * the fault seed is independent of the training seed, so the whole
+//     fault matrix can sweep under pinned training randomness — the basis
+//     of the trace-bit-identical contract in transport_exactness_test.
+//
+// Attempts at or past `max_retries` are forced clean, mirroring the
+// availability schedule's forced-through semantics (fl/availability.h):
+// retry-budget exhaustion degrades into a guaranteed delivery, never an
+// abort, so a round always completes with its recorded selection.
+
+#ifndef FATS_TRANSPORT_FAULT_INJECTION_H_
+#define FATS_TRANSPORT_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "transport/transport.h"
+#include "util/status.h"
+
+namespace fats::transport {
+
+/// What the fault model decides to do to one transmission attempt.
+enum class FaultAction : uint8_t {
+  kNone = 0,       // clean delivery
+  kDrop = 1,       // frame lost; receiver times out
+  kCorrupt = 2,    // one payload bit flipped; receiver rejects on CRC
+  kTruncate = 3,   // frame cut short; receiver rejects on length
+  kDuplicate = 4,  // frame delivered twice; receiver dedups by seq
+  kDelay = 5,      // frame held back; costs backoff time, then delivers
+};
+
+const char* FaultActionName(FaultAction action);
+
+/// Fault schedule parameters. Parsed from a compact spec string, e.g.
+/// "drop=0.2,corrupt=0.05,duplicate=0.05,seed=7" (omitted keys keep their
+/// defaults). Rates are probabilities in [0, 1] and their sum must stay
+/// <= 1 (they partition one uniform draw per attempt).
+struct TransportFaultSpec {
+  double drop_rate = 0.0;
+  double corrupt_rate = 0.0;
+  double truncate_rate = 0.0;
+  double duplicate_rate = 0.0;
+  double delay_rate = 0.0;
+  /// Seed of the fault schedule, separate from the training seed.
+  uint64_t seed = 0;
+  /// Attempts after which delivery is forced clean.
+  int64_t max_retries = 8;
+  /// Deterministic backoff: wait min(cap, base << attempt) + jitter virtual
+  /// time units before retrying, jitter uniform in [0, base).
+  int64_t backoff_base_units = 1;
+  int64_t backoff_cap_units = 64;
+
+  bool enabled() const {
+    return drop_rate + corrupt_rate + truncate_rate + duplicate_rate +
+               delay_rate >
+           0.0;
+  }
+
+  /// Parses "key=value[,key=value...]"; keys: drop, corrupt, truncate,
+  /// duplicate, delay, seed, max_retries, backoff_base, backoff_cap.
+  /// Empty text parses to the all-defaults (disabled) spec.
+  static Result<TransportFaultSpec> Parse(const std::string& text);
+
+  std::string ToString() const;
+};
+
+/// Evaluates the schedule. Stateless: every query re-derives its stream
+/// from the structured address, so call order never shifts a decision.
+class TransportFaultModel {
+ public:
+  explicit TransportFaultModel(const TransportFaultSpec& spec) : spec_(spec) {}
+
+  bool enabled() const { return spec_.enabled(); }
+  const TransportFaultSpec& spec() const { return spec_; }
+
+  /// The fate of attempt `attempt` of send `seq` of the message addressed
+  /// (round, iteration, client) on `direction`.
+  FaultAction Decide(Direction direction, int64_t round, int64_t iteration,
+                     int64_t client, uint32_t seq, int64_t attempt) const;
+
+  /// Which payload bit a kCorrupt attempt flips (uniform over the frame's
+  /// payload bits; 0 when the payload is empty).
+  uint64_t CorruptBitIndex(Direction direction, int64_t round,
+                           int64_t iteration, int64_t client, uint32_t seq,
+                           int64_t attempt, uint64_t payload_bits) const;
+
+  /// How many bytes a kTruncate attempt keeps (uniform in [0, frame_bytes)).
+  uint64_t TruncatedLength(Direction direction, int64_t round,
+                           int64_t iteration, int64_t client, uint32_t seq,
+                           int64_t attempt, uint64_t frame_bytes) const;
+
+  /// Backoff before retrying after a failed `attempt`:
+  /// min(cap, base << attempt) + jitter, jitter uniform in [0, base).
+  int64_t BackoffUnits(Direction direction, int64_t round, int64_t iteration,
+                       int64_t client, uint32_t seq, int64_t attempt) const;
+
+ private:
+  TransportFaultSpec spec_;
+};
+
+}  // namespace fats::transport
+
+#endif  // FATS_TRANSPORT_FAULT_INJECTION_H_

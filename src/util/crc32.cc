@@ -1,0 +1,27 @@
+#include "util/crc32.h"
+
+namespace fats {
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+  // Table-driven reflected CRC-32 (IEEE 802.3). The table is computed once;
+  // its contents are a pure function of the polynomial.
+  static const uint32_t* kTable = [] {
+    auto* table = new uint32_t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      table[i] = crc;
+    }
+    return table;
+  }();
+  uint32_t crc = ~seed;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ bytes[i]) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace fats

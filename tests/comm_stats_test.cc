@@ -72,5 +72,61 @@ TEST(CommStatsTest, ToStringMentionsCounters) {
   EXPECT_NE(stats.ToString().find("rounds=1"), std::string::npos);
 }
 
+TEST(CommStatsTest, PerDeliveryChargesMatchTheBulkForms) {
+  // The per-delivery API (what the wire path charges) must land on the
+  // same ledger as the analytic bulk forms used by the baselines.
+  CommStats wire;
+  for (int i = 0; i < 5; ++i) wire.RecordDownlinkDelivery(100 * 4);
+  for (int i = 0; i < 3; ++i) wire.RecordUplinkDelivery(100 * 4);
+  CommStats bulk;
+  bulk.RecordBroadcast(5, 100);
+  bulk.RecordUpload(3, 100);
+  EXPECT_EQ(wire.downlink_bytes(), bulk.downlink_bytes());
+  EXPECT_EQ(wire.uplink_bytes(), bulk.uplink_bytes());
+  EXPECT_EQ(wire.messages(), bulk.messages());
+  EXPECT_EQ(wire.downlink_messages(), 5);
+  EXPECT_EQ(wire.uplink_messages(), 3);
+}
+
+TEST(CommStatsTest, RetransmitsAreLedgeredSeparately) {
+  CommStats stats;
+  stats.RecordDownlinkDelivery(400);
+  stats.RecordRetransmits(/*count=*/3, /*bytes=*/3 * 444);
+  EXPECT_EQ(stats.retransmits(), 3);
+  EXPECT_EQ(stats.retransmit_bytes(), 3 * 444);
+  // The clean ledger (the paper's communication cost) excludes them.
+  EXPECT_EQ(stats.total_bytes(), 400);
+  EXPECT_EQ(stats.messages(), 1);
+}
+
+TEST(CommStatsTest, CountersRoundTripThroughFromCounters) {
+  CommStats stats;
+  stats.RecordDownlinkDelivery(16);
+  stats.RecordUplinkDelivery(16);
+  stats.RecordRetransmits(2, 120);
+  stats.RecordRound();
+  const CommStats back = CommStats::FromCounters(stats.counters());
+  EXPECT_EQ(back.rounds(), stats.rounds());
+  EXPECT_EQ(back.downlink_bytes(), stats.downlink_bytes());
+  EXPECT_EQ(back.uplink_bytes(), stats.uplink_bytes());
+  EXPECT_EQ(back.downlink_messages(), stats.downlink_messages());
+  EXPECT_EQ(back.uplink_messages(), stats.uplink_messages());
+  EXPECT_EQ(back.retransmits(), stats.retransmits());
+  EXPECT_EQ(back.retransmit_bytes(), stats.retransmit_bytes());
+}
+
+TEST(CommStatsTest, MergeAndResetCoverTheRetransmitLedger) {
+  CommStats a;
+  a.RecordRetransmits(1, 50);
+  CommStats b;
+  b.RecordRetransmits(2, 70);
+  a.Merge(b);
+  EXPECT_EQ(a.retransmits(), 3);
+  EXPECT_EQ(a.retransmit_bytes(), 120);
+  a.Reset();
+  EXPECT_EQ(a.retransmits(), 0);
+  EXPECT_EQ(a.retransmit_bytes(), 0);
+}
+
 }  // namespace
 }  // namespace fats

@@ -68,6 +68,8 @@ struct CommSnapshot {
   int64_t uplink = 0;
   int64_t downlink = 0;
   int64_t messages = 0;
+  int64_t retransmits = 0;
+  int64_t retransmit_bytes = 0;
 };
 
 CommSnapshot Snapshot(FatsTrainer* trainer) {
@@ -76,6 +78,8 @@ CommSnapshot Snapshot(FatsTrainer* trainer) {
   s.uplink = trainer->comm_stats().uplink_bytes();
   s.downlink = trainer->comm_stats().downlink_bytes();
   s.messages = trainer->comm_stats().messages();
+  s.retransmits = trainer->comm_stats().retransmits();
+  s.retransmit_bytes = trainer->comm_stats().retransmit_bytes();
   return s;
 }
 
@@ -176,6 +180,9 @@ void ExpectRecoversExactly(const std::string& ckpt, const std::string& jrn,
   EXPECT_EQ(comm.uplink, ref.trained_comm.uplink) << label;
   EXPECT_EQ(comm.downlink, ref.trained_comm.downlink) << label;
   EXPECT_EQ(comm.messages, ref.trained_comm.messages) << label;
+  EXPECT_EQ(comm.retransmits, ref.trained_comm.retransmits) << label;
+  EXPECT_EQ(comm.retransmit_bytes, ref.trained_comm.retransmit_bytes)
+      << label;
 
   SampleUnlearner unlearner(env.trainer.get());
   Result<UnlearningOutcome> outcome = unlearner.Unlearn(ref.target, kTotal);
@@ -208,10 +215,12 @@ TEST(CrashMatrixTest, KillAtEveryFailpointRecoversBitExactly) {
   }
 
   const std::vector<std::string> sites = failpoint::RegisteredSites();
-  ASSERT_GE(sites.size(), 7u) << "expected the scenario to cross every "
-                                 "trainer/checkpoint/journal failpoint";
+  ASSERT_GE(sites.size(), 10u) << "expected the scenario to cross every "
+                                  "trainer/checkpoint/journal/transport "
+                                  "failpoint";
   for (const char* expected :
-       {"trainer.iter.commit", "checkpoint.rename", "journal.append"}) {
+       {"trainer.iter.commit", "checkpoint.rename", "journal.append",
+        "transport.send", "transport.recv", "transport.corrupt_frame"}) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), expected), sites.end())
         << expected << " never registered";
   }

@@ -144,7 +144,11 @@ TEST(AnalyzeIncludeGraph, ModuleOfAndRank) {
   EXPECT_LT(ModuleRank("nn"), ModuleRank("fl"));
   EXPECT_LT(ModuleRank("fl"), ModuleRank("core"));
   EXPECT_LT(ModuleRank("core"), ModuleRank("io"));
-  EXPECT_EQ(ModuleRank("transport"), -1);
+  // transport sits beside nn: above the tensors/rng it frames and draws
+  // fault schedules from, below the fl/core layers that deliver through it.
+  EXPECT_EQ(ModuleRank("transport"), ModuleRank("nn"));
+  EXPECT_LT(ModuleRank("transport"), ModuleRank("fl"));
+  EXPECT_EQ(ModuleRank("unknown-module"), -1);
 }
 
 TEST(AnalyzeIncludeGraph, RankViolationFiresUpwardOnly) {
@@ -548,6 +552,72 @@ TEST(AnalyzeStoreMutation, SuppressionDowngrades) {
       "}\n");
   EXPECT_TRUE(ActiveRules(r).empty());
   EXPECT_TRUE(HasRule(r, kRuleStoreMutationBypass, /*suppressed=*/true));
+}
+
+// --- Rule fixtures: raw-wire ---
+
+TEST(AnalyzeRawWire, FrameCodecInCoreFires) {
+  const AnalysisResult r = AnalyzeOne(
+      "src/core/fats_trainer.cc",
+      "void F(const WireMessage& m) {\n"
+      "  std::string frame = transport::EncodeFrame(m);\n"
+      "}\n");
+  EXPECT_TRUE(HasRule(r, kRuleRawWire));
+}
+
+TEST(AnalyzeRawWire, RingBufferPushInFlFires) {
+  const AnalysisResult r = AnalyzeOne(
+      "src/fl/fedavg.cc",
+      "void G(std::string_view frame) {\n"
+      "  (void)wire_->PushFrame(transport::Direction::kUplink, frame);\n"
+      "}  // fats-lint: allow(discarded-status)\n");
+  EXPECT_TRUE(HasRule(r, kRuleRawWire));
+}
+
+TEST(AnalyzeRawWire, PosixSocketInIoFires) {
+  const AnalysisResult r = AnalyzeOne(
+      "src/io/remote_journal.cc",
+      "int H() { return socket(AF_INET, SOCK_STREAM, 0); }\n");
+  EXPECT_TRUE(HasRule(r, kRuleRawWire));
+}
+
+TEST(AnalyzeRawWire, ChannelDeliveryIsClean) {
+  const AnalysisResult r = AnalyzeOne(
+      "src/core/fats_trainer.cc",
+      "void F(const transport::EncodedModel& m) {\n"
+      "  auto d = channel_->DeliverModel(address, m);\n"
+      "}\n");
+  EXPECT_TRUE(ActiveRules(r).empty());
+}
+
+TEST(AnalyzeRawWire, TransportItselfIsExempt) {
+  const AnalysisResult r = AnalyzeOne(
+      "src/transport/reliable_channel.cc",
+      "void F(Transport* t, std::string_view frame) {\n"
+      "  (void)t->PushFrame(Direction::kDownlink, frame);\n"
+      "}  // fats-lint: allow(discarded-status)\n");
+  EXPECT_FALSE(HasRule(r, kRuleRawWire));
+}
+
+TEST(AnalyzeRawWire, DeclarationDoesNotFire) {
+  // `Status PushFrame(` is a declaration (a fake transport in a test
+  // double), not a call through the primitive.
+  const AnalysisResult r = AnalyzeOne(
+      "src/fl/comm_stats.h",
+      "struct FakeWire { Status PushFrame(Direction d, std::string_view f); "
+      "};\n");
+  EXPECT_FALSE(HasRule(r, kRuleRawWire));
+}
+
+TEST(AnalyzeRawWire, SuppressionDowngrades) {
+  const AnalysisResult r = AnalyzeOne(
+      "src/io/wire_dump.cc",
+      "void F(std::string_view frame) {\n"
+      "  auto m = transport::DecodeFrame(frame);  "
+      "// fats-lint: allow(raw-wire)\n"
+      "}\n");
+  EXPECT_TRUE(ActiveRules(r).empty());
+  EXPECT_TRUE(HasRule(r, kRuleRawWire, /*suppressed=*/true));
 }
 
 // --- Rule fixtures: layer-order / layer-cycle ---

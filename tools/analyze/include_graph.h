@@ -4,7 +4,7 @@
 //
 //   rank 0  util                      (includable by every module)
 //   rank 1  tensor, rng
-//   rank 2  nn                        (tensor + rng)
+//   rank 2  nn, transport             (tensor + rng)
 //   rank 3  data                      (nn + below)
 //   rank 4  fl                        (data + below)
 //   rank 5  core, metrics             (fl + below)
@@ -12,11 +12,12 @@
 //
 // A file in module A may include module B only when rank(B) <= rank(A).
 // Same-rank cross-includes are tolerated (core does not include metrics
-// today, but nothing structural forbids it) — the cycle check catches any
-// mutual dependence that would arise.  Modules the rank table does not know
-// (e.g. a future src/transport) are exempt from the rank check but still
-// participate in cycle detection, so new layers cannot silently create
-// cycles before they are assigned a rank.
+// today, and transport does not include nn — frames carry opaque payload
+// bytes, not models — but nothing structural forbids it) — the cycle check
+// catches any mutual dependence that would arise.  Modules the rank table
+// does not know are exempt from the rank check but still participate in
+// cycle detection, so new layers cannot silently create cycles before they
+// are assigned a rank.
 //
 // tools/, bench/, tests/, and examples/ may include anything.
 

@@ -44,6 +44,12 @@
 //                      store from src/core outside fats_trainer itself: the
 //                      mutation skips the durable event sink and must go
 //                      through the trainer's wrapper API instead.
+//   raw-wire           a frame codec (EncodeFrame/Decode*Payload/...), ring
+//                      buffer primitive (PushFrame/PopFrame), or POSIX
+//                      socket call outside src/transport within src/core,
+//                      src/fl, or src/io: model traffic that skips the
+//                      reliable channel skips the retry/backoff/CRC-reject
+//                      protocol that keeps lossy runs exact (§7.7).
 //   tile-overlap       (src/tensor only) a subscripted write inside a
 //                      ParallelFor task body whose index depends on neither
 //                      a lambda parameter nor task-local state: workers may
@@ -74,6 +80,7 @@ inline constexpr const char kRuleLayerOrder[] = "layer-order";
 inline constexpr const char kRuleLayerCycle[] = "layer-cycle";
 inline constexpr const char kRuleStoreMutationBypass[] =
     "store-mutation-bypass";
+inline constexpr const char kRuleRawWire[] = "raw-wire";
 inline constexpr const char kRuleTileOverlap[] = "tile-overlap";
 
 // The analyzer-pass rule IDs (the full ID space is these plus
@@ -112,6 +119,8 @@ void CheckStatusDiscipline(const FileModel& model, const AnalysisIndex& index,
                            std::vector<lint::Finding>* findings);
 void CheckStoreMutation(const FileModel& model,
                         std::vector<lint::Finding>* findings);
+void CheckWireDiscipline(const FileModel& model,
+                         std::vector<lint::Finding>* findings);
 void CheckTileOwnership(const FileModel& model,
                         std::vector<lint::Finding>* findings);
 

@@ -31,7 +31,7 @@ std::vector<std::string> AnalyzerRules() {
   return {kRuleRngRawKey,      kRuleRngSharedStream,     kRuleRngUnorderedDraw,
           kRuleNondetReduction, kRuleFailpointGap,       kRuleDiscardedStatus,
           kRuleLayerOrder,     kRuleLayerCycle,
-          kRuleStoreMutationBypass, kRuleTileOverlap};
+          kRuleStoreMutationBypass, kRuleRawWire, kRuleTileOverlap};
 }
 
 void IndexFile(const FileModel& model, AnalysisIndex* index) {

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI driver: configure -> build -> ctest -> fats_analyze -> bench gate ->
-# clang-tidy -> tsan smoke of the parallel-execution tests -> crash-matrix
-# smoke of the durability tests under asan-ubsan.
+# clang-tidy -> tsan smoke of the parallel-execution tests -> chaos step
+# (crash matrix + lossy-wire fault matrix) under asan-ubsan.
 #
 # Usage:
 #   tools/ci.sh [PRESET]            # default preset: release
@@ -77,6 +77,20 @@ if [[ "$PRESET" == "release" ]]; then
   else
     echo "bench gate: no BENCH_unlearn.json baseline; ran benchmarks only"
   fi
+  # And for the transport: frame codec throughput plus channel delivery
+  # under 0/5/20% loss (a reliable-channel regression shows up as
+  # attempts_per_msg exploding long before timings drift).
+  "$BUILD_DIR/bench/bench_transport" \
+    --benchmark_min_time=0.01 \
+    --benchmark_out="$BUILD_DIR/BENCH_transport_current.json" \
+    --benchmark_out_format=json > /dev/null
+  if [[ -f BENCH_transport.json ]]; then
+    "$BUILD_DIR/tools/bench_check" BENCH_transport.json \
+      "$BUILD_DIR/BENCH_transport_current.json" \
+      --max-regress "$BENCH_MAX_REGRESS_PCT"
+  else
+    echo "bench gate: no BENCH_transport.json baseline; ran benchmarks only"
+  fi
 else
   echo "bench gate: skipped (preset $PRESET; benches run on release only)"
 fi
@@ -101,39 +115,48 @@ echo "=== [7/8] tsan smoke (parallel-execution tests) ==="
 # kernel_contract_test exercises the parallel GEMM at worker counts 1/2/4/7
 # (the ISSUE-8 bit-identity matrix) and crash_matrix_test exercises the
 # async journal's WriterThread handoff, so both are race-checked on every
-# preset, not just the full tsan leg. die_after_fork=0: the crash-matrix
-# children deliberately start a writer thread after fork (sanctioned — each
-# child owns its process), which TSan otherwise refuses.
+# preset, not just the full tsan leg. transport_test rides along for the
+# LocalTransport blocking producer/consumer pair (the wire's only
+# cross-thread handoff). die_after_fork=0: the crash-matrix children
+# deliberately start a writer thread after fork (sanctioned — each child
+# owns its process), which TSan otherwise refuses.
 if [[ "$PRESET" == "tsan" ]]; then
   echo "tsan smoke: preset is already tsan; full suite covered above"
 else
   cmake --preset tsan
   cmake --build --preset tsan -j "$JOBS" \
     --target thread_pool_test parallel_exactness_test \
-    kernel_contract_test crash_matrix_test
+    kernel_contract_test crash_matrix_test transport_test
   # Run the binaries directly: only these targets are built, so the
   # build-tsan ctest manifest is incomplete.
   build-tsan/tests/thread_pool_test
   build-tsan/tests/parallel_exactness_test
   build-tsan/tests/kernel_contract_test
+  build-tsan/tests/transport_test
   TSAN_OPTIONS="die_after_fork=0" build-tsan/tests/crash_matrix_test
 fi
 
-echo "=== [8/8] crash matrix under asan-ubsan ==="
+echo "=== [8/8] chaos: crash matrix + fault matrix under asan-ubsan ==="
 # Re-run the failpoint kill/recover matrix with sanitizers on: recovery code
 # paths (torn-tail truncation, journal replay, re-execution) are exactly the
-# ones a fuzzer won't reach and a crash will.
+# ones a fuzzer won't reach and a crash will. transport_exactness_test is
+# the lossy-wire half of the chaos step — deterministic drop/corrupt/
+# truncate/duplicate injection with the trace-identity contract asserted —
+# so its frame-mangling paths (bit flips, mid-header cuts) run with the
+# memory sanitizers watching.
 if [[ "$PRESET" == "asan-ubsan" ]]; then
-  echo "crash matrix: preset is already asan-ubsan; full suite covered above"
+  echo "chaos step: preset is already asan-ubsan; full suite covered above"
 else
   cmake --preset asan-ubsan
   cmake --build --preset asan-ubsan -j "$JOBS" \
-    --target crash_matrix_test journal_test failpoint_test
+    --target crash_matrix_test journal_test failpoint_test \
+    transport_exactness_test
   # Run the binaries directly: only these targets are built, so the
   # build-asan ctest manifest is incomplete.
   build-asan/tests/failpoint_test
   build-asan/tests/journal_test
   build-asan/tests/crash_matrix_test
+  build-asan/tests/transport_exactness_test
 fi
 
 echo "=== CI OK (preset: $PRESET) ==="

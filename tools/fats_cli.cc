@@ -6,6 +6,7 @@
 //                           [--threads=N]   (parallel, bit-identical results)
 //                           [--journal=/tmp/m.jrn]   (crash-exact durability)
 //                           [--log_csv=/tmp/m.csv] [--fault_spec=site:n:act]
+//                           [--transport_faults=drop=0.2,seed=4]  (lossy wire)
 //   fats_cli resume         --profile=mnist --checkpoint=/tmp/m.ckpt
 //                           [--until_iter=t]           (continue training)
 //   fats_cli unlearn-sample --profile=mnist --checkpoint=/tmp/m.ckpt
@@ -49,6 +50,7 @@ struct CliOptions {
   std::string journal;     // journaled crash-exact session when non-empty
   std::string log_csv;     // write the per-round TrainLog here when non-empty
   std::string fault_spec;  // failpoint arming spec (site:hit:action,...)
+  std::string transport_faults;  // lossy-wire spec (drop=..,corrupt=..,...)
 };
 
 std::string DeletionJournalPath(const std::string& checkpoint) {
@@ -133,6 +135,7 @@ Status RunTrain(const CliOptions& options, bool resume) {
   config.seed = static_cast<uint64_t>(options.seed);
   config.num_threads = options.threads;
   config.fault_spec = options.fault_spec;
+  config.transport_fault_spec = options.transport_faults;
   FATS_RETURN_NOT_OK(config.Validate());
   FatsTrainer trainer(profile.model, config, &data);
 
@@ -199,6 +202,7 @@ Status RunUnlearn(const CliOptions& options, bool client_level) {
   config.seed = static_cast<uint64_t>(options.seed);
   config.num_threads = options.threads;
   config.fault_spec = options.fault_spec;
+  config.transport_fault_spec = options.transport_faults;
   FATS_RETURN_NOT_OK(config.Validate());
   FatsTrainer trainer(profile.model, config, &data);
   std::unique_ptr<DurableTrainingSession> session;
@@ -319,6 +323,12 @@ int Main(int argc, char** argv) {
       "fault_spec", "",
       "failpoint arming spec 'site:hit_count:action,...' "
       "(action: error|crash|torn-write|delay) for crash testing");
+  std::string* transport_faults = flags.AddString(
+      "transport_faults", "",
+      "lossy-wire fault spec 'drop=0.2,corrupt=0.05,seed=4,...' "
+      "(keys: drop|corrupt|truncate|duplicate|delay rates, seed, "
+      "max_retries, backoff_base, backoff_cap); the retry protocol keeps "
+      "the run trace-identical to a clean wire");
   Status parse = flags.Parse(argc - 1, argv + 1);
   if (parse.code() == StatusCode::kNotFound) return 0;  // --help
   if (!parse.ok()) {
@@ -339,6 +349,7 @@ int Main(int argc, char** argv) {
   options.journal = *journal;
   options.log_csv = *log_csv;
   options.fault_spec = *fault_spec;
+  options.transport_faults = *transport_faults;
 
   Status status;
   if (options.command == "train") {
