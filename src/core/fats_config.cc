@@ -77,6 +77,12 @@ Status FatsConfig::Validate() const {
         transport::TransportFaultSpec::Parse(transport_fault_spec);
     if (!spec.ok()) return spec.status();
   }
+  if (state_block_iters < 1) {
+    return Status::InvalidArgument("state_block_iters must be >= 1");
+  }
+  if (state_resident_sealed_blocks < 0 || state_decoded_cache_blocks < 0) {
+    return Status::InvalidArgument("state block budgets must be >= 0");
+  }
   const int64_t k = DeriveK();
   const int64_t b = DeriveB();
   if (k < 1) return Status::InvalidArgument("derived K < 1");
@@ -86,6 +92,15 @@ Status FatsConfig::Validate() const {
         (long long)samples_per_client_n));
   }
   return Status::OK();
+}
+
+StateStoreOptions FatsConfig::StateOptions() const {
+  StateStoreOptions options;
+  options.block_iters = state_block_iters;
+  options.resident_sealed_blocks = state_resident_sealed_blocks;
+  options.decoded_cache_blocks = state_decoded_cache_blocks;
+  options.spill_dir = state_spill_dir;
+  return options;
 }
 
 std::string FatsConfig::ToString() const {

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "data/paper_configs.h"
+#include "fl/state_store.h"
 #include "util/status.h"
 
 namespace fats {
@@ -68,6 +69,22 @@ struct FatsConfig {
   /// the retransmit ledger grows — so this too is an execution knob outside
   /// the checkpoint format and every algorithmic state.
   std::string transport_fault_spec;
+
+  /// State-layer storage knobs (fl/state_store.h). Like num_threads these
+  /// are execution knobs: they bound the store's resident memory by tiering
+  /// history into compressed blocks and (with a spill dir) mmap-backed
+  /// segment files, without changing any recorded value, trace, or the
+  /// checkpoint format. Empty spill dir = no disk tier.
+  std::string state_spill_dir;
+  /// Iterations (rounds, for selections) per history block.
+  int64_t state_block_iters = 32;
+  /// Compressed blobs kept resident per record log before spilling.
+  int64_t state_resident_sealed_blocks = 8;
+  /// Decoded read-cache capacity per record log, in blocks.
+  int64_t state_decoded_cache_blocks = 8;
+
+  /// The StateStoreOptions this config's knobs describe.
+  StateStoreOptions StateOptions() const;
 
   int64_t total_iters_t() const { return rounds_r * local_iters_e; }
 

@@ -4,6 +4,7 @@
 
 #include "fl/client.h"
 #include "fl/server.h"
+#include "state/tree_aggregate.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
 
@@ -21,7 +22,8 @@ FatsTrainer::FatsTrainer(const ModelSpec& spec, const FatsConfig& config,
       availability_(AvailabilityConfig{config.dropout_rate,
                                        config.availability_seed,
                                        config.dropout_max_retries}),
-      runner_(spec, config.seed, config.num_threads) {
+      runner_(spec, config.seed, config.num_threads),
+      store_(config.StateOptions()) {
   FATS_CHECK_OK(config_.Validate());
   FATS_CHECK_EQ(data_->num_clients(), config_.clients_m)
       << "dataset does not match config M";
@@ -272,9 +274,13 @@ void FatsTrainer::Run(int64_t t0, int64_t t_end) {
     if (t % e == 0) {
       // STEP 3: aggregate with multiset multiplicity: θ = (1/K) Σ_{k∈P} θ_k.
       // Each selection slot uploads its client's local model over the wire
-      // (encoded once per distinct client); the server accumulates the
-      // decoded payloads in slot order — the recorded reduction order.
-      Tensor aggregate(initial_params_.shape());
+      // (encoded once per distinct client), delivered serially in slot
+      // order — the recorded wire order. The decoded payloads are then
+      // summed by the fixed fan-in reduction tree, whose shape depends only
+      // on the slot count, so the aggregate is bit-identical at any worker
+      // count (and identical to the flat slot-order sum for K <= fan-in).
+      std::vector<Tensor> slot_uploads;
+      slot_uploads.reserve(selection.size());
       std::map<int64_t, transport::EncodedModel> uploads;
       for (size_t slot = 0; slot < selection.size(); ++slot) {
         const int64_t client = selection[slot];
@@ -285,10 +291,12 @@ void FatsTrainer::Run(int64_t t0, int64_t t_end) {
                             transport::EncodedModel(local_params[client]))
                    .first;
         }
-        aggregate += TransferModel(transport::Direction::kUplink, r, t,
-                                   client, static_cast<uint32_t>(slot),
-                                   it->second);
+        slot_uploads.push_back(TransferModel(transport::Direction::kUplink, r,
+                                             t, client,
+                                             static_cast<uint32_t>(slot),
+                                             it->second));
       }
+      Tensor aggregate = state::TreeAggregate(slot_uploads, runner_.pool());
       aggregate *= 1.0f / static_cast<float>(selection.size());
       store_.SaveGlobalModel(r, aggregate);
       comm_stats_.RecordRound();
@@ -423,7 +431,10 @@ void FatsTrainer::ReplayFrom(int64_t t0, int64_t t_end) {
     }
 
     if (t % e == 0) {
-      Tensor aggregate(initial_params_.shape());
+      // Same wire order and reduction tree as the forward pass: replay must
+      // re-create the aggregate bit for bit.
+      std::vector<Tensor> slot_uploads;
+      slot_uploads.reserve(selection.size());
       std::map<int64_t, transport::EncodedModel> uploads;
       for (size_t slot = 0; slot < selection.size(); ++slot) {
         const int64_t client = selection[slot];
@@ -434,10 +445,12 @@ void FatsTrainer::ReplayFrom(int64_t t0, int64_t t_end) {
                             transport::EncodedModel(local_params[client]))
                    .first;
         }
-        aggregate += TransferModel(transport::Direction::kUplink, r, t,
-                                   client, static_cast<uint32_t>(slot),
-                                   it->second);
+        slot_uploads.push_back(TransferModel(transport::Direction::kUplink, r,
+                                             t, client,
+                                             static_cast<uint32_t>(slot),
+                                             it->second));
       }
+      Tensor aggregate = state::TreeAggregate(slot_uploads, runner_.pool());
       aggregate *= 1.0f / static_cast<float>(selection.size());
       store_.SaveGlobalModel(r, aggregate);
       comm_stats_.RecordRound();

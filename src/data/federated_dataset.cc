@@ -1,12 +1,55 @@
 #include "data/federated_dataset.h"
 
 #include <algorithm>
+#include <map>
+#include <mutex>
 #include <numeric>
+#include <utility>
 
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace fats {
+
+// All lazy-mode state lives behind one pointer so the eager mode pays
+// nothing and the dataset stays movable (std::mutex is not). The mutex
+// guards the mutable cache members, which are touched from const accessors
+// running on pool workers; `deleted` / `client_active` follow the same
+// single-writer contract as the eager shards (mutations never race reads)
+// but mutators still take the lock because they sync the cache.
+struct FederatedDataset::LazyState {
+  ShardGenerator generator;
+  std::vector<int64_t> shard_sizes;
+  std::vector<uint8_t> client_active;
+  // Deleted local sample indices per client, ascending; absent key = none.
+  std::map<int64_t, std::vector<int64_t>> deleted;
+  LazyDatasetOptions options;
+
+  struct Entry {
+    std::unique_ptr<ClientShard> shard;
+    int64_t tick = 0;  // last touch, for LRU eviction
+  };
+  mutable std::mutex mu;
+  mutable std::map<int64_t, Entry> cache;
+  mutable int64_t tick = 0;
+  mutable int64_t generations = 0;
+
+  int64_t DeletedCount(int64_t k) const {
+    auto it = deleted.find(k);
+    return it == deleted.end() ? 0 : static_cast<int64_t>(it->second.size());
+  }
+  bool Deleted(int64_t k, int64_t index) const {
+    auto it = deleted.find(k);
+    if (it == deleted.end()) return false;
+    return std::binary_search(it->second.begin(), it->second.end(), index);
+  }
+};
+
+FederatedDataset::FederatedDataset() = default;
+FederatedDataset::~FederatedDataset() = default;
+FederatedDataset::FederatedDataset(FederatedDataset&&) noexcept = default;
+FederatedDataset& FederatedDataset::operator=(FederatedDataset&&) noexcept =
+    default;
 
 FederatedDataset::FederatedDataset(std::vector<InMemoryDataset> client_train,
                                    InMemoryDataset global_test)
@@ -25,16 +68,162 @@ FederatedDataset::FederatedDataset(std::vector<InMemoryDataset> client_train,
   num_active_clients_ = static_cast<int64_t>(clients_.size());
 }
 
+FederatedDataset::FederatedDataset(ShardGenerator generator,
+                                   std::vector<int64_t> shard_sizes,
+                                   InMemoryDataset global_test,
+                                   LazyDatasetOptions options)
+    : global_test_(std::move(global_test)),
+      lazy_(std::make_unique<LazyState>()) {
+  FATS_CHECK(generator != nullptr) << "lazy dataset needs a generator";
+  FATS_CHECK_GE(options.shard_cache_capacity, 1);
+  for (size_t k = 0; k < shard_sizes.size(); ++k) {
+    FATS_CHECK_GT(shard_sizes[k], 0)
+        << "client " << k << " declared with no samples";
+  }
+  lazy_->generator = std::move(generator);
+  lazy_->shard_sizes = std::move(shard_sizes);
+  lazy_->client_active.assign(lazy_->shard_sizes.size(), 1);
+  lazy_->options = options;
+  active_clients_.resize(lazy_->shard_sizes.size());
+  std::iota(active_clients_.begin(), active_clients_.end(), 0);
+  num_active_clients_ = static_cast<int64_t>(lazy_->shard_sizes.size());
+}
+
+int64_t FederatedDataset::num_clients() const {
+  if (lazy_) return static_cast<int64_t>(lazy_->shard_sizes.size());
+  return static_cast<int64_t>(clients_.size());
+}
+
+bool FederatedDataset::client_active(int64_t k) const {
+  if (lazy_) return lazy_->client_active[static_cast<size_t>(k)] != 0;
+  return clients_[static_cast<size_t>(k)].active;
+}
+
+int64_t FederatedDataset::samples_of(int64_t k) const {
+  if (lazy_) return lazy_->shard_sizes[static_cast<size_t>(k)];
+  return clients_[static_cast<size_t>(k)].data.size();
+}
+
+int64_t FederatedDataset::num_active_samples(int64_t k) const {
+  if (lazy_) {
+    return lazy_->shard_sizes[static_cast<size_t>(k)] -
+           lazy_->DeletedCount(k);
+  }
+  return static_cast<int64_t>(
+      clients_[static_cast<size_t>(k)].active_indices.size());
+}
+
 bool FederatedDataset::sample_active(int64_t k, int64_t index) const {
+  if (lazy_) {
+    if (index < 0 || index >= lazy_->shard_sizes[static_cast<size_t>(k)]) {
+      return false;
+    }
+    return !lazy_->Deleted(k, index);
+  }
   const ClientShard& shard = clients_[static_cast<size_t>(k)];
   if (index < 0 || index >= shard.data.size()) return false;
   return shard.sample_active[static_cast<size_t>(index)];
+}
+
+const std::vector<int64_t>& FederatedDataset::active_sample_indices(
+    int64_t k) const {
+  if (lazy_) return Materialized(k).active_indices;
+  return clients_[static_cast<size_t>(k)].active_indices;
+}
+
+const InMemoryDataset& FederatedDataset::client_data(int64_t k) const {
+  if (lazy_) return Materialized(k).data;
+  return clients_[static_cast<size_t>(k)].data;
+}
+
+const FederatedDataset::ClientShard& FederatedDataset::Materialized(
+    int64_t k) const {
+  LazyState& lz = *lazy_;
+  std::lock_guard<std::mutex> lock(lz.mu);
+  auto it = lz.cache.find(k);
+  if (it == lz.cache.end()) {
+    // Evict least-recently-touched shards to stay within capacity. A shard
+    // another worker is still reading was touched more recently than the
+    // `shard_cache_capacity` distinct shards needed to make it the LRU
+    // victim, which is exactly the capacity contract documented on
+    // LazyDatasetOptions.
+    while (static_cast<int64_t>(lz.cache.size()) >=
+           lz.options.shard_cache_capacity) {
+      auto victim = lz.cache.begin();
+      for (auto c = lz.cache.begin(); c != lz.cache.end(); ++c) {
+        if (c->second.tick < victim->second.tick) victim = c;
+      }
+      lz.cache.erase(victim);
+    }
+    auto shard = std::make_unique<ClientShard>();
+    shard->data = lz.generator(k);
+    FATS_CHECK_EQ(shard->data.size(),
+                  lz.shard_sizes[static_cast<size_t>(k)])
+        << "lazy generator returned the wrong shard size for client " << k;
+    shard->active = lz.client_active[static_cast<size_t>(k)] != 0;
+    shard->sample_active.assign(static_cast<size_t>(shard->data.size()),
+                                true);
+    auto del = lz.deleted.find(k);
+    if (del != lz.deleted.end()) {
+      for (int64_t i : del->second) {
+        shard->sample_active[static_cast<size_t>(i)] = false;
+      }
+    }
+    shard->active_indices.reserve(
+        static_cast<size_t>(shard->data.size()) -
+        (del == lz.deleted.end() ? 0 : del->second.size()));
+    for (int64_t i = 0; i < shard->data.size(); ++i) {
+      if (shard->sample_active[static_cast<size_t>(i)]) {
+        shard->active_indices.push_back(i);
+      }
+    }
+    ++lz.generations;
+    LazyState::Entry entry;
+    entry.shard = std::move(shard);
+    it = lz.cache.emplace(k, std::move(entry)).first;
+  }
+  it->second.tick = ++lz.tick;
+  return *it->second.shard;
 }
 
 Status FederatedDataset::RemoveSample(const SampleRef& ref) {
   if (ref.client < 0 || ref.client >= num_clients()) {
     return Status::OutOfRange(
         StrFormat("client %lld out of range", (long long)ref.client));
+  }
+  if (lazy_) {
+    LazyState& lz = *lazy_;
+    std::lock_guard<std::mutex> lock(lz.mu);
+    if (lz.client_active[static_cast<size_t>(ref.client)] == 0) {
+      return Status::FailedPrecondition(
+          StrFormat("client %lld already removed", (long long)ref.client));
+    }
+    if (ref.index < 0 ||
+        ref.index >= lz.shard_sizes[static_cast<size_t>(ref.client)]) {
+      return Status::OutOfRange(
+          StrFormat("sample %lld out of range at client %lld",
+                    (long long)ref.index, (long long)ref.client));
+    }
+    std::vector<int64_t>& del = lz.deleted[ref.client];
+    auto pos = std::lower_bound(del.begin(), del.end(), ref.index);
+    if (pos != del.end() && *pos == ref.index) {
+      return Status::FailedPrecondition(
+          StrFormat("sample (%lld, %lld) already deleted",
+                    (long long)ref.client, (long long)ref.index));
+    }
+    del.insert(pos, ref.index);
+    // Keep any materialized copy consistent with the overlay.
+    auto it = lz.cache.find(ref.client);
+    if (it != lz.cache.end()) {
+      ClientShard& shard = *it->second.shard;
+      shard.sample_active[static_cast<size_t>(ref.index)] = false;
+      auto active = std::lower_bound(shard.active_indices.begin(),
+                                     shard.active_indices.end(), ref.index);
+      FATS_CHECK(active != shard.active_indices.end() &&
+                 *active == ref.index);
+      shard.active_indices.erase(active);
+    }
+    return Status::OK();
   }
   ClientShard& shard = clients_[static_cast<size_t>(ref.client)];
   if (!shard.active) {
@@ -64,12 +253,24 @@ Status FederatedDataset::RemoveClient(int64_t k) {
     return Status::OutOfRange(
         StrFormat("client %lld out of range", (long long)k));
   }
-  ClientShard& shard = clients_[static_cast<size_t>(k)];
-  if (!shard.active) {
-    return Status::FailedPrecondition(
-        StrFormat("client %lld already removed", (long long)k));
+  if (lazy_) {
+    LazyState& lz = *lazy_;
+    std::lock_guard<std::mutex> lock(lz.mu);
+    if (lz.client_active[static_cast<size_t>(k)] == 0) {
+      return Status::FailedPrecondition(
+          StrFormat("client %lld already removed", (long long)k));
+    }
+    lz.client_active[static_cast<size_t>(k)] = 0;
+    auto cached = lz.cache.find(k);
+    if (cached != lz.cache.end()) cached->second.shard->active = false;
+  } else {
+    ClientShard& shard = clients_[static_cast<size_t>(k)];
+    if (!shard.active) {
+      return Status::FailedPrecondition(
+          StrFormat("client %lld already removed", (long long)k));
+    }
+    shard.active = false;
   }
-  shard.active = false;
   auto it = std::lower_bound(active_clients_.begin(), active_clients_.end(),
                              k);
   FATS_CHECK(it != active_clients_.end() && *it == k);
@@ -81,13 +282,13 @@ Status FederatedDataset::RemoveClient(int64_t k) {
 Batch FederatedDataset::MakeBatch(
     int64_t k, const std::vector<int64_t>& sample_indices) const {
   FATS_CHECK(k >= 0 && k < num_clients());
-  const ClientShard& shard = clients_[static_cast<size_t>(k)];
-  FATS_CHECK(shard.active) << "batch requested from removed client " << k;
+  FATS_CHECK(client_active(k)) << "batch requested from removed client " << k;
   for (int64_t i : sample_indices) {
     FATS_CHECK(sample_active(k, i))
         << "batch references deleted sample (" << k << ", " << i << ")";
   }
-  return shard.data.GatherBatch(sample_indices);
+  if (lazy_) return Materialized(k).data.GatherBatch(sample_indices);
+  return clients_[static_cast<size_t>(k)].data.GatherBatch(sample_indices);
 }
 
 int64_t FederatedDataset::total_active_samples() const {
@@ -96,11 +297,24 @@ int64_t FederatedDataset::total_active_samples() const {
   return total;
 }
 
+int64_t FederatedDataset::materialized_shards() const {
+  if (!lazy_) return num_clients();
+  std::lock_guard<std::mutex> lock(lazy_->mu);
+  return static_cast<int64_t>(lazy_->cache.size());
+}
+
+int64_t FederatedDataset::shard_generations() const {
+  if (!lazy_) return 0;
+  std::lock_guard<std::mutex> lock(lazy_->mu);
+  return lazy_->generations;
+}
+
 std::string FederatedDataset::ToString() const {
   return StrFormat(
-      "FederatedDataset(M=%lld active=%lld, samples=%lld, classes=%lld)",
+      "FederatedDataset(M=%lld active=%lld, samples=%lld, classes=%lld%s)",
       (long long)num_clients(), (long long)num_active_clients_,
-      (long long)total_active_samples(), (long long)num_classes());
+      (long long)total_active_samples(), (long long)num_classes(),
+      lazy_ ? ", lazy" : "");
 }
 
 }  // namespace fats

@@ -8,11 +8,28 @@
 // records refer to. After a deletion, mini-batch sampling ranges over the
 // reduced active set — exactly the ξ(N−1, b) / ν(M−1, K) measures in the
 // paper's analysis.
+//
+// Two storage modes behind the same interface:
+//
+//   * Eager (the original): every client shard is resident, built from a
+//     vector<InMemoryDataset>.
+//   * Lazy: shards are *generated on demand* from a deterministic per-client
+//     generator and kept in a small LRU cache; deletions live in a sparse
+//     overlay so a deleted sample stays deleted across re-materialization.
+//     This is what makes an M = 10^6 client run fit in bounded memory: at
+//     any moment only the shards of the clients actually selected this
+//     round (plus a few cached ones) exist.
+//
+// The lazy mode is observationally identical to eager over the public
+// interface — same actives, same batches, bit for bit — provided the
+// generator is pure (same client id -> same InMemoryDataset, always).
 
 #ifndef FATS_DATA_FEDERATED_DATASET_H_
 #define FATS_DATA_FEDERATED_DATASET_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +37,16 @@
 #include "util/status.h"
 
 namespace fats {
+
+/// Options of the lazy (generated-on-demand) dataset mode.
+struct LazyDatasetOptions {
+  /// Materialized shards kept resident (LRU by last touch). Must be at
+  /// least the number of shards in concurrent use — references returned by
+  /// active_sample_indices()/client_data() stay valid only until the shard
+  /// is evicted, and a shard can only become an eviction victim once
+  /// `shard_cache_capacity` other shards have been touched after it.
+  int64_t shard_cache_capacity = 256;
+};
 
 /// Identifies one sample: (client, stable local index).
 struct SampleRef {
@@ -33,41 +60,51 @@ struct SampleRef {
 
 class FederatedDataset {
  public:
-  FederatedDataset() = default;
+  /// Produces client k's local dataset. Must be pure: the same k must yield
+  /// the same InMemoryDataset on every call, across processes (lazy
+  /// re-materialization and crash recovery both rely on it). Called with an
+  /// internal lock held, so it need not be thread-safe itself.
+  using ShardGenerator = std::function<InMemoryDataset(int64_t)>;
 
-  /// `client_train[k]` is client k's local dataset; `global_test` is the
-  /// evaluation set used for test accuracy.
+  FederatedDataset();
+  ~FederatedDataset();
+  FederatedDataset(FederatedDataset&&) noexcept;
+  FederatedDataset& operator=(FederatedDataset&&) noexcept;
+  FederatedDataset(const FederatedDataset&) = delete;
+  FederatedDataset& operator=(const FederatedDataset&) = delete;
+
+  /// Eager mode: `client_train[k]` is client k's local dataset;
+  /// `global_test` is the evaluation set used for test accuracy.
   FederatedDataset(std::vector<InMemoryDataset> client_train,
                    InMemoryDataset global_test);
 
+  /// Lazy mode: shards are generated on demand by `generator` and cached
+  /// (LRU, `options.shard_cache_capacity` shards). `shard_sizes[k]` is the
+  /// size generator(k) will produce — declared up front so size queries and
+  /// deletion bookkeeping never force materialization.
+  FederatedDataset(ShardGenerator generator, std::vector<int64_t> shard_sizes,
+                   InMemoryDataset global_test,
+                   LazyDatasetOptions options = {});
+
   /// Total number of clients, including deactivated ones (indices stable).
-  int64_t num_clients() const {
-    return static_cast<int64_t>(clients_.size());
-  }
+  int64_t num_clients() const;
   /// Clients not yet removed.
   int64_t num_active_clients() const { return num_active_clients_; }
-  bool client_active(int64_t k) const {
-    return clients_[static_cast<size_t>(k)].active;
-  }
+  bool client_active(int64_t k) const;
   /// Ascending list of active client ids.
   const std::vector<int64_t>& active_clients() const {
     return active_clients_;
   }
 
   /// Original local dataset size of client k (deletions do not change it).
-  int64_t samples_of(int64_t k) const {
-    return clients_[static_cast<size_t>(k)].data.size();
-  }
+  int64_t samples_of(int64_t k) const;
   /// Number of not-deleted samples at client k.
-  int64_t num_active_samples(int64_t k) const {
-    return static_cast<int64_t>(
-        clients_[static_cast<size_t>(k)].active_indices.size());
-  }
+  int64_t num_active_samples(int64_t k) const;
   bool sample_active(int64_t k, int64_t index) const;
-  /// Ascending list of active local sample indices at client k.
-  const std::vector<int64_t>& active_sample_indices(int64_t k) const {
-    return clients_[static_cast<size_t>(k)].active_indices;
-  }
+  /// Ascending list of active local sample indices at client k. Lazy mode:
+  /// materializes the shard; the reference is valid until the shard is
+  /// evicted (see LazyDatasetOptions::shard_cache_capacity).
+  const std::vector<int64_t>& active_sample_indices(int64_t k) const;
 
   /// Logically deletes one sample. Fails if already deleted or out of range.
   Status RemoveSample(const SampleRef& ref);
@@ -78,9 +115,9 @@ class FederatedDataset {
   /// must be active).
   Batch MakeBatch(int64_t k, const std::vector<int64_t>& sample_indices) const;
 
-  const InMemoryDataset& client_data(int64_t k) const {
-    return clients_[static_cast<size_t>(k)].data;
-  }
+  /// Client k's local dataset. Lazy mode: materializes the shard; same
+  /// lifetime caveat as active_sample_indices().
+  const InMemoryDataset& client_data(int64_t k) const;
   const InMemoryDataset& global_test() const { return global_test_; }
 
   int64_t num_classes() const { return global_test_.num_classes(); }
@@ -88,6 +125,14 @@ class FederatedDataset {
 
   /// Total active samples across active clients.
   int64_t total_active_samples() const;
+
+  /// True when this dataset generates shards on demand.
+  bool lazy() const { return lazy_ != nullptr; }
+  /// Shards currently resident (eager mode: all of them).
+  int64_t materialized_shards() const;
+  /// Times the generator has run (eager mode: 0). A shard evicted and
+  /// re-touched counts again; tests use this to observe cache behavior.
+  int64_t shard_generations() const;
 
   std::string ToString() const;
 
@@ -98,11 +143,17 @@ class FederatedDataset {
     std::vector<int64_t> active_indices;  // ascending
     std::vector<bool> sample_active;
   };
+  struct LazyState;
+
+  /// Lazy mode only: the materialized shard of client k (generating and/or
+  /// evicting under the cache lock as needed).
+  const ClientShard& Materialized(int64_t k) const;
 
   std::vector<ClientShard> clients_;
   std::vector<int64_t> active_clients_;
   int64_t num_active_clients_ = 0;
   InMemoryDataset global_test_;
+  std::unique_ptr<LazyState> lazy_;
 };
 
 }  // namespace fats

@@ -320,4 +320,89 @@ FederatedDataset BuildFederatedData(const DatasetProfile& profile,
   return FederatedDataset(std::move(shards), std::move(test));
 }
 
+FederatedDataset BuildLazyFederatedData(const DatasetProfile& profile,
+                                        uint64_t seed,
+                                        LazyDatasetOptions options) {
+  FATS_CHECK(!profile.central_lda_partition)
+      << "central-LDA partition needs the whole corpus at once; "
+         "use BuildFederatedData for profile "
+      << profile.name;
+  const int64_t m = profile.clients_m;
+  const int64_t n = profile.samples_per_client_n;
+  InMemoryDataset test;
+  FederatedDataset::ShardGenerator generator;
+
+  // Each branch captures the derived config by value and regenerates client
+  // k's shard exactly as the corresponding BuildFederatedData loop body
+  // does: the generator object is deterministic in its config, per-client
+  // LDA proportions come from per-client keyed streams, and the sample
+  // stream seed is a pure function of k. Lazy shards are therefore bitwise
+  // identical to the eager build's.
+  switch (profile.task) {
+    case TaskKind::kImageSimulated: {
+      SyntheticImageConfig cfg = profile.image;
+      cfg.seed = SplitMix64(cfg.seed ^ seed);
+      const double beta = profile.dirichlet_beta;
+      generator = [cfg, n, beta](int64_t k) {
+        SyntheticImageGenerator gen(cfg);
+        return gen.Generate(
+            n,
+            DrawLdaClassProportionsFor(k, cfg.num_classes, beta,
+                                       cfg.seed + 1),
+            /*style_client=*/-1,
+            /*sample_stream_seed=*/static_cast<uint64_t>(k) + 1000);
+      };
+      SyntheticImageGenerator gen(cfg);
+      test = gen.Generate(profile.test_size, /*class_probs=*/{},
+                          /*style_client=*/-1, /*sample_stream_seed=*/1);
+      break;
+    }
+    case TaskKind::kImageNatural: {
+      SyntheticImageConfig cfg = profile.image;
+      cfg.seed = SplitMix64(cfg.seed ^ seed);
+      generator = [cfg, n](int64_t k) {
+        SyntheticImageGenerator gen(cfg);
+        return gen.Generate(
+            n,
+            DrawLdaClassProportionsFor(k, cfg.num_classes, /*beta=*/2.0,
+                                       cfg.seed + 1),
+            /*style_client=*/k,
+            /*sample_stream_seed=*/static_cast<uint64_t>(k) + 1000);
+      };
+      SyntheticImageGenerator gen(cfg);
+      const int64_t test_clients = std::min<int64_t>(m, 40);
+      const int64_t per_client =
+          std::max<int64_t>(1, profile.test_size / test_clients);
+      for (int64_t k = 0; k < test_clients; ++k) {
+        test.Append(gen.Generate(
+            per_client,
+            DrawLdaClassProportionsFor(k, cfg.num_classes, /*beta=*/2.0,
+                                       cfg.seed + 1),
+            k, static_cast<uint64_t>(k) + 2000000));
+      }
+      break;
+    }
+    case TaskKind::kText: {
+      SyntheticTextConfig cfg = profile.text;
+      cfg.seed = SplitMix64(cfg.seed ^ seed);
+      generator = [cfg, n](int64_t k) {
+        SyntheticTextGenerator gen(cfg);
+        return gen.Generate(n, k, static_cast<uint64_t>(k) + 1000);
+      };
+      SyntheticTextGenerator gen(cfg);
+      const int64_t test_clients = std::min<int64_t>(m, 40);
+      const int64_t per_client =
+          std::max<int64_t>(1, profile.test_size / test_clients);
+      for (int64_t k = 0; k < test_clients; ++k) {
+        test.Append(
+            gen.Generate(per_client, k, static_cast<uint64_t>(k) + 2000000));
+      }
+      break;
+    }
+  }
+  return FederatedDataset(std::move(generator),
+                          std::vector<int64_t>(static_cast<size_t>(m), n),
+                          std::move(test), options);
+}
+
 }  // namespace fats

@@ -80,6 +80,16 @@ Result<DatasetProfile> ScaledProfile(const std::string& name);
 FederatedDataset BuildFederatedData(const DatasetProfile& profile,
                                     uint64_t seed);
 
+/// Lazy-mode equivalent of BuildFederatedData: client shards are generated
+/// on demand (bitwise identical to the eager build's shards) and only
+/// `options.shard_cache_capacity` of them are resident at once, so memory
+/// scales with clients *touched per round*, not with M. Not available for
+/// central_lda_partition profiles — that pipeline needs the whole corpus to
+/// partition (CHECK-fails).
+FederatedDataset BuildLazyFederatedData(const DatasetProfile& profile,
+                                        uint64_t seed,
+                                        LazyDatasetOptions options = {});
+
 /// Draws `n` fresh examples from client `client`'s local distribution for
 /// the (profile, seed) workload, disjoint from the training draw (distinct
 /// sample stream). Used as the non-member pool of the membership-inference

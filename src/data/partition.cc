@@ -17,15 +17,24 @@ std::vector<std::vector<double>> DrawLdaClassProportions(int64_t num_clients,
   FATS_CHECK_GT(beta, 0.0);
   std::vector<std::vector<double>> out;
   out.reserve(static_cast<size_t>(num_clients));
-  std::vector<double> alpha(static_cast<size_t>(num_classes), beta);
   for (int64_t k = 0; k < num_clients; ++k) {
-    StreamId id;
-    id.purpose = RngPurpose::kPartition;
-    id.client = static_cast<uint64_t>(k);
-    RngStream rng(seed, id);
-    out.push_back(SampleDirichlet(alpha, &rng));
+    out.push_back(DrawLdaClassProportionsFor(k, num_classes, beta, seed));
   }
   return out;
+}
+
+std::vector<double> DrawLdaClassProportionsFor(int64_t client,
+                                               int64_t num_classes,
+                                               double beta, uint64_t seed) {
+  FATS_CHECK_GE(client, 0);
+  FATS_CHECK_GT(num_classes, 0);
+  FATS_CHECK_GT(beta, 0.0);
+  std::vector<double> alpha(static_cast<size_t>(num_classes), beta);
+  StreamId id;
+  id.purpose = RngPurpose::kPartition;
+  id.client = static_cast<uint64_t>(client);
+  RngStream rng(seed, id);
+  return SampleDirichlet(alpha, &rng);
 }
 
 std::vector<std::vector<int64_t>> PartitionIid(int64_t n, int64_t num_clients,

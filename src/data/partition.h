@@ -25,6 +25,14 @@ std::vector<std::vector<double>> DrawLdaClassProportions(int64_t num_clients,
                                                          double beta,
                                                          uint64_t seed);
 
+/// Row `client` of DrawLdaClassProportions(M, ...), computed alone. Each
+/// client's draw comes from its own keyed stream, so this is bitwise
+/// identical to the full-matrix row at O(1) cost in M — the hook lazy
+/// (generated-on-demand) federated datasets use to avoid an O(M) prologue.
+std::vector<double> DrawLdaClassProportionsFor(int64_t client,
+                                               int64_t num_classes,
+                                               double beta, uint64_t seed);
+
 /// Deals indices {0..n-1} to `num_clients` round-robin after a uniform
 /// shuffle (IID partition). Client sizes differ by at most one.
 std::vector<std::vector<int64_t>> PartitionIid(int64_t n, int64_t num_clients,

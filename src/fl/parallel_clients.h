@@ -53,6 +53,12 @@ class ParallelClientRunner {
 
   int64_t num_threads() const { return pool_.num_threads(); }
 
+  /// The runner's worker pool, for other deterministic sharded work on the
+  /// driver thread between client batches (e.g. tree aggregation). Callers
+  /// must not hold it across a ForEachClient call (ParallelFor is not
+  /// reentrant).
+  ThreadPool* pool() { return &pool_; }
+
   /// Runs fn(i, model) for every i in [0, n), where `model` is a replica
   /// private to the executing worker, and blocks until all calls finish.
   /// fn must follow the determinism contract above: read only state frozen

@@ -7,23 +7,6 @@
 namespace fats {
 namespace {
 
-// Sorted key enumeration for the unordered record maps.  Hash-order
-// traversal never escapes this helper: every public enumeration API returns
-// keys in sorted order, so checkpointing and diagnostics are replay-stable.
-template <typename Map>
-std::vector<typename Map::key_type> SortedKeys(const Map& m) {
-  std::vector<typename Map::key_type> keys;
-  keys.reserve(m.size());
-  // Order-insensitive key collection, sorted below.
-  // fats-lint: allow(unordered-iteration)
-  for (const auto& [key, value] : m) {
-    (void)value;
-    keys.push_back(key);
-  }
-  std::sort(keys.begin(), keys.end());
-  return keys;
-}
-
 // Sorted-unique posting-list mutations. Postings are inserted at their
 // sorted position (an append during forward training, a binary-searched
 // insert during substitution) and erased in place; an emptied list removes
@@ -41,7 +24,38 @@ bool ErasePosting(std::vector<int64_t>* postings, int64_t value) {
   return postings->empty();
 }
 
+state::HistoryLogOptions LogOptions(const StateStoreOptions& options,
+                                    state::SegmentSpiller* spiller) {
+  state::HistoryLogOptions log;
+  log.block_span = options.block_iters;
+  log.max_open_blocks = options.max_open_blocks;
+  log.resident_sealed_blocks = options.resident_sealed_blocks;
+  log.decoded_cache_blocks = options.decoded_cache_blocks;
+  log.spiller = spiller;
+  return log;
+}
+
+std::unique_ptr<state::SegmentSpiller> MakeSpiller(
+    const StateStoreOptions& options) {
+  if (options.spill_dir.empty()) return nullptr;
+  state::SegmentSpillerOptions spill;
+  spill.dir = options.spill_dir;
+  spill.segment_target_bytes = options.segment_target_bytes;
+  return std::make_unique<state::SegmentSpiller>(spill);
+}
+
 }  // namespace
+
+StateStore::StateStore(const StateStoreOptions& options)
+    : options_(options),
+      spiller_(MakeSpiller(options_)),
+      minibatches_(LogOptions(options_, spiller_.get())),
+      selections_(LogOptions(options_, spiller_.get())),
+      local_models_(LogOptions(options_, spiller_.get())) {
+  if (spiller_ != nullptr) {
+    FATS_CHECK_OK(spiller_->Open());
+  }
+}
 
 void StateStore::IndexSelection(int64_t round,
                                 const std::vector<int64_t>& multiset) {
@@ -60,16 +74,18 @@ void StateStore::UnindexSelection(int64_t round,
 
 void StateStore::SaveClientSelection(int64_t round,
                                      std::vector<int64_t> multiset) {
-  std::vector<int64_t>& slot = selections_[round];
-  if (!slot.empty()) UnindexSelection(round, slot);  // re-drawn round
-  IndexSelection(round, multiset);
-  slot = std::move(multiset);
+  std::vector<int64_t> replaced;
+  const bool re_drawn =
+      selections_.Save(round, 0, std::move(multiset), &replaced);
+  if (re_drawn) UnindexSelection(round, replaced);
+  // The stored pointer is stable here: IndexSelection touches only the
+  // posting maps, never the log.
+  IndexSelection(round, *selections_.Get(round, 0));
 }
 
 const std::vector<int64_t>* StateStore::GetClientSelection(
     int64_t round) const {
-  auto it = selections_.find(round);
-  return it == selections_.end() ? nullptr : &it->second;
+  return selections_.Get(round, 0);
 }
 
 void StateStore::SaveGlobalModel(int64_t round, Tensor params) {
@@ -97,25 +113,24 @@ void StateStore::UnindexMinibatch(int64_t iter, int64_t client,
 
 void StateStore::SaveMinibatch(int64_t iter, int64_t client,
                                std::vector<int64_t> indices) {
-  std::vector<int64_t>& slot = minibatches_[{iter, client}];
-  if (!slot.empty()) UnindexMinibatch(iter, client, slot);  // substitution
-  IndexMinibatch(iter, client, indices);
-  slot = std::move(indices);
+  std::vector<int64_t> replaced;
+  const bool substituted =
+      minibatches_.Save(iter, client, std::move(indices), &replaced);
+  if (substituted) UnindexMinibatch(iter, client, replaced);
+  IndexMinibatch(iter, client, *minibatches_.Get(iter, client));
 }
 
 const std::vector<int64_t>* StateStore::GetMinibatch(int64_t iter,
                                                      int64_t client) const {
-  auto it = minibatches_.find({iter, client});
-  return it == minibatches_.end() ? nullptr : &it->second;
+  return minibatches_.Get(iter, client);
 }
 
 void StateStore::SaveLocalModel(int64_t iter, int64_t client, Tensor params) {
-  local_models_[{iter, client}] = std::move(params);
+  local_models_.Save(iter, client, std::move(params));
 }
 
 const Tensor* StateStore::GetLocalModel(int64_t iter, int64_t client) const {
-  auto it = local_models_.find({iter, client});
-  return it == local_models_.end() ? nullptr : &it->second;
+  return local_models_.Get(iter, client);
 }
 
 int64_t StateStore::EarliestSampleUse(const SampleRef& ref) const {
@@ -130,12 +145,17 @@ int64_t StateStore::EarliestClientRound(int64_t client) const {
 
 const std::vector<int64_t>* StateStore::SampleUses(const SampleRef& ref) const {
   auto it = sample_uses_.find({ref.client, ref.index});
-  return it == sample_uses_.end() ? nullptr : &it->second;
+  // The emptied-list-erased invariant makes an empty list unreachable in
+  // normal operation, but a truncate-to-zero must read as "never used"
+  // rather than hand out a list whose front() would be UB.
+  if (it == sample_uses_.end() || it->second.empty()) return nullptr;
+  return &it->second;
 }
 
 const std::vector<int64_t>* StateStore::ClientRounds(int64_t client) const {
   auto it = client_rounds_.find(client);
-  return it == client_rounds_.end() ? nullptr : &it->second;
+  if (it == client_rounds_.end() || it->second.empty()) return nullptr;
+  return &it->second;
 }
 
 void StateStore::TruncateFromIteration(int64_t from_iter,
@@ -143,108 +163,100 @@ void StateStore::TruncateFromIteration(int64_t from_iter,
   FATS_CHECK_GE(from_iter, 1);
   FATS_CHECK_GE(local_iters_e, 1);
   // Round r covers iterations (r-1)E+1 .. rE; its selection happens at
-  // (r-1)E+1 and its global model is saved at rE.  The erase-if sweeps below
-  // keep the same surviving set whatever the traversal order, and every
-  // erased record unindexes its own postings — the cost is O(discarded),
-  // not O(all records), and the inverted index never needs a rebuild.
-  // fats-lint: allow(unordered-iteration)
-  for (auto it = minibatches_.begin(); it != minibatches_.end();) {
-    if (it->first.first >= from_iter) {
-      UnindexMinibatch(it->first.first, it->first.second, it->second);
-      it = minibatches_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  // fats-lint: allow(unordered-iteration)
-  for (auto it = local_models_.begin(); it != local_models_.end();) {
-    it = (it->first.first >= from_iter) ? local_models_.erase(it)
-                                        : std::next(it);
-  }
-  // fats-lint: allow(unordered-iteration)
-  for (auto it = selections_.begin(); it != selections_.end();) {
-    const int64_t round_start = (it->first - 1) * local_iters_e + 1;
-    if (round_start >= from_iter) {
-      UnindexSelection(it->first, it->second);
-      it = selections_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  // fats-lint: allow(unordered-iteration)
-  for (auto it = global_models_.begin(); it != global_models_.end();) {
-    const int64_t round_end = it->first * local_iters_e;  // round 0 -> 0
-    it = (it->first != 0 && round_end >= from_iter) ? global_models_.erase(it)
-                                                    : std::next(it);
-  }
+  // (r-1)E+1 and its global model is saved at rE. Every erased record
+  // unindexes its own postings through the log's on_erase hook — the cost
+  // is O(discarded), not O(all records), and the inverted index never
+  // needs a rebuild. Whole discarded blocks release their spill frames so
+  // re-training to the same iteration reuses segment files.
+  minibatches_.TruncateFrom(
+      from_iter, [this](int64_t iter, int64_t client,
+                        const std::vector<int64_t>& indices) {
+        UnindexMinibatch(iter, client, indices);
+      });
+  local_models_.TruncateFrom(from_iter, {});
+  // Smallest round whose start (r-1)E+1 is >= from_iter.
+  const int64_t round_from = (from_iter + local_iters_e - 2) / local_iters_e + 1;
+  selections_.TruncateFrom(
+      round_from, [this](int64_t round, int64_t unused,
+                         const std::vector<int64_t>& multiset) {
+        (void)unused;
+        UnindexSelection(round, multiset);
+      });
+  // Smallest round whose end rE is >= from_iter; round 0 is always kept.
+  const int64_t global_from =
+      std::max<int64_t>(1, (from_iter + local_iters_e - 1) / local_iters_e);
+  global_models_.erase(global_models_.lower_bound(global_from),
+                       global_models_.end());
 }
 
 bool StateStore::IndicesConsistentWithRecords() const {
   // Reconstruct both posting maps from the records and compare. Posting
   // lists are sorted and duplicate-free, so equality is well-defined
-  // whatever order the reconstruction visits records in.
+  // whatever order the reconstruction visits records in; cold blocks are
+  // decoded transiently by ForEach.
+  // Transient audit rebuild, released on return.
+  // fats-lint: allow(resident-history)
   std::unordered_map<SampleKey, std::vector<int64_t>, SampleKeyHash> uses;
+  // fats-lint: allow(resident-history)
   std::unordered_map<int64_t, std::vector<int64_t>> rounds;
-  // fats-lint: allow(unordered-iteration)
-  for (const auto& [key, indices] : minibatches_) {
-    for (int64_t i : indices) {
-      InsertPosting(&uses[{key.second, i}], key.first);
-    }
-  }
-  // fats-lint: allow(unordered-iteration)
-  for (const auto& [round, multiset] : selections_) {
+  minibatches_.ForEach(
+      [&uses](int64_t iter, int64_t client,
+              const std::vector<int64_t>& indices) {
+        for (int64_t i : indices) InsertPosting(&uses[{client, i}], iter);
+      });
+  selections_.ForEach([&rounds](int64_t round, int64_t unused,
+                                const std::vector<int64_t>& multiset) {
+    (void)unused;
     for (int64_t k : multiset) InsertPosting(&rounds[k], round);
-  }
+  });
   return uses == sample_uses_ && rounds == client_rounds_;
 }
 
 std::vector<int64_t> StateStore::SelectionRounds() const {
-  return SortedKeys(selections_);
+  std::vector<int64_t> rounds;
+  rounds.reserve(static_cast<size_t>(selections_.size()));
+  for (const auto& [round, unused] : selections_.Keys()) {
+    (void)unused;
+    rounds.push_back(round);
+  }
+  return rounds;
 }
 
 std::vector<int64_t> StateStore::GlobalModelRounds() const {
-  return SortedKeys(global_models_);
+  std::vector<int64_t> rounds;
+  rounds.reserve(global_models_.size());
+  for (const auto& [round, params] : global_models_) {
+    (void)params;
+    rounds.push_back(round);
+  }
+  return rounds;
 }
 
 std::vector<std::pair<int64_t, int64_t>> StateStore::MinibatchKeys() const {
-  return SortedKeys(minibatches_);
+  return minibatches_.Keys();
 }
 
 std::vector<std::pair<int64_t, int64_t>> StateStore::LocalModelKeys() const {
-  return SortedKeys(local_models_);
+  return local_models_.Keys();
 }
 
 void StateStore::Clear() {
-  selections_.clear();
+  minibatches_.Clear();
+  selections_.Clear();
+  local_models_.Clear();
   global_models_.clear();
-  minibatches_.clear();
-  local_models_.clear();
   sample_uses_.clear();
   client_rounds_.clear();
 }
 
 int64_t StateStore::ApproxBytes() const {
   // Integer byte counts commute; traversal order cannot change the sum.
-  int64_t bytes = 0;
-  // fats-lint: allow(unordered-iteration)
-  for (const auto& [round, multiset] : selections_) {
-    (void)round;
-    bytes += 8 + static_cast<int64_t>(multiset.size()) * 8;
-  }
-  // fats-lint: allow(unordered-iteration)
+  int64_t bytes = minibatches_.ApproxResidentBytes() +
+                  selections_.ApproxResidentBytes() +
+                  local_models_.ApproxResidentBytes();
   for (const auto& [round, params] : global_models_) {
     (void)round;
     bytes += 8 + params.size() * 4;
-  }
-  // fats-lint: allow(unordered-iteration)
-  for (const auto& [key, indices] : minibatches_) {
-    (void)key;
-    bytes += 16 + static_cast<int64_t>(indices.size()) * 8;
-  }
-  // fats-lint: allow(unordered-iteration)
-  for (const auto& [key, params] : local_models_) {
-    (void)key;
-    bytes += 16 + params.size() * 4;
   }
   // fats-lint: allow(unordered-iteration)
   for (const auto& [key, uses] : sample_uses_) {
@@ -257,6 +269,10 @@ int64_t StateStore::ApproxBytes() const {
     bytes += 8 + static_cast<int64_t>(rounds.size()) * 8;
   }
   return bytes;
+}
+
+int64_t StateStore::SpilledBytes() const {
+  return spiller_ == nullptr ? 0 : spiller_->live_payload_bytes();
 }
 
 CompactParticipationIndex::CompactParticipationIndex(

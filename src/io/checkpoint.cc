@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "io/journal.h"
+#include "state/history_codec.h"
 #include "util/failpoint.h"
 
 namespace fats {
@@ -13,9 +14,13 @@ namespace {
 constexpr char kMagic[] = "FATSCKPT";
 // Version 2 appends kFooter so a write torn at a record boundary (which
 // would otherwise parse cleanly) is detected on load. Version 3 adds the
-// journal epoch after the config echo.
+// journal epoch after the config echo. Version 5 stores index-list records
+// (client selections, mini-batches) as history-codec blobs
+// (state/history_codec.h) instead of raw i64 vectors — the same
+// bit-specified compression the tiered store uses, so checkpoints shrink
+// with the history and decode bit-exactly.
 constexpr char kFooter[] = "FATSEND.";
-constexpr uint32_t kVersion = 4;
+constexpr uint32_t kVersion = 5;
 
 // Upper bound on the element count of any single checkpointed tensor.
 // Shapes whose volume exceeds it (or overflows int64_t) are corrupt: the
@@ -106,7 +111,8 @@ Status WriteCheckpointFile(FatsTrainer* trainer, const std::string& path,
   writer.WriteU64(selection_rounds.size());
   for (int64_t round : selection_rounds) {
     writer.WriteI64(round);
-    writer.WriteI64Vector(*store.GetClientSelection(round));
+    writer.WriteString(
+        state::EncodeIndexList(*store.GetClientSelection(round)));
   }
   const std::vector<int64_t> model_rounds = store.GlobalModelRounds();
   writer.WriteU64(model_rounds.size());
@@ -119,7 +125,8 @@ Status WriteCheckpointFile(FatsTrainer* trainer, const std::string& path,
   for (const auto& [iter, client] : minibatch_keys) {
     writer.WriteI64(iter);
     writer.WriteI64(client);
-    writer.WriteI64Vector(*store.GetMinibatch(iter, client));
+    writer.WriteString(state::EncodeIndexList(*store.GetMinibatch(iter,
+                                                                  client)));
   }
   const auto local_keys = store.LocalModelKeys();
   writer.WriteU64(local_keys.size());
@@ -212,8 +219,12 @@ Status LoadTrainerCheckpoint(const std::string& path, FatsTrainer* trainer,
   FATS_ASSIGN_OR_RETURN(uint64_t num_selections, reader.ReadU64());
   for (uint64_t i = 0; i < num_selections; ++i) {
     FATS_ASSIGN_OR_RETURN(int64_t round, reader.ReadI64());
-    FATS_ASSIGN_OR_RETURN(std::vector<int64_t> selection,
-                          reader.ReadI64Vector());
+    // Record keys feed the tiered store, whose domain is non-negative;
+    // a flipped sign bit must be a load error, not a CHECK abort.
+    if (round < 0) return Status::IoError("corrupt checkpoint: round < 0");
+    FATS_ASSIGN_OR_RETURN(std::string blob, reader.ReadString());
+    std::vector<int64_t> selection;
+    FATS_RETURN_NOT_OK(state::DecodeIndexList(blob, &selection));
     selections.emplace_back(round, std::move(selection));
   }
   std::vector<std::pair<int64_t, Tensor>> global_models;
@@ -234,7 +245,11 @@ Status LoadTrainerCheckpoint(const std::string& path, FatsTrainer* trainer,
     BatchRecord record;
     FATS_ASSIGN_OR_RETURN(record.iter, reader.ReadI64());
     FATS_ASSIGN_OR_RETURN(record.client, reader.ReadI64());
-    FATS_ASSIGN_OR_RETURN(record.batch, reader.ReadI64Vector());
+    if (record.iter < 0) {
+      return Status::IoError("corrupt checkpoint: minibatch iter < 0");
+    }
+    FATS_ASSIGN_OR_RETURN(std::string blob, reader.ReadString());
+    FATS_RETURN_NOT_OK(state::DecodeIndexList(blob, &record.batch));
     minibatches.push_back(std::move(record));
   }
   struct LocalRecord {
@@ -248,6 +263,9 @@ Status LoadTrainerCheckpoint(const std::string& path, FatsTrainer* trainer,
     LocalRecord record;
     FATS_ASSIGN_OR_RETURN(record.iter, reader.ReadI64());
     FATS_ASSIGN_OR_RETURN(record.client, reader.ReadI64());
+    if (record.iter < 0) {
+      return Status::IoError("corrupt checkpoint: local-model iter < 0");
+    }
     FATS_ASSIGN_OR_RETURN(record.model, ReadTensor(&reader));
     local_models.push_back(std::move(record));
   }

@@ -1,0 +1,434 @@
+#include "state/history_codec.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fats::state {
+namespace {
+
+constexpr uint8_t kTagRaw64 = 0;
+constexpr uint8_t kTagBitPack = 1;
+constexpr uint8_t kTagDeltaPack = 2;
+constexpr uint8_t kTagBitmap = 3;
+
+// Bitmaps are only considered when the value span is small enough that the
+// bitmap could possibly win and a corrupt span cannot demand an absurd
+// allocation on decode.
+constexpr uint64_t kMaxBitmapSpan = uint64_t{1} << 32;
+
+uint64_t Zigzag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t Unzigzag(uint64_t z) {
+  return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+int64_t VarintSize(uint64_t v) {
+  int64_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+int BitWidth(uint64_t v) {
+  int w = 0;
+  while (v != 0) {
+    v >>= 1;
+    ++w;
+  }
+  return w;
+}
+
+// width-bit groups packed LSB-first within each byte, in value order. The
+// same traversal on both sides makes the packed bytes a pure function of the
+// values — there is no padding ambiguity (the final partial byte is
+// zero-filled).
+class BitWriter {
+ public:
+  explicit BitWriter(std::string* out) : out_(out) {}
+
+  void Put(uint64_t value, int width) {
+    while (width > 0) {
+      const int take = std::min(width, 8 - nbits_);
+      acc_ |= static_cast<uint8_t>((value & ((uint64_t{1} << take) - 1))
+                                   << nbits_);
+      value >>= take;
+      width -= take;
+      nbits_ += take;
+      if (nbits_ == 8) {
+        out_->push_back(static_cast<char>(acc_));
+        acc_ = 0;
+        nbits_ = 0;
+      }
+    }
+  }
+
+  void Flush() {
+    if (nbits_ > 0) {
+      out_->push_back(static_cast<char>(acc_));
+      acc_ = 0;
+      nbits_ = 0;
+    }
+  }
+
+ private:
+  std::string* out_;
+  uint8_t acc_ = 0;
+  int nbits_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(std::string_view bytes, size_t pos) : bytes_(bytes), pos_(pos) {}
+
+  bool Get(int width, uint64_t* value) {
+    uint64_t r = 0;
+    int got = 0;
+    while (got < width) {
+      if (nbits_ == 0) {
+        if (pos_ >= bytes_.size()) return false;
+        acc_ = static_cast<uint8_t>(bytes_[pos_++]);
+        nbits_ = 8;
+      }
+      const int take = std::min(width - got, nbits_);
+      r |= (static_cast<uint64_t>(acc_) & ((uint64_t{1} << take) - 1)) << got;
+      acc_ >>= take;
+      nbits_ -= take;
+      got += take;
+    }
+    *value = r;
+    return true;
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_;
+  uint8_t acc_ = 0;
+  int nbits_ = 0;
+};
+
+struct ListShape {
+  uint64_t count = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  bool non_decreasing = true;
+  bool strictly_increasing = true;
+  uint64_t max_delta = 0;  // max adjacent forward difference (when sorted)
+};
+
+ListShape ShapeOf(const std::vector<int64_t>& values) {
+  ListShape s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = s.max = values[0];
+  for (size_t i = 1; i < values.size(); ++i) {
+    s.min = std::min(s.min, values[i]);
+    s.max = std::max(s.max, values[i]);
+    if (values[i] < values[i - 1]) {
+      s.non_decreasing = false;
+      s.strictly_increasing = false;
+    } else {
+      if (values[i] == values[i - 1]) s.strictly_increasing = false;
+      const uint64_t delta = static_cast<uint64_t>(values[i]) -
+                             static_cast<uint64_t>(values[i - 1]);
+      s.max_delta = std::max(s.max_delta, delta);
+    }
+  }
+  return s;
+}
+
+uint64_t Range(const ListShape& s) {
+  return static_cast<uint64_t>(s.max) - static_cast<uint64_t>(s.min);
+}
+
+// Exact encoded sizes (including the tag byte) for the candidate encodings;
+// -1 when an encoding is not applicable to this list.
+int64_t SizeRaw64(const ListShape& s) {
+  return 1 + VarintSize(s.count) + static_cast<int64_t>(s.count) * 8;
+}
+
+int64_t SizeBitPack(const ListShape& s) {
+  if (s.count == 0) return -1;
+  const int width = BitWidth(Range(s));
+  return 1 + VarintSize(s.count) + VarintSize(Zigzag(s.min)) + 1 +
+         static_cast<int64_t>((s.count * static_cast<uint64_t>(width) + 7) / 8);
+}
+
+int64_t SizeDeltaPack(const ListShape& s) {
+  if (s.count == 0 || !s.non_decreasing) return -1;
+  const int width = BitWidth(s.max_delta);
+  return 1 + VarintSize(s.count) + VarintSize(Zigzag(s.min)) + 1 +
+         static_cast<int64_t>(
+             ((s.count - 1) * static_cast<uint64_t>(width) + 7) / 8);
+}
+
+int64_t SizeBitmap(const ListShape& s) {
+  if (s.count == 0 || !s.strictly_increasing) return -1;
+  // Gate on the range before the +1: a full-width range would overflow
+  // span to 0 and slip past the cap.
+  if (Range(s) >= kMaxBitmapSpan) return -1;
+  const uint64_t span = Range(s) + 1;
+  return 1 + VarintSize(s.count) + VarintSize(Zigzag(s.min)) +
+         VarintSize(span) + static_cast<int64_t>((span + 7) / 8);
+}
+
+void AppendRaw64(const std::vector<int64_t>& values, std::string* out) {
+  out->push_back(static_cast<char>(kTagRaw64));
+  AppendVarint(values.size(), out);
+  for (int64_t v : values) {
+    uint64_t u = static_cast<uint64_t>(v);
+    for (int b = 0; b < 8; ++b) {
+      out->push_back(static_cast<char>(u & 0xFF));
+      u >>= 8;
+    }
+  }
+}
+
+void AppendBitPack(const std::vector<int64_t>& values, const ListShape& s,
+                   std::string* out) {
+  const int width = BitWidth(Range(s));
+  out->push_back(static_cast<char>(kTagBitPack));
+  AppendVarint(s.count, out);
+  AppendZigzag(s.min, out);
+  out->push_back(static_cast<char>(width));
+  BitWriter bits(out);
+  for (int64_t v : values) {
+    bits.Put(static_cast<uint64_t>(v) - static_cast<uint64_t>(s.min), width);
+  }
+  bits.Flush();
+}
+
+void AppendDeltaPack(const std::vector<int64_t>& values, const ListShape& s,
+                     std::string* out) {
+  const int width = BitWidth(s.max_delta);
+  out->push_back(static_cast<char>(kTagDeltaPack));
+  AppendVarint(s.count, out);
+  AppendZigzag(values[0], out);
+  out->push_back(static_cast<char>(width));
+  BitWriter bits(out);
+  for (size_t i = 1; i < values.size(); ++i) {
+    bits.Put(static_cast<uint64_t>(values[i]) -
+                 static_cast<uint64_t>(values[i - 1]),
+             width);
+  }
+  bits.Flush();
+}
+
+void AppendBitmap(const std::vector<int64_t>& values, const ListShape& s,
+                  std::string* out) {
+  const uint64_t span = Range(s) + 1;
+  out->push_back(static_cast<char>(kTagBitmap));
+  AppendVarint(s.count, out);
+  AppendZigzag(s.min, out);
+  AppendVarint(span, out);
+  std::string bitmap((span + 7) / 8, '\0');
+  for (int64_t v : values) {
+    const uint64_t bit =
+        static_cast<uint64_t>(v) - static_cast<uint64_t>(s.min);
+    bitmap[bit / 8] = static_cast<char>(
+        static_cast<uint8_t>(bitmap[bit / 8]) | (uint8_t{1} << (bit % 8)));
+  }
+  out->append(bitmap);
+}
+
+Status Truncated(const char* what) {
+  return Status::IoError(std::string("history codec: truncated ") + what);
+}
+
+}  // namespace
+
+void AppendVarint(uint64_t value, std::string* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+void AppendZigzag(int64_t value, std::string* out) {
+  AppendVarint(Zigzag(value), out);
+}
+
+Status ParseVarint(std::string_view bytes, size_t* pos, uint64_t* out) {
+  uint64_t value = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (*pos >= bytes.size()) return Truncated("varint");
+    const uint8_t byte = static_cast<uint8_t>(bytes[(*pos)++]);
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = value;
+      return Status::OK();
+    }
+    shift += 7;
+  }
+  return Status::IoError("history codec: varint longer than 10 bytes");
+}
+
+Status ParseZigzag(std::string_view bytes, size_t* pos, int64_t* out) {
+  uint64_t z = 0;
+  FATS_RETURN_NOT_OK(ParseVarint(bytes, pos, &z));
+  *out = Unzigzag(z);
+  return Status::OK();
+}
+
+void AppendIndexList(const std::vector<int64_t>& values, std::string* out) {
+  const ListShape s = ShapeOf(values);
+  // Deterministic chooser: exact sizes, smallest wins, ties break toward the
+  // smaller tag so identical lists always produce identical bytes.
+  const int64_t sizes[4] = {SizeRaw64(s), SizeBitPack(s), SizeDeltaPack(s),
+                            SizeBitmap(s)};
+  int best = 0;
+  for (int tag = 1; tag < 4; ++tag) {
+    if (sizes[tag] >= 0 && (sizes[best] < 0 || sizes[tag] < sizes[best])) {
+      best = tag;
+    }
+  }
+  switch (best) {
+    case kTagRaw64:
+      AppendRaw64(values, out);
+      break;
+    case kTagBitPack:
+      AppendBitPack(values, s, out);
+      break;
+    case kTagDeltaPack:
+      AppendDeltaPack(values, s, out);
+      break;
+    case kTagBitmap:
+      AppendBitmap(values, s, out);
+      break;
+  }
+}
+
+Status ParseIndexList(std::string_view bytes, size_t* pos,
+                      std::vector<int64_t>* out) {
+  out->clear();
+  if (*pos >= bytes.size()) return Truncated("tag");
+  const uint8_t tag = static_cast<uint8_t>(bytes[(*pos)++]);
+  uint64_t count = 0;
+  FATS_RETURN_NOT_OK(ParseVarint(bytes, pos, &count));
+  // Every encoding needs at least one payload bit per value (raw needs 8
+  // bytes); a corrupt count cannot demand more memory than the blob holds.
+  const uint64_t remaining = bytes.size() - *pos;
+  switch (tag) {
+    case kTagRaw64: {
+      if (count > remaining / 8) return Truncated("raw64 payload");
+      out->reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        uint64_t u = 0;
+        for (int b = 0; b < 8; ++b) {
+          u |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[*pos + b]))
+               << (8 * b);
+        }
+        *pos += 8;
+        out->push_back(static_cast<int64_t>(u));
+      }
+      return Status::OK();
+    }
+    case kTagBitPack: {
+      int64_t base = 0;
+      FATS_RETURN_NOT_OK(ParseZigzag(bytes, pos, &base));
+      if (*pos >= bytes.size()) return Truncated("bitpack width");
+      const int width = static_cast<uint8_t>(bytes[(*pos)++]);
+      if (width > 64) {
+        return Status::IoError("history codec: bitpack width > 64");
+      }
+      const uint64_t need = (count * static_cast<uint64_t>(width) + 7) / 8;
+      if (count > remaining * 8 || need > bytes.size() - *pos) {
+        return Truncated("bitpack payload");
+      }
+      out->reserve(count);
+      BitReader bits(bytes, *pos);
+      for (uint64_t i = 0; i < count; ++i) {
+        uint64_t u = 0;
+        if (!bits.Get(width, &u)) return Truncated("bitpack payload");
+        out->push_back(static_cast<int64_t>(static_cast<uint64_t>(base) + u));
+      }
+      *pos += need;
+      return Status::OK();
+    }
+    case kTagDeltaPack: {
+      int64_t first = 0;
+      FATS_RETURN_NOT_OK(ParseZigzag(bytes, pos, &first));
+      if (*pos >= bytes.size()) return Truncated("deltapack width");
+      const int width = static_cast<uint8_t>(bytes[(*pos)++]);
+      if (width > 64) {
+        return Status::IoError("history codec: deltapack width > 64");
+      }
+      if (count == 0) return Status::OK();
+      const uint64_t need =
+          ((count - 1) * static_cast<uint64_t>(width) + 7) / 8;
+      if (count - 1 > remaining * 8 || need > bytes.size() - *pos) {
+        return Truncated("deltapack payload");
+      }
+      out->reserve(count);
+      out->push_back(first);
+      BitReader bits(bytes, *pos);
+      uint64_t value = static_cast<uint64_t>(first);
+      for (uint64_t i = 1; i < count; ++i) {
+        uint64_t delta = 0;
+        if (!bits.Get(width, &delta)) return Truncated("deltapack payload");
+        value += delta;
+        out->push_back(static_cast<int64_t>(value));
+      }
+      *pos += need;
+      return Status::OK();
+    }
+    case kTagBitmap: {
+      int64_t base = 0;
+      FATS_RETURN_NOT_OK(ParseZigzag(bytes, pos, &base));
+      uint64_t span = 0;
+      FATS_RETURN_NOT_OK(ParseVarint(bytes, pos, &span));
+      if (span > kMaxBitmapSpan) {
+        return Status::IoError("history codec: bitmap span too large");
+      }
+      if (count > span) {
+        return Status::IoError("history codec: bitmap popcount exceeds span");
+      }
+      const uint64_t need = (span + 7) / 8;
+      if (need > bytes.size() - *pos) return Truncated("bitmap payload");
+      out->reserve(count);
+      for (uint64_t byte = 0; byte < need; ++byte) {
+        const uint8_t b = static_cast<uint8_t>(bytes[*pos + byte]);
+        if (b == 0) continue;
+        for (int bit = 0; bit < 8; ++bit) {
+          if ((b >> bit) & 1) {
+            out->push_back(static_cast<int64_t>(static_cast<uint64_t>(base) +
+                                                byte * 8 + bit));
+          }
+        }
+      }
+      *pos += need;
+      if (out->size() != count) {
+        return Status::IoError("history codec: bitmap popcount mismatch");
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::IoError("history codec: unknown tag " +
+                             std::to_string(tag));
+  }
+}
+
+std::string EncodeIndexList(const std::vector<int64_t>& values) {
+  std::string out;
+  AppendIndexList(values, &out);
+  return out;
+}
+
+Status DecodeIndexList(std::string_view bytes, std::vector<int64_t>* out) {
+  size_t pos = 0;
+  FATS_RETURN_NOT_OK(ParseIndexList(bytes, &pos, out));
+  if (pos != bytes.size()) {
+    return Status::IoError("history codec: trailing bytes after index list");
+  }
+  return Status::OK();
+}
+
+}  // namespace fats::state

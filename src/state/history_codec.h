@@ -1,0 +1,76 @@
+// Bit-specified, lossless codecs for the save(·) history of Algorithm 1.
+//
+// Every recorded mini-batch and client selection is a list of int64 sample /
+// client indices. This codec turns such a list into a self-delimiting byte
+// string and back, bit-for-bit: Decode(Encode(v)) == v for every input, and
+// the encoded bytes are a pure function of the values (no pointers, no map
+// order, no timestamps). That property is what lets the state layer keep
+// history compressed — or spilled to disk — while replay stays bitwise-exact.
+//
+// Wire format (all integers little-endian):
+//
+//   encoding    := tag:u8 payload
+//   tag 0 kRaw64        payload := count:varint values[count]:i64-fixed8
+//   tag 1 kBitPack      payload := count:varint base:zigzag-varint width:u8
+//                                  packed[ceil(count*width/8)]
+//                       value[i] = base + bits(i)  (width-bit groups, LSB
+//                       first within each byte, in index order)
+//   tag 2 kDeltaPack    payload := count:varint first:zigzag-varint width:u8
+//                                  packed[ceil((count-1)*width/8)]
+//                       value[0] = first; value[i] = value[i-1] + bits(i-1).
+//                       Only valid for non-decreasing sequences.
+//   tag 3 kBitmap       payload := count:varint base:zigzag-varint
+//                                  span:varint bitmap[ceil(span/8)]
+//                       Values are the set bits: base + bit position. Only
+//                       valid for strictly increasing sequences; count is
+//                       the popcount, span = last - base + 1.
+//
+//   varint              LEB128 unsigned, 7 bits per byte, max 10 bytes.
+//   zigzag(v)           (v << 1) ^ (v >> 63) — small magnitudes stay small.
+//
+// The encoder computes the exact size of every applicable encoding and picks
+// the smallest; ties break toward the smaller tag. This choice is
+// deterministic, so identical histories produce identical blobs (checkpoints
+// of equal state are byte-identical). The decoder validates every length and
+// width and returns a Status instead of reading out of bounds, so a corrupt
+// or truncated blob is an error, never UB.
+
+#ifndef FATS_STATE_HISTORY_CODEC_H_
+#define FATS_STATE_HISTORY_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fats::state {
+
+// ----- primitive varint layer (exposed for the block formats) -----
+
+void AppendVarint(uint64_t value, std::string* out);
+void AppendZigzag(int64_t value, std::string* out);
+/// Reads one varint at *pos, advancing it. OutOfRange on truncation or a
+/// varint longer than 10 bytes.
+Status ParseVarint(std::string_view bytes, size_t* pos, uint64_t* out);
+Status ParseZigzag(std::string_view bytes, size_t* pos, int64_t* out);
+
+// ----- index-list codec -----
+
+/// Appends the smallest self-delimiting encoding of `values` to `out`.
+void AppendIndexList(const std::vector<int64_t>& values, std::string* out);
+
+/// Parses one encoded list at *pos, advancing it past the encoding.
+/// OutOfRange / DataLoss-style IoError on truncation, unknown tag, or an
+/// invalid width; never reads past bytes.size().
+Status ParseIndexList(std::string_view bytes, size_t* pos,
+                      std::vector<int64_t>* out);
+
+/// Whole-buffer conveniences. DecodeIndexList also rejects trailing bytes.
+std::string EncodeIndexList(const std::vector<int64_t>& values);
+Status DecodeIndexList(std::string_view bytes, std::vector<int64_t>* out);
+
+}  // namespace fats::state
+
+#endif  // FATS_STATE_HISTORY_CODEC_H_

@@ -1,0 +1,62 @@
+#include "state/history_log.h"
+
+#include <cstring>
+
+#include "util/failpoint.h"
+
+namespace fats::state {
+
+void TensorBlobCodec::Append(const Value& value, std::string* out) {
+  AppendVarint(static_cast<uint64_t>(value.rank()), out);
+  for (int d = 0; d < value.rank(); ++d) {
+    AppendVarint(static_cast<uint64_t>(value.dim(d)), out);
+  }
+  // Raw float32 storage: bitwise round-trip, no re-quantization. The frame
+  // CRC (spill) and the journal protocol (durability) own integrity.
+  const std::vector<float>& data = value.storage();
+  const size_t begin = out->size();
+  out->resize(begin + data.size() * sizeof(float));
+  if (!data.empty()) {
+    std::memcpy(&(*out)[begin], data.data(), data.size() * sizeof(float));
+  }
+}
+
+Status TensorBlobCodec::Parse(std::string_view bytes, size_t* pos,
+                              Value* out) {
+  uint64_t rank = 0;
+  FATS_RETURN_NOT_OK(ParseVarint(bytes, pos, &rank));
+  if (rank > 8) return Status::IoError("tensor blob: implausible rank");
+  std::vector<int64_t> shape;
+  shape.reserve(rank);
+  uint64_t volume = 1;
+  for (uint64_t d = 0; d < rank; ++d) {
+    uint64_t dim = 0;
+    FATS_RETURN_NOT_OK(ParseVarint(bytes, pos, &dim));
+    if (dim == 0 || volume * dim < volume ||
+        volume * dim > (uint64_t{1} << 40)) {
+      return Status::IoError("tensor blob: implausible shape");
+    }
+    volume *= dim;
+    shape.push_back(static_cast<int64_t>(dim));
+  }
+  const uint64_t payload = (rank == 0 ? 0 : volume) * sizeof(float);
+  if (payload > bytes.size() - *pos) {
+    return Status::IoError("tensor blob: truncated payload");
+  }
+  if (rank == 0) {
+    *out = Tensor();
+    return Status::OK();
+  }
+  std::vector<float> data(volume);
+  std::memcpy(data.data(), bytes.data() + *pos, payload);
+  *pos += payload;
+  *out = Tensor(std::move(shape), std::move(data));
+  return Status::OK();
+}
+
+namespace internal {
+
+void CrossDecodedEvictFailpoint() { FATS_FAILPOINT("state.block.evict"); }
+
+}  // namespace internal
+}  // namespace fats::state

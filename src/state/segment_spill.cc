@@ -1,0 +1,243 @@
+#include "state/segment_spill.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "util/crc32.h"
+#include "util/failpoint.h"
+#include "util/logging.h"
+
+namespace fats::state {
+namespace {
+
+// The journal segment format, byte for byte (io/journal.h). Re-stated here
+// because the state layer sits below io in the include layering.
+constexpr char kMagic[8] = {'F', 'A', 'T', 'S', 'J', 'R', 'N', '1'};
+constexpr uint32_t kVersion = 1;
+constexpr int64_t kHeaderBytes = 12;  // magic + u32 version
+constexpr char kSegmentPrefix[] = "seg-";
+
+void PutU32(char* out, uint32_t value) {
+  out[0] = static_cast<char>(value & 0xFF);
+  out[1] = static_cast<char>((value >> 8) & 0xFF);
+  out[2] = static_cast<char>((value >> 16) & 0xFF);
+  out[3] = static_cast<char>((value >> 24) & 0xFF);
+}
+
+uint32_t GetU32(const char* in) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(in[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[3])) << 24;
+}
+
+}  // namespace
+
+SegmentSpiller::SegmentSpiller(SegmentSpillerOptions options)
+    : options_(std::move(options)) {
+  FATS_CHECK(!options_.dir.empty());
+  FATS_CHECK_GE(options_.segment_target_bytes, kHeaderBytes + 8);
+}
+
+SegmentSpiller::~SegmentSpiller() { Clear(); }
+
+std::string SegmentSpiller::SegmentPath(int64_t seq) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%s%08lld", kSegmentPrefix,
+                static_cast<long long>(seq));
+  return options_.dir + "/" + name;
+}
+
+Status SegmentSpiller::Open() {
+  FATS_CHECK(!opened_);
+  if (::mkdir(options_.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IoError("cannot create spill dir: " + options_.dir);
+  }
+  // Orphan sweep: segments are a process-ephemeral cache tier, so anything
+  // already in the directory belongs to a dead process (crash) or a store
+  // that was truncated away — stale either way. Mirrors SweepOrphanTmp.
+  ::DIR* dir = ::opendir(options_.dir.c_str());
+  if (dir == nullptr) {
+    return Status::IoError("cannot open spill dir: " + options_.dir);
+  }
+  std::vector<std::string> stale;
+  while (struct dirent* entry = ::readdir(dir)) {
+    if (std::strncmp(entry->d_name, kSegmentPrefix,
+                     sizeof(kSegmentPrefix) - 1) == 0) {
+      stale.push_back(options_.dir + "/" + entry->d_name);
+    }
+  }
+  ::closedir(dir);
+  for (const std::string& path : stale) {
+    if (std::remove(path.c_str()) == 0) ++orphans_swept_;
+  }
+  opened_ = true;
+  return Status::OK();
+}
+
+Status SegmentSpiller::OpenAppendTarget() {
+  const int64_t seq = next_seq_++;
+  const std::string path = SegmentPath(seq);
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot create segment: " + path);
+  }
+  char header[kHeaderBytes];
+  std::memcpy(header, kMagic, sizeof(kMagic));
+  PutU32(header + sizeof(kMagic), kVersion);
+  if (std::fwrite(header, 1, sizeof(header), file) != sizeof(header)) {
+    std::fclose(file);
+    return Status::IoError("segment header write failed: " + path);
+  }
+  Segment seg;
+  seg.path = path;
+  seg.size_bytes = kHeaderBytes;
+  files_.emplace(seq, std::move(seg));
+  append_seq_ = seq;
+  append_file_ = file;
+  return Status::OK();
+}
+
+Status SegmentSpiller::CloseAppendTarget() {
+  if (append_file_ == nullptr) return Status::OK();
+  const int64_t seq = append_seq_;
+  const bool ok = std::fclose(append_file_) == 0;
+  append_file_ = nullptr;
+  append_seq_ = -1;
+  // A fully-released file could not be reclaimed while it was the append
+  // target; it can now.
+  ReclaimIfDead(seq);
+  if (!ok) return Status::IoError("segment close failed");
+  return Status::OK();
+}
+
+Result<SegmentSpiller::BlockRef> SegmentSpiller::Write(
+    std::string_view payload) {
+  if (!opened_) {
+    return Status::FailedPrecondition("SegmentSpiller::Write before Open");
+  }
+  FATS_FAILPOINT_STATUS("state.spill.write");
+  if (append_file_ != nullptr &&
+      files_.at(append_seq_).size_bytes >= options_.segment_target_bytes) {
+    FATS_RETURN_NOT_OK(CloseAppendTarget());
+  }
+  if (append_file_ == nullptr) {
+    FATS_RETURN_NOT_OK(OpenAppendTarget());
+  }
+  Segment& seg = files_.at(append_seq_);
+  char frame[8];
+  PutU32(frame, static_cast<uint32_t>(payload.size()));
+  PutU32(frame + 4, Crc32(payload.data(), payload.size()));
+  if (std::fwrite(frame, 1, sizeof(frame), append_file_) != sizeof(frame) ||
+      std::fwrite(payload.data(), 1, payload.size(), append_file_) !=
+          payload.size() ||
+      std::fflush(append_file_) != 0) {
+    return Status::IoError("segment append failed: " + seg.path);
+  }
+  BlockRef ref;
+  ref.file_seq = append_seq_;
+  ref.offset = seg.size_bytes;
+  ref.payload_bytes = static_cast<int64_t>(payload.size());
+  seg.size_bytes += static_cast<int64_t>(sizeof(frame) + payload.size());
+  ++seg.live_blocks;
+  ++live_blocks_;
+  live_payload_bytes_ += ref.payload_bytes;
+  return ref;
+}
+
+void SegmentSpiller::DropMapping(Segment* seg) {
+  if (seg->map != nullptr) {
+    ::munmap(seg->map, static_cast<size_t>(seg->mapped_bytes));
+    seg->map = nullptr;
+    seg->mapped_bytes = 0;
+  }
+}
+
+Result<std::string_view> SegmentSpiller::Read(const BlockRef& ref) {
+  auto it = files_.find(ref.file_seq);
+  if (it == files_.end()) {
+    return Status::NotFound("segment not live: " + SegmentPath(ref.file_seq));
+  }
+  Segment& seg = it->second;
+  const int64_t frame_end = ref.offset + 8 + ref.payload_bytes;
+  if (ref.offset < kHeaderBytes || frame_end > seg.size_bytes) {
+    return Status::OutOfRange("block ref outside segment: " + seg.path);
+  }
+  if (seg.map == nullptr || seg.mapped_bytes < frame_end) {
+    // The append target buffers in user space; make the bytes visible to
+    // the mapping before (re)mapping.
+    if (ref.file_seq == append_seq_ && append_file_ != nullptr &&
+        std::fflush(append_file_) != 0) {
+      return Status::IoError("segment flush for read failed: " + seg.path);
+    }
+    DropMapping(&seg);
+    const int fd = ::open(seg.path.c_str(), O_RDONLY);
+    if (fd < 0) return Status::IoError("cannot open segment: " + seg.path);
+    void* map = ::mmap(nullptr, static_cast<size_t>(seg.size_bytes), PROT_READ,
+                       MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (map == MAP_FAILED) {
+      return Status::IoError("mmap failed: " + seg.path);
+    }
+    seg.map = map;
+    seg.mapped_bytes = seg.size_bytes;
+  }
+  const char* frame = static_cast<const char*>(seg.map) + ref.offset;
+  const uint32_t stored_len = GetU32(frame);
+  const uint32_t stored_crc = GetU32(frame + 4);
+  if (stored_len != static_cast<uint32_t>(ref.payload_bytes)) {
+    return Status::IoError("segment frame length mismatch: " + seg.path);
+  }
+  const char* payload = frame + 8;
+  if (Crc32(payload, stored_len) != stored_crc) {
+    return Status::IoError("segment frame CRC mismatch: " + seg.path);
+  }
+  return std::string_view(payload, stored_len);
+}
+
+void SegmentSpiller::ReclaimIfDead(int64_t seq) {
+  auto it = files_.find(seq);
+  if (it == files_.end()) return;
+  if (it->second.live_blocks > 0 || seq == append_seq_) return;
+  DropMapping(&it->second);
+  std::remove(it->second.path.c_str());
+  files_.erase(it);
+  ++files_reclaimed_;
+}
+
+void SegmentSpiller::Release(const BlockRef& ref) {
+  auto it = files_.find(ref.file_seq);
+  FATS_CHECK(it != files_.end());
+  FATS_CHECK_GE(it->second.live_blocks, 1);
+  --it->second.live_blocks;
+  --live_blocks_;
+  live_payload_bytes_ -= ref.payload_bytes;
+  ReclaimIfDead(ref.file_seq);
+}
+
+void SegmentSpiller::Clear() {
+  if (append_file_ != nullptr) {
+    std::fclose(append_file_);
+    append_file_ = nullptr;
+    append_seq_ = -1;
+  }
+  for (auto& [seq, seg] : files_) {
+    (void)seq;
+    DropMapping(&seg);
+    std::remove(seg.path.c_str());
+  }
+  files_.clear();
+  live_blocks_ = 0;
+  live_payload_bytes_ = 0;
+}
+
+}  // namespace fats::state

@@ -1,0 +1,131 @@
+// Cold history segments spilled to mmap-backed files.
+//
+// A SegmentSpiller turns sealed history blocks (opaque byte payloads from
+// the block logs) into frames appended to segment files on disk, and maps
+// them back on demand. Segment files reuse the journal's CRC-framed record
+// format byte for byte:
+//
+//   file   := magic "FATSJRN1" version:u32(1) frame*
+//   frame  := payload_len:u32 crc:u32(CRC-32 of payload, poly 0xEDB88320)
+//             payload
+//
+// so a segment can be inspected with the same tooling as a journal. Unlike
+// the journal, segments are a *process-ephemeral cache tier*: durability is
+// owned by the journal/checkpoint protocol, and a store rebuilt from those
+// re-spills its own cold blocks. Open() therefore sweeps every leftover
+// `seg-*` file in the directory — the spill-dir mirror of the journal's
+// orphan-tmp sweep — so a crash (or a truncate-and-retrain cycle) can never
+// leak segment files or resurrect stale blocks.
+//
+// Lifecycle: Write() appends one frame and returns a BlockRef; Read() maps
+// the owning file (mmap, with a buffered-read fallback) and returns a
+// validated view of the payload; Release() drops the block's claim on its
+// file, and a file whose live-block count reaches zero is unlinked as soon
+// as it is no longer the append target. Reads validate the frame length and
+// CRC on every access, so a corrupt segment is an error, never silent state.
+//
+// Thread-compatibility: not thread-safe; owned and serialized by the state
+// store (all FATS store mutations happen on the driver thread).
+
+#ifndef FATS_STATE_SEGMENT_SPILL_H_
+#define FATS_STATE_SEGMENT_SPILL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace fats::state {
+
+struct SegmentSpillerOptions {
+  /// Directory for segment files; created if missing.
+  std::string dir;
+  /// A segment file is rotated once its size reaches this many bytes, so
+  /// fully-released cold ranges become reclaimable file by file.
+  int64_t segment_target_bytes = int64_t{1} << 20;
+};
+
+class SegmentSpiller {
+ public:
+  /// Location of one spilled block: owning segment file, byte offset of its
+  /// frame header, and payload length.
+  struct BlockRef {
+    int64_t file_seq = -1;
+    int64_t offset = 0;
+    int64_t payload_bytes = 0;
+  };
+
+  explicit SegmentSpiller(SegmentSpillerOptions options);
+  ~SegmentSpiller();
+
+  SegmentSpiller(const SegmentSpiller&) = delete;
+  SegmentSpiller& operator=(const SegmentSpiller&) = delete;
+
+  /// Creates the directory if needed and sweeps every pre-existing `seg-*`
+  /// file (orphans from a crash or an earlier store in the same dir).
+  Status Open();
+
+  /// Appends one CRC-framed payload, rotating files at the size target.
+  /// The returned ref counts as one live block against its file.
+  Result<BlockRef> Write(std::string_view payload);
+
+  /// Maps the segment and returns a view of the payload after validating
+  /// the frame. The view is valid until the owning file is unlinked (i.e.
+  /// until every block in it is Release()d); callers decode immediately and
+  /// never hold the view across Release/Write calls.
+  Result<std::string_view> Read(const BlockRef& ref);
+
+  /// Drops the block's claim on its file. When a file's live-block count
+  /// reaches zero and it is not the current append target, the file is
+  /// unlinked and its mapping dropped — truncate-and-retrain reuses the
+  /// directory instead of leaking segments.
+  void Release(const BlockRef& ref);
+
+  /// Releases everything and deletes all segment files.
+  void Clear();
+
+  int64_t live_blocks() const { return live_blocks_; }
+  int64_t live_payload_bytes() const { return live_payload_bytes_; }
+  int64_t num_segment_files() const {
+    return static_cast<int64_t>(files_.size());
+  }
+  /// Files removed because their live-block count reached zero (plus the
+  /// orphans swept by Open); observability for the reuse-not-leak tests.
+  int64_t files_reclaimed() const { return files_reclaimed_; }
+  int64_t orphans_swept() const { return orphans_swept_; }
+  const std::string& dir() const { return options_.dir; }
+
+ private:
+  struct Segment {
+    std::string path;
+    int64_t size_bytes = 0;   // written bytes (header + frames)
+    int64_t live_blocks = 0;  // blocks written minus blocks released
+    // Read-side mapping; remapped when the file grew past mapped_bytes.
+    void* map = nullptr;
+    int64_t mapped_bytes = 0;
+  };
+
+  std::string SegmentPath(int64_t seq) const;
+  Status OpenAppendTarget();
+  Status CloseAppendTarget();
+  void DropMapping(Segment* seg);
+  void ReclaimIfDead(int64_t seq);
+
+  SegmentSpillerOptions options_;
+  bool opened_ = false;
+  std::map<int64_t, Segment> files_;
+  int64_t next_seq_ = 0;
+  int64_t append_seq_ = -1;  // -1 when no file is open for append
+  std::FILE* append_file_ = nullptr;
+  int64_t live_blocks_ = 0;
+  int64_t live_payload_bytes_ = 0;
+  int64_t files_reclaimed_ = 0;
+  int64_t orphans_swept_ = 0;
+};
+
+}  // namespace fats::state
+
+#endif  // FATS_STATE_SEGMENT_SPILL_H_

@@ -1,0 +1,48 @@
+#include "state/tree_aggregate.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace fats::state {
+namespace {
+
+// One level: groups of kAggregateFanIn consecutive inputs, each summed
+// serially in ascending slot order into a task-owned accumulator. Group g
+// writes only out[g]; no accumulator is shared across tasks.
+std::vector<Tensor> ReduceLevel(const std::vector<Tensor>& level,
+                                ThreadPool* pool) {
+  const int64_t n = static_cast<int64_t>(level.size());
+  const int64_t groups = (n + kAggregateFanIn - 1) / kAggregateFanIn;
+  std::vector<Tensor> out(static_cast<size_t>(groups));
+  auto reduce_group = [&](int64_t g, int64_t worker) {
+    (void)worker;
+    const int64_t begin = g * kAggregateFanIn;
+    const int64_t end = std::min(n, begin + kAggregateFanIn);
+    Tensor acc(level[static_cast<size_t>(begin)].shape());  // zero-initialized
+    for (int64_t i = begin; i < end; ++i) {
+      acc += level[static_cast<size_t>(i)];
+    }
+    out[static_cast<size_t>(g)] = std::move(acc);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(groups, reduce_group);
+  } else {
+    for (int64_t g = 0; g < groups; ++g) reduce_group(g, 0);
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor TreeAggregate(const std::vector<Tensor>& inputs, ThreadPool* pool) {
+  FATS_CHECK(!inputs.empty());
+  std::vector<Tensor> level = ReduceLevel(inputs, pool);
+  while (level.size() > 1) {
+    level = ReduceLevel(level, pool);
+  }
+  return std::move(level[0]);
+}
+
+}  // namespace fats::state

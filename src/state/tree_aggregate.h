@@ -1,0 +1,36 @@
+// Deterministic sharded tree aggregation.
+//
+// TreeAggregate sums a slot-ordered list of tensors with a fixed-shape
+// reduction tree: inputs are grouped into runs of kAggregateFanIn in slot
+// order, each group is summed serially (a zero-initialized accumulator, +=
+// in ascending slot order), and the group partials feed the next level
+// until one tensor remains. The tree shape is a pure function of the input
+// count — never of the worker count — and every partial is owned by one
+// task slot, so the result is bit-identical whether the groups of a level
+// are reduced serially or across any number of ThreadPool workers
+// (DESIGN.md §7.8). For n <= kAggregateFanIn the tree degenerates to the
+// single serial accumulation chain 0 + x_0 + x_1 + ..., i.e. exactly the
+// flat aggregation loop it replaces.
+
+#ifndef FATS_STATE_TREE_AGGREGATE_H_
+#define FATS_STATE_TREE_AGGREGATE_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/thread_pool.h"
+
+namespace fats::state {
+
+/// Group width of the reduction tree. Part of the numeric contract: changing
+/// it changes float association and therefore traces.
+inline constexpr int64_t kAggregateFanIn = 8;
+
+/// Sum of `inputs` (all the same shape, at least one) over the fixed
+/// reduction tree. `pool` may be nullptr for serial evaluation; the result
+/// does not depend on it.
+Tensor TreeAggregate(const std::vector<Tensor>& inputs, ThreadPool* pool);
+
+}  // namespace fats::state
+
+#endif  // FATS_STATE_TREE_AGGREGATE_H_

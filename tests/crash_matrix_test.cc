@@ -53,11 +53,20 @@ struct Env {
   std::unique_ptr<FatsTrainer> trainer;
 };
 
-Env MakeEnv(const std::string& fault_spec = "") {
+Env MakeEnv(const std::string& fault_spec = "",
+            const std::string& spill_dir = "") {
   Env env;
   env.data = TinyImageData(5, 8);
   env.config = TinyFatsConfig(5, 8, 4, 2);
   env.config.fault_spec = fault_spec;
+  if (!spill_dir.empty()) {
+    // Tiny tier budgets so the 8-iteration schedule seals, spills, and
+    // evicts — otherwise the state.* failpoints are never crossed.
+    env.config.state_spill_dir = spill_dir;
+    env.config.state_block_iters = 2;
+    env.config.state_resident_sealed_blocks = 1;
+    env.config.state_decoded_cache_blocks = 2;
+  }
   env.trainer =
       std::make_unique<FatsTrainer>(TinyModelSpec(), env.config, &env.data);
   return env;
@@ -131,8 +140,9 @@ const Reference& GetReference() {
 // checkpoint, train to kTotal. Returns a child exit code (0 = survived).
 int RunChildScenario(const std::string& ckpt, const std::string& jrn,
                      const std::string& fault_spec,
-                     const DurableOptions& options = {}) {
-  Env env = MakeEnv(fault_spec);
+                     const DurableOptions& options = {},
+                     const std::string& spill_dir = "") {
+  Env env = MakeEnv(fault_spec, spill_dir);
   Result<std::unique_ptr<DurableTrainingSession>> session =
       DurableTrainingSession::Open(ckpt, jrn, env.trainer.get(), options);
   if (!session.ok()) return 90;
@@ -161,9 +171,10 @@ int ForkAndReap(Fn child) {
 // unlearning.
 void ExpectRecoversExactly(const std::string& ckpt, const std::string& jrn,
                            const std::string& label,
-                           const DurableOptions& options = {}) {
+                           const DurableOptions& options = {},
+                           const std::string& spill_dir = "") {
   const Reference& ref = GetReference();
-  Env env = MakeEnv();
+  Env env = MakeEnv("", spill_dir);
   Result<std::unique_ptr<DurableTrainingSession>> session =
       DurableTrainingSession::Open(ckpt, jrn, env.trainer.get(), options);
   ASSERT_TRUE(session.ok()) << label << ": " << session.status().ToString();
@@ -314,6 +325,39 @@ TEST(CrashMatrixTest, AsyncJournalCrashWindowsRecoverBitExactly) {
     ExpectRecoversExactly(ckpt, jrn, label, async_options);
   }
   EXPECT_TRUE(any_torn) << "no torn batch flush was actually injected";
+}
+
+TEST(CrashMatrixTest, SpillTierCrashWindowsRecoverBitExactly) {
+  // Spill-enabled rows: the same durable schedule, but with the state
+  // store's history tiered into segment files and a decoded cache small
+  // enough to evict mid-run. Killing inside a segment write (before or
+  // after frames reached the file) or at a decoded-block evict must leave
+  // nothing the journal replay cannot reconstruct: segments are a
+  // process-ephemeral cache tier, so recovery reopens the spill dir,
+  // sweeps the crashed process's orphaned `seg-*` files, and must land
+  // bit-identical to the resident reference — subsequent unlearning too.
+  int scenario = 0;
+  bool any_crash = false;
+  for (const char* site : {"state.spill.write", "state.block.evict"}) {
+    for (int hit : {1, 2}) {
+      const std::string label =
+          std::string(site) + ":" + std::to_string(hit) + ":crash";
+      const std::string tag = "cm_spill_" + std::to_string(scenario++);
+      const std::string ckpt = TempPath(tag + ".ckpt");
+      const std::string jrn = TempPath(tag + ".jrn");
+      const std::string spill = TempPath(tag + ".segs");
+      RemoveDurableFiles(ckpt, jrn);
+      const int code = ForkAndReap(
+          [&] { return RunChildScenario(ckpt, jrn, label, {}, spill); });
+      // 0 means this site was not hit `hit` times (evicts depend on read
+      // traffic); the journal is then complete and recovery is still exact.
+      ASSERT_TRUE(code == 0 || code == failpoint::kCrashExitCode)
+          << label << " exited with " << code;
+      any_crash |= code == failpoint::kCrashExitCode;
+      ExpectRecoversExactly(ckpt, jrn, label, {}, spill);
+    }
+  }
+  EXPECT_TRUE(any_crash) << "no spill-tier crash window was exercised";
 }
 
 TEST(CrashMatrixTest, CrashMidUnlearningRollsBackAtomically) {

@@ -148,6 +148,11 @@ TEST(AnalyzeIncludeGraph, ModuleOfAndRank) {
   // fault schedules from, below the fl/core layers that deliver through it.
   EXPECT_EQ(ModuleRank("transport"), ModuleRank("nn"));
   EXPECT_LT(ModuleRank("transport"), ModuleRank("fl"));
+  // state holds compressed tensors/index lists, below everything that
+  // records history through it (fl upward) and above what it encodes.
+  EXPECT_LT(ModuleRank("tensor"), ModuleRank("state"));
+  EXPECT_LT(ModuleRank("state"), ModuleRank("nn"));
+  EXPECT_LT(ModuleRank("state"), ModuleRank("fl"));
   EXPECT_EQ(ModuleRank("unknown-module"), -1);
 }
 
@@ -381,6 +386,65 @@ TEST(AnalyzeTileOverlap, OutsideSrcTensorIsExempt) {
       "  });\n"
       "}\n");
   EXPECT_FALSE(HasRule(r, kRuleTileOverlap));
+}
+
+// --- Rule fixtures: resident-history ---
+
+TEST(AnalyzeResidentHistory, MemberMapOfIndexListsFires) {
+  const AnalysisResult r = AnalyzeOne(
+      "src/fl/history.h",
+      "struct Store {\n"
+      "  std::map<Key, std::vector<int64_t>> minibatches_;\n"
+      "};\n");
+  EXPECT_TRUE(HasRule(r, kRuleResidentHistory));
+}
+
+TEST(AnalyzeResidentHistory, NestedVectorWithInitializerFires) {
+  const AnalysisResult r = AnalyzeOne(
+      "src/fl/history.h",
+      "std::vector<std::vector<int64_t>> per_round = {};\n");
+  EXPECT_TRUE(HasRule(r, kRuleResidentHistory));
+}
+
+TEST(AnalyzeResidentHistory, UnorderedMapMemberFires) {
+  const AnalysisResult r = AnalyzeOne(
+      "src/fl/history.h",
+      "std::unordered_map<int64_t, std::vector<int64_t>> by_client_;\n");
+  EXPECT_TRUE(HasRule(r, kRuleResidentHistory));
+}
+
+TEST(AnalyzeResidentHistory, ReturnTypeDoesNotFire) {
+  // A function *returning* a map of lists exports a snapshot; it does not
+  // keep one resident.
+  const AnalysisResult r = AnalyzeOne(
+      "src/fl/history.h",
+      "std::map<int64_t, std::vector<int64_t>> Export() const;\n");
+  EXPECT_FALSE(HasRule(r, kRuleResidentHistory));
+}
+
+TEST(AnalyzeResidentHistory, NonIndexPayloadDoesNotFire) {
+  // Bounded per-record payloads (flags, pairs) are not history lists.
+  const AnalysisResult r = AnalyzeOne(
+      "src/fl/history.h",
+      "std::vector<std::vector<bool>> sample_used_;\n"
+      "std::vector<std::pair<int64_t, int64_t>> keys_;\n");
+  EXPECT_FALSE(HasRule(r, kRuleResidentHistory));
+}
+
+TEST(AnalyzeResidentHistory, StateLayerIsExempt) {
+  const AnalysisResult r = AnalyzeOne(
+      "src/state/history_log.h",
+      "std::map<int64_t, std::vector<int64_t>> records_;\n");
+  EXPECT_FALSE(HasRule(r, kRuleResidentHistory));
+}
+
+TEST(AnalyzeResidentHistory, SuppressionDowngrades) {
+  const AnalysisResult r = AnalyzeOne(
+      "src/fl/history.h",
+      "std::unordered_map<int64_t, std::vector<int64_t>>\n"
+      "    client_rounds_;  // fats-lint: allow(resident-history)\n");
+  EXPECT_TRUE(ActiveRules(r).empty());
+  EXPECT_TRUE(HasRule(r, kRuleResidentHistory, /*suppressed=*/true));
 }
 
 TEST(AnalyzeTileOverlap, SuppressionDowngrades) {
@@ -728,7 +792,8 @@ TEST(AnalyzeRules, AllRulesSupersetOfLegacy) {
   for (const char* rule :
        {kRuleRngRawKey, kRuleRngSharedStream, kRuleRngUnorderedDraw,
         kRuleNondetReduction, kRuleFailpointGap, kRuleDiscardedStatus,
-        kRuleLayerOrder, kRuleLayerCycle, kRuleTileOverlap}) {
+        kRuleLayerOrder, kRuleLayerCycle, kRuleTileOverlap,
+        kRuleResidentHistory}) {
     EXPECT_NE(std::find(all.begin(), all.end(), rule), all.end()) << rule;
   }
 }

@@ -1,0 +1,170 @@
+// Lazy federated datasets (data/federated_dataset.h lazy mode +
+// data/paper_configs.h BuildLazyFederatedData): client shards are generated
+// on demand from per-client keyed streams and only a bounded number stay
+// resident. The contract under test: every materialization — first touch,
+// or regeneration after an eviction — is bitwise identical to the eager
+// build, deletion overlays survive eviction, and a trainer run on lazy data
+// is bit-for-bit the trainer run on eager data.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fats_trainer.h"
+#include "core/sample_unlearner.h"
+#include "data/federated_dataset.h"
+#include "data/paper_configs.h"
+
+namespace fats {
+namespace {
+
+// A profile small enough to materialize every shard both ways repeatedly.
+DatasetProfile TinyProfile(const std::string& base = "mnist") {
+  DatasetProfile p = ScaledProfile(base).value();
+  p.clients_m = 8;
+  p.samples_per_client_n = 10;
+  p.clients_per_round_k = 3;
+  p.rounds_r = 3;
+  p.local_iters_e = 2;
+  p.batch_b = 4;
+  p.test_size = 40;
+  return p;
+}
+
+void ExpectShardsBitwiseEqual(const FederatedDataset& eager,
+                              const FederatedDataset& lazy) {
+  ASSERT_EQ(eager.num_clients(), lazy.num_clients());
+  for (int64_t k = 0; k < eager.num_clients(); ++k) {
+    EXPECT_TRUE(
+        eager.client_data(k).features().BitwiseEquals(
+            lazy.client_data(k).features()))
+        << "features of client " << k;
+    EXPECT_EQ(eager.client_data(k).labels(), lazy.client_data(k).labels())
+        << "labels of client " << k;
+    EXPECT_EQ(eager.num_active_samples(k), lazy.num_active_samples(k));
+  }
+  EXPECT_TRUE(
+      eager.global_test().features().BitwiseEquals(
+          lazy.global_test().features()));
+  EXPECT_EQ(eager.global_test().labels(), lazy.global_test().labels());
+}
+
+TEST(LazyDatasetTest, MatchesEagerBitwiseForEveryTaskKind) {
+  // One profile per generator family: simulated-LDA image, natural-partition
+  // image, and text. The cache holds 3 of 8 shards, so this walk also
+  // exercises evict + regenerate, not just first touch.
+  for (const std::string& base : {"mnist", "femnist", "shakespeare"}) {
+    const DatasetProfile p = TinyProfile(base);
+    const FederatedDataset eager = BuildFederatedData(p, 3);
+    LazyDatasetOptions options;
+    options.shard_cache_capacity = 3;
+    const FederatedDataset lazy = BuildLazyFederatedData(p, 3, options);
+    ASSERT_TRUE(lazy.lazy());
+    ASSERT_FALSE(eager.lazy());
+    ExpectShardsBitwiseEqual(eager, lazy);
+    EXPECT_LE(lazy.materialized_shards(), 3);
+    EXPECT_EQ(lazy.shard_generations(), 8) << "one generation per shard";
+    // Client 0 was evicted during the walk; revisiting regenerates it and
+    // the regenerated shard still matches the eager build.
+    EXPECT_TRUE(eager.client_data(0).features().BitwiseEquals(
+        lazy.client_data(0).features()));
+    EXPECT_EQ(lazy.shard_generations(), 9);
+  }
+}
+
+TEST(LazyDatasetTest, RegenerationIsDeterministic) {
+  const DatasetProfile p = TinyProfile();
+  LazyDatasetOptions options;
+  options.shard_cache_capacity = 2;
+  FederatedDataset lazy = BuildLazyFederatedData(p, 9, options);
+  // Capture client 0, thrash the cache so it is evicted, read it again.
+  const Tensor first = lazy.client_data(0).features();
+  for (int64_t k = 1; k < p.clients_m; ++k) (void)lazy.client_data(k);
+  const int64_t generations_before = lazy.shard_generations();
+  EXPECT_TRUE(lazy.client_data(0).features().BitwiseEquals(first));
+  EXPECT_GT(lazy.shard_generations(), generations_before)
+      << "client 0 should have been regenerated, not cached";
+}
+
+TEST(LazyDatasetTest, DeletionsSurviveEviction) {
+  const DatasetProfile p = TinyProfile();
+  LazyDatasetOptions options;
+  options.shard_cache_capacity = 2;
+  FederatedDataset lazy = BuildLazyFederatedData(p, 9, options);
+  ASSERT_TRUE(lazy.RemoveSample({1, 4}).ok());
+  ASSERT_TRUE(lazy.RemoveClient(5).ok());
+  // Thrash the cache so both touched shards are regenerated from scratch.
+  for (int64_t k = 0; k < p.clients_m; ++k) {
+    if (lazy.client_active(k)) (void)lazy.client_data(k);
+  }
+  EXPECT_FALSE(lazy.sample_active(1, 4));
+  EXPECT_TRUE(lazy.sample_active(1, 3));
+  EXPECT_EQ(lazy.num_active_samples(1), p.samples_per_client_n - 1);
+  EXPECT_EQ(lazy.active_sample_indices(1).size(),
+            static_cast<size_t>(p.samples_per_client_n - 1));
+  EXPECT_FALSE(lazy.client_active(5));
+  EXPECT_EQ(lazy.RemoveSample({1, 4}).code(),
+            StatusCode::kFailedPrecondition);
+  // Batch gather honors the overlay after regeneration too.
+  Batch batch = lazy.MakeBatch(1, {0, 3});
+  EXPECT_EQ(batch.size(), 2);
+}
+
+TEST(LazyDatasetTest, TrainerOnLazyDataIsBitIdenticalToEager) {
+  const DatasetProfile p = TinyProfile();
+  const FatsConfig config = FatsConfig::FromProfile(p);
+
+  FederatedDataset eager = BuildFederatedData(p, 3);
+  LazyDatasetOptions options;
+  options.shard_cache_capacity = 2;
+  FederatedDataset lazy = BuildLazyFederatedData(p, 3, options);
+
+  FatsTrainer trainer_e(p.model, config, &eager);
+  FatsTrainer trainer_l(p.model, config, &lazy);
+  trainer_e.Train();
+  trainer_l.Train();
+  EXPECT_TRUE(
+      trainer_e.global_params().BitwiseEquals(trainer_l.global_params()));
+  ASSERT_EQ(trainer_e.log().records().size(), trainer_l.log().records().size());
+  for (size_t i = 0; i < trainer_e.log().records().size(); ++i) {
+    EXPECT_EQ(trainer_e.log().records()[i].test_accuracy,
+              trainer_l.log().records()[i].test_accuracy);
+    EXPECT_EQ(trainer_e.log().records()[i].mean_local_loss,
+              trainer_l.log().records()[i].mean_local_loss);
+  }
+
+  // Unlearning replays re-read minibatches through the lazy gather path.
+  const std::vector<SampleRef> targets = {{0, 0}, {2, 2}};
+  const int64_t t_max = trainer_e.trained_through();
+  SampleUnlearner unlearner_e(&trainer_e);
+  SampleUnlearner unlearner_l(&trainer_l);
+  auto outcome_e = unlearner_e.UnlearnBatch(targets, t_max);
+  auto outcome_l = unlearner_l.UnlearnBatch(targets, t_max);
+  ASSERT_TRUE(outcome_e.ok()) << outcome_e.status().message();
+  ASSERT_TRUE(outcome_l.ok()) << outcome_l.status().message();
+  EXPECT_EQ(outcome_e->recomputed, outcome_l->recomputed);
+  EXPECT_TRUE(
+      trainer_e.global_params().BitwiseEquals(trainer_l.global_params()));
+}
+
+TEST(LazyDatasetTest, EagerModeIsUnchangedByLazyPlumbing) {
+  // The eager constructor must report lazy() == false and keep the
+  // zero-overhead path: no generations, no materialized-shard accounting.
+  const DatasetProfile p = TinyProfile();
+  FederatedDataset eager = BuildFederatedData(p, 3);
+  EXPECT_FALSE(eager.lazy());
+  EXPECT_EQ(eager.materialized_shards(), eager.num_clients());
+  EXPECT_EQ(eager.shard_generations(), 0);
+}
+
+TEST(LazyDatasetDeathTest, CentralLdaProfileRefusesLazyBuild) {
+  DatasetProfile p = TinyProfile();
+  p.central_lda_partition = true;
+  EXPECT_DEATH(BuildLazyFederatedData(p, 3), "central_lda_partition");
+}
+
+}  // namespace
+}  // namespace fats

@@ -1,0 +1,94 @@
+// Sharded deterministic tree aggregation (src/state/tree_aggregate.h):
+// the reduction tree's shape is a pure function of n, each group is summed
+// by exactly one worker in ascending slot order, so the aggregate is
+// bit-identical at any worker count — and, for n <= kAggregateFanIn,
+// bit-identical to the plain serial accumulation chain the trainer used
+// before the tree existed.
+
+#include "state/tree_aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng_stream.h"
+#include "tensor/tensor.h"
+#include "util/thread_pool.h"
+
+namespace fats::state {
+namespace {
+
+std::vector<Tensor> RandomInputs(int64_t n, int64_t dim, uint64_t seed) {
+  StreamId id;
+  id.purpose = RngPurpose::kPartition;
+  RngStream rng(seed, id);
+  std::vector<Tensor> inputs;
+  inputs.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    std::vector<float> values(static_cast<size_t>(dim));
+    for (float& v : values) {
+      // Magnitudes spread over several orders so float addition is
+      // genuinely non-associative: any reduction-order change flips bits.
+      v = static_cast<float>(rng.NextGaussian()) *
+          static_cast<float>(1 + (i % 7) * 1000);
+    }
+    inputs.push_back(Tensor({dim}, std::move(values)));
+  }
+  return inputs;
+}
+
+// The pre-tree trainer reduction: one accumulator, ascending slot order.
+Tensor SerialChain(const std::vector<Tensor>& inputs) {
+  Tensor sum(inputs[0].shape());
+  for (const Tensor& t : inputs) sum += t;
+  return sum;
+}
+
+TEST(TreeAggregateTest, MatchesSerialChainUpToFanIn) {
+  for (int64_t n = 1; n <= kAggregateFanIn; ++n) {
+    const std::vector<Tensor> inputs = RandomInputs(n, 33, 100 + n);
+    const Tensor tree = TreeAggregate(inputs, nullptr);
+    EXPECT_TRUE(tree.BitwiseEquals(SerialChain(inputs))) << "n=" << n;
+  }
+}
+
+TEST(TreeAggregateTest, BitIdenticalAcrossWorkerCounts) {
+  for (int64_t n : {1, 2, 7, 8, 9, 16, 63, 64, 65, 100}) {
+    const std::vector<Tensor> inputs = RandomInputs(n, 17, 7 * n + 1);
+    const Tensor reference = TreeAggregate(inputs, nullptr);
+    for (int64_t workers : {1, 2, 4, 7}) {
+      ThreadPool pool(workers);
+      const Tensor parallel = TreeAggregate(inputs, &pool);
+      EXPECT_TRUE(parallel.BitwiseEquals(reference))
+          << "n=" << n << " workers=" << workers;
+    }
+  }
+}
+
+TEST(TreeAggregateTest, TreeShapeIsAFunctionOfNOnly) {
+  // Aggregating the same inputs twice (same pool) is bitwise stable, and
+  // permuting inputs changes the result exactly as the slot order says it
+  // should: the tree fixes the order, not the values.
+  const std::vector<Tensor> inputs = RandomInputs(20, 9, 42);
+  ThreadPool pool(4);
+  const Tensor a = TreeAggregate(inputs, &pool);
+  const Tensor b = TreeAggregate(inputs, &pool);
+  EXPECT_TRUE(a.BitwiseEquals(b));
+
+  std::vector<Tensor> swapped = inputs;
+  std::swap(swapped[0], swapped[19]);
+  const Tensor c = TreeAggregate(swapped, nullptr);
+  // Not a guarantee that any particular swap flips bits, but the sums are
+  // mathematically equal — check the tree is at least order-consistent.
+  EXPECT_TRUE(c.BitwiseEquals(TreeAggregate(swapped, &pool)));
+}
+
+TEST(TreeAggregateTest, SingleInputPassesThrough) {
+  const std::vector<Tensor> inputs = RandomInputs(1, 5, 3);
+  const Tensor out = TreeAggregate(inputs, nullptr);
+  EXPECT_TRUE(out.BitwiseEquals(inputs[0]));
+}
+
+}  // namespace
+}  // namespace fats::state

@@ -77,6 +77,7 @@ AnalysisResult AnalyzeFiles(const std::vector<SourceFile>& files,
     CheckStoreMutation(model, &result.findings);
     CheckWireDiscipline(model, &result.findings);
     CheckTileOwnership(model, &result.findings);
+    CheckHistoryResidency(model, &result.findings);
   }
 
   CheckLayering(result.index, models, &result.findings);

@@ -9,9 +9,10 @@ namespace {
 
 const std::map<std::string, int>& RankTable() {
   static const auto* kRanks = new std::map<std::string, int>{
-      {"util", 0},      {"tensor", 1}, {"rng", 1},   {"transport", 2},
-      {"nn", 2},        {"data", 3},   {"fl", 4},    {"core", 5},
-      {"metrics", 5},   {"io", 6},     {"baselines", 6}, {"attack", 6},
+      {"util", 0},      {"tensor", 1}, {"rng", 1},   {"state", 2},
+      {"transport", 3}, {"nn", 3},     {"data", 4},  {"fl", 5},
+      {"core", 6},      {"metrics", 6}, {"io", 7},   {"baselines", 7},
+      {"attack", 7},
   };
   return *kRanks;
 }

@@ -4,11 +4,13 @@
 //
 //   rank 0  util                      (includable by every module)
 //   rank 1  tensor, rng
-//   rank 2  nn, transport             (tensor + rng)
-//   rank 3  data                      (nn + below)
-//   rank 4  fl                        (data + below)
-//   rank 5  core, metrics             (fl + below)
-//   rank 6  io, baselines, attack     (core + below)
+//   rank 2  state                     (tensor + util: history codecs,
+//                                      segment spill, tree aggregation)
+//   rank 3  nn, transport             (tensor + rng)
+//   rank 4  data                      (nn + below)
+//   rank 5  fl                        (data + state + below)
+//   rank 6  core, metrics             (fl + below)
+//   rank 7  io, baselines, attack     (core + below)
 //
 // A file in module A may include module B only when rank(B) <= rank(A).
 // Same-rank cross-includes are tolerated (core does not include metrics

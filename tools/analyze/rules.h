@@ -56,6 +56,15 @@
 //                      address the same output element, violating the fixed
 //                      tile-ownership split that makes multi-threaded
 //                      kernels bit-identical to serial (DESIGN.md §7.6).
+//   resident-history   (src/fl only) a member/variable declaration of a
+//                      container holding std::vector<int64_t> payloads
+//                      (map-of-index-lists, vector-of-index-lists): history
+//                      records that grow one resident list per (iteration,
+//                      client) defeat the state layer's bounded-RSS contract
+//                      (DESIGN.md §7.8) — per-record history belongs in
+//                      state::HistoryLog, which compresses, tiers, and
+//                      spills it. The store's O(1)-triage inverted indices
+//                      are the sanctioned exception, via suppression.
 
 #ifndef FATS_TOOLS_ANALYZE_RULES_H_
 #define FATS_TOOLS_ANALYZE_RULES_H_
@@ -82,6 +91,7 @@ inline constexpr const char kRuleStoreMutationBypass[] =
     "store-mutation-bypass";
 inline constexpr const char kRuleRawWire[] = "raw-wire";
 inline constexpr const char kRuleTileOverlap[] = "tile-overlap";
+inline constexpr const char kRuleResidentHistory[] = "resident-history";
 
 // The analyzer-pass rule IDs (the full ID space is these plus
 // lint::AllRules()).
@@ -123,6 +133,8 @@ void CheckWireDiscipline(const FileModel& model,
                          std::vector<lint::Finding>* findings);
 void CheckTileOwnership(const FileModel& model,
                         std::vector<lint::Finding>* findings);
+void CheckHistoryResidency(const FileModel& model,
+                           std::vector<lint::Finding>* findings);
 
 // Whole-tree pass over the include graph.
 void CheckLayering(const AnalysisIndex& index,

@@ -31,7 +31,8 @@ std::vector<std::string> AnalyzerRules() {
   return {kRuleRngRawKey,      kRuleRngSharedStream,     kRuleRngUnorderedDraw,
           kRuleNondetReduction, kRuleFailpointGap,       kRuleDiscardedStatus,
           kRuleLayerOrder,     kRuleLayerCycle,
-          kRuleStoreMutationBypass, kRuleRawWire, kRuleTileOverlap};
+          kRuleStoreMutationBypass, kRuleRawWire, kRuleTileOverlap,
+          kRuleResidentHistory};
 }
 
 void IndexFile(const FileModel& model, AnalysisIndex* index) {

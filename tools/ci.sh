@@ -91,6 +91,21 @@ if [[ "$PRESET" == "release" ]]; then
   else
     echo "bench gate: no BENCH_transport.json baseline; ran benchmarks only"
   fi
+  # And for the state layer: index-codec throughput, tiered history-log
+  # append/cold-read, tree aggregation, and lazy shard materialization
+  # (resident_bytes exploding in the spilled BM_HistoryLogAppend row means
+  # the memory bound — the layer's reason to exist — broke).
+  "$BUILD_DIR/bench/bench_state" \
+    --benchmark_min_time=0.01 \
+    --benchmark_out="$BUILD_DIR/BENCH_state_current.json" \
+    --benchmark_out_format=json > /dev/null
+  if [[ -f BENCH_state.json ]]; then
+    "$BUILD_DIR/tools/bench_check" BENCH_state.json \
+      "$BUILD_DIR/BENCH_state_current.json" \
+      --max-regress "$BENCH_MAX_REGRESS_PCT"
+  else
+    echo "bench gate: no BENCH_state.json baseline; ran benchmarks only"
+  fi
 else
   echo "bench gate: skipped (preset $PRESET; benches run on release only)"
 fi
